@@ -1,0 +1,53 @@
+// Shared CLI / configuration for the experiment bench binaries.
+//
+// Every bench accepts the same flags and derives the same ExperimentConfig,
+// so they share one cached trained model (./atlas_cache). Delete that
+// directory to force retraining.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "atlas/flow.h"
+#include "util/cli.h"
+
+namespace atlas::bench {
+
+inline util::Cli make_cli() {
+  util::Cli cli;
+  cli.flag("scale", "0.01", "design size as a fraction of the paper's (C1..C6)")
+      .flag("cycles", "300", "workload cycles (paper: 300)")
+      .flag("epochs", "10", "pre-training epochs")
+      .flag("dim", "32", "encoder embedding dimension")
+      .flag("trees", "300", "GBDT estimators per group model")
+      .flag("stride", "2", "cycle stride for fine-tuning rows")
+      .flag("cache-dir", "atlas_cache", "trained-model cache directory")
+      .flag("no-cache", "false", "retrain even if a cached model exists")
+      .flag("quiet", "false", "suppress progress logging");
+  return cli;
+}
+
+inline core::ExperimentConfig config_from_cli(const util::Cli& cli) {
+  core::ExperimentConfig cfg;
+  cfg.scale = cli.real("scale");
+  cfg.cycles = static_cast<int>(cli.integer("cycles"));
+  cfg.pretrain.epochs = static_cast<int>(cli.integer("epochs"));
+  cfg.pretrain.dim = static_cast<std::size_t>(cli.integer("dim"));
+  cfg.finetune.gbdt.n_trees = static_cast<int>(cli.integer("trees"));
+  cfg.finetune.cycle_stride = static_cast<int>(cli.integer("stride"));
+  cfg.cache_dir = cli.str("cache-dir");
+  cfg.use_cache = !cli.boolean("no-cache");
+  cfg.verbose = !cli.boolean("quiet");
+  return cfg;
+}
+
+inline void print_header(const char* title, const core::ExperimentConfig& cfg) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  scale=%.4g  cycles=%d  epochs=%d  dim=%zu  trees=%d\n",
+              cfg.scale, cfg.cycles, cfg.pretrain.epochs, cfg.pretrain.dim,
+              cfg.finetune.gbdt.n_trees);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace atlas::bench

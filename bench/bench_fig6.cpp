@@ -1,0 +1,59 @@
+// Reproduces paper Fig. 6: component-level power analysis of C2 under W1.
+//
+// C2 mirrors the paper's out-of-order CPU component mix (frontend, decode,
+// exec, lsu, dcache). Each component's predicted power is the sum of its
+// sub-modules' predictions; the table reports average label vs prediction
+// and per-component MAPE of the average. Paper: component errors mostly
+// < 5%, slightly above the total-power error.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace atlas;
+  util::Cli cli = bench::make_cli();
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  const core::ExperimentConfig cfg = bench::config_from_cli(cli);
+  bench::print_header("Fig. 6: component-level power of C2 under W1", cfg);
+
+  core::Experiment exp(cfg);
+  const int design_index = cfg.test_designs.empty() ? 2 : cfg.test_designs[0];
+  const core::EvalRow row = exp.evaluate(design_index, /*W1*/ 0);
+  const core::DesignData& d = exp.design(design_index);
+  const auto& wl = d.workloads[0];
+
+  // Golden per-component averages (excluding memory, as the paper's ATLAS
+  // scope does).
+  const auto golden_sm = wl.golden.average_submodules();
+  std::vector<double> golden_comp(d.gate.components().size(), 0.0);
+  for (std::size_t sm = 0; sm < golden_sm.size(); ++sm) {
+    const int comp = d.gate.submodules()[sm].component;
+    if (comp >= 0) golden_comp[static_cast<std::size_t>(comp)] +=
+        golden_sm[sm].total_no_memory();
+  }
+  const auto pred_comp_groups = row.prediction.component_average(d.gate);
+
+  std::printf("%-12s %6s | %14s %14s %8s\n", "component", "subs", "label (mW)",
+              "ATLAS (mW)", "MAPE");
+  bool shape_ok = true;
+  double worst = 0.0;
+  for (std::size_t comp = 0; comp < d.gate.components().size(); ++comp) {
+    int subs = 0;
+    for (const auto& sm : d.gate.submodules()) subs += sm.component == static_cast<int>(comp);
+    const double label = golden_comp[comp];
+    const double pred = pred_comp_groups[comp].total_no_memory();
+    const double mape_pct = label > 0 ? 100.0 * std::abs(label - pred) / label : 0.0;
+    worst = std::max(worst, mape_pct);
+    std::printf("%-12s %6d | %14.4f %14.4f %7.2f%%\n",
+                d.gate.components()[comp].c_str(), subs, label / 1e3, pred / 1e3,
+                mape_pct);
+  }
+  shape_ok = worst < 35.0;
+  std::printf("\npaper: component-level error slightly above total-power "
+              "error, mostly < 5%%\n");
+  std::printf("worst component error: %.2f%%\n", worst);
+  std::printf("shape check (component rollup stays accurate): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

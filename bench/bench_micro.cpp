@@ -1,0 +1,120 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// the cycle simulator, the power analyzer, the SGFormer encoder forward pass
+// (the dominant cost of ATLAS inference) and GBDT prediction. These are the
+// numbers to watch when optimizing the Table IV "Infer" column.
+#include <benchmark/benchmark.h>
+
+#include "designgen/design_generator.h"
+#include "graph/submodule_graph.h"
+#include "liberty/library.h"
+#include "ml/gbdt.h"
+#include "ml/sgformer.h"
+#include "power/power_analyzer.h"
+#include "sim/simulator.h"
+#include "transform/rewrite.h"
+
+namespace {
+
+using namespace atlas;
+
+const liberty::Library& lib() {
+  static const liberty::Library l = liberty::make_default_library();
+  return l;
+}
+
+const netlist::Netlist& design() {
+  static const netlist::Netlist nl =
+      designgen::generate_design(designgen::paper_design_spec(2, 0.004), lib());
+  return nl;
+}
+
+void BM_CycleSimulator(benchmark::State& state) {
+  const netlist::Netlist& nl = design();
+  const int cycles = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::CycleSimulator sim(nl);
+    sim::StimulusGenerator stim(nl, sim::make_w1());
+    benchmark::DoNotOptimize(sim.run(stim, cycles));
+  }
+  state.SetItemsProcessed(state.iterations() * cycles *
+                          static_cast<long>(nl.num_cells()));
+}
+BENCHMARK(BM_CycleSimulator)->Arg(50)->Arg(300);
+
+void BM_PowerAnalysis(benchmark::State& state) {
+  const netlist::Netlist& nl = design();
+  sim::CycleSimulator sim(nl);
+  sim::StimulusGenerator stim(nl, sim::make_w1());
+  const sim::ToggleTrace trace = sim.run(stim, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::analyze_power(nl, trace));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          static_cast<long>(nl.num_cells()));
+}
+BENCHMARK(BM_PowerAnalysis)->Arg(300);
+
+void BM_LogicRewrite(benchmark::State& state) {
+  const netlist::Netlist& nl = design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transform::apply_rewrites(nl, {}));
+  }
+}
+BENCHMARK(BM_LogicRewrite);
+
+void BM_SgFormerForward(benchmark::State& state) {
+  // Synthetic chain graph of the requested size with ATLAS feature width.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  ml::Matrix feats = ml::Matrix::randn(n, graph::kFeatureDim, rng, 1.0f);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  ml::GraphView view;
+  view.num_nodes = n;
+  view.feat_dim = graph::kFeatureDim;
+  view.features = feats.data();
+  view.edges = &edges;
+  ml::SgFormer::Config cfg;
+  cfg.in_dim = graph::kFeatureDim;
+  cfg.dim = 32;
+  ml::SgFormer enc(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.forward(view));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_SgFormerForward)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_GbdtPredict(benchmark::State& state) {
+  util::Rng rng(7);
+  const std::size_t n = 2000;
+  ml::Matrix x(n, 35);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 35; ++j) x.at(i, j) = static_cast<float>(rng.next_double());
+    y[i] = x.at(i, 0) * 3 + x.at(i, 1);
+  }
+  ml::GbdtConfig cfg;
+  cfg.n_trees = 300;
+  ml::GbdtRegressor model(cfg);
+  model.fit(x, y);
+  for (auto _ : state) {
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc += model.predict_row(x.row(i));
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_GbdtPredict);
+
+void BM_SubmoduleGraphBuild(benchmark::State& state) {
+  const netlist::Netlist& nl = design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_submodule_graphs(nl));
+  }
+}
+BENCHMARK(BM_SubmoduleGraphBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Reproduces paper Table IV: runtime comparison (seconds) of the ATLAS path
+// (preprocessing + inference) against the traditional flow (P&R + time-based
+// power simulation) for C1..C6 over a 300-cycle workload.
+//
+// Paper: ATLAS average 76 s vs traditional 80,413 s (>1000x), dominated by
+// Innovus P&R. Scale caveat: this repo substitutes commercial P&R and PTPX
+// with toy-complexity engines that run ~10^4-10^5x faster than the real
+// tools, while the ATLAS side (encoder matrix math, GBDT) runs at full
+// fidelity. Measured columns therefore CANNOT preserve the paper's ratio;
+// alongside them the harness prints an "extrapolated traditional" column
+// that applies the paper's measured per-cell P&R and per-cell-cycle
+// simulation throughput to our design sizes — the honest apples-to-apples
+// comparison (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "designgen/design_generator.h"
+
+namespace {
+
+// Paper Table IV / Table II: average P&R seconds per (gate-level) cell and
+// simulation seconds per cell-cycle across C1..C6.
+constexpr double kPaperPnrSecPerCell = 80297.0 / 410610.0;   // ~0.196
+constexpr double kPaperSimSecPerCellCycle = 116.0 / (410610.0 * 300.0);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace atlas;
+  util::Cli cli = bench::make_cli();
+  cli.parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  const core::ExperimentConfig cfg = bench::config_from_cli(cli);
+  bench::print_header(
+      "Table IV: runtime (seconds) for one 300-cycle workload, ATLAS vs "
+      "traditional flow",
+      cfg);
+
+  core::Experiment exp(cfg);
+  std::printf("%-8s | %8s %8s %8s | measured %8s %8s %8s | extrap %10s %8s\n",
+              "design", "Pre.", "Infer", "Total", "P&R", "Sim", "Total",
+              "P&R+Sim", "ratio");
+  double sum_atlas = 0, sum_trad = 0, sum_extrap = 0;
+  bool shape_ok = true;
+  for (int i = 1; i <= 6; ++i) {
+    const core::DesignData& d = exp.design(i);
+    const double n_wl = static_cast<double>(d.workloads.size());
+    // Timers accumulate over both workloads; report per single workload, as
+    // the paper does for W1.
+    const double pre = d.timers.get("atlas_pre") / n_wl;
+    const double pnr = d.timers.get("pnr");
+    const double sim = d.timers.get("golden_sim") / n_wl;
+    util::Timer t;
+    exp.model().predict(d.gate, d.gate_graphs, d.workloads[0].gate_trace);
+    const double infer = t.seconds();
+    const double atlas_total = pre + infer;
+    const double trad_total = pnr + sim;
+    const double extrap =
+        kPaperPnrSecPerCell * static_cast<double>(d.gate.num_cells()) +
+        kPaperSimSecPerCellCycle * static_cast<double>(d.gate.num_cells()) *
+            cfg.cycles;
+    sum_atlas += atlas_total;
+    sum_trad += trad_total;
+    sum_extrap += extrap;
+    shape_ok = shape_ok && atlas_total < extrap;
+    std::printf("%-8s | %8.2f %8.2f %8.2f | %17.2f %8.2f %8.2f | %17.0f %7.0fx\n",
+                d.spec.name.c_str(), pre, infer, atlas_total, pnr, sim,
+                trad_total, extrap, extrap / atlas_total);
+  }
+  std::printf("%-8s | %8s %8.2f %8s | %17s %8s %8.2f | %17.0f %7.0fx\n",
+              "Average", "", sum_atlas / 6, "", "", "", sum_trad / 6,
+              sum_extrap / 6, sum_extrap / sum_atlas);
+  std::printf(
+      "\npaper (industrial scale): ATLAS avg 76 s vs traditional 80,413 s "
+      "(>1000x, P&R-dominated)\n");
+  std::printf(
+      "note: measured traditional time is tiny because this repo's P&R/PTPX\n"
+      "substitutes are toy-complexity; the extrapolated column applies the\n"
+      "paper's per-cell tool throughput to our design sizes.\n");
+  std::printf("shape check (ATLAS total << tool-throughput-extrapolated "
+              "traditional): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,143 @@
+#include "atlas/flow.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace atlas::core {
+namespace {
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t config_hash(const ExperimentConfig& c) {
+  std::uint64_t h = 0xA71A5ULL;
+  h = hash_mix(h, static_cast<std::uint64_t>(c.scale * 1e9));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.cycles));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain.epochs));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain.batch_graphs));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain.lr * 1e9));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain.mask_fraction * 1e6));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain.cycles_per_graph));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain.dim));
+  h = hash_mix(h, c.pretrain.seed);
+  h = hash_mix(h, static_cast<std::uint64_t>(c.finetune.gbdt.n_trees));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.finetune.gbdt.max_depth));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.finetune.cycle_stride));
+  h = hash_mix(h, static_cast<std::uint64_t>(c.pretrain_tasks.toggle) |
+                      (static_cast<std::uint64_t>(c.pretrain_tasks.node_type) << 1) |
+                      (static_cast<std::uint64_t>(c.pretrain_tasks.size) << 2) |
+                      (static_cast<std::uint64_t>(c.pretrain_tasks.cl_gate) << 3) |
+                      (static_cast<std::uint64_t>(c.pretrain_tasks.cl_cross) << 4));
+  for (const int d : c.train_designs) h = hash_mix(h, static_cast<std::uint64_t>(d));
+  return h;
+}
+
+void log_line(const ExperimentConfig& c, const std::string& msg) {
+  if (c.verbose) std::fprintf(stderr, "[atlas] %s\n", msg.c_str());
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)), lib_(liberty::make_default_library()) {
+  PreprocessConfig pre;
+  pre.cycles = config_.cycles;
+  designs_.reserve(6);
+  for (int i = 1; i <= 6; ++i) {
+    log_line(config_, util::format("preparing design C%d (scale %.4f)...", i,
+                                   config_.scale));
+    designs_.push_back(prepare_design(
+        designgen::paper_design_spec(i, config_.scale), lib_, pre));
+    const DesignData& d = designs_.back();
+    log_line(config_,
+             util::format("  C%d: %zu gate cells -> %zu post-layout cells, "
+                          "%zu sub-modules",
+                          i, d.gate.num_cells(), d.layout.netlist.num_cells(),
+                          d.gate_graphs.size()));
+  }
+  train_or_load();
+  std::vector<const DesignData*> train;
+  for (const int i : config_.train_designs) train.push_back(&design(i));
+  memory_model_.fit(train);
+}
+
+const DesignData& Experiment::design(int index) const {
+  if (index < 1 || index > static_cast<int>(designs_.size())) {
+    throw std::out_of_range("Experiment::design: index must be 1..6");
+  }
+  return designs_[static_cast<std::size_t>(index - 1)];
+}
+
+std::string Experiment::cache_path() const {
+  return config_.cache_dir + "/model_" +
+         util::format("%016llx",
+                      static_cast<unsigned long long>(config_hash(config_))) +
+         ".bin";
+}
+
+void Experiment::train_or_load() {
+  const std::string path = cache_path();
+  if (config_.use_cache && std::filesystem::exists(path)) {
+    log_line(config_, "loading cached model from " + path);
+    model_ = AtlasModel::load(path);
+    model_from_cache_ = true;
+    return;
+  }
+  std::vector<const DesignData*> train;
+  for (const int i : config_.train_designs) train.push_back(&design(i));
+
+  log_line(config_, util::format("pre-training encoder (%d epochs)...",
+                                 config_.pretrain.epochs));
+  util::Timer t1;
+  PretrainResult pre =
+      pretrain_encoder(train, config_.pretrain, config_.pretrain_tasks);
+  pretrain_seconds_ = t1.seconds();
+  pretrain_report_ = pre.report;
+  if (!pre.report.epochs.empty()) {
+    const EpochStats& last = pre.report.epochs.back();
+    log_line(config_,
+             util::format("  final losses: toggle=%.3f type=%.3f size=%.3f "
+                          "cl1=%.3f cl2=%.3f (acc: tog=%.2f type=%.2f xstage=%.2f)",
+                          last.loss_toggle, last.loss_type, last.loss_size,
+                          last.loss_cl_gate, last.loss_cl_cross, last.acc_toggle,
+                          last.acc_type, last.acc_cl_cross));
+  }
+
+  log_line(config_, "fine-tuning group models...");
+  util::Timer t2;
+  GroupModels models = finetune_models(train, pre.encoder, config_.finetune);
+  finetune_seconds_ = t2.seconds();
+
+  model_.emplace(std::move(pre.encoder), std::move(models));
+  if (config_.use_cache) {
+    std::filesystem::create_directories(config_.cache_dir);
+    model_->save(path);
+    log_line(config_, "model cached at " + path);
+  }
+}
+
+EvalRow Experiment::evaluate(int design_index, int workload_index) const {
+  const DesignData& d = design(design_index);
+  if (workload_index < 0 ||
+      workload_index >= static_cast<int>(d.workloads.size())) {
+    throw std::out_of_range("Experiment::evaluate: bad workload index");
+  }
+  const auto& wl = d.workloads[static_cast<std::size_t>(workload_index)];
+  EvalRow row;
+  row.design = d.spec.name;
+  row.workload = wl.name;
+  util::Timer t;
+  row.prediction = model_->predict(d.gate, d.gate_graphs, wl.gate_trace);
+  row.infer_seconds = t.seconds();
+  row.atlas = evaluate_prediction(wl.golden, row.prediction);
+  row.baseline = evaluate_baseline(wl.golden, wl.gate_level);
+  return row;
+}
+
+}  // namespace atlas::core

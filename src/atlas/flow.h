@@ -1,0 +1,85 @@
+// End-to-end experiment orchestration for the paper's evaluation.
+//
+// Builds the six designs (C1..C6) at a configurable scale, runs the full
+// preprocessing (rewrite, layout, workload simulation, golden power), then
+// pre-trains + fine-tunes ATLAS on the training split (C1, C3, C5, C6) and
+// evaluates on the unseen designs (C2, C4) — the paper's exact protocol.
+//
+// The trained model is cached on disk keyed by a hash of the configuration,
+// so the several bench binaries that share one experiment train only once.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "atlas/memory_model.h"
+#include "atlas/metrics.h"
+#include "atlas/model.h"
+
+namespace atlas::core {
+
+struct ExperimentConfig {
+  double scale = 0.01;          // fraction of the paper's design sizes
+  int cycles = 300;             // paper evaluates 300-cycle windows
+  PretrainConfig pretrain;
+  FinetuneConfig finetune;
+  TaskMask pretrain_tasks;      // ablation hook
+  std::vector<int> train_designs = {1, 3, 5, 6};
+  std::vector<int> test_designs = {2, 4};
+  std::string cache_dir = "atlas_cache";
+  bool use_cache = true;
+  bool verbose = true;
+
+  ExperimentConfig() {
+    // Experiment-scale defaults: lighter than the library defaults so the
+    // whole evaluation runs in minutes on one core.
+    finetune.gbdt.n_trees = 300;
+    finetune.cycle_stride = 2;
+  }
+};
+
+/// One evaluated (design, workload) pair — a row of Table III.
+struct EvalRow {
+  std::string design;
+  std::string workload;
+  GroupMape atlas;
+  GroupMape baseline;      // Gate-Level PTPX substitute
+  Prediction prediction;
+  double infer_seconds = 0.0;
+};
+
+class Experiment {
+ public:
+  Experiment(ExperimentConfig config);
+
+  const ExperimentConfig& config() const { return config_; }
+  const liberty::Library& library() const { return lib_; }
+  /// 1-based paper index (C1..C6).
+  const DesignData& design(int index) const;
+  const AtlasModel& model() const { return *model_; }
+  const MemoryPowerModel& memory_model() const { return memory_model_; }
+
+  double pretrain_seconds() const { return pretrain_seconds_; }
+  double finetune_seconds() const { return finetune_seconds_; }
+  bool model_from_cache() const { return model_from_cache_; }
+  const PretrainReport& pretrain_report() const { return pretrain_report_; }
+
+  /// Evaluate one test design under one workload (0-based workload index).
+  EvalRow evaluate(int design_index, int workload_index) const;
+
+ private:
+  void train_or_load();
+  std::string cache_path() const;
+
+  ExperimentConfig config_;
+  liberty::Library lib_;
+  std::vector<DesignData> designs_;  // index 0..5 <-> C1..C6
+  std::optional<AtlasModel> model_;
+  MemoryPowerModel memory_model_;
+  PretrainReport pretrain_report_;
+  double pretrain_seconds_ = 0.0;
+  double finetune_seconds_ = 0.0;
+  bool model_from_cache_ = false;
+};
+
+}  // namespace atlas::core

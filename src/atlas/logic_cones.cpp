@@ -1,0 +1,96 @@
+#include "atlas/logic_cones.h"
+
+#include <unordered_set>
+
+#include "layout/extraction.h"
+
+namespace atlas::core {
+
+using netlist::CellInstId;
+using netlist::kNoNet;
+using netlist::NetId;
+
+std::vector<LogicCone> extract_logic_cones(const netlist::Netlist& nl) {
+  std::vector<LogicCone> cones;
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    if (!liberty::is_sequential(nl.lib_cell(id).func)) continue;
+    LogicCone cone;
+    cone.root = id;
+    std::unordered_set<CellInstId> seen{id};
+    std::vector<CellInstId> stack{id};
+    while (!stack.empty()) {
+      const CellInstId cur = stack.back();
+      stack.pop_back();
+      cone.cells.push_back(cur);
+      const liberty::Cell& lc = nl.lib_cell(cur);
+      for (std::size_t p = 0; p < lc.pins.size(); ++p) {
+        if (lc.pins[p].dir != liberty::PinDir::kInput) continue;
+        if (lc.pins[p].is_clock) continue;  // stop at the clock network
+        const NetId net = nl.cell(cur).pin_nets[p];
+        if (net == kNoNet) continue;
+        const netlist::Net& n = nl.net(net);
+        if (!n.has_driver()) continue;  // primary input boundary
+        const CellInstId drv = n.driver.cell;
+        const liberty::Cell& dc = nl.lib_cell(drv);
+        // Cone boundary: stop at registers and macros (their outputs are
+        // state, owned by their own cones).
+        if (liberty::is_sequential(dc.func) || liberty::is_macro(dc.func)) continue;
+        if (seen.insert(drv).second) stack.push_back(drv);
+      }
+    }
+    cones.push_back(std::move(cone));
+  }
+  return cones;
+}
+
+double cone_overlap_factor(const std::vector<LogicCone>& cones) {
+  std::unordered_set<CellInstId> distinct;
+  std::size_t total = 0;
+  for (const LogicCone& c : cones) {
+    total += c.cells.size();
+    distinct.insert(c.cells.begin(), c.cells.end());
+  }
+  if (distinct.empty()) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(distinct.size());
+}
+
+double cone_power_overcount(const netlist::Netlist& nl,
+                            const std::vector<LogicCone>& cones,
+                            const sim::ToggleTrace& trace) {
+  // Average per-cell power over the trace (uW), computed once.
+  const liberty::Library& lib = nl.library();
+  const double period = lib.clock_period_ns();
+  std::vector<double> cell_uw(nl.num_cells(), 0.0);
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    const liberty::Cell& lc = nl.lib_cell(id);
+    double uw = lc.leakage_uw;
+    const NetId out = nl.output_net(id);
+    if (out != kNoNet && !liberty::is_macro(lc.func)) {
+      const double load = layout::net_load_ff(nl, out);
+      const double per_tr = lib.internal_energy_fj(nl.cell(id).lib_cell, load) +
+                            lib.switching_energy_fj(load);
+      uw += per_tr * trace.toggle_rate(out) / period;
+    }
+    if (lc.clock_pin_energy_fj > 0.0) {
+      for (std::size_t p = 0; p < lc.pins.size(); ++p) {
+        if (!lc.pins[p].is_clock) continue;
+        uw += lc.clock_pin_energy_fj *
+              trace.toggle_rate(nl.cell(id).pin_nets[p]) / period;
+        break;
+      }
+    }
+    cell_uw[id] = uw;
+  }
+  double cone_sum = 0.0;
+  for (const LogicCone& c : cones) {
+    for (const CellInstId id : c.cells) cone_sum += cell_uw[id];
+  }
+  double design_total = 0.0;
+  std::unordered_set<CellInstId> covered;
+  for (const LogicCone& c : cones) covered.insert(c.cells.begin(), c.cells.end());
+  for (const CellInstId id : covered) design_total += cell_uw[id];
+  if (design_total <= 0.0) return 0.0;
+  return cone_sum / design_total;
+}
+
+}  // namespace atlas::core

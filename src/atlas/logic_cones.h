@@ -1,0 +1,43 @@
+// Logic-cone extraction — the *rejected* circuit-splitting alternative.
+//
+// Prior PPA-prediction works (paper refs [6]-[8]) split circuits into logic
+// cones: for each flip-flop, the cone contains the flip-flop plus the whole
+// combinational fan-in up to register/PI boundaries. The paper's Sec. III-A
+// argues cones are inappropriate for power modeling because cones overlap:
+// summing per-cone power over-counts shared logic, so cone estimates cannot
+// roll up to component or design totals. This module implements cone
+// extraction so the claim is measurable (see bench_ablation's cone section
+// and the unit tests): `overlap_factor` is the paper's argument in one
+// number.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "power/power_analyzer.h"
+#include "sim/simulator.h"
+
+namespace atlas::core {
+
+/// One logic cone: the root register plus its combinational fan-in.
+struct LogicCone {
+  netlist::CellInstId root;                 // the flip-flop
+  std::vector<netlist::CellInstId> cells;   // root + fan-in comb cells
+};
+
+/// Extract the cone of every sequential cell. Cones share combinational
+/// cells whenever fan-out re-converges (which is constantly, in real logic).
+std::vector<LogicCone> extract_logic_cones(const netlist::Netlist& nl);
+
+/// Sum of cone sizes divided by the number of distinct cells covered —
+/// 1.0 would mean a true partition; real designs land well above it.
+double cone_overlap_factor(const std::vector<LogicCone>& cones);
+
+/// Average per-cycle power obtained by summing per-cone power (each cell
+/// counted once per cone containing it) vs. the true design power. The
+/// ratio quantifies the double-counting the paper calls out.
+double cone_power_overcount(const netlist::Netlist& nl,
+                            const std::vector<LogicCone>& cones,
+                            const sim::ToggleTrace& trace);
+
+}  // namespace atlas::core

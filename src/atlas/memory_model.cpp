@@ -1,0 +1,62 @@
+#include "atlas/memory_model.h"
+
+#include <stdexcept>
+
+#include "power/power_report.h"
+
+namespace atlas::core {
+
+std::vector<double> MemoryPowerModel::raw_estimate(const netlist::Netlist& gate,
+                                                   const sim::ToggleTrace& trace) {
+  const liberty::Library& lib = gate.library();
+  const double period = lib.clock_period_ns();
+  std::vector<double> out(static_cast<std::size_t>(trace.num_cycles()), 0.0);
+  for (netlist::CellInstId id = 0; id < gate.num_cells(); ++id) {
+    const liberty::Cell& lc = gate.lib_cell(id);
+    if (!liberty::is_macro(lc.func)) continue;
+    const auto& pins = gate.cell(id).pin_nets;
+    const netlist::NetId clk = pins[0];
+    const netlist::NetId csb = pins[1];
+    const netlist::NetId web = pins[2];
+    for (int c = 0; c < trace.num_cycles(); ++c) {
+      double energy = lc.leakage_uw * period;  // uW * ns = fJ-equivalent scale
+      const int ck_tr = trace.transitions(c, clk);
+      energy += ck_tr * lc.clock_pin_energy_fj;
+      if (!trace.value(c, csb)) {
+        energy += trace.value(c, web) ? lc.read_energy_fj : lc.write_energy_fj;
+      }
+      out[static_cast<std::size_t>(c)] += energy / period;
+    }
+  }
+  return out;
+}
+
+void MemoryPowerModel::fit(const std::vector<const DesignData*>& designs) {
+  double num = 0.0, den = 0.0;
+  for (const DesignData* d : designs) {
+    for (const auto& wl : d->workloads) {
+      const std::vector<double> est = raw_estimate(d->gate, wl.gate_trace);
+      const std::vector<double> label =
+          power::series_of(wl.golden, power::Series::kMemory);
+      if (est.size() != label.size()) {
+        throw std::invalid_argument("MemoryPowerModel::fit: size mismatch");
+      }
+      for (std::size_t i = 0; i < est.size(); ++i) {
+        num += est[i] * label[i];
+        den += est[i] * est[i];
+      }
+    }
+  }
+  if (den <= 0.0) throw std::invalid_argument("MemoryPowerModel::fit: no memory activity");
+  scale_ = num / den;
+  fitted_ = true;
+}
+
+std::vector<double> MemoryPowerModel::predict(
+    const netlist::Netlist& gate, const sim::ToggleTrace& gate_trace) const {
+  std::vector<double> est = raw_estimate(gate, gate_trace);
+  for (double& v : est) v *= scale_;
+  return est;
+}
+
+}  // namespace atlas::core

@@ -1,0 +1,39 @@
+// Memory-group power model (paper Sec. VI-B).
+//
+// The paper excludes SRAM from ATLAS's learned models because "the SRAM
+// macro is unchanged during layout": a basic model over port toggle
+// activity and .lib energy values reaches ~0.5% error. This reproduces that
+// model: per cycle, per macro, predict access energy from the gate-level
+// trace's CSB/WEB levels and the macro's read/write/clock-pin energies, with
+// a single least-squares scale factor fitted on training designs to absorb
+// residual layout effects.
+#pragma once
+
+#include <vector>
+
+#include "atlas/preprocess.h"
+
+namespace atlas::core {
+
+class MemoryPowerModel {
+ public:
+  /// Fit the scale factor from training designs (gate traces vs golden
+  /// memory-group power).
+  void fit(const std::vector<const DesignData*>& designs);
+
+  /// Per-cycle memory-group power (uW) for a gate-level netlist + trace.
+  std::vector<double> predict(const netlist::Netlist& gate,
+                              const sim::ToggleTrace& gate_trace) const;
+
+  double scale() const { return scale_; }
+  bool fitted() const { return fitted_; }
+
+ private:
+  static std::vector<double> raw_estimate(const netlist::Netlist& gate,
+                                          const sim::ToggleTrace& trace);
+
+  double scale_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace atlas::core

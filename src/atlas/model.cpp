@@ -1,0 +1,102 @@
+#include "atlas/model.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace atlas::core {
+
+using graph::SubmoduleGraph;
+using ml::Matrix;
+
+AtlasModel::AtlasModel(ml::SgFormer encoder, GroupModels models)
+    : encoder_(std::move(encoder)), models_(std::move(models)) {}
+
+std::vector<power::GroupPower> Prediction::component_average(
+    const netlist::Netlist& gate) const {
+  std::vector<power::GroupPower> avg(gate.components().size());
+  if (num_cycles == 0) return avg;
+  for (int c = 0; c < num_cycles; ++c) {
+    for (std::size_t sm = 0; sm < num_submodules; ++sm) {
+      const int comp = gate.submodules()[sm].component;
+      if (comp < 0) continue;
+      avg[static_cast<std::size_t>(comp)] +=
+          at(c, static_cast<netlist::SubmoduleId>(sm));
+    }
+  }
+  for (power::GroupPower& g : avg) {
+    const double inv = 1.0 / num_cycles;
+    g.comb *= inv;
+    g.reg *= inv;
+    g.clock *= inv;
+    g.memory *= inv;
+  }
+  return avg;
+}
+
+Prediction AtlasModel::predict(const netlist::Netlist& gate,
+                               const std::vector<SubmoduleGraph>& graphs,
+                               const sim::ToggleTrace& gate_trace) const {
+  Prediction pred;
+  pred.num_cycles = gate_trace.num_cycles();
+  pred.num_submodules = gate.submodules().size();
+  pred.design.assign(static_cast<std::size_t>(pred.num_cycles), {});
+  pred.submodule.assign(
+      static_cast<std::size_t>(pred.num_cycles) * pred.num_submodules, {});
+
+  const std::size_t d = encoder_.dim();
+  std::vector<float> ct_row(ct_dim(d));
+  std::vector<float> comb_row(comb_dim(d));
+  std::vector<float> reg_row(reg_dim(d));
+
+  Matrix feats;
+  for (const SubmoduleGraph& g : graphs) {
+    const SubmoduleStatic st = compute_submodule_static(gate, g);
+    for (int c = 0; c < pred.num_cycles; ++c) {
+      graph::fill_cycle_features(g, gate_trace, c, feats);
+      const auto out = encoder_.forward(graph::view_with_features(g, feats));
+      const CycleExtras ex = compute_cycle_extras(g, st, gate_trace, c);
+      fill_ct_row(out.graph_emb, ct_row.data());
+      fill_comb_row(out.graph_emb, st, ex, comb_row.data());
+      fill_reg_row(out.graph_emb, st, ex, reg_row.data());
+      power::GroupPower p;
+      // The regressors predict ratios to the analytic gate-level estimates;
+      // multiply back and clamp at zero (power cannot be negative).
+      p.clock = std::max(0.0, models_.f_ct.predict_row(ct_row.data())) *
+                ct_normalizer(st);
+      p.comb = std::max(0.0, models_.f_comb.predict_row(comb_row.data())) *
+               (comb_physics_uw(st, ex) + kRatioEps);
+      p.reg = std::max(0.0, models_.f_reg.predict_row(reg_row.data())) *
+              (reg_physics_uw(st, ex) + kRatioEps);
+      pred.submodule[static_cast<std::size_t>(c) * pred.num_submodules +
+                     static_cast<std::size_t>(g.submodule)] = p;
+      pred.design[static_cast<std::size_t>(c)] += p;
+    }
+  }
+  return pred;
+}
+
+void AtlasModel::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("AtlasModel::save: cannot open " + path);
+  util::write_header(os, "ATLS", 1);
+  encoder_.save(os);
+  models_.f_ct.save(os);
+  models_.f_comb.save(os);
+  models_.f_reg.save(os);
+  if (!os) throw std::runtime_error("AtlasModel::save: write failed");
+}
+
+AtlasModel AtlasModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("AtlasModel::load: cannot open " + path);
+  util::read_header(is, "ATLS");
+  ml::SgFormer encoder = ml::SgFormer::load(is);
+  GroupModels models{ml::GbdtRegressor::load(is), ml::GbdtRegressor::load(is),
+                     ml::GbdtRegressor::load(is)};
+  return AtlasModel(std::move(encoder), std::move(models));
+}
+
+}  // namespace atlas::core

@@ -1,0 +1,62 @@
+// The assembled ATLAS model: pre-trained encoder + three fine-tuned group
+// models, with serialization and the end-user prediction API (paper Eq. 7):
+//
+//   P_total(cycle) = sum over sub-modules of
+//       F_CT(E_g) + F_Comb(E_g, n, I, C) + F_Reg(E_g, n, I, C)
+//
+// Prediction consumes only the gate-level netlist and a workload trace on
+// it — no layout information — and produces per-cycle power per group, per
+// sub-module, per component, and for the whole design.
+#pragma once
+
+#include <string>
+
+#include "atlas/finetune.h"
+#include "atlas/pretrain.h"
+
+namespace atlas::core {
+
+/// Per-cycle predicted power for one design under one workload.
+struct Prediction {
+  int num_cycles = 0;
+  std::size_t num_submodules = 0;
+  /// Per-cycle design-level group predictions (uW); memory is zero unless
+  /// filled by the separate memory model.
+  std::vector<power::GroupPower> design;                 // [cycle]
+  std::vector<power::GroupPower> submodule;              // [cycle*nsm + sm]
+
+  const power::GroupPower& at(int cycle) const {
+    return design.at(static_cast<std::size_t>(cycle));
+  }
+  const power::GroupPower& at(int cycle, netlist::SubmoduleId sm) const {
+    return submodule.at(static_cast<std::size_t>(cycle) * num_submodules +
+                        static_cast<std::size_t>(sm));
+  }
+
+  /// Roll predictions up to named components (index by component id).
+  std::vector<power::GroupPower> component_average(
+      const netlist::Netlist& gate) const;
+};
+
+class AtlasModel {
+ public:
+  AtlasModel(ml::SgFormer encoder, GroupModels models);
+
+  const ml::SgFormer& encoder() const { return encoder_; }
+  const GroupModels& models() const { return models_; }
+
+  /// Predict per-cycle post-layout power from the gate-level netlist and its
+  /// workload trace. `graphs` must come from build_submodule_graphs(gate).
+  Prediction predict(const netlist::Netlist& gate,
+                     const std::vector<graph::SubmoduleGraph>& graphs,
+                     const sim::ToggleTrace& gate_trace) const;
+
+  void save(const std::string& path) const;
+  static AtlasModel load(const std::string& path);
+
+ private:
+  ml::SgFormer encoder_;
+  GroupModels models_;
+};
+
+}  // namespace atlas::core

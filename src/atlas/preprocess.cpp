@@ -1,0 +1,159 @@
+#include "atlas/preprocess.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace atlas::core {
+
+using netlist::CellInstId;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+
+DesignData::WorkloadData run_workload(const Netlist& gate, const Netlist& plus,
+                                      const Netlist& post,
+                                      const sim::WorkloadSpec& spec, int cycles,
+                                      util::PhaseTimers& timers) {
+  DesignData::WorkloadData w;
+  w.name = spec.name;
+  {
+    // Gate-level simulation feeds ATLAS features: counts as ATLAS
+    // preprocessing time (paper Table IV column "Pre.").
+    util::ScopedPhase t(timers, "atlas_pre");
+    sim::CycleSimulator s(gate);
+    sim::StimulusGenerator stim(gate, spec);
+    w.gate_trace = s.run(stim, cycles);
+  }
+  {
+    sim::CycleSimulator s(plus);
+    sim::StimulusGenerator stim(plus, spec);
+    w.plus_trace = s.run(stim, cycles);
+  }
+  {
+    // Post-layout simulation + power analysis = the traditional flow's
+    // "time-based power simulation" (Table IV column "Simulation").
+    util::ScopedPhase t(timers, "golden_sim");
+    sim::CycleSimulator s(post);
+    sim::StimulusGenerator stim(post, spec);
+    w.post_trace = s.run(stim, cycles);
+    w.golden = power::analyze_power(post, w.post_trace);
+  }
+  w.gate_level = power::analyze_power(gate, w.gate_trace);
+  return w;
+}
+
+}  // namespace
+
+DesignData prepare_design(const designgen::DesignSpec& spec,
+                          const liberty::Library& lib,
+                          const PreprocessConfig& config) {
+  PreprocessConfig cfg = config;
+  if (cfg.workloads.empty()) cfg.workloads = {sim::make_w1(), sim::make_w2()};
+
+  util::PhaseTimers timers;
+  Netlist gate = [&] {
+    util::ScopedPhase t(timers, "generate");
+    return designgen::generate_design(spec, lib);
+  }();
+  transform::RewriteConfig rw = cfg.rewrite;
+  rw.seed = spec.seed ^ 0x5eedULL;
+  Netlist plus = [&] {
+    util::ScopedPhase t(timers, "rewrite");
+    return transform::apply_rewrites(gate, rw);
+  }();
+  layout::LayoutResult layout_result = [&] {
+    util::ScopedPhase t(timers, "pnr");
+    return layout::run_layout(gate, cfg.layout);
+  }();
+
+  DesignData data{spec,
+                  std::move(gate),
+                  std::move(plus),
+                  std::move(layout_result),
+                  {},
+                  {},
+                  {},
+                  {},
+                  std::move(timers)};
+
+  for (const sim::WorkloadSpec& w : cfg.workloads) {
+    data.workloads.push_back(run_workload(data.gate, data.plus,
+                                          data.layout.netlist, w, cfg.cycles,
+                                          data.timers));
+  }
+
+  {
+    util::ScopedPhase t(data.timers, "atlas_pre");
+    data.gate_graphs = graph::build_submodule_graphs(data.gate);
+    data.plus_graphs = graph::build_submodule_graphs(data.plus);
+  }
+  data.post_graphs = graph::build_submodule_graphs(data.layout.netlist);
+  if (data.gate_graphs.size() != data.plus_graphs.size() ||
+      data.gate_graphs.size() != data.post_graphs.size()) {
+    throw std::runtime_error(
+        "prepare_design: sub-module graphs misaligned across stages");
+  }
+  for (std::size_t i = 0; i < data.gate_graphs.size(); ++i) {
+    if (data.gate_graphs[i].submodule != data.plus_graphs[i].submodule ||
+        data.gate_graphs[i].submodule != data.post_graphs[i].submodule) {
+      throw std::runtime_error("prepare_design: sub-module id mismatch");
+    }
+  }
+  return data;
+}
+
+int assign_submodules_by_structure(Netlist& nl, int target_cells) {
+  if (target_cells < 1) throw std::invalid_argument("target_cells must be >= 1");
+  // Component bucket for auto-created sub-modules.
+  int auto_component = -1;
+  for (std::size_t i = 0; i < nl.components().size(); ++i) {
+    if (nl.components()[i] == "auto") auto_component = static_cast<int>(i);
+  }
+
+  std::vector<bool> tagged(nl.num_cells(), false);
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    tagged[id] = nl.cell(id).submodule != netlist::kNoSubmodule;
+  }
+
+  int created = 0;
+  for (CellInstId seed = 0; seed < nl.num_cells(); ++seed) {
+    if (tagged[seed]) continue;
+    if (auto_component < 0) auto_component = nl.add_component("auto");
+    const netlist::SubmoduleId sm = nl.add_submodule(
+        "auto_" + std::to_string(created), "auto", auto_component);
+    ++created;
+    // BFS over net connectivity, preferring register-bounded growth.
+    std::deque<CellInstId> queue{seed};
+    tagged[seed] = true;
+    int count = 0;
+    auto tag = [&](CellInstId id) { nl.set_cell_submodule(id, sm); };
+    while (!queue.empty() && count < target_cells) {
+      const CellInstId id = queue.front();
+      queue.pop_front();
+      tag(id);
+      ++count;
+      // Expand over all pins' nets.
+      for (const NetId net : nl.cell(id).pin_nets) {
+        if (net == netlist::kNoNet || net == nl.clock_net()) continue;
+        const netlist::Net& n = nl.net(net);
+        auto consider = [&](CellInstId other) {
+          if (other == netlist::kNoCell || tagged[other]) return;
+          tagged[other] = true;
+          queue.push_back(other);
+        };
+        if (n.has_driver()) consider(n.driver.cell);
+        for (const netlist::PinRef& s : n.sinks) consider(s.cell);
+      }
+    }
+    // Whatever remains queued but untagged-by-sm still belongs here to keep
+    // the partition total (they were marked tagged when enqueued).
+    while (!queue.empty()) {
+      tag(queue.front());
+      queue.pop_front();
+    }
+  }
+  return created;
+}
+
+}  // namespace atlas::core

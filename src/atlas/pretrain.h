@@ -1,0 +1,76 @@
+// ATLAS self-supervised pre-training (paper Sec. IV).
+//
+// Trains the SGFormer encoder jointly on the five tasks, without power
+// labels:
+//
+//   #1 masked toggle propagation  — CE on hidden per-cycle toggle bits
+//   #2 masked node type           — CE on hidden 18-way node types
+//   #3 sub-module size            — MSE on log(node count) from graph emb.
+//   #4 gate-level contrastive     — InfoNCE(E_g, E_g+) with in-batch negatives
+//   #5 cross-stage alignment      — InfoNCE(E_g, E_p)  with in-batch negatives
+//
+// Each training sample is a (sub-module, cycle) pair; the three aligned
+// graphs (g_i from N_g, g_i+ from N_g+, p_i from N_p) are encoded per batch,
+// heads are temporary MLPs discarded after pre-training, and the joint loss
+// is the unweighted sum (paper Eq. 6).
+#pragma once
+
+#include <vector>
+
+#include "atlas/preprocess.h"
+#include "ml/adam.h"
+#include "ml/sgformer.h"
+
+namespace atlas::core {
+
+struct PretrainConfig {
+  int epochs = 10;
+  int batch_graphs = 16;         // paper: batch size 16
+  double lr = 1e-3;
+  float mask_fraction = 0.15f;   // nodes masked per task
+  float temperature = 0.2f;      // InfoNCE temperature
+  int cycles_per_graph = 4;      // sampled cycles per sub-module per epoch
+  std::size_t dim = 32;          // encoder embedding dimension
+  std::uint64_t seed = 2024;
+};
+
+struct EpochStats {
+  double loss_toggle = 0.0;   // task #1
+  double loss_type = 0.0;     // task #2
+  double loss_size = 0.0;     // task #3
+  double loss_cl_gate = 0.0;  // task #4
+  double loss_cl_cross = 0.0; // task #5
+  double acc_toggle = 0.0;
+  double acc_type = 0.0;
+  double acc_cl_cross = 0.0;
+
+  double total() const {
+    return loss_toggle + loss_type + loss_size + loss_cl_gate + loss_cl_cross;
+  }
+};
+
+struct PretrainReport {
+  std::vector<EpochStats> epochs;
+  int num_samples = 0;
+};
+
+/// Selects which of the five tasks are active — used by the ablation bench.
+struct TaskMask {
+  bool toggle = true;
+  bool node_type = true;
+  bool size = true;
+  bool cl_gate = true;
+  bool cl_cross = true;
+};
+
+/// Pre-train a fresh encoder on the given training designs.
+/// Returns the encoder plus per-epoch statistics.
+struct PretrainResult {
+  ml::SgFormer encoder;
+  PretrainReport report;
+};
+PretrainResult pretrain_encoder(const std::vector<const DesignData*>& designs,
+                                const PretrainConfig& config,
+                                const TaskMask& tasks = {});
+
+}  // namespace atlas::core

@@ -1,0 +1,195 @@
+#include "designgen/block_builder.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace atlas::designgen {
+
+using liberty::CellFunc;
+using netlist::NetId;
+
+BlockBuilder::BlockBuilder(netlist::Netlist& nl, netlist::SubmoduleId submodule,
+                           NetId clk, NetId rstn, util::Rng& rng)
+    : nl_(nl), submodule_(submodule), clk_(clk), rstn_(rstn), rng_(rng) {}
+
+NetId BlockBuilder::net() {
+  return nl_.add_net("n" + std::to_string(nl_.num_nets()));
+}
+
+NetId BlockBuilder::gate(CellFunc func, const std::vector<NetId>& ins) {
+  const liberty::CellId lc = nl_.library().cell_for(func, 1);
+  const int expected = liberty::comb_input_count(func);
+  if (static_cast<int>(ins.size()) != expected) {
+    throw std::invalid_argument(util::format(
+        "BlockBuilder::gate(%s): got %zu inputs, need %d",
+        std::string(liberty::cell_func_name(func)).c_str(), ins.size(), expected));
+  }
+  const NetId out = net();
+  std::vector<NetId> pins = ins;
+  pins.push_back(out);
+  nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, std::move(pins),
+               submodule_);
+  return out;
+}
+
+NetId BlockBuilder::dff(NetId d, double p_resettable) {
+  const bool resettable = rstn_ != netlist::kNoNet && rng_.next_bool(p_resettable);
+  const NetId q = net();
+  if (resettable) {
+    const liberty::CellId lc = nl_.library().cell_for(CellFunc::kDffR, 1);
+    nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, {d, clk_, rstn_, q},
+                 submodule_);
+  } else {
+    const liberty::CellId lc = nl_.library().cell_for(CellFunc::kDff, 1);
+    nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, {d, clk_, q},
+                 submodule_);
+  }
+  return q;
+}
+
+NetId BlockBuilder::dff_en(NetId d, NetId en) {
+  // Q feedback through a recirculating mux. The mux is created first with a
+  // placeholder for the Q input, then rewired once the register exists.
+  const NetId q = net();
+  const NetId muxed = net();
+  const liberty::CellId mux_lc = nl_.library().cell_for(CellFunc::kMux2, 1);
+  const netlist::CellInstId mux = nl_.add_cell(
+      "u" + std::to_string(nl_.num_cells()), mux_lc, {q, d, en, muxed}, submodule_);
+  (void)mux;
+  const liberty::CellId dff_lc = nl_.library().cell_for(CellFunc::kDff, 1);
+  nl_.add_cell("u" + std::to_string(nl_.num_cells()), dff_lc, {muxed, clk_, q},
+               submodule_);
+  return q;
+}
+
+void BlockBuilder::dff_into(NetId d, NetId q, double p_resettable) {
+  const bool resettable = rstn_ != netlist::kNoNet && rng_.next_bool(p_resettable);
+  if (resettable) {
+    const liberty::CellId lc = nl_.library().cell_for(CellFunc::kDffR, 1);
+    nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, {d, clk_, rstn_, q},
+                 submodule_);
+  } else {
+    const liberty::CellId lc = nl_.library().cell_for(CellFunc::kDff, 1);
+    nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, {d, clk_, q},
+                 submodule_);
+  }
+}
+
+void BlockBuilder::dff_en_into(NetId d, NetId en, NetId q) {
+  const NetId muxed = net();
+  const liberty::CellId mux_lc = nl_.library().cell_for(CellFunc::kMux2, 1);
+  nl_.add_cell("u" + std::to_string(nl_.num_cells()), mux_lc, {q, d, en, muxed},
+               submodule_);
+  const liberty::CellId dff_lc = nl_.library().cell_for(CellFunc::kDff, 1);
+  nl_.add_cell("u" + std::to_string(nl_.num_cells()), dff_lc, {muxed, clk_, q},
+               submodule_);
+}
+
+NetId BlockBuilder::latch(NetId d, NetId en) {
+  const liberty::CellId lc = nl_.library().cell_for(CellFunc::kLatch, 1);
+  const NetId q = net();
+  nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, {d, en, q}, submodule_);
+  return q;
+}
+
+NetId BlockBuilder::tie(bool high) {
+  NetId& cached = high ? tiehi_ : tielo_;
+  if (cached != netlist::kNoNet) return cached;
+  const liberty::CellId lc =
+      nl_.library().cell_for(high ? CellFunc::kTieHi : CellFunc::kTieLo, 1);
+  cached = net();
+  nl_.add_cell("u" + std::to_string(nl_.num_cells()), lc, {cached}, submodule_);
+  return cached;
+}
+
+netlist::CellInstId BlockBuilder::macro(liberty::CellId sram_cell,
+                                        std::vector<NetId> pin_nets) {
+  return nl_.add_cell("u" + std::to_string(nl_.num_cells()), sram_cell,
+                      std::move(pin_nets), submodule_);
+}
+
+// The reduction trees deliberately mix equivalent gate choices (And3 for
+// triples, NAND/NOR + INV for pairs) so generated designs exercise the full
+// node-type taxonomy, as real synthesized netlists do.
+NetId BlockBuilder::xor_tree(std::vector<NetId> nets) {
+  if (nets.empty()) throw std::invalid_argument("xor_tree: empty input");
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    for (; i + 1 < nets.size(); i += 2) {
+      if (rng_.next_bool(0.25)) {
+        next.push_back(inv(gate(liberty::CellFunc::kXnor2, {nets[i], nets[i + 1]})));
+      } else {
+        next.push_back(xor2(nets[i], nets[i + 1]));
+      }
+    }
+    if (i < nets.size()) next.push_back(nets.back());
+    nets = std::move(next);
+  }
+  return nets[0];
+}
+
+NetId BlockBuilder::and_tree(std::vector<NetId> nets) {
+  if (nets.empty()) throw std::invalid_argument("and_tree: empty input");
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < nets.size()) {
+      const std::size_t left = nets.size() - i;
+      if (left >= 3 && rng_.next_bool(0.4)) {
+        const bool nand_form = rng_.next_bool(0.3);
+        const NetId t = gate(nand_form ? liberty::CellFunc::kNand3
+                                       : liberty::CellFunc::kAnd3,
+                             {nets[i], nets[i + 1], nets[i + 2]});
+        next.push_back(nand_form ? inv(t) : t);
+        i += 3;
+      } else if (left >= 2) {
+        if (rng_.next_bool(0.25)) {
+          next.push_back(inv(nand2(nets[i], nets[i + 1])));
+        } else {
+          next.push_back(and2(nets[i], nets[i + 1]));
+        }
+        i += 2;
+      } else {
+        next.push_back(nets[i]);
+        ++i;
+      }
+    }
+    nets = std::move(next);
+  }
+  return nets[0];
+}
+
+NetId BlockBuilder::or_tree(std::vector<NetId> nets) {
+  if (nets.empty()) throw std::invalid_argument("or_tree: empty input");
+  while (nets.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < nets.size()) {
+      const std::size_t left = nets.size() - i;
+      if (left >= 3 && rng_.next_bool(0.4)) {
+        const bool nor_form = rng_.next_bool(0.3);
+        const NetId t = gate(nor_form ? liberty::CellFunc::kNor3
+                                      : liberty::CellFunc::kOr3,
+                             {nets[i], nets[i + 1], nets[i + 2]});
+        next.push_back(nor_form ? inv(t) : t);
+        i += 3;
+      } else if (left >= 2) {
+        if (rng_.next_bool(0.25)) {
+          next.push_back(inv(nor2(nets[i], nets[i + 1])));
+        } else {
+          next.push_back(or2(nets[i], nets[i + 1]));
+        }
+        i += 2;
+      } else {
+        next.push_back(nets[i]);
+        ++i;
+      }
+    }
+    nets = std::move(next);
+  }
+  return nets[0];
+}
+
+}  // namespace atlas::designgen

@@ -1,0 +1,105 @@
+// Helper for emitting gate-level logic into one sub-module of a netlist.
+//
+// Every functional block generator (adder, ALU, FSM, ...) writes its cells
+// through a BlockBuilder, which handles net/cell naming, clocking, reset and
+// the enable-mux register idiom. Design rule enforced here: a block's
+// externally visible outputs are always register Q nets, so inter-block
+// wiring can never create a combinational cycle.
+//
+// Gate-level netlists produced through this builder contain no clock cells;
+// low-activity register banks use the recirculating-mux enable idiom
+// (D = EN ? next : Q), which the layout flow later converts into integrated
+// clock gates — mirroring how the paper's designs acquire a clock network
+// only at the layout stage (their Gate-Level PTPX clock-tree error is 100%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace atlas::designgen {
+
+class BlockBuilder {
+ public:
+  BlockBuilder(netlist::Netlist& nl, netlist::SubmoduleId submodule,
+               netlist::NetId clk, netlist::NetId rstn, util::Rng& rng);
+
+  netlist::Netlist& netlist() { return nl_; }
+  const liberty::Library& library() const { return nl_.library(); }
+  util::Rng& rng() { return rng_; }
+  netlist::NetId clk() const { return clk_; }
+  netlist::NetId rstn() const { return rstn_; }
+
+  /// Fresh anonymous wire.
+  netlist::NetId net();
+
+  /// Instantiate a combinational gate; returns its output net. Drive strength
+  /// is X1 (the layout flow handles resizing).
+  netlist::NetId gate(liberty::CellFunc func, const std::vector<netlist::NetId>& ins);
+
+  netlist::NetId inv(netlist::NetId a) { return gate(liberty::CellFunc::kInv, {a}); }
+  netlist::NetId buf(netlist::NetId a) { return gate(liberty::CellFunc::kBuf, {a}); }
+  netlist::NetId and2(netlist::NetId a, netlist::NetId b) {
+    return gate(liberty::CellFunc::kAnd2, {a, b});
+  }
+  netlist::NetId or2(netlist::NetId a, netlist::NetId b) {
+    return gate(liberty::CellFunc::kOr2, {a, b});
+  }
+  netlist::NetId xor2(netlist::NetId a, netlist::NetId b) {
+    return gate(liberty::CellFunc::kXor2, {a, b});
+  }
+  netlist::NetId nand2(netlist::NetId a, netlist::NetId b) {
+    return gate(liberty::CellFunc::kNand2, {a, b});
+  }
+  netlist::NetId nor2(netlist::NetId a, netlist::NetId b) {
+    return gate(liberty::CellFunc::kNor2, {a, b});
+  }
+  /// Y = s ? b : a.
+  netlist::NetId mux2(netlist::NetId a, netlist::NetId b, netlist::NetId s) {
+    return gate(liberty::CellFunc::kMux2, {a, b, s});
+  }
+
+  /// Plain D flip-flop (resettable with probability `p_resettable`); returns Q.
+  netlist::NetId dff(netlist::NetId d, double p_resettable = 0.5);
+
+  /// Enable-mux register: Q updates to `d` when `en` is high, else holds.
+  /// Emitted as MUX2(Q, d, en) -> DFF; the CTS pass may later convert groups
+  /// of these into an integrated clock gate.
+  netlist::NetId dff_en(netlist::NetId d, netlist::NetId en);
+
+  /// Pre-allocate a register output net so feedback logic (counters, LFSRs,
+  /// FSM state) can be built from Q before the register exists; close the
+  /// loop with dff_into / dff_en_into.
+  netlist::NetId feedback_net() { return net(); }
+  void dff_into(netlist::NetId d, netlist::NetId q, double p_resettable = 0.5);
+  void dff_en_into(netlist::NetId d, netlist::NetId en, netlist::NetId q);
+
+  /// Transparent-high latch (cycle-approximated by the simulator); returns Q.
+  netlist::NetId latch(netlist::NetId d, netlist::NetId en);
+
+  /// Constant nets (one TIEHI / TIELO cell per block, shared).
+  netlist::NetId tie(bool high);
+
+  /// Instantiate the SRAM macro; pin nets in library pin order.
+  netlist::CellInstId macro(liberty::CellId sram_cell,
+                            std::vector<netlist::NetId> pin_nets);
+
+  /// XOR-reduce a vector of nets (balanced tree). Requires non-empty input.
+  netlist::NetId xor_tree(std::vector<netlist::NetId> nets);
+  /// AND-reduce / OR-reduce balanced trees.
+  netlist::NetId and_tree(std::vector<netlist::NetId> nets);
+  netlist::NetId or_tree(std::vector<netlist::NetId> nets);
+
+ private:
+  netlist::Netlist& nl_;
+  netlist::SubmoduleId submodule_;
+  netlist::NetId clk_;
+  netlist::NetId rstn_;
+  util::Rng& rng_;
+  netlist::NetId tiehi_ = netlist::kNoNet;
+  netlist::NetId tielo_ = netlist::kNoNet;
+};
+
+}  // namespace atlas::designgen

@@ -1,0 +1,467 @@
+#include "designgen/blocks.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace atlas::designgen {
+
+using liberty::CellFunc;
+using netlist::NetId;
+
+namespace {
+
+/// Round-robin reader over the caller-provided input pool.
+class InputFeed {
+ public:
+  explicit InputFeed(const NetVec& v) : v_(v) {
+    if (v_.empty()) throw std::invalid_argument("block inputs must be non-empty");
+  }
+  NetId next() {
+    const NetId id = v_[i_ % v_.size()];
+    ++i_;
+    return id;
+  }
+  NetVec take(int n) {
+    NetVec out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) out.push_back(next());
+    return out;
+  }
+
+ private:
+  const NetVec& v_;
+  std::size_t i_ = 0;
+};
+
+int clamp_width(int width, int lo, int hi) {
+  return std::clamp(width, lo, hi);
+}
+
+/// Ripple-carry sum of two equally wide vectors; returns sum bits (no regs).
+NetVec ripple_add(BlockBuilder& b, const NetVec& a, const NetVec& c) {
+  NetVec sum;
+  NetId carry = b.tie(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum.push_back(b.gate(CellFunc::kFaSum, {a[i], c[i], carry}));
+    carry = b.gate(CellFunc::kMaj3, {a[i], c[i], carry});
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+}  // namespace
+
+NetVec build_adder(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 32);
+  InputFeed feed(in);
+  NetVec a, c;
+  for (int i = 0; i < w; ++i) a.push_back(b.dff(feed.next()));
+  for (int i = 0; i < w; ++i) c.push_back(b.dff(feed.next()));
+  NetVec sum = ripple_add(b, a, c);
+  NetVec out;
+  for (const NetId s : sum) out.push_back(b.dff(s));
+  return out;
+}
+
+NetVec build_alu(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 24);
+  InputFeed feed(in);
+  NetVec a, c;
+  for (int i = 0; i < w; ++i) a.push_back(b.dff(feed.next()));
+  for (int i = 0; i < w; ++i) c.push_back(b.dff(feed.next()));
+  const NetId sel0 = b.dff(feed.next());
+  const NetId sel1 = b.dff(feed.next());
+  const NetVec sum = ripple_add(b, a, c);
+  NetVec out;
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const NetId andv = b.and2(a[u], c[u]);
+    const NetId xorv = b.xor2(a[u], c[u]);
+    const NetId orv = b.or2(a[u], c[u]);
+    const NetId lo = b.mux2(sum[u], andv, sel0);   // sel0 ? and : sum
+    const NetId hi = b.mux2(xorv, orv, sel0);      // sel0 ? or : xor
+    out.push_back(b.dff(b.mux2(lo, hi, sel1)));
+  }
+  return out;
+}
+
+NetVec build_decoder(BlockBuilder& b, const NetVec& in, int width) {
+  const int bits = clamp_width(width / 4 + 2, 2, 5);
+  InputFeed feed(in);
+  NetVec sel, nsel;
+  for (int i = 0; i < bits; ++i) {
+    const NetId s = b.dff(feed.next());
+    sel.push_back(s);
+    nsel.push_back(b.inv(s));
+  }
+  const NetId en = b.dff(feed.next());
+  NetVec out;
+  const int lines = 1 << bits;
+  for (int line = 0; line < lines; ++line) {
+    NetVec terms;
+    for (int i = 0; i < bits; ++i) {
+      terms.push_back((line >> i) & 1 ? sel[static_cast<std::size_t>(i)]
+                                      : nsel[static_cast<std::size_t>(i)]);
+    }
+    terms.push_back(en);
+    out.push_back(b.dff(b.and_tree(terms)));
+  }
+  return out;
+}
+
+NetVec build_mux_tree(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 24);
+  InputFeed feed(in);
+  NetVec bus0, bus1, bus2, bus3;
+  for (int i = 0; i < w; ++i) bus0.push_back(b.dff(feed.next()));
+  for (int i = 0; i < w; ++i) bus1.push_back(b.dff(feed.next()));
+  for (int i = 0; i < w; ++i) bus2.push_back(b.dff(feed.next()));
+  for (int i = 0; i < w; ++i) bus3.push_back(b.dff(feed.next()));
+  const NetId s0 = b.dff(feed.next());
+  const NetId s1 = b.dff(feed.next());
+  NetVec out;
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const NetId lo = b.mux2(bus0[u], bus1[u], s0);
+    const NetId hi = b.mux2(bus2[u], bus3[u], s0);
+    out.push_back(b.dff(b.mux2(lo, hi, s1)));
+  }
+  return out;
+}
+
+NetVec build_comparator(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 24);
+  InputFeed feed(in);
+  NetVec a, c;
+  for (int i = 0; i < w; ++i) a.push_back(b.dff(feed.next()));
+  for (int i = 0; i < w; ++i) c.push_back(b.dff(feed.next()));
+  NetVec eq_bits;
+  for (int i = 0; i < w; ++i) {
+    eq_bits.push_back(b.xor2(a[static_cast<std::size_t>(i)],
+                             c[static_cast<std::size_t>(i)]));
+  }
+  // eq = NOR of all difference bits.
+  const NetId any_diff = b.or_tree(eq_bits);
+  const NetId eq = b.inv(any_diff);
+  // less-than: ripple from LSB: lt_i = (!a_i & c_i) | (eq_i & lt_{i-1}).
+  NetId lt = b.tie(false);
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const NetId na = b.inv(a[u]);
+    const NetId strictly = b.and2(na, c[u]);
+    const NetId same = b.gate(CellFunc::kXnor2, {a[u], c[u]});
+    const NetId keep = b.and2(same, lt);
+    lt = b.or2(strictly, keep);
+  }
+  return {b.dff(eq), b.dff(lt), b.dff(any_diff)};
+}
+
+NetVec build_counter(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 16);
+  InputFeed feed(in);
+  const NetId en = b.dff(feed.next());
+  // Real feedback counter: q + 1 when enabled; registers share the enable so
+  // the CTS pass can gate the whole bank.
+  NetVec q;
+  for (int i = 0; i < w; ++i) q.push_back(b.feedback_net());
+  NetId carry = b.tie(true);
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const NetId d = b.xor2(q[u], carry);
+    carry = b.and2(q[u], carry);
+    b.dff_en_into(d, en, q[u]);
+  }
+  q.push_back(b.dff(carry));  // wrap flag (registered)
+  return q;
+}
+
+NetVec build_shift_reg(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 32);
+  InputFeed feed(in);
+  const NetId en = b.dff(feed.next());
+  NetId stage = b.dff(feed.next());
+  NetVec out;
+  for (int i = 0; i < w; ++i) {
+    stage = b.dff_en(stage, en);
+    if (i % 4 == 3) out.push_back(stage);
+  }
+  out.push_back(stage);
+  return out;
+}
+
+NetVec build_lfsr(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 6, 24);
+  InputFeed feed(in);
+  // Free-running Fibonacci LFSR with XNOR feedback (escapes the all-zero
+  // reset state) — real designs always contain free-running timers/PRBS
+  // generators, which keep background switching alive in idle phases.
+  NetVec q;
+  for (int i = 0; i < w; ++i) q.push_back(b.feedback_net());
+  const NetId seed = b.dff(feed.next());
+  const NetId taps = b.gate(CellFunc::kXnor2,
+                            {q.back(), q[static_cast<std::size_t>(w / 2)]});
+  const NetId fb = b.xor2(taps, seed);
+  b.dff_into(fb, q[0], /*p_resettable=*/0.0);
+  for (int i = 1; i < w; ++i) {
+    b.dff_into(q[static_cast<std::size_t>(i - 1)], q[static_cast<std::size_t>(i)],
+               /*p_resettable=*/0.0);
+  }
+  return q;
+}
+
+NetVec build_fsm(BlockBuilder& b, const NetVec& in, int width) {
+  const int bits = clamp_width(width / 4, 3, 6);
+  InputFeed feed(in);
+  NetVec state;
+  for (int i = 0; i < bits; ++i) state.push_back(b.feedback_net());
+  NetVec ins;
+  for (int i = 0; i < bits + 2; ++i) ins.push_back(b.dff(feed.next()));
+  // Random next-state logic with true state feedback.
+  util::Rng& rng = b.rng();
+  for (int i = 0; i < bits; ++i) {
+    NetVec terms;
+    const int n_terms = 2 + static_cast<int>(rng.next_below(3));
+    for (int t = 0; t < n_terms; ++t) {
+      const NetId x = state[rng.next_below(state.size())];
+      const NetId y = ins[rng.next_below(ins.size())];
+      switch (rng.next_below(5)) {
+        case 0: terms.push_back(b.and2(x, y)); break;
+        case 1: terms.push_back(b.or2(x, y)); break;
+        case 2: terms.push_back(b.xor2(x, y)); break;
+        case 3:
+          terms.push_back(
+              b.gate(CellFunc::kAoi21, {x, y, ins[rng.next_below(ins.size())]}));
+          break;
+        default:
+          terms.push_back(
+              b.gate(CellFunc::kOai21, {x, y, ins[rng.next_below(ins.size())]}));
+      }
+    }
+    b.dff_into(b.xor_tree(terms), state[static_cast<std::size_t>(i)],
+               /*p_resettable=*/0.9);
+  }
+  // Moore outputs.
+  NetVec out = state;
+  out.push_back(b.dff(b.and_tree(state)));
+  out.push_back(b.dff(b.or_tree(state)));
+  return out;
+}
+
+NetVec build_parity(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 8, 48);
+  InputFeed feed(in);
+  NetVec bits;
+  for (int i = 0; i < w; ++i) bits.push_back(b.dff(feed.next()));
+  NetVec out;
+  // Sliced parities (one per byte) plus overall parity.
+  for (std::size_t i = 0; i < bits.size(); i += 8) {
+    NetVec slice(bits.begin() + static_cast<long>(i),
+                 bits.begin() + static_cast<long>(std::min(i + 8, bits.size())));
+    out.push_back(b.dff(b.xor_tree(slice)));
+  }
+  out.push_back(b.dff(b.xor_tree(bits)));
+  return out;
+}
+
+NetVec build_priority_enc(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 24);
+  InputFeed feed(in);
+  NetVec req;
+  for (int i = 0; i < w; ++i) req.push_back(b.dff(feed.next()));
+  NetVec out;
+  NetId higher = b.tie(false);  // any higher-priority request seen
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    // grant = req & !higher, in NOR form for gate diversity.
+    const NetId grant = b.nor2(b.inv(req[u]), higher);
+    higher = b.or2(higher, req[u]);
+    if (i % 2 == 0) out.push_back(b.dff(grant));
+  }
+  out.push_back(b.dff(higher));  // any-request flag
+  return out;
+}
+
+NetVec build_regfile(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 16);
+  constexpr int kEntries = 4;
+  InputFeed feed(in);
+  const NetId we = b.dff(feed.next());
+  const NetId wa0 = b.dff(feed.next());
+  const NetId wa1 = b.dff(feed.next());
+  const NetId ra0 = b.dff(feed.next());
+  const NetId ra1 = b.dff(feed.next());
+  NetVec wdata;
+  for (int i = 0; i < w; ++i) wdata.push_back(b.dff(feed.next()));
+  const NetId nwa0 = b.inv(wa0);
+  const NetId nwa1 = b.inv(wa1);
+  std::vector<NetVec> entries(kEntries);
+  for (int e = 0; e < kEntries; ++e) {
+    const NetId m0 = (e & 1) ? wa0 : nwa0;
+    const NetId m1 = (e & 2) ? wa1 : nwa1;
+    const NetId wen = b.and2(we, b.and2(m0, m1));
+    // One enable per entry: each entry bank is a CTS clock-gating candidate.
+    for (int i = 0; i < w; ++i) {
+      entries[static_cast<std::size_t>(e)].push_back(
+          b.dff_en(wdata[static_cast<std::size_t>(i)], wen));
+    }
+  }
+  NetVec out;
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const NetId lo = b.mux2(entries[0][u], entries[1][u], ra0);
+    const NetId hi = b.mux2(entries[2][u], entries[3][u], ra0);
+    out.push_back(b.dff(b.mux2(lo, hi, ra1)));
+  }
+  return out;
+}
+
+NetVec build_fifo_ctrl(BlockBuilder& b, const NetVec& in, int width) {
+  const int bits = clamp_width(width / 4, 3, 6);
+  InputFeed feed(in);
+  const NetId push = b.dff(feed.next());
+  const NetId pop = b.dff(feed.next());
+  // Write/read pointers as real enabled feedback counters.
+  auto pointer = [&](NetId en) {
+    NetVec q;
+    for (int i = 0; i < bits; ++i) q.push_back(b.feedback_net());
+    NetId carry = b.tie(true);
+    for (int i = 0; i < bits; ++i) {
+      const std::size_t u = static_cast<std::size_t>(i);
+      const NetId d = b.xor2(q[u], carry);
+      carry = b.and2(q[u], carry);
+      b.dff_en_into(d, en, q[u]);
+    }
+    return q;
+  };
+  const NetVec wptr = pointer(push);
+  const NetVec rptr = pointer(pop);
+  NetVec same_bits;
+  for (int i = 0; i < bits; ++i) {
+    same_bits.push_back(b.gate(CellFunc::kXnor2,
+                               {wptr[static_cast<std::size_t>(i)],
+                                rptr[static_cast<std::size_t>(i)]}));
+  }
+  const NetId ptr_eq = b.and_tree(same_bits);
+  const NetId level_toggle = b.dff(b.xor2(push, pop));
+  const NetId empty = b.and2(ptr_eq, b.inv(level_toggle));
+  const NetId full = b.and2(ptr_eq, level_toggle);
+  NetVec out = wptr;
+  out.insert(out.end(), rptr.begin(), rptr.end());
+  out.push_back(b.dff(empty));
+  out.push_back(b.dff(full));
+  return out;
+}
+
+NetVec build_pipeline_reg(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 8, 32);
+  InputFeed feed(in);
+  const NetId en0 = b.dff(feed.next());
+  const NetId en1 = b.dff(feed.next());
+  NetVec stage;
+  for (int i = 0; i < w; ++i) stage.push_back(b.dff(feed.next()));
+  NetVec s1;
+  for (int i = 0; i < w; ++i) {
+    s1.push_back(b.dff_en(stage[static_cast<std::size_t>(i)], en0));
+  }
+  NetVec out;
+  for (int i = 0; i < w; ++i) {
+    // Light logic between stages (bit mixing); every fourth bit passes
+    // through a level latch for sequential-cell diversity.
+    const std::size_t u = static_cast<std::size_t>(i);
+    NetId mixed = b.xor2(s1[u], s1[(u + 1) % s1.size()]);
+    if (i % 4 == 3) mixed = b.latch(mixed, en1);
+    out.push_back(b.dff_en(mixed, en1));
+  }
+  return out;
+}
+
+NetVec build_mem_ctrl(BlockBuilder& b, const NetVec& in, int width) {
+  (void)width;  // macro geometry is fixed by the library SRAM cell
+  InputFeed feed(in);
+  const liberty::Library& lib = b.library();
+  const liberty::CellId sram = lib.cell_for(liberty::CellFunc::kSram, 1);
+  const liberty::Cell& sc = lib.cell(sram);
+  // Derive address/data widths from the macro's pin list.
+  std::size_t nd = 0;
+  for (const auto& p : sc.pins) nd += p.dir == liberty::PinDir::kOutput;
+  const std::size_t na = sc.pins.size() - 3 - 2 * nd;
+
+  const NetId req = b.dff(feed.next());
+  const NetId we = b.dff(feed.next());
+  NetVec addr;
+  for (std::size_t i = 0; i < na; ++i) addr.push_back(b.dff(feed.next()));
+  NetVec din;
+  for (std::size_t i = 0; i < nd; ++i) din.push_back(b.dff(feed.next()));
+
+  const NetId csb = b.inv(req);
+  const NetId web = b.inv(b.and2(we, req));
+  NetVec pins;
+  pins.push_back(b.clk());
+  // CSB / WEB nets must be the computed ones.
+  NetVec qnets;
+  for (std::size_t i = 0; i < nd; ++i) qnets.push_back(b.net());
+  pins.push_back(csb);
+  pins.push_back(web);
+  for (const NetId a : addr) pins.push_back(a);
+  for (const NetId d : din) pins.push_back(d);
+  for (const NetId q : qnets) pins.push_back(q);
+  b.macro(sram, pins);
+
+  NetVec out;
+  for (const NetId q : qnets) out.push_back(b.dff(q));
+  out.push_back(b.dff(b.xor_tree(qnets)));  // response parity
+  return out;
+}
+
+NetVec build_multiplier_slice(BlockBuilder& b, const NetVec& in, int width) {
+  const int w = clamp_width(width, 4, 12);
+  InputFeed feed(in);
+  NetVec a, c;
+  for (int i = 0; i < w; ++i) a.push_back(b.dff(feed.next()));
+  for (int i = 0; i < 3; ++i) c.push_back(b.dff(feed.next()));
+  // Three partial-product rows compressed with full adders.
+  std::vector<NetVec> rows;
+  for (std::size_t r = 0; r < c.size(); ++r) {
+    NetVec row;
+    for (int i = 0; i < w; ++i) {
+      row.push_back(b.and2(a[static_cast<std::size_t>(i)], c[r]));
+    }
+    rows.push_back(std::move(row));
+  }
+  NetVec out;
+  NetId carry = b.tie(false);
+  for (int i = 0; i < w; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    const NetId s = b.gate(CellFunc::kFaSum, {rows[0][u], rows[1][u], rows[2][u]});
+    const NetId k = b.gate(CellFunc::kMaj3, {rows[0][u], rows[1][u], rows[2][u]});
+    const NetId s2 = b.gate(CellFunc::kFaSum, {s, carry, b.tie(false)});
+    carry = b.or2(k, b.and2(s, carry));
+    out.push_back(b.dff(s2));
+  }
+  out.push_back(b.dff(carry));
+  return out;
+}
+
+NetVec build_block(std::string_view role, BlockBuilder& b, const NetVec& inputs,
+                   int width) {
+  if (role == "adder") return build_adder(b, inputs, width);
+  if (role == "alu") return build_alu(b, inputs, width);
+  if (role == "decoder") return build_decoder(b, inputs, width);
+  if (role == "mux_tree") return build_mux_tree(b, inputs, width);
+  if (role == "comparator") return build_comparator(b, inputs, width);
+  if (role == "counter") return build_counter(b, inputs, width);
+  if (role == "shift_reg") return build_shift_reg(b, inputs, width);
+  if (role == "lfsr") return build_lfsr(b, inputs, width);
+  if (role == "fsm") return build_fsm(b, inputs, width);
+  if (role == "parity") return build_parity(b, inputs, width);
+  if (role == "priority_enc") return build_priority_enc(b, inputs, width);
+  if (role == "regfile") return build_regfile(b, inputs, width);
+  if (role == "fifo_ctrl") return build_fifo_ctrl(b, inputs, width);
+  if (role == "pipeline_reg") return build_pipeline_reg(b, inputs, width);
+  if (role == "mem_ctrl") return build_mem_ctrl(b, inputs, width);
+  if (role == "multiplier_slice") return build_multiplier_slice(b, inputs, width);
+  throw std::invalid_argument("unknown block role: " + std::string(role));
+}
+
+}  // namespace atlas::designgen

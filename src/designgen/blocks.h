@@ -1,0 +1,50 @@
+// Functional block generators.
+//
+// Each generator emits one sub-module's worth of logic (registers plus the
+// combinational cone feeding them) and returns the block's registered output
+// nets. Input nets are consumed round-robin from the caller-provided pool
+// (registered outputs of other blocks and primary inputs), so designs are
+// combinationally acyclic by construction.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "designgen/block_builder.h"
+
+namespace atlas::designgen {
+
+using NetVec = std::vector<netlist::NetId>;
+
+/// All roles the composer can pick from. `mem_ctrl` instantiates an SRAM
+/// macro; the others are standard-cell only.
+inline constexpr std::string_view kBlockRoles[] = {
+    "adder",     "alu",          "decoder",   "mux_tree", "comparator",
+    "counter",   "shift_reg",    "lfsr",      "fsm",      "parity",
+    "priority_enc", "regfile",   "fifo_ctrl", "pipeline_reg", "mem_ctrl",
+    "multiplier_slice"};
+
+/// Dispatch by role name; `width` scales the block (clamped per role).
+/// Throws std::invalid_argument for an unknown role.
+NetVec build_block(std::string_view role, BlockBuilder& b, const NetVec& inputs,
+                   int width);
+
+// Individual generators (exposed for tests).
+NetVec build_adder(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_alu(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_decoder(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_mux_tree(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_comparator(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_counter(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_shift_reg(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_lfsr(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_fsm(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_parity(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_priority_enc(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_regfile(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_fifo_ctrl(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_pipeline_reg(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_mem_ctrl(BlockBuilder& b, const NetVec& in, int width);
+NetVec build_multiplier_slice(BlockBuilder& b, const NetVec& in, int width);
+
+}  // namespace atlas::designgen

@@ -1,0 +1,164 @@
+#include "layout/cts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace atlas::layout {
+
+using liberty::CellFunc;
+using netlist::CellInstId;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::PinRef;
+using netlist::SubmoduleId;
+
+namespace {
+
+struct ClockSink {
+  PinRef pin;              // the CK/CLK input pin to re-home
+  Point pos;
+  SubmoduleId submodule;
+};
+
+/// Majority sub-module of a group of sinks.
+SubmoduleId majority_submodule(const std::vector<ClockSink>& group) {
+  std::map<SubmoduleId, int> votes;
+  for (const ClockSink& s : group) ++votes[s.submodule];
+  SubmoduleId best = netlist::kNoSubmodule;
+  int best_votes = -1;
+  for (const auto& [sm, v] : votes) {
+    if (v > best_votes) {
+      best = sm;
+      best_votes = v;
+    }
+  }
+  return best;
+}
+
+Point centroid(const std::vector<ClockSink>& group) {
+  Point c;
+  for (const ClockSink& s : group) {
+    c.x += s.pos.x;
+    c.y += s.pos.y;
+  }
+  if (!group.empty()) {
+    c.x /= static_cast<double>(group.size());
+    c.y /= static_cast<double>(group.size());
+  }
+  return c;
+}
+
+}  // namespace
+
+CtsStats synthesize_clock_tree(netlist::Netlist& nl, Placement& pl,
+                               const CtsConfig& config) {
+  CtsStats stats;
+  const NetId root = nl.clock_net();
+  if (root == kNoNet) {
+    throw std::invalid_argument("synthesize_clock_tree: netlist has no clock net");
+  }
+  const liberty::Library& lib = nl.library();
+  const liberty::CellId ckgate = lib.cell_for(CellFunc::kCkGate, 2);
+  const liberty::CellId ckbuf = lib.cell_for(CellFunc::kCkBuf, 4);
+
+  // -------------------------------------------------------------------------
+  // Phase 1: clock-gating conversion.
+  // Detect DFFs whose D is MUX2(Q, next, EN): group by (EN net, sub-module).
+  // -------------------------------------------------------------------------
+  struct GateCandidate {
+    CellInstId reg;
+    CellInstId mux;
+    NetId next_value;  // mux B leg
+  };
+  std::map<std::pair<NetId, SubmoduleId>, std::vector<GateCandidate>> groups;
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.lib_cell(id).func != CellFunc::kDff) continue;
+    if (nl.cell(id).pin_nets[1] != root) continue;  // only root-clocked regs
+    const NetId d = nl.cell(id).pin_nets[0];
+    const netlist::Net& dn = nl.net(d);
+    if (!dn.has_driver() || dn.sinks.size() != 1) continue;
+    const CellInstId mux = dn.driver.cell;
+    if (nl.lib_cell(mux).func != CellFunc::kMux2) continue;
+    const auto& mpins = nl.cell(mux).pin_nets;
+    if (mpins[0] != nl.output_net(id)) continue;  // A leg must recirculate Q
+    const NetId en = mpins[2];
+    groups[{en, nl.cell(id).submodule}].push_back(
+        GateCandidate{id, mux, mpins[1]});
+  }
+  for (const auto& [key, cands] : groups) {
+    if (static_cast<int>(cands.size()) < config.min_gate_group) continue;
+    const auto [en, sm] = key;
+    const NetId gck = nl.add_net("gck" + std::to_string(nl.num_nets()));
+    nl.add_cell("icg" + std::to_string(nl.num_cells()), ckgate, {root, en, gck},
+                sm);
+    // Place the ICG at the centroid of its registers.
+    Point c;
+    for (const GateCandidate& g : cands) {
+      c.x += pl.of(g.reg).x;
+      c.y += pl.of(g.reg).y;
+    }
+    c.x /= static_cast<double>(cands.size());
+    c.y /= static_cast<double>(cands.size());
+    pl.append(c);
+    for (const GateCandidate& g : cands) {
+      nl.disconnect_cell(g.mux);
+      nl.move_pin(g.reg, /*D pin*/ 0, g.next_value);
+      nl.move_pin(g.reg, /*CK pin*/ 1, gck);
+      ++stats.gated_registers;
+    }
+    ++stats.icgs;
+  }
+
+  // -------------------------------------------------------------------------
+  // Phase 2: balanced buffer tree over every sink still on the root net.
+  // -------------------------------------------------------------------------
+  auto collect_sinks = [&]() {
+    std::vector<ClockSink> sinks;
+    for (const PinRef& s : nl.net(root).sinks) {
+      sinks.push_back(ClockSink{s, pl.of(s.cell), nl.cell(s.cell).submodule});
+    }
+    return sinks;
+  };
+  std::vector<ClockSink> level = collect_sinks();
+  int fanout = config.max_leaf_fanout;
+  while (static_cast<int>(level.size()) > config.max_branch_fanout) {
+    // Geographic clustering: sort by coarse row, then x.
+    std::sort(level.begin(), level.end(),
+              [](const ClockSink& a, const ClockSink& b) {
+                const double ya = std::floor(a.pos.y / 12.0);
+                const double yb = std::floor(b.pos.y / 12.0);
+                if (ya != yb) return ya < yb;
+                return a.pos.x < b.pos.x;
+              });
+    std::vector<ClockSink> next_level;
+    for (std::size_t i = 0; i < level.size();
+         i += static_cast<std::size_t>(fanout)) {
+      const std::size_t end =
+          std::min(i + static_cast<std::size_t>(fanout), level.size());
+      std::vector<ClockSink> group(level.begin() + static_cast<long>(i),
+                                   level.begin() + static_cast<long>(end));
+      const SubmoduleId sm = majority_submodule(group);
+      const NetId bnet = nl.add_net("ckn" + std::to_string(nl.num_nets()));
+      const CellInstId buf = nl.add_cell(
+          "ckb" + std::to_string(nl.num_cells()), ckbuf, {root, bnet}, sm);
+      const Point c = centroid(group);
+      pl.append(c);
+      for (const ClockSink& s : group) nl.move_pin(s.pin.cell, s.pin.pin, bnet);
+      next_level.push_back(ClockSink{PinRef{buf, 0}, c, sm});
+      ++stats.clock_buffers;
+    }
+    level = std::move(next_level);
+    fanout = config.max_branch_fanout;
+    ++stats.tree_levels;
+  }
+
+  const auto cell_map = nl.compact();
+  pl.remap(cell_map);
+  nl.check();
+  return stats;
+}
+
+}  // namespace atlas::layout

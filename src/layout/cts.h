@@ -1,0 +1,47 @@
+// Clock-tree synthesis with clock-gating conversion.
+//
+// Substitutes for Innovus CTS. Two phases:
+//
+// 1. Clock-gating conversion. Registers built with the recirculating-mux
+//    enable idiom (D = EN ? next : Q) are detected structurally; groups of
+//    at least `min_gate_group` registers sharing an enable net inside one
+//    sub-module are converted to an integrated clock gate (CKGATE): the mux
+//    disappears, D connects to the mux's data leg, and the register clock
+//    pins move onto the gated clock. This is functionally exact (the ICG
+//    samples its enable one phase early, which matches the mux's one-cycle
+//    semantics in our cycle simulator) and is why the post-layout clock-tree
+//    power varies per cycle — the effect ATLAS's F_CT model must capture.
+//
+// 2. Balanced buffer-tree construction over all clock sinks (register CK
+//    pins, ICG CK pins, macro CLK pins): sinks are clustered geographically
+//    into groups behind placed CKBUFs, recursively, until the root fanout is
+//    acceptable. Each clock cell is attributed to the sub-module that owns
+//    the majority of its fanout, keeping the sub-module partition a true
+//    partition post-layout.
+#pragma once
+
+#include "layout/placer.h"
+#include "netlist/netlist.h"
+
+namespace atlas::layout {
+
+struct CtsConfig {
+  int min_gate_group = 3;    // registers sharing an enable to justify an ICG
+  int max_leaf_fanout = 8;  // sinks per leaf clock buffer
+  int max_branch_fanout = 4; // buffers per upper-level buffer
+};
+
+struct CtsStats {
+  int icgs = 0;
+  int gated_registers = 0;
+  int clock_buffers = 0;
+  int tree_levels = 0;
+};
+
+/// Run CTS in place. New cells are appended to `pl`; the netlist is
+/// compacted (removed recirculation muxes disappear) and `pl` follows the
+/// renumbering. The netlist passes check() afterwards.
+CtsStats synthesize_clock_tree(netlist::Netlist& nl, Placement& pl,
+                               const CtsConfig& config = {});
+
+}  // namespace atlas::layout

@@ -1,0 +1,24 @@
+#include "layout/layout_flow.h"
+
+namespace atlas::layout {
+
+LayoutResult run_layout(const netlist::Netlist& gate_level,
+                        const LayoutConfig& config) {
+  netlist::Netlist nl = gate_level;  // value copy; library reference shared
+  nl.set_name(gate_level.name() + "_layout");
+
+  Placement pl = place(nl, config.placer);
+  TimingOptConfig timing = config.timing;
+  timing.extract = config.extract;
+  const TimingOptStats timing_stats = optimize_timing(nl, pl, timing);
+  const CtsStats cts_stats = synthesize_clock_tree(nl, pl, config.cts);
+
+  Parasitics parasitics = extract(nl, pl, config.extract);
+  annotate(nl, parasitics);
+  nl.check();
+
+  return LayoutResult{std::move(nl), std::move(pl), std::move(parasitics),
+                      timing_stats, cts_stats};
+}
+
+}  // namespace atlas::layout

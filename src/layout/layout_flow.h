@@ -1,0 +1,39 @@
+// End-to-end layout flow: place -> timing optimization -> CTS -> extraction.
+//
+// Substitutes for the paper's Innovus flow ("mixed-size placement, clock
+// tree synthesis, and routing, with each step including timing
+// optimization") that turns the gate-level netlist N_g into the post-layout
+// netlist N_p plus SPEF parasitics, from which PTPX computes golden
+// per-cycle power.
+#pragma once
+
+#include "layout/cts.h"
+#include "layout/extraction.h"
+#include "layout/placer.h"
+#include "layout/spef.h"
+#include "layout/timing_opt.h"
+#include "netlist/netlist.h"
+
+namespace atlas::layout {
+
+struct LayoutConfig {
+  PlacerConfig placer;
+  TimingOptConfig timing;
+  CtsConfig cts;
+  ExtractConfig extract;
+};
+
+struct LayoutResult {
+  netlist::Netlist netlist;   // post-layout netlist (wire caps annotated)
+  Placement placement;
+  Parasitics parasitics;      // final extraction (same data as annotation)
+  TimingOptStats timing_stats;
+  CtsStats cts_stats;
+};
+
+/// Run the full layout flow on a gate-level netlist. The input is untouched;
+/// the result's netlist is named "<design>_layout" and passes check().
+LayoutResult run_layout(const netlist::Netlist& gate_level,
+                        const LayoutConfig& config = {});
+
+}  // namespace atlas::layout

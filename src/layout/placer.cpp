@@ -1,0 +1,116 @@
+#include "layout/placer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::layout {
+
+using netlist::CellInstId;
+using netlist::NetId;
+
+void Placement::set(CellInstId id, Point p) { pos_.at(id) = p; }
+
+void Placement::remap(const std::vector<CellInstId>& cell_map) {
+  std::vector<Point> next;
+  next.reserve(pos_.size());
+  // cell_map is monotone over kept cells, so a single forward pass suffices.
+  for (std::size_t old = 0; old < cell_map.size() && old < pos_.size(); ++old) {
+    if (cell_map[old] != netlist::kNoCell) next.push_back(pos_[old]);
+  }
+  pos_ = std::move(next);
+}
+
+double Placement::net_hpwl(const netlist::Netlist& nl, NetId net) const {
+  const netlist::Net& n = nl.net(net);
+  double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  bool first = true;
+  auto visit = [&](const Point& p) {
+    if (first) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      first = false;
+    } else {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+  };
+  if (n.has_driver()) visit(of(n.driver.cell));
+  for (const netlist::PinRef& s : n.sinks) visit(of(s.cell));
+  // Primary I/O anchors at the left die edge at mid-height.
+  if (n.is_primary_input || n.is_primary_output) {
+    visit(Point{0.0, die_size_um * 0.5});
+  }
+  if (first) return 0.0;
+  return (max_x - min_x) + (max_y - min_y);
+}
+
+Placement place(const netlist::Netlist& nl, const PlacerConfig& config) {
+  if (config.utilization <= 0.0 || config.utilization > 1.0) {
+    throw std::invalid_argument("place: utilization must be in (0, 1]");
+  }
+  // Macros (SRAMs) are placed in a strip above the standard-cell region;
+  // the die is sized from standard-cell area only.
+  constexpr double kMacroAreaThreshold = 200.0;
+  double std_area = 0.0;
+  std::vector<CellInstId> macros;
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    const double a = nl.lib_cell(id).area_um2;
+    if (a > kMacroAreaThreshold) {
+      macros.push_back(id);
+    } else {
+      std_area += a;
+    }
+  }
+  const double die = std::sqrt(std::max(std_area, 1.0) / config.utilization);
+
+  // Order: standard cells grouped by (component, sub-module), preserving
+  // generation order inside each group; untagged cells go last.
+  std::vector<CellInstId> order;
+  order.reserve(nl.num_cells());
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    if (nl.lib_cell(id).area_um2 <= kMacroAreaThreshold) order.push_back(id);
+  }
+  auto group_key = [&](CellInstId id) -> std::pair<int, int> {
+    const auto sm = nl.cell(id).submodule;
+    if (sm == netlist::kNoSubmodule) return {1 << 20, 1 << 20};
+    const auto& s = nl.submodules()[static_cast<std::size_t>(sm)];
+    return {s.component, static_cast<int>(sm)};
+  };
+  std::stable_sort(order.begin(), order.end(), [&](CellInstId a, CellInstId b) {
+    return group_key(a) < group_key(b);
+  });
+
+  Placement pl(nl.num_cells());
+  pl.die_size_um = die;
+  double x = 0.0;
+  double y = 0.0;
+  int row = 0;
+  const double row_h = config.row_height_um;
+  for (const CellInstId id : order) {
+    const double w =
+        std::max(0.4, nl.lib_cell(id).area_um2 / row_h);  // cell width in row
+    if (x + w > die) {
+      ++row;
+      x = 0.0;
+      y = row * row_h;
+    }
+    // Serpentine: odd rows fill right-to-left for locality at row turns.
+    const double cx = (row % 2 == 0) ? x + w * 0.5 : die - (x + w * 0.5);
+    pl.set(id, Point{cx, y + row_h * 0.5});
+    x += w;
+  }
+  // Macro strip above the standard-cell region.
+  double mx = 0.0;
+  const double strip_y = (row + 2) * row_h;
+  for (const CellInstId id : macros) {
+    const double side = std::sqrt(nl.lib_cell(id).area_um2);
+    pl.set(id, Point{mx + side * 0.5, strip_y + side * 0.5});
+    mx += side + 2.0;
+  }
+  return pl;
+}
+
+}  // namespace atlas::layout

@@ -1,0 +1,57 @@
+// Placement model.
+//
+// Substitutes for Innovus mixed-size placement. Cells are packed in
+// sub-module order (components contiguous, sub-modules contiguous inside
+// them) along a serpentine row curve sized from total cell area — giving the
+// intra-module locality and inter-module distance that make wire length, and
+// therefore extracted wire capacitance, realistic in shape: short nets inside
+// a sub-module, long nets between components.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace atlas::layout {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Cell coordinates in micrometres, indexed by CellInstId. Grows as the
+/// layout flow inserts buffers / clock cells.
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(std::size_t num_cells) : pos_(num_cells) {}
+
+  std::size_t size() const { return pos_.size(); }
+  const Point& of(netlist::CellInstId id) const { return pos_.at(id); }
+  void set(netlist::CellInstId id, Point p);
+  /// Register a newly added cell at the given location.
+  void append(Point p) { pos_.push_back(p); }
+
+  /// Follow a Netlist::compact() renumbering (old->new map, kNoCell dropped).
+  void remap(const std::vector<netlist::CellInstId>& cell_map);
+
+  /// Die edge length (set by the placer).
+  double die_size_um = 0.0;
+
+  /// Half-perimeter wire length of a net under this placement (um).
+  /// Primary-I/O nets anchor at the die edge (x = 0).
+  double net_hpwl(const netlist::Netlist& nl, netlist::NetId net) const;
+
+ private:
+  std::vector<Point> pos_;
+};
+
+struct PlacerConfig {
+  double row_height_um = 1.4;   // standard-cell row pitch
+  double utilization = 0.70;    // area utilization target
+};
+
+/// Place all cells of `nl`. Deterministic.
+Placement place(const netlist::Netlist& nl, const PlacerConfig& config = {});
+
+}  // namespace atlas::layout

@@ -1,0 +1,36 @@
+// SPEF (Standard Parasitic Exchange Format) subset writer and parser.
+//
+// The paper's golden flow dumps post-route RC as SPEF and feeds it to PTPX;
+// this module reproduces that interchange for our extracted parasitics. The
+// subset keeps the standard header, the name map, and lumped-cap *D_NET
+// sections:
+//
+//   *SPEF "IEEE 1481-1998"
+//   *DESIGN "C2"
+//   ...
+//   *NAME_MAP
+//   *1 n42
+//   *D_NET *1 0.4513
+//   *END
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "layout/extraction.h"
+#include "netlist/netlist.h"
+
+namespace atlas::layout {
+
+std::string write_spef(const netlist::Netlist& nl, const Parasitics& parasitics);
+
+/// Parse SPEF text (the writer's subset) into per-net caps resolved against
+/// `nl` by net name. Throws std::runtime_error on malformed input / unknown
+/// net names.
+Parasitics parse_spef(std::string_view text, const netlist::Netlist& nl);
+
+void save_spef_file(const netlist::Netlist& nl, const Parasitics& parasitics,
+                    const std::string& path);
+Parasitics load_spef_file(const std::string& path, const netlist::Netlist& nl);
+
+}  // namespace atlas::layout

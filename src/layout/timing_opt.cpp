@@ -1,0 +1,100 @@
+#include "layout/timing_opt.h"
+
+#include <algorithm>
+#include <string>
+
+namespace atlas::layout {
+
+using liberty::CellFunc;
+using netlist::CellInstId;
+using netlist::NetId;
+
+namespace {
+
+Point centroid(const Placement& pl,
+               const std::vector<netlist::PinRef>& sinks) {
+  Point c;
+  if (sinks.empty()) return c;
+  for (const netlist::PinRef& s : sinks) {
+    c.x += pl.of(s.cell).x;
+    c.y += pl.of(s.cell).y;
+  }
+  c.x /= static_cast<double>(sinks.size());
+  c.y /= static_cast<double>(sinks.size());
+  return c;
+}
+
+}  // namespace
+
+TimingOptStats optimize_timing(netlist::Netlist& nl, Placement& pl,
+                               const TimingOptConfig& config) {
+  TimingOptStats stats;
+  const liberty::Library& lib = nl.library();
+  const liberty::CellId buf_x4 = lib.cell_for(CellFunc::kBuf, 4);
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    ++stats.passes;
+    annotate(nl, extract(nl, pl, config.extract));
+    bool changed = false;
+    const std::size_t cells_this_pass = nl.num_cells();
+    for (CellInstId id = 0; id < cells_this_pass; ++id) {
+      const liberty::Cell& lc = nl.lib_cell(id);
+      const int out_pin = lc.output_pin();
+      if (out_pin < 0) continue;
+      const NetId out = nl.cell(id).pin_nets[static_cast<std::size_t>(out_pin)];
+      if (out == nl.clock_net()) continue;  // CTS owns the clock network
+      double load = net_load_ff(nl, out);
+      double limit = lc.pins[static_cast<std::size_t>(out_pin)].max_cap_ff *
+                     config.headroom;
+      // 1. Upsize through the drive ladder.
+      while (load > limit) {
+        const auto up = lib.next_drive_up(nl.cell(id).lib_cell);
+        if (!up) break;
+        nl.resize_cell(id, *up);
+        ++stats.resized;
+        changed = true;
+        const liberty::Cell& stronger = nl.lib_cell(id);
+        limit = stronger.pins[static_cast<std::size_t>(out_pin)].max_cap_ff *
+                config.headroom;
+      }
+      // 2. Still overloaded: split sinks behind buffers. A single-sink net
+      //    gets a relay buffer at the wire midpoint, halving the driver's
+      //    wire load per pass.
+      if (load > limit && !nl.net(out).sinks.empty()) {
+        // Sort a copy of the sinks by position so each buffer serves a
+        // spatially coherent cluster.
+        std::vector<netlist::PinRef> sinks = nl.net(out).sinks;
+        std::sort(sinks.begin(), sinks.end(),
+                  [&](const netlist::PinRef& a, const netlist::PinRef& b) {
+                    const Point& pa = pl.of(a.cell);
+                    const Point& pb = pl.of(b.cell);
+                    return pa.x + pa.y < pb.x + pb.y;
+                  });
+        const std::size_t chunk =
+            std::max<std::size_t>(1, static_cast<std::size_t>(config.buffer_fanout));
+        const netlist::SubmoduleId sm = nl.cell(id).submodule;
+        for (std::size_t i = 0; i < sinks.size(); i += chunk) {
+          const std::size_t end = std::min(i + chunk, sinks.size());
+          std::vector<netlist::PinRef> group(sinks.begin() + static_cast<long>(i),
+                                             sinks.begin() + static_cast<long>(end));
+          const NetId bnet = nl.add_net("buf_n" + std::to_string(nl.num_nets()));
+          nl.add_cell("tbuf" + std::to_string(nl.num_cells()), buf_x4,
+                      {out, bnet}, sm);
+          // Midpoint between driver and cluster: splits long wires so the
+          // driver's wire load actually shrinks.
+          const Point c = centroid(pl, group);
+          const Point d = pl.of(id);
+          pl.append(Point{0.5 * (c.x + d.x), 0.5 * (c.y + d.y)});
+          for (const netlist::PinRef& s : group) nl.move_pin(s.cell, s.pin, bnet);
+          ++stats.buffers_inserted;
+        }
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  annotate(nl, extract(nl, pl, config.extract));
+  return stats;
+}
+
+}  // namespace atlas::layout

@@ -1,0 +1,42 @@
+// Timing-driven netlist reconstruction: gate resizing and buffer insertion.
+//
+// Substitutes for Innovus's in-place optimization. The paper calls out
+// exactly these transformations ("buffer insertion, netlist reconstruction")
+// as the reason gate-level and post-layout power diverge: inserted buffers
+// and upsized drivers add internal + switching power the gate-level netlist
+// never sees, which the ATLAS encoder must learn to anticipate.
+//
+// The optimization loop is electrical-rule driven: any driver whose load
+// exceeds its library max_capacitance is first upsized through the drive
+// ladder (X1 -> X2 -> X4) and, if still overloaded, its sink set is split
+// behind placed buffers. The clock net is left alone — CTS owns it.
+#pragma once
+
+#include "layout/extraction.h"
+#include "layout/placer.h"
+#include "netlist/netlist.h"
+
+namespace atlas::layout {
+
+struct TimingOptConfig {
+  int max_passes = 6;
+  /// Loads above max_cap * headroom trigger optimization.
+  double headroom = 0.55;
+  /// Sinks per inserted buffer when splitting an overloaded net.
+  int buffer_fanout = 6;
+  ExtractConfig extract;
+};
+
+struct TimingOptStats {
+  int resized = 0;
+  int buffers_inserted = 0;
+  int passes = 0;
+};
+
+/// Optimize in place; inserted buffers are appended to `pl` at the centroid
+/// of the sinks they take over. Re-extracts and re-annotates wire caps after
+/// every pass (the netlist ends annotated).
+TimingOptStats optimize_timing(netlist::Netlist& nl, Placement& pl,
+                               const TimingOptConfig& config = {});
+
+}  // namespace atlas::layout

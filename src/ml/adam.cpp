@@ -1,0 +1,36 @@
+#include "ml/adam.h"
+
+#include <cmath>
+
+namespace atlas::ml {
+
+Adam::Adam(std::vector<ParamRef> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.emplace_back(p.size, 0.0f);
+    v_.emplace_back(p.size, 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    const ParamRef& p = params_[k];
+    std::vector<float>& m = m_[k];
+    std::vector<float>& v = v_[k];
+    for (std::size_t i = 0; i < p.size; ++i) {
+      float g = p.grad[i] + config_.weight_decay * p.value[i];
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      p.value[i] -= config_.lr * mhat / (std::sqrt(vhat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace atlas::ml

@@ -1,0 +1,36 @@
+// Adam optimizer over flat parameter buffers (paper: Adam, lr 1e-4).
+#pragma once
+
+#include <vector>
+
+#include "ml/mlp.h"
+
+namespace atlas::ml {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam {
+ public:
+  /// Binds to the given parameter views; the views must stay valid (no
+  /// reallocation of the underlying buffers) for the optimizer's lifetime.
+  Adam(std::vector<ParamRef> params, const AdamConfig& config = {});
+
+  /// Apply one update from the accumulated gradients (does not zero them).
+  void step();
+
+  int steps_taken() const { return t_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  AdamConfig config_;
+  std::vector<std::vector<float>> m_, v_;
+  int t_ = 0;
+};
+
+}  // namespace atlas::ml

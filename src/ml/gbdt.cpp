@@ -1,0 +1,289 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace atlas::ml {
+
+double GbdtRegressor::Tree::predict(const float* features) const {
+  int idx = 0;
+  while (nodes[static_cast<std::size_t>(idx)].feature >= 0) {
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    idx = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<std::size_t>(idx)].value;
+}
+
+GbdtRegressor::GbdtRegressor(const GbdtConfig& config) : config_(config) {
+  if (config_.n_trees < 0 || config_.max_depth < 1 || config_.n_bins < 2 ||
+      config_.learning_rate <= 0.0) {
+    throw std::invalid_argument("GbdtRegressor: invalid config");
+  }
+}
+
+void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  const std::size_t n = x.rows();
+  const std::size_t f = x.cols();
+  if (n == 0 || f == 0) throw std::invalid_argument("Gbdt::fit: empty input");
+  if (y.size() != n) throw std::invalid_argument("Gbdt::fit: target size mismatch");
+  trees_.clear();
+  num_features_ = f;
+
+  base_ = 0.0;
+  for (const double v : y) base_ += v;
+  base_ /= static_cast<double>(n);
+
+  // ---- Quantile binning -----------------------------------------------------
+  const int n_bins = config_.n_bins;
+  // cuts[feat] has n_bins-1 ascending thresholds; bin = upper_bound(cuts, v).
+  std::vector<std::vector<float>> cuts(f);
+  {
+    std::vector<float> vals(n);
+    for (std::size_t j = 0; j < f; ++j) {
+      for (std::size_t i = 0; i < n; ++i) vals[i] = x.at(i, j);
+      std::sort(vals.begin(), vals.end());
+      auto& c = cuts[j];
+      for (int b = 1; b < n_bins; ++b) {
+        const std::size_t idx =
+            std::min(n - 1, static_cast<std::size_t>(
+                                static_cast<double>(b) * static_cast<double>(n) /
+                                n_bins));
+        const float cut = vals[idx];
+        if (c.empty() || cut > c.back()) c.push_back(cut);
+      }
+    }
+  }
+  std::vector<std::uint8_t> binned(n * f);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < f; ++j) {
+      const auto& c = cuts[j];
+      const float v = x.at(i, j);
+      const auto it = std::upper_bound(c.begin(), c.end(), v);
+      binned[i * f + j] = static_cast<std::uint8_t>(it - c.begin());
+    }
+  }
+
+  std::vector<double> residual(y);
+  for (std::size_t i = 0; i < n; ++i) residual[i] -= base_;
+
+  util::Rng rng(config_.seed);
+  std::vector<int> node_of(n);
+  const int max_nodes_per_level = 1 << config_.max_depth;
+  std::vector<double> sum(static_cast<std::size_t>(max_nodes_per_level));
+  std::vector<int> cnt(static_cast<std::size_t>(max_nodes_per_level));
+
+  for (int t = 0; t < config_.n_trees; ++t) {
+    // Row subsample.
+    std::vector<std::uint8_t> in_bag(n, 1);
+    if (config_.subsample < 1.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        in_bag[i] = rng.next_bool(config_.subsample) ? 1 : 0;
+      }
+    }
+
+    Tree tree;
+    tree.nodes.push_back(Node{});
+    // frontier: node ids at the current level.
+    std::vector<int> frontier = {0};
+    std::fill(node_of.begin(), node_of.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_bag[i]) node_of[i] = -1;
+    }
+
+    for (int depth = 0; depth < config_.max_depth && !frontier.empty(); ++depth) {
+      // Histograms: [frontier_slot][feature][bin] -> (sum, count).
+      const std::size_t slots = frontier.size();
+      std::vector<int> slot_of_node(tree.nodes.size(), -1);
+      for (std::size_t s = 0; s < slots; ++s) {
+        slot_of_node[static_cast<std::size_t>(frontier[s])] = static_cast<int>(s);
+      }
+      std::vector<double> hist_sum(slots * f * static_cast<std::size_t>(n_bins), 0.0);
+      std::vector<int> hist_cnt(slots * f * static_cast<std::size_t>(n_bins), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const int node = node_of[i];
+        if (node < 0) continue;
+        const int s = slot_of_node[static_cast<std::size_t>(node)];
+        if (s < 0) continue;
+        const double r = residual[i];
+        const std::uint8_t* row_bins = &binned[i * f];
+        const std::size_t base_idx =
+            static_cast<std::size_t>(s) * f * static_cast<std::size_t>(n_bins);
+        for (std::size_t j = 0; j < f; ++j) {
+          const std::size_t idx =
+              base_idx + j * static_cast<std::size_t>(n_bins) + row_bins[j];
+          hist_sum[idx] += r;
+          ++hist_cnt[idx];
+        }
+      }
+
+      // Pick the best split per frontier node.
+      struct Split {
+        int feature = -1;
+        int bin = -1;  // go left if bin <= this
+        double gain = 0.0;
+      };
+      std::vector<Split> best(slots);
+      for (std::size_t s = 0; s < slots; ++s) {
+        // Node totals from feature 0 histogram.
+        double total_sum = 0.0;
+        int total_cnt = 0;
+        const std::size_t base_idx =
+            s * f * static_cast<std::size_t>(n_bins);
+        for (int b = 0; b < n_bins; ++b) {
+          total_sum += hist_sum[base_idx + static_cast<std::size_t>(b)];
+          total_cnt += hist_cnt[base_idx + static_cast<std::size_t>(b)];
+        }
+        if (total_cnt < 2 * config_.min_samples_leaf) continue;
+        const double parent_score = total_sum * total_sum / total_cnt;
+        for (std::size_t j = 0; j < f; ++j) {
+          double left_sum = 0.0;
+          int left_cnt = 0;
+          const std::size_t fbase = base_idx + j * static_cast<std::size_t>(n_bins);
+          for (int b = 0; b + 1 < n_bins; ++b) {
+            left_sum += hist_sum[fbase + static_cast<std::size_t>(b)];
+            left_cnt += hist_cnt[fbase + static_cast<std::size_t>(b)];
+            const int right_cnt = total_cnt - left_cnt;
+            if (left_cnt < config_.min_samples_leaf ||
+                right_cnt < config_.min_samples_leaf) {
+              continue;
+            }
+            const double right_sum = total_sum - left_sum;
+            const double gain = left_sum * left_sum / left_cnt +
+                                right_sum * right_sum / right_cnt - parent_score;
+            if (gain > best[s].gain + 1e-12) {
+              best[s] = Split{static_cast<int>(j), b, gain};
+            }
+          }
+        }
+      }
+
+      // Materialize splits.
+      std::vector<int> next_frontier;
+      std::vector<std::uint8_t> has_split(tree.nodes.size(), 0);
+      for (std::size_t s = 0; s < slots; ++s) {
+        if (best[s].feature < 0) continue;
+        const int node_id = frontier[s];
+        Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+        node.feature = best[s].feature;
+        const auto& c = cuts[static_cast<std::size_t>(best[s].feature)];
+        // Bin b covers values <= c[b] (last bin unbounded).
+        node.threshold = best[s].bin < static_cast<int>(c.size())
+                             ? c[static_cast<std::size_t>(best[s].bin)]
+                             : std::numeric_limits<float>::max();
+        node.left = static_cast<int>(tree.nodes.size());
+        node.right = node.left + 1;
+        tree.nodes.push_back(Node{});
+        tree.nodes.push_back(Node{});
+        next_frontier.push_back(node.left);
+        next_frontier.push_back(node.right);
+        has_split.resize(tree.nodes.size(), 0);
+        has_split[static_cast<std::size_t>(node_id)] = 1;
+      }
+      if (next_frontier.empty()) break;
+      // Reassign samples to children.
+      for (std::size_t i = 0; i < n; ++i) {
+        const int node = node_of[i];
+        if (node < 0 || static_cast<std::size_t>(node) >= has_split.size() ||
+            !has_split[static_cast<std::size_t>(node)]) {
+          continue;
+        }
+        const Node& nd = tree.nodes[static_cast<std::size_t>(node)];
+        const float v = x.at(i, static_cast<std::size_t>(nd.feature));
+        node_of[i] = v <= nd.threshold ? nd.left : nd.right;
+      }
+      frontier = std::move(next_frontier);
+    }
+
+    // Leaf values: mean residual of in-bag samples, with shrinkage.
+    const std::size_t n_nodes = tree.nodes.size();
+    sum.assign(n_nodes, 0.0);
+    cnt.assign(n_nodes, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int node = node_of[i];
+      if (node < 0) continue;
+      sum[static_cast<std::size_t>(node)] += residual[i];
+      ++cnt[static_cast<std::size_t>(node)];
+    }
+    for (std::size_t k = 0; k < n_nodes; ++k) {
+      Node& nd = tree.nodes[k];
+      if (nd.feature >= 0) continue;
+      nd.value = cnt[k] > 0
+                     ? config_.learning_rate * sum[k] / static_cast<double>(cnt[k])
+                     : 0.0;
+    }
+
+    // Update residuals with this tree (all rows, including out-of-bag).
+    for (std::size_t i = 0; i < n; ++i) {
+      residual[i] -= tree.predict(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtRegressor::predict_row(const float* features) const {
+  double out = base_;
+  for (const Tree& t : trees_) out += t.predict(features);
+  return out;
+}
+
+std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
+  if (x.cols() != num_features_ && !trees_.empty()) {
+    throw std::invalid_argument("Gbdt::predict: feature count mismatch");
+  }
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_row(x.row(i));
+  return out;
+}
+
+double GbdtRegressor::training_rmse(const Matrix& x,
+                                    const std::vector<double>& y) const {
+  const std::vector<double> p = predict(x);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    sq += (p[i] - y[i]) * (p[i] - y[i]);
+  }
+  return std::sqrt(sq / static_cast<double>(y.size()));
+}
+
+void GbdtRegressor::save(std::ostream& os) const {
+  util::write_header(os, "GBDT", 1);
+  util::write_u64(os, num_features_);
+  util::write_f64(os, base_);
+  util::write_u64(os, trees_.size());
+  for (const Tree& t : trees_) {
+    util::write_u64(os, t.nodes.size());
+    for (const Node& n : t.nodes) {
+      util::write_i64(os, n.feature);
+      util::write_f32(os, n.threshold);
+      util::write_i64(os, n.left);
+      util::write_i64(os, n.right);
+      util::write_f64(os, n.value);
+    }
+  }
+}
+
+GbdtRegressor GbdtRegressor::load(std::istream& is) {
+  util::read_header(is, "GBDT");
+  GbdtRegressor m;
+  m.num_features_ = util::read_u64(is);
+  m.base_ = util::read_f64(is);
+  const std::size_t n_trees = util::read_u64(is);
+  m.trees_.resize(n_trees);
+  for (Tree& t : m.trees_) {
+    t.nodes.resize(util::read_u64(is));
+    for (Node& n : t.nodes) {
+      n.feature = static_cast<int>(util::read_i64(is));
+      n.threshold = util::read_f32(is);
+      n.left = static_cast<int>(util::read_i64(is));
+      n.right = static_cast<int>(util::read_i64(is));
+      n.value = util::read_f64(is);
+    }
+  }
+  return m;
+}
+
+}  // namespace atlas::ml

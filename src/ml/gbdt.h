@@ -1,0 +1,68 @@
+// Gradient-boosted regression trees (squared loss), histogram-based.
+//
+// Substitutes for XGBoost in the fine-tuning stage (paper Sec. V/VI: "500
+// estimators and a depth of 5, taking only several seconds for training").
+// Trees are grown level-wise on quantile-binned features; each tree fits the
+// current residuals and contributes shrinkage * leaf_mean to the prediction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace atlas::ml {
+
+struct GbdtConfig {
+  int n_trees = 500;
+  int max_depth = 5;
+  double learning_rate = 0.08;
+  int min_samples_leaf = 4;
+  double subsample = 0.8;   // row subsampling per tree
+  int n_bins = 32;
+  std::uint64_t seed = 7;
+};
+
+class GbdtRegressor {
+ public:
+  explicit GbdtRegressor(const GbdtConfig& config = {});
+
+  /// Fit on features [N, F] and targets y (size N). Throws on shape errors
+  /// or empty input. Refitting replaces the previous model.
+  void fit(const Matrix& x, const std::vector<double>& y);
+
+  double predict_row(const float* features) const;
+  std::vector<double> predict(const Matrix& x) const;
+
+  bool trained() const { return !trees_.empty() || base_ != 0.0; }
+  std::size_t num_features() const { return num_features_; }
+  std::size_t num_trees() const { return trees_.size(); }
+
+  /// Mean absolute deviation improvement diagnostics.
+  double training_rmse(const Matrix& x, const std::vector<double>& y) const;
+
+  void save(std::ostream& os) const;
+  static GbdtRegressor load(std::istream& is);
+
+ private:
+  struct Node {
+    int feature = -1;        // -1: leaf
+    float threshold = 0.0f;  // go left if value <= threshold
+    int left = -1;
+    int right = -1;
+    double value = 0.0;      // leaf output (already shrunk)
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double predict(const float* features) const;
+  };
+
+  GbdtConfig config_;
+  std::size_t num_features_ = 0;
+  double base_ = 0.0;  // mean target
+  std::vector<Tree> trees_;
+};
+
+}  // namespace atlas::ml

@@ -1,0 +1,135 @@
+#include "ml/losses.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace atlas::ml {
+namespace {
+
+/// Row-wise softmax in place.
+void softmax_rows(Matrix& x) {
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    float* r = x.row(i);
+    float mx = r[0];
+    for (std::size_t j = 1; j < x.cols(); ++j) mx = std::max(mx, r[j]);
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      r[j] = std::exp(r[j] - mx);
+      sum += r[j];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t j = 0; j < x.cols(); ++j) r[j] *= inv;
+  }
+}
+
+/// dx for x-hat = x / (|x| + eps) given d(x-hat); norms from forward pass.
+Matrix l2_normalize_backward(const Matrix& normalized, const Matrix& d_normalized,
+                             const std::vector<float>& norms) {
+  Matrix dx(normalized.rows(), normalized.cols());
+  for (std::size_t i = 0; i < normalized.rows(); ++i) {
+    const float* xh = normalized.row(i);
+    const float* dxh = d_normalized.row(i);
+    float dot = 0.0f;
+    for (std::size_t j = 0; j < normalized.cols(); ++j) dot += xh[j] * dxh[j];
+    const float inv_n = 1.0f / norms[i];
+    float* out = dx.row(i);
+    for (std::size_t j = 0; j < normalized.cols(); ++j) {
+      out[j] = (dxh[j] - xh[j] * dot) * inv_n;
+    }
+  }
+  return dx;
+}
+
+}  // namespace
+
+LossGrad softmax_cross_entropy(const Matrix& logits,
+                               const std::vector<int>& labels) {
+  if (labels.size() != logits.rows()) {
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+  }
+  if (logits.rows() == 0) throw std::invalid_argument("softmax_cross_entropy: empty");
+  Matrix probs = logits;
+  softmax_rows(probs);
+  LossGrad out;
+  out.grad = probs;
+  const float inv_n = 1.0f / static_cast<float>(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const int y = labels[i];
+    if (y < 0 || static_cast<std::size_t>(y) >= logits.cols()) {
+      throw std::invalid_argument("softmax_cross_entropy: label out of range");
+    }
+    out.loss -= std::log(std::max(probs.at(i, static_cast<std::size_t>(y)), 1e-12f));
+    out.grad.at(i, static_cast<std::size_t>(y)) -= 1.0f;
+  }
+  out.loss /= static_cast<double>(logits.rows());
+  out.grad *= inv_n;
+  return out;
+}
+
+double accuracy(const Matrix& logits, const std::vector<int>& labels) {
+  if (labels.size() != logits.rows() || logits.rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float* r = logits.row(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (r[j] > r[best]) best = j;
+    }
+    correct += static_cast<int>(best) == labels[i];
+  }
+  return static_cast<double>(correct) / static_cast<double>(logits.rows());
+}
+
+LossGrad mse(const Matrix& pred, const std::vector<float>& target) {
+  if (pred.cols() != 1 || pred.rows() != target.size()) {
+    throw std::invalid_argument("mse: shape mismatch");
+  }
+  if (pred.rows() == 0) throw std::invalid_argument("mse: empty");
+  LossGrad out;
+  out.grad = Matrix(pred.rows(), 1);
+  const float inv_n = 1.0f / static_cast<float>(pred.rows());
+  for (std::size_t i = 0; i < pred.rows(); ++i) {
+    const float diff = pred.at(i, 0) - target[i];
+    out.loss += 0.5 * static_cast<double>(diff) * diff;
+    out.grad.at(i, 0) = diff * inv_n;
+  }
+  out.loss *= inv_n;
+  return out;
+}
+
+InfoNceGrad info_nce(const Matrix& anchors, const Matrix& positives,
+                     float temperature) {
+  if (anchors.rows() != positives.rows() || anchors.cols() != positives.cols()) {
+    throw std::invalid_argument("info_nce: shape mismatch");
+  }
+  const std::size_t n = anchors.rows();
+  if (n < 2) throw std::invalid_argument("info_nce: need at least 2 rows");
+  if (temperature <= 0.0f) throw std::invalid_argument("info_nce: temperature <= 0");
+
+  Matrix a = anchors;
+  Matrix p = positives;
+  const std::vector<float> a_norms = l2_normalize_rows(a);
+  const std::vector<float> p_norms = l2_normalize_rows(p);
+
+  // Similarity matrix S[i][j] = a_i . p_j / tau; correct class is j == i.
+  Matrix s = matmul_nt(a, p);
+  s *= 1.0f / temperature;
+
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i);
+  InfoNceGrad out;
+  out.accuracy = accuracy(s, labels);
+  const LossGrad ce = softmax_cross_entropy(s, labels);
+  out.loss = ce.loss;
+
+  // dS -> d(a-hat), d(p-hat) -> through normalization.
+  Matrix ds = ce.grad;
+  ds *= 1.0f / temperature;
+  const Matrix da_hat = matmul(ds, p);      // [N, d]
+  const Matrix dp_hat = matmul_tn(ds, a);   // [N, d]
+  out.grad_anchor = l2_normalize_backward(a, da_hat, a_norms);
+  out.grad_positive = l2_normalize_backward(p, dp_hat, p_norms);
+  return out;
+}
+
+}  // namespace atlas::ml

@@ -1,0 +1,42 @@
+// Loss functions with analytic gradients.
+//
+// Covers the paper's pre-training objectives: cross-entropy for the masked
+// recovery tasks (#1, #2), MSE for size recognition (#3), and InfoNCE for
+// the two contrastive tasks (#4, #5).
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace atlas::ml {
+
+struct LossGrad {
+  double loss = 0.0;
+  Matrix grad;  // d loss / d input (same shape as the input)
+};
+
+/// Softmax cross-entropy over rows of `logits` [N, C] against integer labels.
+LossGrad softmax_cross_entropy(const Matrix& logits,
+                               const std::vector<int>& labels);
+
+/// Row-wise classification accuracy (argmax vs labels).
+double accuracy(const Matrix& logits, const std::vector<int>& labels);
+
+/// Mean squared error between predictions [N, 1] and targets.
+LossGrad mse(const Matrix& pred, const std::vector<float>& target);
+
+/// InfoNCE with in-batch negatives (paper Eq. 4/5): anchors [N, d] and
+/// positives [N, d] are L2-normalized internally; row i's positive is
+/// positives[i], its negatives are all other rows. Returns gradients for
+/// both inputs (grad = anchors grad; grad_positive = positives grad).
+struct InfoNceGrad {
+  double loss = 0.0;
+  Matrix grad_anchor;
+  Matrix grad_positive;
+  double accuracy = 0.0;  // fraction of rows whose own positive scores highest
+};
+InfoNceGrad info_nce(const Matrix& anchors, const Matrix& positives,
+                     float temperature = 0.2f);
+
+}  // namespace atlas::ml

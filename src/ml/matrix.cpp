@@ -1,0 +1,163 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace atlas::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float init)
+    : rows_(rows), cols_(cols), data_(rows * cols, init) {}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                     float stddev) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng.next_gaussian()) * stddev;
+  }
+  return m;
+}
+
+Matrix Matrix::xavier(std::size_t fan_in, std::size_t fan_out, util::Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in + fan_out));
+  return randn(fan_in, fan_out, rng, stddev);
+}
+
+void Matrix::fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& x : data_) x *= s;
+  return *this;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ar = a.row(i);
+    float* cr = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float av = ar[k];
+      if (av == 0.0f) continue;
+      const float* br = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: shape mismatch");
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* ar = a.row(k);
+    const float* br = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float av = ar[i];
+      if (av == 0.0f) continue;
+      float* cr = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("matmul_nt: shape mismatch");
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* ar = a.row(i);
+    float* cr = c.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* br = b.row(j);
+      float dot = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) dot += ar[k] * br[k];
+      cr[j] = dot;
+    }
+  }
+  return c;
+}
+
+void add_row_bias(Matrix& x, const Matrix& bias) {
+  if (bias.rows() != 1 || bias.cols() != x.cols()) {
+    throw std::invalid_argument("add_row_bias: shape mismatch");
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    float* r = x.row(i);
+    const float* b = bias.row(0);
+    for (std::size_t j = 0; j < x.cols(); ++j) r[j] += b[j];
+  }
+}
+
+std::vector<bool> relu_inplace(Matrix& x) {
+  std::vector<bool> mask(x.size());
+  float* d = x.data();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool on = d[i] > 0.0f;
+    mask[i] = on;
+    if (!on) d[i] = 0.0f;
+  }
+  return mask;
+}
+
+void relu_backward_inplace(Matrix& grad, const std::vector<bool>& mask) {
+  if (mask.size() != grad.size()) {
+    throw std::invalid_argument("relu_backward: mask size mismatch");
+  }
+  float* d = grad.data();
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    if (!mask[i]) d[i] = 0.0f;
+  }
+}
+
+Matrix mean_rows(const Matrix& x) {
+  Matrix m(1, x.cols());
+  if (x.rows() == 0) return m;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const float* r = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) m.at(0, j) += r[j];
+  }
+  const float inv = 1.0f / static_cast<float>(x.rows());
+  for (std::size_t j = 0; j < x.cols(); ++j) m.at(0, j) *= inv;
+  return m;
+}
+
+std::vector<float> l2_normalize_rows(Matrix& x, float eps) {
+  std::vector<float> norms(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    float* r = x.row(i);
+    float sq = 0.0f;
+    for (std::size_t j = 0; j < x.cols(); ++j) sq += r[j] * r[j];
+    const float n = std::sqrt(sq) + eps;
+    norms[i] = n;
+    for (std::size_t j = 0; j < x.cols(); ++j) r[j] /= n;
+  }
+  return norms;
+}
+
+void write_matrix(std::ostream& os, const Matrix& m) {
+  util::write_u64(os, m.rows());
+  util::write_u64(os, m.cols());
+  util::write_f32_span(os, m.data(), m.size());
+}
+
+Matrix read_matrix(std::istream& is) {
+  const std::size_t rows = util::read_u64(is);
+  const std::size_t cols = util::read_u64(is);
+  Matrix m(rows, cols);
+  util::read_f32_span(is, m.data(), m.size());
+  return m;
+}
+
+}  // namespace atlas::ml

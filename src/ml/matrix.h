@@ -1,0 +1,73 @@
+// Dense row-major float matrix and the small op set the ML stack needs.
+//
+// Substitutes for the paper's PyTorch tensor substrate at the scale this
+// repo trains (graphs of 10^2..10^4 nodes, hidden dims of 16..128).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace atlas::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float init = 0.0f);
+
+  /// Gaussian init with the given std deviation.
+  static Matrix randn(std::size_t rows, std::size_t cols, util::Rng& rng,
+                      float stddev);
+  /// Xavier/Glorot-scaled init for a (fan_in x fan_out) weight.
+  static Matrix xavier(std::size_t fan_in, std::size_t fan_out, util::Rng& rng);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v);
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator*=(float s);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// C = A * B. Dimension mismatches throw std::invalid_argument.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// y = x with each row offset by bias (bias is 1 x cols).
+void add_row_bias(Matrix& x, const Matrix& bias);
+
+/// ReLU forward (in place) returning a mask usable for backward.
+std::vector<bool> relu_inplace(Matrix& x);
+/// Zero grad entries where the forward activation was clipped.
+void relu_backward_inplace(Matrix& grad, const std::vector<bool>& mask);
+
+/// Mean over rows -> 1 x cols.
+Matrix mean_rows(const Matrix& x);
+
+/// L2-normalize each row in place; returns the original norms (for backward).
+std::vector<float> l2_normalize_rows(Matrix& x, float eps = 1e-8f);
+
+void write_matrix(std::ostream& os, const Matrix& m);
+Matrix read_matrix(std::istream& is);
+
+}  // namespace atlas::ml

@@ -1,0 +1,266 @@
+#include "ml/sgformer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace atlas::ml {
+
+SgFormer::SgFormer(const Config& config) : config_(config) {
+  if (config_.in_dim == 0 || config_.dim == 0) {
+    throw std::invalid_argument("SgFormer: dims must be positive");
+  }
+  util::Rng rng(config_.seed);
+  const std::size_t d = config_.dim;
+  w_in_ = Matrix::xavier(config_.in_dim, d, rng);
+  b_in_ = Matrix(1, d);
+  wq_ = Matrix::xavier(d, d, rng);
+  wk_ = Matrix::xavier(d, d, rng);
+  wv_ = Matrix::xavier(d, d, rng);
+  wg_ = Matrix::xavier(d, d, rng);
+  w_out_ = Matrix::xavier(d, d, rng);
+  b_out_ = Matrix(1, d);
+  gw_in_ = Matrix(config_.in_dim, d);
+  gb_in_ = Matrix(1, d);
+  gwq_ = Matrix(d, d);
+  gwk_ = Matrix(d, d);
+  gwv_ = Matrix(d, d);
+  gwg_ = Matrix(d, d);
+  gw_out_ = Matrix(d, d);
+  gb_out_ = Matrix(1, d);
+}
+
+void SgFormer::propagate(const Cache& cache, const Matrix& x, Matrix& y) const {
+  // y = A_norm x, A_norm symmetric -> also used for the transposed product.
+  y = Matrix(x.rows(), x.cols());
+  for (std::size_t e = 0; e < cache.norm_edges.size(); ++e) {
+    const auto [i, j] = cache.norm_edges[e];
+    const float w = cache.norm_weights[e];
+    const float* src = x.row(j);
+    float* dst = y.row(i);
+    for (std::size_t c = 0; c < x.cols(); ++c) dst[c] += w * src[c];
+  }
+}
+
+SgFormer::Output SgFormer::forward(const GraphView& g, Cache* cache) const {
+  if (g.num_nodes == 0) throw std::invalid_argument("SgFormer: empty graph");
+  if (g.feat_dim != config_.in_dim) {
+    throw std::invalid_argument("SgFormer: feature dim mismatch");
+  }
+  Cache local;
+  Cache& c = cache ? *cache : local;
+  c.n = g.num_nodes;
+
+  // Features into a matrix.
+  c.x = Matrix(g.num_nodes, g.feat_dim);
+  std::copy(g.features, g.features + g.num_nodes * g.feat_dim, c.x.data());
+
+  // Normalized adjacency (undirected + self loops).
+  std::vector<float> degree(g.num_nodes, 1.0f);  // self loop
+  if (g.edges != nullptr) {
+    for (const auto& [s, d] : *g.edges) {
+      degree[s] += 1.0f;
+      degree[d] += 1.0f;
+    }
+  }
+  c.norm_edges.clear();
+  c.norm_weights.clear();
+  const std::size_t n_edges = g.edges ? g.edges->size() : 0;
+  c.norm_edges.reserve(2 * n_edges + g.num_nodes);
+  c.norm_weights.reserve(2 * n_edges + g.num_nodes);
+  for (std::uint32_t i = 0; i < g.num_nodes; ++i) {
+    c.norm_edges.emplace_back(i, i);
+    c.norm_weights.push_back(1.0f / degree[i]);
+  }
+  if (g.edges != nullptr) {
+    for (const auto& [s, d] : *g.edges) {
+      const float w = 1.0f / std::sqrt(degree[s] * degree[d]);
+      c.norm_edges.emplace_back(d, s);
+      c.norm_weights.push_back(w);
+      c.norm_edges.emplace_back(s, d);
+      c.norm_weights.push_back(w);
+    }
+  }
+
+  // Input projection.
+  c.h = matmul(c.x, w_in_);
+  add_row_bias(c.h, b_in_);
+  c.mask_in = relu_inplace(c.h);
+
+  // Global linear attention.
+  c.q = matmul(c.h, wq_);
+  c.k = matmul(c.h, wk_);
+  c.v = matmul(c.h, wv_);
+  c.ktv = matmul_tn(c.k, c.v);  // d x d
+  c.att = matmul(c.q, c.ktv);
+  const float inv_n = 1.0f / static_cast<float>(c.n);
+  c.att *= 0.5f * inv_n;
+  // att = 0.5*(V + Q K^T V / N): add the skip half.
+  {
+    Matrix half_v = c.v;
+    half_v *= 0.5f;
+    c.att += half_v;
+  }
+
+  // Graph convolution branch.
+  Matrix prop;
+  propagate(c, c.h, prop);
+  c.ah = std::move(prop);
+  Matrix gcn = matmul(c.ah, wg_);
+
+  // Combine, nonlinearity, output projection.
+  c.combined = gcn;
+  c.combined *= (1.0f - config_.alpha);
+  {
+    Matrix att_scaled = c.att;
+    att_scaled *= config_.alpha;
+    c.combined += att_scaled;
+  }
+  c.mask_mid = relu_inplace(c.combined);
+  c.node_emb = matmul(c.combined, w_out_);
+  add_row_bias(c.node_emb, b_out_);
+
+  Output out;
+  out.node_emb = c.node_emb;
+  out.graph_emb = mean_rows(c.node_emb);
+  return out;
+}
+
+void SgFormer::backward(const Cache& c, const Matrix& d_node,
+                        const Matrix& d_graph) {
+  const std::size_t n = c.n;
+  const std::size_t d = config_.dim;
+  Matrix de(n, d);
+  if (!d_node.empty()) {
+    if (d_node.rows() != n || d_node.cols() != d) {
+      throw std::invalid_argument("SgFormer::backward: d_node shape mismatch");
+    }
+    de += d_node;
+  }
+  if (!d_graph.empty()) {
+    if (d_graph.rows() != 1 || d_graph.cols() != d) {
+      throw std::invalid_argument("SgFormer::backward: d_graph shape mismatch");
+    }
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      float* r = de.row(i);
+      for (std::size_t j = 0; j < d; ++j) r[j] += d_graph.at(0, j) * inv_n;
+    }
+  }
+
+  // Output projection.
+  gw_out_ += matmul_tn(c.combined, de);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = de.row(i);
+    for (std::size_t j = 0; j < d; ++j) gb_out_.at(0, j) += r[j];
+  }
+  Matrix dc = matmul_nt(de, w_out_);
+  relu_backward_inplace(dc, c.mask_mid);
+
+  // Split into attention / gcn branches.
+  Matrix datt = dc;
+  datt *= config_.alpha;
+  Matrix dgcn = dc;
+  dgcn *= (1.0f - config_.alpha);
+
+  Matrix dh(n, d);  // accumulates gradient w.r.t. post-ReLU H
+
+  // GCN branch: gcn = (A H) Wg.
+  gwg_ += matmul_tn(c.ah, dgcn);
+  {
+    const Matrix dah = matmul_nt(dgcn, wg_);
+    Matrix dprop;
+    propagate(c, dah, dprop);  // A symmetric: A^T = A
+    dh += dprop;
+  }
+
+  // Attention branch: att = 0.5 V + 0.5/N * Q (K^T V).
+  const float half_inv_n = 0.5f / static_cast<float>(n);
+  {
+    // dV from the skip term.
+    Matrix dv = datt;
+    dv *= 0.5f;
+    // dQ = s * datt (K^T V)^T ; dKtV = s * Q^T datt.
+    Matrix dq = matmul_nt(datt, c.ktv);
+    dq *= half_inv_n;
+    Matrix dktv = matmul_tn(c.q, datt);
+    dktv *= half_inv_n;
+    // KtV = K^T V: dK = V dKtV^T ; dV += K dKtV.
+    {
+      // dK = V * dktv^T  -> use matmul_nt(V, dktv).
+      const Matrix dk = matmul_nt(c.v, dktv);
+      gwk_ += matmul_tn(c.h, dk);
+      dh += matmul_nt(dk, wk_);
+    }
+    {
+      Matrix dv2 = matmul(c.k, dktv);
+      dv += dv2;
+    }
+    gwq_ += matmul_tn(c.h, dq);
+    dh += matmul_nt(dq, wq_);
+    gwv_ += matmul_tn(c.h, dv);
+    dh += matmul_nt(dv, wv_);
+  }
+
+  // Input projection.
+  relu_backward_inplace(dh, c.mask_in);
+  gw_in_ += matmul_tn(c.x, dh);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = dh.row(i);
+    for (std::size_t j = 0; j < d; ++j) gb_in_.at(0, j) += r[j];
+  }
+}
+
+void SgFormer::zero_grad() {
+  gw_in_.fill(0.0f);
+  gb_in_.fill(0.0f);
+  gwq_.fill(0.0f);
+  gwk_.fill(0.0f);
+  gwv_.fill(0.0f);
+  gwg_.fill(0.0f);
+  gw_out_.fill(0.0f);
+  gb_out_.fill(0.0f);
+}
+
+void SgFormer::collect_params(std::vector<ParamRef>& out) {
+  auto add = [&](Matrix& w, Matrix& g) {
+    out.push_back(ParamRef{w.data(), g.data(), w.size()});
+  };
+  add(w_in_, gw_in_);
+  add(b_in_, gb_in_);
+  add(wq_, gwq_);
+  add(wk_, gwk_);
+  add(wv_, gwv_);
+  add(wg_, gwg_);
+  add(w_out_, gw_out_);
+  add(b_out_, gb_out_);
+}
+
+void SgFormer::save(std::ostream& os) const {
+  util::write_header(os, "SGFM", 1);
+  util::write_u64(os, config_.in_dim);
+  util::write_u64(os, config_.dim);
+  util::write_f64(os, config_.alpha);
+  util::write_u64(os, config_.seed);
+  for (const Matrix* m : {&w_in_, &b_in_, &wq_, &wk_, &wv_, &wg_, &w_out_, &b_out_}) {
+    write_matrix(os, *m);
+  }
+}
+
+SgFormer SgFormer::load(std::istream& is) {
+  util::read_header(is, "SGFM");
+  Config cfg;
+  cfg.in_dim = util::read_u64(is);
+  cfg.dim = util::read_u64(is);
+  cfg.alpha = static_cast<float>(util::read_f64(is));
+  cfg.seed = util::read_u64(is);
+  SgFormer m(cfg);
+  for (Matrix* w : {&m.w_in_, &m.b_in_, &m.wq_, &m.wk_, &m.wv_, &m.wg_,
+                    &m.w_out_, &m.b_out_}) {
+    *w = read_matrix(is);
+  }
+  return m;
+}
+
+}  // namespace atlas::ml

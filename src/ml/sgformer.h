@@ -1,0 +1,85 @@
+// SGFormer-style graph transformer encoder (paper Sec. IV, ref [13]).
+//
+// Architecture, following SGFormer's "simple global attention" design:
+//
+//   H   = ReLU(X W_in + b_in)                      input projection
+//   att = 0.5 * (V + Q (K^T V) / N)                single-layer global linear
+//         with Q = H Wq, K = H Wk, V = H Wv        attention, O(N d^2)
+//   gcn = A_norm H Wg                              one-hop graph convolution,
+//         A_norm = D^-1/2 (A + A^T + I) D^-1/2     symmetric-normalized
+//   E   = ReLU(alpha*att + (1-alpha)*gcn) W_out + b_out   node embeddings
+//   g   = mean over nodes of E                     graph embedding
+//
+// No positional encodings, no preprocessing — matching the properties the
+// paper cites for choosing SGFormer. Backprop is hand-derived; gradients
+// accumulate in the encoder so multiple graphs can contribute to one step
+// (required by the contrastive tasks, whose loss couples whole batches of
+// graphs).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "ml/mlp.h"
+
+namespace atlas::ml {
+
+/// Read-only view of one graph: node features plus directed edges.
+struct GraphView {
+  std::size_t num_nodes = 0;
+  std::size_t feat_dim = 0;
+  const float* features = nullptr;  // row-major num_nodes x feat_dim
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>* edges = nullptr;
+};
+
+class SgFormer {
+ public:
+  struct Config {
+    std::size_t in_dim = 0;
+    std::size_t dim = 32;     // hidden = embedding dimension
+    float alpha = 0.5f;       // attention/GCN mixing weight
+    std::uint64_t seed = 1;
+  };
+
+  explicit SgFormer(const Config& config);
+
+  /// Forward intermediates for one graph, kept for backward.
+  struct Cache {
+    Matrix x, h, q, k, v, ktv, att, ah, combined, node_emb;
+    std::vector<bool> mask_in, mask_mid;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> norm_edges;  // incl. loops
+    std::vector<float> norm_weights;
+    std::size_t n = 0;
+  };
+
+  struct Output {
+    Matrix node_emb;   // N x dim
+    Matrix graph_emb;  // 1 x dim
+  };
+
+  /// Encode one graph. Pass a Cache to enable a later backward() call.
+  Output forward(const GraphView& g, Cache* cache = nullptr) const;
+
+  /// Accumulate parameter gradients for one graph. `d_node` may be empty
+  /// (zero); `d_graph` may be empty (zero).
+  void backward(const Cache& cache, const Matrix& d_node, const Matrix& d_graph);
+
+  void zero_grad();
+  void collect_params(std::vector<ParamRef>& out);
+
+  std::size_t dim() const { return config_.dim; }
+  std::size_t in_dim() const { return config_.in_dim; }
+
+  void save(std::ostream& os) const;
+  static SgFormer load(std::istream& is);
+
+ private:
+  void propagate(const Cache& cache, const Matrix& x, Matrix& y) const;
+
+  Config config_;
+  Matrix w_in_, b_in_, wq_, wk_, wv_, wg_, w_out_, b_out_;
+  Matrix gw_in_, gb_in_, gwq_, gwk_, gwv_, gwg_, gw_out_, gb_out_;
+};
+
+}  // namespace atlas::ml

@@ -1,0 +1,162 @@
+// Gate-level netlist intermediate representation.
+//
+// This is the core IR every stage operates on: the design generator emits it,
+// the rewriter (N_g+), layout flow (N_p), simulator, power analyzer, and the
+// ATLAS graph builder all consume it. Cells reference liberty::Library cells;
+// pin order inside a CellInst follows the library cell's pin order.
+//
+// Sub-module structure (paper Sec. III-A): every cell belongs to exactly one
+// non-overlapping sub-module; sub-modules group into named components
+// (e.g. "frontend", "lsu"). Layout-inserted cells (buffers, clock tree) are
+// attributed to the sub-module whose net they serve, keeping the partition
+// non-overlapping across stages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "liberty/library.h"
+
+namespace atlas::netlist {
+
+using CellInstId = std::uint32_t;
+using NetId = std::uint32_t;
+using SubmoduleId = std::int32_t;
+inline constexpr CellInstId kNoCell = static_cast<CellInstId>(-1);
+inline constexpr NetId kNoNet = static_cast<NetId>(-1);
+inline constexpr SubmoduleId kNoSubmodule = -1;
+
+struct PinRef {
+  CellInstId cell = kNoCell;
+  int pin = -1;  // index into the library cell's pin list
+
+  bool operator==(const PinRef&) const = default;
+};
+
+struct Net {
+  std::string name;
+  PinRef driver;                       // invalid if driven by a primary input
+  std::vector<PinRef> sinks;           // input pins this net feeds
+  bool is_primary_input = false;
+  bool is_primary_output = false;
+  /// Wire capacitance in fF. Zero in a fresh netlist; the layout flow
+  /// annotates extracted values, the gate-level power baseline annotates a
+  /// wire-load-model estimate.
+  double wire_cap_ff = 0.0;
+
+  bool has_driver() const { return driver.cell != kNoCell; }
+};
+
+struct CellInst {
+  std::string name;
+  liberty::CellId lib_cell = liberty::kInvalidCell;
+  std::vector<NetId> pin_nets;         // parallel to library pin order
+  SubmoduleId submodule = kNoSubmodule;
+};
+
+struct Submodule {
+  std::string name;   // e.g. "alu_3"
+  std::string role;   // functional role, e.g. "alu"
+  int component = -1; // index into components()
+};
+
+/// A design, its cells, nets, and sub-module partition.
+class Netlist {
+ public:
+  Netlist(std::string name, const liberty::Library& lib);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+  const liberty::Library& library() const { return *lib_; }
+
+  // ---- construction -------------------------------------------------------
+  NetId add_net(std::string name);
+  /// Add a cell instance; `pin_nets` must match the library cell's pin count.
+  /// Output pins become drivers of their nets, inputs become sinks.
+  CellInstId add_cell(std::string name, liberty::CellId lib_cell,
+                      std::vector<NetId> pin_nets,
+                      SubmoduleId submodule = kNoSubmodule);
+  SubmoduleId add_submodule(std::string name, std::string role, int component);
+  int add_component(std::string name);
+
+  void mark_primary_input(NetId net);
+  void mark_primary_output(NetId net);
+  void set_clock_net(NetId net) { clock_net_ = net; }
+  NetId clock_net() const { return clock_net_; }
+
+  /// Detach a cell from all its nets (used by rewrites / layout resizing).
+  /// The cell stays allocated but inert; compact() drops it.
+  void disconnect_cell(CellInstId id);
+
+  /// Reconnect one pin of an existing (connected) cell to another net.
+  void move_pin(CellInstId id, int pin, NetId new_net);
+
+  /// Swap the library cell of an instance for a pin-compatible variant
+  /// (same pin count/order), e.g. drive resizing.
+  void resize_cell(CellInstId id, liberty::CellId new_lib_cell);
+
+  /// Re-tag a cell's sub-module (used by the structural fallback splitter).
+  void set_cell_submodule(CellInstId id, SubmoduleId sm) {
+    cells_.at(id).submodule = sm;
+  }
+
+  /// Drop disconnected cells and unused nets, renumbering ids. Returns the
+  /// old->new cell id map (kNoCell for dropped cells) so side structures
+  /// (e.g. placement) can follow the renumbering.
+  std::vector<CellInstId> compact();
+
+  // ---- access --------------------------------------------------------------
+  std::size_t num_cells() const { return cells_.size(); }
+  std::size_t num_nets() const { return nets_.size(); }
+  const CellInst& cell(CellInstId id) const { return cells_.at(id); }
+  const Net& net(NetId id) const { return nets_.at(id); }
+  Net& mutable_net(NetId id) { return nets_.at(id); }
+  const std::vector<CellInst>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+  const liberty::Cell& lib_cell(CellInstId id) const {
+    return lib_->cell(cells_.at(id).lib_cell);
+  }
+
+  /// Net driven by the cell's (single) output pin; kNoNet for none.
+  NetId output_net(CellInstId id) const;
+
+  const std::vector<Submodule>& submodules() const { return submodules_; }
+  const std::vector<std::string>& components() const { return components_; }
+  Submodule& mutable_submodule(SubmoduleId id) { return submodules_.at(static_cast<std::size_t>(id)); }
+
+  std::vector<NetId> primary_inputs() const;
+  std::vector<NetId> primary_outputs() const;
+
+  /// Cells in combinational topological order: TIE/sequential-Q/macro-Q and
+  /// primary inputs are sources; every combinational cell appears after all
+  /// cells driving its inputs. Clock cells are included (clock nets form a
+  /// tree). Throws std::runtime_error on a combinational cycle.
+  std::vector<CellInstId> comb_topo_order() const;
+
+  /// Structural validation; throws std::runtime_error describing the first
+  /// violation (unconnected pin, multi-driven net, direction mismatch,
+  /// combinational cycle, sub-module index out of range).
+  void check() const;
+
+  // ---- statistics ----------------------------------------------------------
+  /// Cell count per node type (index by NodeType).
+  std::vector<std::size_t> count_by_type() const;
+  /// Cell count per power group (index by PowerGroup).
+  std::vector<std::size_t> count_by_group() const;
+  /// Cells in a given sub-module.
+  std::vector<CellInstId> cells_in_submodule(SubmoduleId id) const;
+
+ private:
+  std::string name_;
+  const liberty::Library* lib_;
+  std::vector<CellInst> cells_;
+  std::vector<Net> nets_;
+  std::vector<Submodule> submodules_;
+  std::vector<std::string> components_;
+  NetId clock_net_ = kNoNet;
+};
+
+}  // namespace atlas::netlist

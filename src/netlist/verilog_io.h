@@ -1,0 +1,44 @@
+// Structural-Verilog (subset) writer and parser for gate-level netlists.
+//
+// The writer emits one flat module with scalar ports, wire declarations, and
+// named-pin cell instantiations. Sub-module membership / roles / components
+// and the clock net are carried in standard `(* attr = "value" *)` attribute
+// instances so a round-trip preserves the ATLAS partition:
+//
+//   (* clock_net = "clk" *)
+//   module C2 (clk, pi_0, po_0);
+//     input clk; input pi_0; output po_0;
+//     wire n1;
+//     (* submodule = "alu_0", role = "alu", component = "exec" *)
+//     NAND2_X1 u42 (.A(pi_0), .B(n1), .Y(po_0));
+//   endmodule
+//
+// The parser accepts exactly this subset (plus comments and whitespace), and
+// resolves cell names against a provided liberty::Library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace atlas::netlist {
+
+class VerilogParseError : public std::runtime_error {
+ public:
+  VerilogParseError(const std::string& message, int line);
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+std::string write_verilog(const Netlist& nl);
+
+Netlist parse_verilog(std::string_view text, const liberty::Library& lib);
+
+void save_verilog_file(const Netlist& nl, const std::string& path);
+Netlist load_verilog_file(const std::string& path, const liberty::Library& lib);
+
+}  // namespace atlas::netlist

@@ -1,0 +1,28 @@
+// Text report helpers shared by the bench harnesses and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "power/power_analyzer.h"
+
+namespace atlas::power {
+
+/// One-line summary: "comb=... reg=... clock=... mem=... total=... (mW)".
+std::string summarize(const GroupPower& p);
+
+/// Multi-row group breakdown table (averages in mW with percentages).
+std::string group_table(const GroupPower& average);
+
+/// CSV of a per-cycle trace: cycle,comb,reg,clock,memory,total (uW).
+std::string trace_csv(const PowerResult& result);
+
+/// Mean absolute percentage error between two per-cycle scalar series.
+/// Throws std::invalid_argument on size mismatch / empty input.
+double mape(const std::vector<double>& labels, const std::vector<double>& preds);
+
+/// Extract a per-cycle series of one group (or total) from a result.
+enum class Series { kComb, kReg, kClock, kMemory, kRegPlusClock, kTotalNoMemory, kTotal };
+std::vector<double> series_of(const PowerResult& result, Series s);
+
+}  // namespace atlas::power

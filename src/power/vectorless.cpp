@@ -1,0 +1,187 @@
+#include "power/vectorless.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "layout/extraction.h"
+
+namespace atlas::power {
+
+using liberty::CellFunc;
+using netlist::CellInstId;
+using netlist::kNoNet;
+using netlist::NetId;
+
+namespace {
+
+// Elementary statistic combinators under the classic independence
+// assumption; toggle densities use the boolean-difference approximation.
+SignalStats s_inv(const SignalStats& a) {
+  return SignalStats{1.0 - a.p_high, a.toggle_density};
+}
+SignalStats s_and(const SignalStats& a, const SignalStats& b) {
+  SignalStats o;
+  o.p_high = a.p_high * b.p_high;
+  o.toggle_density = a.toggle_density * b.p_high + b.toggle_density * a.p_high;
+  return o;
+}
+SignalStats s_or(const SignalStats& a, const SignalStats& b) {
+  SignalStats o;
+  o.p_high = a.p_high + b.p_high - a.p_high * b.p_high;
+  o.toggle_density = a.toggle_density * (1.0 - b.p_high) +
+                     b.toggle_density * (1.0 - a.p_high);
+  return o;
+}
+SignalStats s_xor(const SignalStats& a, const SignalStats& b) {
+  SignalStats o;
+  o.p_high = a.p_high * (1.0 - b.p_high) + b.p_high * (1.0 - a.p_high);
+  o.toggle_density = a.toggle_density + b.toggle_density;
+  return o;
+}
+SignalStats s_mux(const SignalStats& a, const SignalStats& b,
+                  const SignalStats& s) {
+  SignalStats o;
+  o.p_high = (1.0 - s.p_high) * a.p_high + s.p_high * b.p_high;
+  o.toggle_density = (1.0 - s.p_high) * a.toggle_density +
+                     s.p_high * b.toggle_density +
+                     s.toggle_density * std::abs(a.p_high - b.p_high);
+  return o;
+}
+
+SignalStats clamp(SignalStats s) {
+  s.p_high = std::clamp(s.p_high, 0.0, 1.0);
+  s.toggle_density = std::clamp(s.toggle_density, 0.0, 1.0);
+  return s;
+}
+
+SignalStats eval_gate(CellFunc f, const SignalStats* in) {
+  switch (f) {
+    case CellFunc::kInv: return s_inv(in[0]);
+    case CellFunc::kBuf: return in[0];
+    case CellFunc::kAnd2: return s_and(in[0], in[1]);
+    case CellFunc::kAnd3: return s_and(s_and(in[0], in[1]), in[2]);
+    case CellFunc::kOr2: return s_or(in[0], in[1]);
+    case CellFunc::kOr3: return s_or(s_or(in[0], in[1]), in[2]);
+    case CellFunc::kNand2: return s_inv(s_and(in[0], in[1]));
+    case CellFunc::kNand3: return s_inv(s_and(s_and(in[0], in[1]), in[2]));
+    case CellFunc::kNor2: return s_inv(s_or(in[0], in[1]));
+    case CellFunc::kNor3: return s_inv(s_or(s_or(in[0], in[1]), in[2]));
+    case CellFunc::kXor2: return s_xor(in[0], in[1]);
+    case CellFunc::kXnor2: return s_inv(s_xor(in[0], in[1]));
+    case CellFunc::kMux2: return s_mux(in[0], in[1], in[2]);
+    case CellFunc::kAoi21: return s_inv(s_or(s_and(in[0], in[1]), in[2]));
+    case CellFunc::kOai21: return s_inv(s_and(s_or(in[0], in[1]), in[2]));
+    case CellFunc::kFaSum: return s_xor(s_xor(in[0], in[1]), in[2]);
+    case CellFunc::kMaj3:
+      return s_or(s_and(in[0], in[1]), s_and(in[2], s_xor(in[0], in[1])));
+    case CellFunc::kTieHi: return SignalStats{1.0, 0.0};
+    case CellFunc::kTieLo: return SignalStats{0.0, 0.0};
+    default: return SignalStats{0.5, 0.0};
+  }
+}
+
+}  // namespace
+
+std::vector<SignalStats> propagate_vectorless(const netlist::Netlist& nl,
+                                              const VectorlessConfig& config) {
+  std::vector<SignalStats> stats(nl.num_nets());
+  // Primary inputs.
+  for (const NetId pi : nl.primary_inputs()) {
+    stats[pi] = SignalStats{config.input_p_high, config.input_toggle_density};
+  }
+  // Clock network: the root toggles twice per cycle; clock cells scale by
+  // their gating probability during propagation below.
+  if (nl.clock_net() != kNoNet) stats[nl.clock_net()] = SignalStats{0.5, 2.0};
+
+  // Sequential / macro outputs start at a neutral guess, refined by fixed-
+  // point iteration (state statistics feed back through the comb logic).
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    const liberty::Cell& lc = nl.lib_cell(id);
+    if (liberty::is_sequential(lc.func) || liberty::is_macro(lc.func)) {
+      for (std::size_t p = 0; p < lc.pins.size(); ++p) {
+        if (lc.pins[p].dir == liberty::PinDir::kOutput) {
+          stats[nl.cell(id).pin_nets[p]] =
+              SignalStats{0.5, config.input_toggle_density};
+        }
+      }
+    }
+  }
+
+  const auto topo = nl.comb_topo_order();
+  constexpr int kIterations = 8;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    // Combinational propagation (clock cells handled specially).
+    for (const CellInstId id : topo) {
+      const liberty::Cell& lc = nl.lib_cell(id);
+      const auto& pins = nl.cell(id).pin_nets;
+      const NetId out = nl.output_net(id);
+      if (out == kNoNet) continue;
+      if (liberty::is_clock_cell(lc.func)) {
+        if (lc.func == CellFunc::kCkGate) {
+          const SignalStats& ck = stats[pins[0]];
+          const SignalStats& en = stats[pins[1]];
+          stats[out] = SignalStats{0.5, ck.toggle_density * en.p_high};
+        } else {
+          stats[out] = stats[pins[0]];
+        }
+        continue;
+      }
+      SignalStats in[3];
+      const int n_in = liberty::comb_input_count(lc.func);
+      for (int i = 0; i < n_in; ++i) in[i] = stats[pins[static_cast<std::size_t>(i)]];
+      stats[out] = clamp(eval_gate(lc.func, in));
+    }
+    // Sequential update: Q statistics follow D (damped).
+    for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+      const liberty::Cell& lc = nl.lib_cell(id);
+      if (!liberty::is_sequential(lc.func)) continue;
+      const auto& pins = nl.cell(id).pin_nets;
+      const SignalStats d = stats[pins[0]];
+      const NetId q = nl.output_net(id);
+      stats[q].p_high = d.p_high;
+      // A register toggles at most once per cycle; its output toggle rate is
+      // bounded by 2*p*(1-p) for an independent sequence.
+      stats[q].toggle_density =
+          std::min(d.toggle_density, 2.0 * d.p_high * (1.0 - d.p_high)) *
+          config.register_damping;
+    }
+  }
+  return stats;
+}
+
+GroupPower vectorless_average_power(const netlist::Netlist& nl,
+                                    const VectorlessConfig& config) {
+  const std::vector<SignalStats> stats = propagate_vectorless(nl, config);
+  const liberty::Library& lib = nl.library();
+  const double period = lib.clock_period_ns();
+  GroupPower total;
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    const liberty::Cell& lc = nl.lib_cell(id);
+    const liberty::PowerGroup group = liberty::power_group_of(lc.type);
+    double uw = lc.leakage_uw;
+    const NetId out = nl.output_net(id);
+    if (out != kNoNet && !liberty::is_macro(lc.func)) {
+      const double load = layout::net_load_ff(nl, out);
+      const double per_tr = lib.internal_energy_fj(nl.cell(id).lib_cell, load) +
+                            lib.switching_energy_fj(load);
+      uw += per_tr * stats[out].toggle_density / period;
+    }
+    if (lc.clock_pin_energy_fj > 0.0) {
+      for (std::size_t p = 0; p < lc.pins.size(); ++p) {
+        if (!lc.pins[p].is_clock) continue;
+        uw += lc.clock_pin_energy_fj *
+              stats[nl.cell(id).pin_nets[p]].toggle_density / period;
+        break;
+      }
+    }
+    if (liberty::is_macro(lc.func)) {
+      // Access probability approximated from the chip-select statistic.
+      const double p_active = 1.0 - stats[nl.cell(id).pin_nets[1]].p_high;
+      uw += p_active * 0.5 * (lc.read_energy_fj + lc.write_energy_fj) / period;
+    }
+    total.add(group, uw);
+  }
+  return total;
+}
+
+}  // namespace atlas::power

@@ -1,0 +1,46 @@
+// Vectorless average power estimation.
+//
+// The paper's related-work discussion (Table I) notes that most cross-design
+// power models are *vectorless*: instead of simulating a workload they
+// propagate user-defined input toggle rates through the netlist and report a
+// single average power. This module implements that classic analysis as a
+// comparison baseline: probabilistic signal statistics (P(high), toggle
+// density) propagate through each gate under an independence assumption;
+// average power then follows the same internal/switching/leakage physics as
+// the per-cycle analyzer.
+//
+// By construction this cannot produce per-cycle power — which is exactly the
+// gap ATLAS fills; bench_ablation quantifies the cost of vectorlessness on
+// per-cycle metrics.
+#pragma once
+
+#include "netlist/netlist.h"
+#include "power/power_analyzer.h"
+
+namespace atlas::power {
+
+struct VectorlessConfig {
+  /// Assumed probability-high and toggle density (transitions/cycle) of
+  /// every data primary input.
+  double input_p_high = 0.5;
+  double input_toggle_density = 0.2;
+  /// Sequential outputs get the propagated D statistics damped by this
+  /// factor (registers filter glitches and correlation).
+  double register_damping = 1.0;
+};
+
+struct SignalStats {
+  double p_high = 0.0;           // probability the net is 1
+  double toggle_density = 0.0;   // expected transitions per cycle
+};
+
+/// Propagate signal statistics through the netlist (registers/macros are
+/// fixed points solved by short iteration). Returns per-net statistics.
+std::vector<SignalStats> propagate_vectorless(const netlist::Netlist& nl,
+                                              const VectorlessConfig& config = {});
+
+/// Average power per group from vectorless statistics.
+GroupPower vectorless_average_power(const netlist::Netlist& nl,
+                                    const VectorlessConfig& config = {});
+
+}  // namespace atlas::power

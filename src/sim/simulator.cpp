@@ -1,0 +1,192 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace atlas::sim {
+
+using liberty::CellFunc;
+using netlist::CellInstId;
+using netlist::kNoNet;
+using netlist::NetId;
+
+ToggleTrace::ToggleTrace(std::size_t num_nets, int num_cycles)
+    : num_nets_(num_nets), num_cycles_(num_cycles),
+      data_(num_nets * static_cast<std::size_t>(num_cycles), 0) {}
+
+void ToggleTrace::set(int cycle, NetId net, bool value, int transitions) {
+  data_[static_cast<std::size_t>(cycle) * num_nets_ + net] =
+      static_cast<std::uint8_t>((transitions << 1) | (value ? 1 : 0));
+}
+
+double ToggleTrace::toggle_rate(NetId net) const {
+  if (num_cycles_ == 0) return 0.0;
+  return static_cast<double>(total_transitions(net)) / num_cycles_;
+}
+
+long long ToggleTrace::total_transitions(NetId net) const {
+  long long total = 0;
+  for (int c = 0; c < num_cycles_; ++c) total += transitions(c, net);
+  return total;
+}
+
+CycleSimulator::CycleSimulator(const netlist::Netlist& nl) : nl_(nl) {
+  is_clock_net_.assign(nl.num_nets(), false);
+  if (nl.clock_net() != kNoNet) is_clock_net_[nl.clock_net()] = true;
+
+  const std::vector<CellInstId> topo = nl.comb_topo_order();
+  // Clock cells appear in topo order, so a single pass classifies the whole
+  // clock network (each CK cell's input is produced before it).
+  for (const CellInstId id : topo) {
+    const liberty::Cell& lc = nl.lib_cell(id);
+    if (liberty::is_clock_cell(lc.func)) {
+      ClockCellStep step;
+      step.cell = id;
+      step.in = nl.cell(id).pin_nets[0];
+      step.en = lc.func == CellFunc::kCkGate ? nl.cell(id).pin_nets[1] : kNoNet;
+      step.out = nl.output_net(id);
+      if (!is_clock_net_[step.in]) {
+        throw std::runtime_error("simulator: clock cell " + nl.cell(id).name +
+                                 " fed by non-clock net " + nl.net(step.in).name);
+      }
+      is_clock_net_[step.out] = true;
+      clock_steps_.push_back(step);
+    } else {
+      comb_order_.push_back(id);
+    }
+  }
+
+  for (CellInstId id = 0; id < nl.num_cells(); ++id) {
+    const liberty::Cell& lc = nl.lib_cell(id);
+    const auto& pins = nl.cell(id).pin_nets;
+    if (liberty::is_sequential(lc.func)) {
+      SeqCell s;
+      s.cell = id;
+      s.d = pins[0];
+      s.ck = pins[1];
+      s.resettable = lc.func == CellFunc::kDffR;
+      s.is_latch = lc.func == CellFunc::kLatch;
+      s.rn = s.resettable ? pins[2] : kNoNet;
+      s.q = pins[s.resettable ? 3 : 2];
+      seq_cells_.push_back(s);
+    } else if (liberty::is_macro(lc.func)) {
+      MacroCell m;
+      m.cell = id;
+      m.clk = pins[0];
+      m.csb = pins[1];
+      m.web = pins[2];
+      std::size_t p = 3;
+      // Pin layout: A0..A{na-1}, D0..D{nd-1}, Q0..Q{nd-1} (library convention).
+      const std::size_t rest = lc.pins.size() - 3;
+      const std::size_t nd = [&lc] {
+        std::size_t outs = 0;
+        for (const auto& pin : lc.pins) outs += pin.dir == liberty::PinDir::kOutput;
+        return outs;
+      }();
+      const std::size_t na = rest - 2 * nd;
+      for (std::size_t i = 0; i < na; ++i) m.addr.push_back(pins[p++]);
+      for (std::size_t i = 0; i < nd; ++i) m.din.push_back(pins[p++]);
+      for (std::size_t i = 0; i < nd; ++i) m.dout.push_back(pins[p++]);
+      if (nd > 16) throw std::runtime_error("simulator: macro wider than 16 bits");
+      m.mem.assign(std::size_t{1} << na, 0);
+      macros_.push_back(std::move(m));
+    }
+  }
+}
+
+ToggleTrace CycleSimulator::run(StimulusGenerator& stim, int num_cycles) {
+  const std::size_t n_nets = nl_.num_nets();
+  std::vector<std::uint8_t> prev(n_nets, 0);  // values at end of previous cycle
+  std::vector<std::uint8_t> cur(n_nets, 0);
+  std::vector<std::uint8_t> clock_active(n_nets, 0);
+
+  auto eval_cell = [&](CellInstId id, std::vector<std::uint8_t>& vals) {
+    const liberty::Cell& lc = nl_.lib_cell(id);
+    const auto& pins = nl_.cell(id).pin_nets;
+    bool in[3];
+    const int n_in = liberty::comb_input_count(lc.func);
+    for (int i = 0; i < n_in; ++i) in[i] = vals[pins[static_cast<std::size_t>(i)]] != 0;
+    const int out_pin = lc.output_pin();
+    vals[pins[static_cast<std::size_t>(out_pin)]] =
+        liberty::eval_comb(lc.func, in, n_in) ? 1 : 0;
+  };
+
+  // Settle pass ("cycle -1"): reset asserted, registers at zero, combinational
+  // values consistent. Not recorded in the trace.
+  {
+    std::vector<std::uint8_t> scratch(n_nets, 0);
+    StimulusGenerator settle_stim(stim);  // copy: do not consume real stream
+    settle_stim.apply(0, scratch);
+    for (const CellInstId id : comb_order_) eval_cell(id, scratch);
+    prev = scratch;
+  }
+
+  ToggleTrace trace(n_nets, num_cycles);
+  for (int cycle = 0; cycle < num_cycles; ++cycle) {
+    cur = prev;
+
+    // 1. Clock activity for this cycle (ICG enables sampled from prev cycle).
+    if (nl_.clock_net() != kNoNet) clock_active[nl_.clock_net()] = 1;
+    for (const ClockCellStep& step : clock_steps_) {
+      std::uint8_t act = clock_active[step.in];
+      if (step.en != kNoNet) act = act && prev[step.en];
+      clock_active[step.out] = act;
+    }
+
+    // 2. Sequential elements capture previous-cycle D on active edges.
+    for (const SeqCell& s : seq_cells_) {
+      const bool clocked =
+          is_clock_net_[s.ck] ? clock_active[s.ck] != 0 : prev[s.ck] != 0;
+      if (!clocked) continue;
+      std::uint8_t q = prev[s.d];
+      if (s.resettable && prev[s.rn] == 0) q = 0;
+      cur[s.q] = q;
+    }
+
+    // 3. Macros: synchronous 1RW port.
+    for (MacroCell& m : macros_) {
+      const bool clocked =
+          is_clock_net_[m.clk] ? clock_active[m.clk] != 0 : prev[m.clk] != 0;
+      if (!clocked || prev[m.csb] != 0) continue;  // CSB active low
+      std::size_t addr = 0;
+      for (std::size_t i = 0; i < m.addr.size(); ++i) {
+        addr |= static_cast<std::size_t>(prev[m.addr[i]] != 0) << i;
+      }
+      if (prev[m.web] == 0) {  // write
+        std::uint16_t word = 0;
+        for (std::size_t i = 0; i < m.din.size(); ++i) {
+          word |= static_cast<std::uint16_t>((prev[m.din[i]] != 0) << i);
+        }
+        m.mem[addr] = word;
+      } else {  // read
+        const std::uint16_t word = m.mem[addr];
+        for (std::size_t i = 0; i < m.dout.size(); ++i) {
+          cur[m.dout[i]] = (word >> i) & 1;
+        }
+      }
+    }
+
+    // 4. New primary-input values.
+    stim.apply(cycle, cur);
+
+    // 5. Combinational propagation.
+    for (const CellInstId id : comb_order_) eval_cell(id, cur);
+
+    // 6. Record values and transition counts.
+    for (NetId net = 0; net < n_nets; ++net) {
+      if (is_clock_net_[net]) {
+        const bool act = clock_active[net] != 0;
+        trace.set(cycle, net, act, act ? 2 : 0);
+        cur[net] = act ? 1 : 0;
+      } else {
+        const int transitions = (cur[net] != prev[net]) ? 1 : 0;
+        trace.set(cycle, net, cur[net] != 0, transitions);
+      }
+    }
+    prev.swap(cur);
+  }
+  return trace;
+}
+
+}  // namespace atlas::sim

@@ -1,0 +1,75 @@
+#include "sim/stimulus.h"
+
+namespace atlas::sim {
+
+WorkloadSpec make_w1() {
+  WorkloadSpec w;
+  w.name = "W1";
+  w.seed = 101;
+  return w;
+}
+
+WorkloadSpec make_w2() {
+  WorkloadSpec w;
+  w.name = "W2";
+  w.seed = 202;
+  w.idle_activity = 0.06;
+  w.compute_activity = 0.24;
+  w.burst_activity = 0.70;
+  w.phase_persistence = 0.80;
+  w.idle_weight = 1.5;
+  w.compute_weight = 1.5;
+  w.burst_weight = 1.0;
+  return w;
+}
+
+StimulusGenerator::StimulusGenerator(const netlist::Netlist& nl, WorkloadSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed) {
+  std::vector<netlist::NetId> data_pis;
+  for (const netlist::NetId id : nl.primary_inputs()) {
+    if (id == nl.clock_net()) continue;
+    if (nl.net(id).name == "rstn") {
+      rstn_ = id;
+      continue;
+    }
+    data_pis.push_back(id);
+  }
+  const int width = spec_.bus_width > 0 ? spec_.bus_width : 1;
+  for (std::size_t i = 0; i < data_pis.size(); i += static_cast<std::size_t>(width)) {
+    std::vector<netlist::NetId> bus;
+    for (std::size_t j = i; j < data_pis.size() && j < i + static_cast<std::size_t>(width); ++j) {
+      bus.push_back(data_pis[j]);
+    }
+    buses_.push_back(std::move(bus));
+  }
+}
+
+double StimulusGenerator::activity() const {
+  switch (phase_) {
+    case Phase::kIdle: return spec_.idle_activity;
+    case Phase::kCompute: return spec_.compute_activity;
+    case Phase::kBurst: return spec_.burst_activity;
+  }
+  return spec_.compute_activity;
+}
+
+void StimulusGenerator::apply(int cycle, std::vector<std::uint8_t>& net_values) {
+  // Phase transition.
+  if (!rng_.next_bool(spec_.phase_persistence)) {
+    const std::size_t next = rng_.next_weighted(
+        {spec_.idle_weight, spec_.compute_weight, spec_.burst_weight});
+    phase_ = static_cast<Phase>(next);
+  }
+  if (rstn_ != netlist::kNoNet) {
+    net_values[rstn_] = cycle >= spec_.reset_cycles ? 1 : 0;
+  }
+  const double act = activity();
+  for (const auto& bus : buses_) {
+    if (!rng_.next_bool(act)) continue;  // bus holds its value this cycle
+    for (const netlist::NetId id : bus) {
+      net_values[id] = rng_.next_bool(0.5) ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace atlas::sim

@@ -1,0 +1,69 @@
+// Workload stimulus generation.
+//
+// Substitutes for the paper's VCS-simulated realistic workloads (W1, W2).
+// Primary inputs are grouped into bus-like clusters that switch together; a
+// Markov chain over activity phases (idle / compute / burst) produces the
+// temporally-correlated, phase-structured switching that real workloads show
+// (and that makes per-cycle power fluctuate, which is what ATLAS predicts).
+//
+// Conventions understood by the generator:
+//   * the clock primary input (Netlist::clock_net) is never driven here;
+//   * a primary input named "rstn" is held low for the first two cycles and
+//     high afterwards (active-low reset).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace atlas::sim {
+
+enum class Phase : std::uint8_t { kIdle = 0, kCompute, kBurst };
+
+struct WorkloadSpec {
+  std::string name = "W1";
+  std::uint64_t seed = 101;
+  /// Probability that a bus group gets a new random value, per phase.
+  double idle_activity = 0.04;
+  double compute_activity = 0.30;
+  double burst_activity = 0.60;
+  /// Probability of remaining in the current phase each cycle.
+  double phase_persistence = 0.88;
+  /// Relative weight of each phase when transitioning (idle/compute/burst).
+  double idle_weight = 1.0;
+  double compute_weight = 2.0;
+  double burst_weight = 1.0;
+  /// Bus width used to cluster primary inputs.
+  int bus_width = 8;
+  int reset_cycles = 2;
+};
+
+/// The two workloads used in the paper's evaluation.
+WorkloadSpec make_w1();
+WorkloadSpec make_w2();
+
+class StimulusGenerator {
+ public:
+  StimulusGenerator(const netlist::Netlist& nl, WorkloadSpec spec);
+
+  /// Advance one cycle and write this cycle's primary-input values into
+  /// `net_values` (indexed by NetId). Only data PIs are touched.
+  void apply(int cycle, std::vector<std::uint8_t>& net_values);
+
+  Phase phase() const { return phase_; }
+  const WorkloadSpec& spec() const { return spec_; }
+
+ private:
+  double activity() const;
+
+  WorkloadSpec spec_;
+  util::Rng rng_;
+  Phase phase_ = Phase::kIdle;
+  std::vector<std::vector<netlist::NetId>> buses_;  // grouped data PIs
+  netlist::NetId rstn_ = netlist::kNoNet;
+};
+
+}  // namespace atlas::sim

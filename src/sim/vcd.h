@@ -1,0 +1,54 @@
+// Minimal VCD (Value Change Dump) writer and reader.
+//
+// The paper's workloads arrive as .fsdb/.vcd activity files; this module
+// provides the same interchange for our traces so workloads can be dumped
+// from the simulator, inspected with standard tools, and read back into a
+// ToggleTrace-equivalent form.
+//
+// One VCD timestep = one clock cycle (clock-network nets are omitted from
+// the dump; their activity is reconstructed from the netlist when reading).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+
+namespace atlas::sim {
+
+/// Serialize the data-net values of a trace as VCD text.
+std::string write_vcd(const netlist::Netlist& nl, const ToggleTrace& trace,
+                      const std::vector<bool>& clock_net_mask);
+
+/// Values parsed back from a VCD: per-net per-cycle levels for the nets that
+/// were dumped (absent nets keep value 0).
+struct VcdData {
+  int num_cycles = 0;
+  /// Indexed [cycle * num_nets + net]; 0/1 levels.
+  std::vector<std::uint8_t> values;
+  std::size_t num_nets = 0;
+
+  bool value(int cycle, netlist::NetId net) const {
+    return values[static_cast<std::size_t>(cycle) * num_nets + net] != 0;
+  }
+};
+
+/// Parse VCD text produced by write_vcd, resolving signal names against `nl`.
+/// Throws std::runtime_error on malformed input or unknown net names.
+VcdData parse_vcd(std::string_view text, const netlist::Netlist& nl);
+
+void save_vcd_file(const netlist::Netlist& nl, const ToggleTrace& trace,
+                   const std::vector<bool>& clock_net_mask,
+                   const std::string& path);
+
+/// Rebuild a ToggleTrace from parsed VCD values: data-net transitions are
+/// derived from value changes; clock-network activity (not stored in the
+/// dump) is reconstructed from the netlist structure, assuming ungated
+/// clocks run every cycle and ICG enables follow their (previous-cycle) data
+/// values — the same convention the simulator uses. This closes the loop for
+/// externally supplied workloads: VCD in, power analysis out.
+ToggleTrace trace_from_vcd(const VcdData& vcd, const netlist::Netlist& nl);
+
+}  // namespace atlas::sim

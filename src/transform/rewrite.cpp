@@ -1,0 +1,210 @@
+#include "transform/rewrite.h"
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace atlas::transform {
+
+using liberty::CellFunc;
+using netlist::CellInstId;
+using netlist::kNoNet;
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::SubmoduleId;
+
+namespace {
+
+/// In-place rewriting context over a netlist copy.
+class Rewriter {
+ public:
+  Rewriter(Netlist& nl, const RewriteConfig& cfg, RewriteStats& stats)
+      : nl_(nl), cfg_(cfg), stats_(stats), rng_(cfg.seed) {}
+
+  void run() {
+    // Gate rewrites first (over the original cell population; cells added by
+    // rewrites are not themselves rewritten this pass).
+    const std::size_t original_cells = nl_.num_cells();
+    for (CellInstId id = 0; id < original_cells; ++id) {
+      rewrite_cell(id);
+    }
+    // Net-level insertions over the original net population.
+    const std::size_t original_nets = nl_.num_nets();
+    for (NetId net = 0; net < original_nets; ++net) {
+      maybe_insert_on_net(net);
+    }
+    nl_.compact();
+    nl_.check();
+  }
+
+ private:
+  NetId new_net() { return nl_.add_net("rwn" + std::to_string(nl_.num_nets())); }
+
+  CellInstId add_gate(CellFunc func, std::vector<NetId> pins, SubmoduleId sm) {
+    const liberty::CellId lc = nl_.library().cell_for(func, 1);
+    return nl_.add_cell("rw" + std::to_string(nl_.num_cells()), lc,
+                        std::move(pins), sm);
+  }
+
+  /// Emit gate with a fresh output net; returns the output net.
+  NetId gate(CellFunc func, std::vector<NetId> ins, SubmoduleId sm) {
+    const NetId out = new_net();
+    ins.push_back(out);
+    add_gate(func, std::move(ins), sm);
+    return out;
+  }
+
+  void rewrite_cell(CellInstId id) {
+    const liberty::Cell& lc = nl_.lib_cell(id);
+    const SubmoduleId sm = nl_.cell(id).submodule;
+    const std::vector<NetId> pins = nl_.cell(id).pin_nets;  // copy: we mutate
+    const CellFunc f = lc.func;
+
+    switch (f) {
+      case CellFunc::kAnd2:
+      case CellFunc::kOr2:
+      case CellFunc::kNand2:
+      case CellFunc::kNor2:
+      case CellFunc::kXor2:
+      case CellFunc::kXnor2: {
+        if (!rng_.next_bool(cfg_.p_demorgan)) break;
+        const NetId a = pins[0], b = pins[1], y = pins[2];
+        nl_.disconnect_cell(id);
+        // Dual gate followed by an inverter driving the original output.
+        CellFunc dual;
+        switch (f) {
+          case CellFunc::kAnd2: dual = CellFunc::kNand2; break;
+          case CellFunc::kOr2: dual = CellFunc::kNor2; break;
+          case CellFunc::kNand2: dual = CellFunc::kAnd2; break;
+          case CellFunc::kNor2: dual = CellFunc::kOr2; break;
+          case CellFunc::kXor2: dual = CellFunc::kXnor2; break;
+          default: dual = CellFunc::kXor2; break;
+        }
+        const NetId t = gate(dual, {a, b}, sm);
+        add_gate(CellFunc::kInv, {t, y}, sm);
+        ++stats_.demorgan;
+        return;
+      }
+      case CellFunc::kAnd3:
+      case CellFunc::kOr3:
+      case CellFunc::kNand3:
+      case CellFunc::kNor3: {
+        if (!rng_.next_bool(cfg_.p_split_wide)) break;
+        const NetId a = pins[0], b = pins[1], c = pins[2], y = pins[3];
+        nl_.disconnect_cell(id);
+        if (f == CellFunc::kAnd3) {
+          const NetId t = gate(CellFunc::kAnd2, {a, b}, sm);
+          add_gate(CellFunc::kAnd2, {t, c, y}, sm);
+        } else if (f == CellFunc::kOr3) {
+          const NetId t = gate(CellFunc::kOr2, {a, b}, sm);
+          add_gate(CellFunc::kOr2, {t, c, y}, sm);
+        } else if (f == CellFunc::kNand3) {
+          const NetId t = gate(CellFunc::kAnd2, {a, b}, sm);
+          add_gate(CellFunc::kNand2, {t, c, y}, sm);
+        } else {
+          const NetId t = gate(CellFunc::kOr2, {a, b}, sm);
+          add_gate(CellFunc::kNor2, {t, c, y}, sm);
+        }
+        ++stats_.split_wide;
+        return;
+      }
+      case CellFunc::kMux2: {
+        if (!rng_.next_bool(cfg_.p_mux_decompose)) break;
+        // y = s ? b : a = NAND(NAND(a, ~s), NAND(b, s)).
+        const NetId a = pins[0], b = pins[1], s = pins[2], y = pins[3];
+        nl_.disconnect_cell(id);
+        const NetId ns = gate(CellFunc::kInv, {s}, sm);
+        const NetId t0 = gate(CellFunc::kNand2, {a, ns}, sm);
+        const NetId t1 = gate(CellFunc::kNand2, {b, s}, sm);
+        add_gate(CellFunc::kNand2, {t0, t1, y}, sm);
+        ++stats_.mux_decompose;
+        return;
+      }
+      case CellFunc::kFaSum: {
+        if (!rng_.next_bool(cfg_.p_adder_decompose)) break;
+        const NetId a = pins[0], b = pins[1], c = pins[2], y = pins[3];
+        nl_.disconnect_cell(id);
+        const NetId t = gate(CellFunc::kXor2, {a, b}, sm);
+        add_gate(CellFunc::kXor2, {t, c, y}, sm);
+        ++stats_.adder_decompose;
+        return;
+      }
+      case CellFunc::kMaj3: {
+        if (!rng_.next_bool(cfg_.p_adder_decompose)) break;
+        // maj(a,b,c) = (a & b) | (c & (a ^ b)).
+        const NetId a = pins[0], b = pins[1], c = pins[2], y = pins[3];
+        nl_.disconnect_cell(id);
+        const NetId ab = gate(CellFunc::kAnd2, {a, b}, sm);
+        const NetId x = gate(CellFunc::kXor2, {a, b}, sm);
+        const NetId cx = gate(CellFunc::kAnd2, {c, x}, sm);
+        add_gate(CellFunc::kOr2, {ab, cx, y}, sm);
+        ++stats_.adder_decompose;
+        return;
+      }
+      case CellFunc::kAoi21: {
+        if (!rng_.next_bool(cfg_.p_aoi_flatten)) break;
+        // !(ab | c) = NOR(AND(a,b), c).
+        const NetId a = pins[0], b = pins[1], c = pins[2], y = pins[3];
+        nl_.disconnect_cell(id);
+        const NetId ab = gate(CellFunc::kAnd2, {a, b}, sm);
+        add_gate(CellFunc::kNor2, {ab, c, y}, sm);
+        ++stats_.aoi_flatten;
+        return;
+      }
+      case CellFunc::kOai21: {
+        if (!rng_.next_bool(cfg_.p_aoi_flatten)) break;
+        // !((a|b) & c) = NAND(OR(a,b), c).
+        const NetId a = pins[0], b = pins[1], c = pins[2], y = pins[3];
+        nl_.disconnect_cell(id);
+        const NetId ab = gate(CellFunc::kOr2, {a, b}, sm);
+        add_gate(CellFunc::kNand2, {ab, c, y}, sm);
+        ++stats_.aoi_flatten;
+        return;
+      }
+      default:
+        break;  // sequential / macro / tie / inv / buf cells untouched
+    }
+  }
+
+  void maybe_insert_on_net(NetId net) {
+    if (net == nl_.clock_net()) return;
+    if (nl_.net(net).sinks.empty()) return;
+    const bool want_double_inv = rng_.next_bool(cfg_.p_double_inv);
+    const bool want_buffer = !want_double_inv && rng_.next_bool(cfg_.p_buffer);
+    if (!want_double_inv && !want_buffer) return;
+    // Attribute inserted cells to the sub-module of the first sink.
+    const SubmoduleId sm = nl_.cell(nl_.net(net).sinks.front().cell).submodule;
+    const std::vector<netlist::PinRef> sinks = nl_.net(net).sinks;  // copy
+    NetId tail;
+    if (want_double_inv) {
+      const NetId mid = gate(CellFunc::kInv, {net}, sm);
+      tail = gate(CellFunc::kInv, {mid}, sm);
+      ++stats_.double_inv;
+    } else {
+      tail = gate(CellFunc::kBuf, {net}, sm);
+      ++stats_.buffer;
+    }
+    for (const netlist::PinRef& s : sinks) {
+      nl_.move_pin(s.cell, s.pin, tail);
+    }
+  }
+
+  Netlist& nl_;
+  const RewriteConfig& cfg_;
+  RewriteStats& stats_;
+  util::Rng rng_;
+};
+
+}  // namespace
+
+netlist::Netlist apply_rewrites(const Netlist& src, const RewriteConfig& config,
+                                RewriteStats* stats) {
+  Netlist out = src;  // value copy; library reference shared
+  out.set_name(src.name() + "_plus");
+  RewriteStats local;
+  Rewriter rw(out, config, stats ? *stats : local);
+  rw.run();
+  return out;
+}
+
+}  // namespace atlas::transform

@@ -1,0 +1,62 @@
+// Logic-invariant netlist rewriting.
+//
+// Produces the paper's N_g+ (Sec. III-B.1): a netlist with identical
+// functionality but different structure, used as the positive sample in the
+// gate-level contrastive pre-training task (#4). The rewrite rules are the
+// local restructurings a synthesis tool performs:
+//
+//   * De Morgan recomposition      AND2 <-> NAND2+INV, OR2 <-> NOR2+INV, ...
+//   * wide-gate decomposition      AND3 -> AND2+AND2, NAND3 -> NAND2(AND2), ...
+//   * mux / xor re-expression      MUX2 -> NAND network, XOR2 -> NAND network
+//   * adder-cell re-expression     FASUM -> XOR tree, MAJ3 -> AND/OR/XOR
+//   * AOI/OAI flattening           AOI21 -> NOR2(AND2), OAI21 -> NAND2(OR2)
+//   * double-inverter insertion    net -> INV -> INV -> sinks
+//   * buffer insertion             net -> BUF -> sinks
+//
+// Every rule preserves Boolean function exactly (verified by simulation in
+// tests). Sequential cells, macros and the clock net are never touched; all
+// original net names survive, so sub-module alignment between N_g and N_g+
+// is positional by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.h"
+
+namespace atlas::transform {
+
+struct RewriteConfig {
+  std::uint64_t seed = 1;
+  double p_demorgan = 0.30;       // single-gate recomposition probability
+  double p_split_wide = 0.50;     // 3-input gate decomposition probability
+  double p_mux_decompose = 0.25;
+  double p_xor_decompose = 0.20;
+  double p_adder_decompose = 0.30;
+  double p_aoi_flatten = 0.35;
+  double p_double_inv = 0.04;     // per-net double-inverter probability
+  double p_buffer = 0.04;         // per-net buffer probability
+};
+
+struct RewriteStats {
+  int demorgan = 0;
+  int split_wide = 0;
+  int mux_decompose = 0;
+  int xor_decompose = 0;
+  int adder_decompose = 0;
+  int aoi_flatten = 0;
+  int double_inv = 0;
+  int buffer = 0;
+
+  int total() const {
+    return demorgan + split_wide + mux_decompose + xor_decompose +
+           adder_decompose + aoi_flatten + double_inv + buffer;
+  }
+};
+
+/// Apply logic-invariant rewrites; returns the transformed netlist (N_g+).
+/// The input is untouched. Resulting netlist passes Netlist::check().
+netlist::Netlist apply_rewrites(const netlist::Netlist& src,
+                                const RewriteConfig& config,
+                                RewriteStats* stats = nullptr);
+
+}  // namespace atlas::transform

@@ -1,0 +1,81 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace atlas::util {
+namespace {
+
+template <typename T>
+void write_raw(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!os) throw SerializeError("write failed");
+}
+
+template <typename T>
+T read_raw(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw SerializeError("read failed (truncated stream)");
+  return v;
+}
+
+}  // namespace
+
+void write_u32(std::ostream& os, std::uint32_t v) { write_raw(os, v); }
+void write_u64(std::ostream& os, std::uint64_t v) { write_raw(os, v); }
+void write_i64(std::ostream& os, std::int64_t v) { write_raw(os, v); }
+void write_f64(std::ostream& os, double v) { write_raw(os, v); }
+void write_f32(std::ostream& os, float v) { write_raw(os, v); }
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!os) throw SerializeError("write failed");
+}
+
+std::uint32_t read_u32(std::istream& is) { return read_raw<std::uint32_t>(is); }
+std::uint64_t read_u64(std::istream& is) { return read_raw<std::uint64_t>(is); }
+std::int64_t read_i64(std::istream& is) { return read_raw<std::int64_t>(is); }
+double read_f64(std::istream& is) { return read_raw<double>(is); }
+float read_f32(std::istream& is) { return read_raw<float>(is); }
+
+std::string read_string(std::istream& is) {
+  const std::uint64_t n = read_u64(is);
+  if (n > (1ULL << 32)) throw SerializeError("string length implausible");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw SerializeError("read failed (truncated string)");
+  return s;
+}
+
+void write_f32_span(std::ostream& os, const float* data, std::size_t n) {
+  write_u64(os, n);
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  if (!os) throw SerializeError("write failed");
+}
+
+void read_f32_span(std::istream& is, float* data, std::size_t n) {
+  const std::uint64_t stored = read_u64(is);
+  if (stored != n) throw SerializeError("f32 span size mismatch");
+  is.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw SerializeError("read failed (truncated span)");
+}
+
+void write_header(std::ostream& os, const char magic[4], std::uint32_t version) {
+  os.write(magic, 4);
+  write_u32(os, version);
+  if (!os) throw SerializeError("write failed");
+}
+
+std::uint32_t read_header(std::istream& is, const char magic[4]) {
+  char got[4];
+  is.read(got, 4);
+  if (!is || std::memcmp(got, magic, 4) != 0) {
+    throw SerializeError("bad magic in serialized stream");
+  }
+  return read_u32(is);
+}
+
+}  // namespace atlas::util

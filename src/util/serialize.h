@@ -1,0 +1,58 @@
+// Binary serialization helpers for model / dataset caching.
+//
+// The experiment benches (Tables III/IV, Figs 5/6) share one trained ATLAS
+// model via an on-disk cache; these helpers give a small, versioned,
+// endian-naive binary format (the cache is machine-local by design).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace atlas::util {
+
+class SerializeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+void write_u32(std::ostream& os, std::uint32_t v);
+void write_u64(std::ostream& os, std::uint64_t v);
+void write_i64(std::ostream& os, std::int64_t v);
+void write_f64(std::ostream& os, double v);
+void write_f32(std::ostream& os, float v);
+void write_string(std::ostream& os, const std::string& s);
+
+std::uint32_t read_u32(std::istream& is);
+std::uint64_t read_u64(std::istream& is);
+std::int64_t read_i64(std::istream& is);
+double read_f64(std::istream& is);
+float read_f32(std::istream& is);
+std::string read_string(std::istream& is);
+
+template <typename T, typename WriteFn>
+void write_vector(std::ostream& os, const std::vector<T>& v, WriteFn fn) {
+  write_u64(os, v.size());
+  for (const T& x : v) fn(os, x);
+}
+
+template <typename T, typename ReadFn>
+std::vector<T> read_vector(std::istream& is, ReadFn fn) {
+  const std::uint64_t n = read_u64(is);
+  std::vector<T> v;
+  v.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.push_back(fn(is));
+  return v;
+}
+
+void write_f32_span(std::ostream& os, const float* data, std::size_t n);
+void read_f32_span(std::istream& is, float* data, std::size_t n);
+
+/// Write/check a 4-byte magic + version header.
+void write_header(std::ostream& os, const char magic[4], std::uint32_t version);
+std::uint32_t read_header(std::istream& is, const char magic[4]);
+
+}  // namespace atlas::util

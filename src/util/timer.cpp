@@ -1,0 +1,26 @@
+#include "util/timer.h"
+
+namespace atlas::util {
+
+double Timer::seconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+void PhaseTimers::add(const std::string& phase, double seconds) {
+  auto [it, inserted] = acc_.try_emplace(phase, 0.0);
+  if (inserted) order_.push_back(phase);
+  it->second += seconds;
+}
+
+double PhaseTimers::get(const std::string& phase) const {
+  const auto it = acc_.find(phase);
+  return it == acc_.end() ? 0.0 : it->second;
+}
+
+double PhaseTimers::total() const {
+  double t = 0.0;
+  for (const auto& [_, v] : acc_) t += v;
+  return t;
+}
+
+}  // namespace atlas::util

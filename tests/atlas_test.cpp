@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "atlas/finetune.h"
+#include "atlas/logic_cones.h"
+#include "atlas/memory_model.h"
+#include "atlas/metrics.h"
+#include "atlas/model.h"
+#include "atlas/preprocess.h"
+#include "atlas/pretrain.h"
+#include "netlist/verilog_io.h"
+
+namespace atlas::core {
+namespace {
+
+/// Shared, lazily built fixture data: preparing designs is the expensive
+/// part, so build two small ones once for the whole suite.
+class AtlasCoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new liberty::Library(liberty::make_default_library());
+    PreprocessConfig cfg;
+    cfg.cycles = 40;
+    train_ = new DesignData(
+        prepare_design(designgen::paper_design_spec(1, 0.0025), *lib_, cfg));
+    test_ = new DesignData(
+        prepare_design(designgen::paper_design_spec(2, 0.0025), *lib_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete train_;
+    delete test_;
+    delete lib_;
+    train_ = nullptr;
+    test_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  static liberty::Library* lib_;
+  static DesignData* train_;
+  static DesignData* test_;
+};
+
+liberty::Library* AtlasCoreTest::lib_ = nullptr;
+DesignData* AtlasCoreTest::train_ = nullptr;
+DesignData* AtlasCoreTest::test_ = nullptr;
+
+TEST_F(AtlasCoreTest, PreprocessAlignsStages) {
+  ASSERT_EQ(train_->gate_graphs.size(), train_->plus_graphs.size());
+  ASSERT_EQ(train_->gate_graphs.size(), train_->post_graphs.size());
+  for (std::size_t i = 0; i < train_->gate_graphs.size(); ++i) {
+    EXPECT_EQ(train_->gate_graphs[i].submodule, train_->post_graphs[i].submodule);
+    // Post-layout graphs may differ in size (buffers, clock tree) but not
+    // wildly.
+    const double ratio = static_cast<double>(train_->post_graphs[i].num_nodes()) /
+                         static_cast<double>(train_->gate_graphs[i].num_nodes());
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 2.5);
+  }
+}
+
+TEST_F(AtlasCoreTest, PreprocessRecordsTimers) {
+  EXPECT_GT(train_->timers.get("pnr"), 0.0);
+  EXPECT_GT(train_->timers.get("golden_sim"), 0.0);
+  EXPECT_GT(train_->timers.get("atlas_pre"), 0.0);
+}
+
+TEST_F(AtlasCoreTest, WorkloadDataComplete) {
+  ASSERT_EQ(train_->workloads.size(), 2u);
+  for (const auto& wl : train_->workloads) {
+    EXPECT_EQ(wl.gate_trace.num_cycles(), 40);
+    EXPECT_EQ(wl.golden.num_cycles(), 40);
+    EXPECT_GT(wl.golden.average_design().total(), 0.0);
+    EXPECT_GT(wl.gate_level.average_design().total(), 0.0);
+    // Gate level has no clock network.
+    EXPECT_DOUBLE_EQ(wl.gate_level.average_design().clock, 0.0);
+    EXPECT_GT(wl.golden.average_design().clock, 0.0);
+  }
+}
+
+TEST_F(AtlasCoreTest, PretrainLossesDecrease) {
+  PretrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.cycles_per_graph = 2;
+  cfg.dim = 16;
+  const PretrainResult res = pretrain_encoder({train_}, cfg);
+  ASSERT_EQ(res.report.epochs.size(), 4u);
+  const EpochStats& first = res.report.epochs.front();
+  const EpochStats& last = res.report.epochs.back();
+  EXPECT_LT(last.total(), first.total());
+  // Toggle task is learnable well above chance.
+  EXPECT_GT(last.acc_toggle, 0.6);
+  // Cross-stage alignment improves over random in-batch matching.
+  EXPECT_GT(last.acc_cl_cross, 0.2);
+}
+
+TEST_F(AtlasCoreTest, TaskMaskDisablesTasks) {
+  PretrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.cycles_per_graph = 1;
+  cfg.dim = 16;
+  TaskMask only_toggle;
+  only_toggle.node_type = only_toggle.size = false;
+  only_toggle.cl_gate = only_toggle.cl_cross = false;
+  const PretrainResult res = pretrain_encoder({train_}, cfg, only_toggle);
+  const EpochStats& s = res.report.epochs.back();
+  EXPECT_GT(s.loss_toggle, 0.0);
+  EXPECT_DOUBLE_EQ(s.loss_type, 0.0);
+  EXPECT_DOUBLE_EQ(s.loss_size, 0.0);
+  EXPECT_DOUBLE_EQ(s.loss_cl_gate, 0.0);
+  EXPECT_DOUBLE_EQ(s.loss_cl_cross, 0.0);
+}
+
+TEST_F(AtlasCoreTest, SubmoduleStaticCountsMatchNetlist) {
+  const auto& g = train_->gate_graphs[0];
+  const SubmoduleStatic st = compute_submodule_static(train_->gate, g);
+  int comb = 0, reg = 0;
+  for (const auto cid : g.cells) {
+    const auto group = liberty::power_group_of(train_->gate.lib_cell(cid).type);
+    comb += group == liberty::PowerGroup::kComb;
+    reg += group == liberty::PowerGroup::kRegister;
+  }
+  EXPECT_EQ(st.n_comb, comb);
+  EXPECT_EQ(st.n_reg, reg);
+  EXPECT_GT(st.clockpin_reg_fj, 0.0);
+}
+
+TEST_F(AtlasCoreTest, CycleExtrasZeroWhenNoToggles) {
+  const auto& g = train_->gate_graphs[0];
+  const SubmoduleStatic st = compute_submodule_static(train_->gate, g);
+  // Build a trace with no transitions at all.
+  sim::ToggleTrace quiet(train_->gate.num_nets(), 1);
+  const CycleExtras ex = compute_cycle_extras(g, st, quiet, 0);
+  EXPECT_FLOAT_EQ(ex.i_comb, 0.0f);
+  EXPECT_FLOAT_EQ(ex.c_comb, 0.0f);
+  EXPECT_FLOAT_EQ(ex.i_reg, 0.0f);
+  // Physics floor is leakage (+ clock pins for registers).
+  EXPECT_NEAR(comb_physics_uw(st, ex), st.leak_comb_uw, 1e-9);
+  EXPECT_GT(reg_physics_uw(st, ex), st.leak_reg_uw);
+}
+
+TEST_F(AtlasCoreTest, EndToEndTrainPredictEvaluate) {
+  PretrainConfig pcfg;
+  pcfg.epochs = 3;
+  pcfg.cycles_per_graph = 2;
+  pcfg.dim = 16;
+  PretrainResult pre = pretrain_encoder({train_}, pcfg);
+
+  FinetuneConfig fcfg;
+  fcfg.gbdt.n_trees = 60;
+  fcfg.cycle_stride = 2;
+  GroupModels models = finetune_models({train_}, pre.encoder, fcfg);
+
+  const AtlasModel model(std::move(pre.encoder), std::move(models));
+  const auto& wl = test_->workloads[0];
+  const Prediction pred =
+      model.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
+  ASSERT_EQ(pred.num_cycles, 40);
+  ASSERT_EQ(pred.num_submodules, test_->gate.submodules().size());
+
+  const GroupMape atlas_m = evaluate_prediction(wl.golden, pred);
+  const GroupMape base_m = evaluate_baseline(wl.golden, wl.gate_level);
+  // Single-design training at tiny scale: demand sanity, not paper accuracy.
+  EXPECT_LT(atlas_m.total, 60.0);
+  EXPECT_DOUBLE_EQ(base_m.clock, 100.0);
+  EXPECT_LT(atlas_m.clock, base_m.clock);
+  // Predictions are nonnegative everywhere.
+  for (int c = 0; c < pred.num_cycles; ++c) {
+    EXPECT_GE(pred.at(c).comb, 0.0);
+    EXPECT_GE(pred.at(c).clock, 0.0);
+    EXPECT_GE(pred.at(c).reg, 0.0);
+  }
+}
+
+TEST_F(AtlasCoreTest, ModelSerializationRoundTrip) {
+  PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  pcfg.cycles_per_graph = 1;
+  pcfg.dim = 16;
+  PretrainResult pre = pretrain_encoder({train_}, pcfg);
+  FinetuneConfig fcfg;
+  fcfg.gbdt.n_trees = 20;
+  fcfg.cycle_stride = 4;
+  GroupModels models = finetune_models({train_}, pre.encoder, fcfg);
+  const AtlasModel model(std::move(pre.encoder), std::move(models));
+
+  const std::string path = ::testing::TempDir() + "/atlas_model_test.bin";
+  model.save(path);
+  const AtlasModel back = AtlasModel::load(path);
+
+  const auto& wl = test_->workloads[0];
+  const Prediction a = model.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
+  const Prediction b = back.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
+  for (int c = 0; c < a.num_cycles; c += 7) {
+    EXPECT_DOUBLE_EQ(a.at(c).comb, b.at(c).comb);
+    EXPECT_DOUBLE_EQ(a.at(c).clock, b.at(c).clock);
+    EXPECT_DOUBLE_EQ(a.at(c).reg, b.at(c).reg);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(AtlasCoreTest, MemoryModelAccurate) {
+  MemoryPowerModel mem;
+  mem.fit({train_});
+  EXPECT_TRUE(mem.fitted());
+  // Evaluate on the unseen design.
+  const auto& wl = test_->workloads[0];
+  const std::vector<double> pred = mem.predict(test_->gate, wl.gate_trace);
+  const std::vector<double> label =
+      power::series_of(wl.golden, power::Series::kMemory);
+  const double err = power::mape(label, pred);
+  // Paper Sec. VI-B: ~0.5% error; the macro is unchanged by layout, so even
+  // a scale-fitted model lands within a few percent here.
+  EXPECT_LT(err, 6.0);
+}
+
+TEST_F(AtlasCoreTest, MetricsHelpers) {
+  EXPECT_NEAR(correlation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(correlation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+  EXPECT_THROW(correlation({1}, {1, 2}), std::invalid_argument);
+  EXPECT_NEAR(nrmse({10, 10}, {9, 11}), 10.0, 1e-9);
+  EXPECT_THROW(nrmse({}, {}), std::invalid_argument);
+  const GroupMape m{1, 2, 3, 4, 5};
+  const std::string s = format_group_mape(m);
+  EXPECT_NE(s.find("total=5.00%"), std::string::npos);
+}
+
+TEST_F(AtlasCoreTest, StructuralSplitterCoversParsedNetlist) {
+  // Strip sub-module tags by writing Verilog without attributes: simulate a
+  // third-party netlist, then re-split structurally.
+  netlist::Netlist stripped = test_->gate;
+  for (netlist::CellInstId id = 0; id < stripped.num_cells(); ++id) {
+    stripped.set_cell_submodule(id, netlist::kNoSubmodule);
+  }
+  const int created = assign_submodules_by_structure(stripped, 120);
+  EXPECT_GT(created, 3);
+  for (netlist::CellInstId id = 0; id < stripped.num_cells(); ++id) {
+    EXPECT_NE(stripped.cell(id).submodule, netlist::kNoSubmodule);
+  }
+  // Graphs build fine on the auto-partition.
+  const auto graphs = graph::build_submodule_graphs(stripped);
+  std::size_t covered = 0;
+  for (const auto& g : graphs) covered += g.num_nodes();
+  EXPECT_EQ(covered, stripped.num_cells());
+}
+
+TEST_F(AtlasCoreTest, PredictionComponentRollup) {
+  PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  pcfg.cycles_per_graph = 1;
+  pcfg.dim = 16;
+  PretrainResult pre = pretrain_encoder({train_}, pcfg);
+  FinetuneConfig fcfg;
+  fcfg.gbdt.n_trees = 20;
+  fcfg.cycle_stride = 4;
+  GroupModels models = finetune_models({train_}, pre.encoder, fcfg);
+  const AtlasModel model(std::move(pre.encoder), std::move(models));
+  const auto& wl = test_->workloads[0];
+  const Prediction pred =
+      model.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
+  const auto comps = pred.component_average(test_->gate);
+  ASSERT_EQ(comps.size(), test_->gate.components().size());
+  // Component totals sum to the average design total.
+  double total = 0.0;
+  for (const auto& c : comps) total += c.total();
+  double design_avg = 0.0;
+  for (int c = 0; c < pred.num_cycles; ++c) design_avg += pred.at(c).total();
+  design_avg /= pred.num_cycles;
+  EXPECT_NEAR(total, design_avg, design_avg * 1e-6);
+}
+
+TEST_F(AtlasCoreTest, LogicConesOneConePerRegister) {
+  const auto cones = extract_logic_cones(test_->gate);
+  std::size_t regs = 0;
+  for (netlist::CellInstId id = 0; id < test_->gate.num_cells(); ++id) {
+    regs += liberty::is_sequential(test_->gate.lib_cell(id).func);
+  }
+  EXPECT_EQ(cones.size(), regs);
+  for (const auto& c : cones) {
+    ASSERT_FALSE(c.cells.empty());
+    EXPECT_EQ(c.cells.front(), c.root);
+    EXPECT_TRUE(liberty::is_sequential(test_->gate.lib_cell(c.root).func));
+    // Cone members other than the root are combinational.
+    for (std::size_t i = 1; i < c.cells.size(); ++i) {
+      EXPECT_TRUE(liberty::is_combinational(test_->gate.lib_cell(c.cells[i]).func));
+    }
+  }
+}
+
+TEST_F(AtlasCoreTest, LogicConesOverlapSubstantially) {
+  // The paper's Sec. III-A claim: cones overlap, so cone-power sums
+  // over-count true power, while the sub-module partition is exact.
+  const auto cones = extract_logic_cones(test_->gate);
+  const double overlap = cone_overlap_factor(cones);
+  EXPECT_GT(overlap, 1.3) << "re-convergent fan-out must create overlap";
+  const auto& wl = test_->workloads[0];
+  const double overcount =
+      cone_power_overcount(test_->gate, cones, wl.gate_trace);
+  EXPECT_GT(overcount, 1.1);
+}
+
+TEST_F(AtlasCoreTest, LogicConesStopAtStateBoundaries) {
+  const auto cones = extract_logic_cones(test_->gate);
+  for (const auto& c : cones) {
+    for (std::size_t i = 1; i < c.cells.size(); ++i) {
+      EXPECT_FALSE(liberty::is_macro(test_->gate.lib_cell(c.cells[i]).func));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atlas::core

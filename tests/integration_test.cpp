@@ -1,0 +1,152 @@
+// Cross-module integration tests: whole-pipeline invariants that no single
+// module test can see, run at small scale.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "atlas/preprocess.h"
+#include "layout/layout_flow.h"
+#include "liberty/liberty_io.h"
+#include "netlist/verilog_io.h"
+#include "power/power_report.h"
+#include "sim/vcd.h"
+#include "transform/rewrite.h"
+
+namespace atlas {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new liberty::Library(liberty::make_default_library());
+    core::PreprocessConfig cfg;
+    cfg.cycles = 30;
+    data_ = new core::DesignData(core::prepare_design(
+        designgen::paper_design_spec(3, 0.002), *lib_, cfg));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete lib_;
+    data_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  static liberty::Library* lib_;
+  static core::DesignData* data_;
+};
+
+liberty::Library* IntegrationTest::lib_ = nullptr;
+core::DesignData* IntegrationTest::data_ = nullptr;
+
+/// All three netlist stages stay functionally equivalent on register values.
+TEST_F(IntegrationTest, ThreeStageFunctionalEquivalence) {
+  const Netlist& gate = data_->gate;
+  auto name_to_net = [](const Netlist& nl) {
+    std::unordered_map<std::string, NetId> m;
+    for (NetId n = 0; n < nl.num_nets(); ++n) m.emplace(nl.net(n).name, n);
+    return m;
+  };
+  const auto plus_names = name_to_net(data_->plus);
+  const auto post_names = name_to_net(data_->layout.netlist);
+  const auto& wl = data_->workloads[0];
+  std::size_t checked = 0;
+  for (netlist::CellInstId id = 0; id < gate.num_cells(); ++id) {
+    if (!liberty::is_sequential(gate.lib_cell(id).func)) continue;
+    const NetId q = gate.output_net(id);
+    const auto& qname = gate.net(q).name;
+    const auto ip = plus_names.find(qname);
+    const auto io = post_names.find(qname);
+    ASSERT_NE(ip, plus_names.end());
+    ASSERT_NE(io, post_names.end());
+    for (int c = 0; c < 30; ++c) {
+      ASSERT_EQ(wl.gate_trace.value(c, q), wl.plus_trace.value(c, ip->second))
+          << qname << " cycle " << c << " (N_g vs N_g+)";
+      ASSERT_EQ(wl.gate_trace.value(c, q), wl.post_trace.value(c, io->second))
+          << qname << " cycle " << c << " (N_g vs N_p)";
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+/// Golden power strictly exceeds gate-level power (wires, buffers, clock).
+TEST_F(IntegrationTest, LayoutPowerExceedsGateLevelPower) {
+  for (const auto& wl : data_->workloads) {
+    const power::GroupPower g = wl.golden.average_design();
+    const power::GroupPower b = wl.gate_level.average_design();
+    EXPECT_GT(g.total_no_memory(), b.total_no_memory());
+    EXPECT_GT(g.comb, b.comb);
+    EXPECT_GT(g.clock, 0.0);
+    EXPECT_DOUBLE_EQ(b.clock, 0.0);
+  }
+}
+
+/// Full file-format round trip: Verilog + Liberty + SPEF + VCD reproduce the
+/// golden power analysis bit-for-bit from disk artifacts.
+TEST_F(IntegrationTest, PowerFromDiskArtifactsMatches) {
+  const std::string dir = ::testing::TempDir();
+  const Netlist& post = data_->layout.netlist;
+  const auto& wl = data_->workloads[0];
+
+  liberty::save_liberty_file(*lib_, dir + "/it.lib");
+  netlist::save_verilog_file(post, dir + "/it.v");
+  layout::save_spef_file(post, data_->layout.parasitics, dir + "/it.spef");
+
+  const liberty::Library lib2 = liberty::load_liberty_file(dir + "/it.lib");
+  Netlist post2 = netlist::load_verilog_file(dir + "/it.v", lib2);
+  const layout::Parasitics par2 = layout::load_spef_file(dir + "/it.spef", post2);
+  layout::annotate(post2, par2);
+  EXPECT_NO_THROW(post2.check());
+
+  // Re-simulate the same workload on the reloaded netlist.
+  sim::CycleSimulator sim2(post2);
+  sim::StimulusGenerator stim2(post2, sim::make_w1());
+  const sim::ToggleTrace trace2 = sim2.run(stim2, 30);
+  const power::PowerResult result2 = power::analyze_power(post2, trace2);
+
+  const power::GroupPower a = wl.golden.average_design();
+  const power::GroupPower b = result2.average_design();
+  EXPECT_NEAR(b.total(), a.total(), a.total() * 1e-4);
+  EXPECT_NEAR(b.clock, a.clock, a.clock * 1e-4);
+  EXPECT_NEAR(b.comb, a.comb, a.comb * 1e-4);
+}
+
+/// The rewritten netlist N_g+ has ~equal gate-level power character: same
+/// registers, slightly different comb structure.
+TEST_F(IntegrationTest, RewrittenNetlistPowerIsClose) {
+  const auto& wl = data_->workloads[0];
+  const power::PowerResult plus_power =
+      power::analyze_power(data_->plus, wl.plus_trace);
+  const power::GroupPower a = wl.gate_level.average_design();
+  const power::GroupPower b = plus_power.average_design();
+  EXPECT_NEAR(b.reg, a.reg, a.reg * 0.1);
+  EXPECT_NEAR(b.comb, a.comb, a.comb * 0.5);
+}
+
+/// Per-cycle golden power is deterministic end to end.
+TEST_F(IntegrationTest, PipelineDeterminism) {
+  core::PreprocessConfig cfg;
+  cfg.cycles = 30;
+  const core::DesignData again = core::prepare_design(
+      designgen::paper_design_spec(3, 0.002), *lib_, cfg);
+  for (int c = 0; c < 30; c += 5) {
+    EXPECT_DOUBLE_EQ(again.workloads[0].golden.design(c).total(),
+                     data_->workloads[0].golden.design(c).total());
+  }
+}
+
+/// Clock-tree power responds to gating: a workload with more enable
+/// activity produces different per-cycle clock power.
+TEST_F(IntegrationTest, ClockPowerTracksGating) {
+  const auto clock_series =
+      power::series_of(data_->workloads[0].golden, power::Series::kClock);
+  const auto [mn, mx] = std::minmax_element(clock_series.begin() + 3,
+                                            clock_series.end());
+  EXPECT_GT(*mx, *mn) << "ICGs must modulate clock-tree power";
+}
+
+}  // namespace
+}  // namespace atlas

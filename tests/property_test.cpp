@@ -1,0 +1,388 @@
+// Property-based suites: invariants swept over seeds, designs and
+// configurations (TEST_P), complementing the example-based unit tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "designgen/design_generator.h"
+#include "layout/layout_flow.h"
+#include "liberty/liberty_io.h"
+#include "netlist/verilog_io.h"
+#include "power/power_analyzer.h"
+#include "power/vectorless.h"
+#include "sim/simulator.h"
+#include "transform/rewrite.h"
+
+namespace atlas {
+namespace {
+
+const liberty::Library& lib() {
+  static const liberty::Library l = liberty::make_default_library();
+  return l;
+}
+
+// ---------------------------------------------------------------------------
+// Designs swept over seeds: structural invariants.
+// ---------------------------------------------------------------------------
+
+class DesignSeedTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  netlist::Netlist make() const {
+    designgen::DesignSpec spec;
+    spec.name = "p" + std::to_string(GetParam());
+    spec.seed = GetParam();
+    spec.target_cells = 700;
+    spec.num_memories = 1;
+    return designgen::generate_design(spec, lib());
+  }
+};
+
+TEST_P(DesignSeedTest, AlwaysStructurallyValid) {
+  const netlist::Netlist nl = make();
+  EXPECT_NO_THROW(nl.check());
+  EXPECT_GE(nl.num_cells(), 700u);
+}
+
+TEST_P(DesignSeedTest, EveryNetHasExactlyOneSource) {
+  const netlist::Netlist nl = make();
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    EXPECT_TRUE(net.has_driver() != net.is_primary_input)
+        << "net " << net.name << " must be cell-driven XOR primary input";
+  }
+}
+
+TEST_P(DesignSeedTest, SubmodulePartitionIsExact) {
+  const netlist::Netlist nl = make();
+  std::size_t covered = 0;
+  for (netlist::SubmoduleId sm = 0;
+       sm < static_cast<netlist::SubmoduleId>(nl.submodules().size()); ++sm) {
+    covered += nl.cells_in_submodule(sm).size();
+  }
+  EXPECT_EQ(covered, nl.num_cells());
+}
+
+TEST_P(DesignSeedTest, RegistersAllOnTheClock) {
+  const netlist::Netlist nl = make();
+  for (netlist::CellInstId id = 0; id < nl.num_cells(); ++id) {
+    const auto& lc = nl.lib_cell(id);
+    if (lc.func != liberty::CellFunc::kDff &&
+        lc.func != liberty::CellFunc::kDffR) {
+      continue;
+    }
+    EXPECT_EQ(nl.cell(id).pin_nets[1], nl.clock_net())
+        << nl.cell(id).name << " must be clocked by the root clock at gate level";
+  }
+}
+
+TEST_P(DesignSeedTest, FreeRunningActivityNeverDies) {
+  // The heartbeat LFSR guarantees toggles in every cycle, even with inputs
+  // frozen (workload spec with zero activity).
+  const netlist::Netlist nl = make();
+  sim::WorkloadSpec dead;
+  dead.idle_activity = dead.compute_activity = dead.burst_activity = 0.0;
+  dead.seed = GetParam();
+  sim::CycleSimulator sim(nl);
+  sim::StimulusGenerator stim(nl, dead);
+  const sim::ToggleTrace t = sim.run(stim, 24);
+  for (int c = 4; c < 24; ++c) {
+    long long transitions = 0;
+    for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+      if (n == nl.clock_net()) continue;
+      transitions += t.transitions(c, n);
+    }
+    EXPECT_GT(transitions, 0) << "cycle " << c << " went fully static";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesignSeedTest,
+                         ::testing::Values(3u, 17u, 99u, 1234u, 888888u));
+
+// ---------------------------------------------------------------------------
+// Rewrite equivalence swept over rewrite seeds.
+// ---------------------------------------------------------------------------
+
+class RewriteSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RewriteSeedTest, PrimaryOutputsEquivalent) {
+  const netlist::Netlist gate = designgen::generate_design(
+      designgen::paper_design_spec(1, 0.002), lib());
+  transform::RewriteConfig cfg;
+  cfg.seed = GetParam();
+  const netlist::Netlist plus = transform::apply_rewrites(gate, cfg);
+  sim::CycleSimulator sg(gate), sp(plus);
+  sim::StimulusGenerator stg(gate, sim::make_w2());
+  sim::StimulusGenerator stp(plus, sim::make_w2());
+  const auto tg = sg.run(stg, 25);
+  const auto tp = sp.run(stp, 25);
+  std::unordered_map<std::string, netlist::NetId> by_name;
+  for (netlist::NetId n = 0; n < plus.num_nets(); ++n) {
+    by_name.emplace(plus.net(n).name, n);
+  }
+  for (const netlist::NetId po : gate.primary_outputs()) {
+    const auto it = by_name.find(gate.net(po).name);
+    ASSERT_NE(it, by_name.end());
+    for (int c = 0; c < 25; ++c) {
+      ASSERT_EQ(tg.value(c, po), tp.value(c, it->second))
+          << "seed " << GetParam() << " net " << gate.net(po).name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteSeedTest,
+                         ::testing::Values(1u, 2u, 5u, 42u, 31337u));
+
+// ---------------------------------------------------------------------------
+// Power accounting invariants across all six paper designs (small scale).
+// ---------------------------------------------------------------------------
+
+class PaperDesignTest : public ::testing::TestWithParam<int> {
+ protected:
+  netlist::Netlist make_gate() const {
+    return designgen::generate_design(
+        designgen::paper_design_spec(GetParam(), 0.0015), lib());
+  }
+};
+
+TEST_P(PaperDesignTest, SubmodulePowerSumsToDesignEveryCycle) {
+  const netlist::Netlist gate = make_gate();
+  const layout::LayoutResult post = layout::run_layout(gate);
+  sim::CycleSimulator sim(post.netlist);
+  sim::StimulusGenerator stim(post.netlist, sim::make_w1());
+  const auto trace = sim.run(stim, 15);
+  const power::PowerResult r = power::analyze_power(post.netlist, trace);
+  for (int c = 0; c < 15; ++c) {
+    power::GroupPower sum;
+    for (std::size_t sm = 0; sm < r.num_submodules(); ++sm) {
+      sum += r.submodule(c, static_cast<netlist::SubmoduleId>(sm));
+    }
+    const auto& d = r.design(c);
+    EXPECT_NEAR(sum.comb, d.comb, d.comb * 1e-9 + 1e-9);
+    EXPECT_NEAR(sum.reg, d.reg, d.reg * 1e-9 + 1e-9);
+    EXPECT_NEAR(sum.clock, d.clock, d.clock * 1e-9 + 1e-9);
+    EXPECT_NEAR(sum.memory, d.memory, d.memory * 1e-9 + 1e-9);
+  }
+}
+
+TEST_P(PaperDesignTest, PowerMonotoneInActivity) {
+  // More input activity can only increase total switching energy.
+  const netlist::Netlist gate = make_gate();
+  auto avg_power = [&](double act) {
+    sim::WorkloadSpec w = sim::make_w1();
+    w.idle_activity = act * 0.2;
+    w.compute_activity = act * 0.6;
+    w.burst_activity = act;
+    sim::CycleSimulator sim(gate);
+    sim::StimulusGenerator stim(gate, w);
+    const auto trace = sim.run(stim, 60);
+    return power::analyze_power(gate, trace).average_design().total_no_memory();
+  };
+  const double lo = avg_power(0.1);
+  const double hi = avg_power(0.9);
+  EXPECT_GT(hi, lo);
+}
+
+TEST_P(PaperDesignTest, LayoutEquivalenceOnPrimaryOutputs) {
+  const netlist::Netlist gate = make_gate();
+  const layout::LayoutResult post = layout::run_layout(gate);
+  sim::CycleSimulator sg(gate), sp(post.netlist);
+  sim::StimulusGenerator stg(gate, sim::make_w1());
+  sim::StimulusGenerator stp(post.netlist, sim::make_w1());
+  const auto tg = sg.run(stg, 20);
+  const auto tp = sp.run(stp, 20);
+  std::unordered_map<std::string, netlist::NetId> by_name;
+  for (netlist::NetId n = 0; n < post.netlist.num_nets(); ++n) {
+    by_name.emplace(post.netlist.net(n).name, n);
+  }
+  for (const netlist::NetId po : gate.primary_outputs()) {
+    const auto it = by_name.find(gate.net(po).name);
+    ASSERT_NE(it, by_name.end());
+    for (int c = 0; c < 20; ++c) {
+      ASSERT_EQ(tg.value(c, po), tp.value(c, it->second))
+          << "design C" << GetParam();
+    }
+  }
+}
+
+TEST_P(PaperDesignTest, VerilogRoundTripExact) {
+  const netlist::Netlist gate = make_gate();
+  const netlist::Netlist back =
+      netlist::parse_verilog(netlist::write_verilog(gate), lib());
+  ASSERT_EQ(back.num_cells(), gate.num_cells());
+  for (netlist::CellInstId id = 0; id < gate.num_cells(); ++id) {
+    ASSERT_EQ(back.cell(id).lib_cell, gate.cell(id).lib_cell);
+    ASSERT_EQ(back.cell(id).submodule, gate.cell(id).submodule);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, PaperDesignTest, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Trace-level invariants.
+// ---------------------------------------------------------------------------
+
+TEST(TraceProperty, TransitionsConsistentWithValues) {
+  const netlist::Netlist gate = designgen::generate_design(
+      designgen::paper_design_spec(1, 0.002), lib());
+  sim::CycleSimulator sim(gate);
+  sim::StimulusGenerator stim(gate, sim::make_w1());
+  const auto t = sim.run(stim, 40);
+  const auto& clock_mask = sim.clock_net_mask();
+  for (netlist::NetId n = 0; n < gate.num_nets(); ++n) {
+    for (int c = 1; c < 40; ++c) {
+      if (clock_mask[n]) {
+        // Clock nets carry 0 or 2 transitions, never 1.
+        EXPECT_NE(t.transitions(c, n), 1);
+      } else {
+        // Data nets: exactly one transition iff the value changed.
+        const bool changed = t.value(c, n) != t.value(c - 1, n);
+        EXPECT_EQ(t.transitions(c, n), changed ? 1 : 0)
+            << gate.net(n).name << " cycle " << c;
+      }
+    }
+  }
+}
+
+TEST(TraceProperty, TieNetsNeverToggle) {
+  const netlist::Netlist gate = designgen::generate_design(
+      designgen::paper_design_spec(2, 0.002), lib());
+  sim::CycleSimulator sim(gate);
+  sim::StimulusGenerator stim(gate, sim::make_w2());
+  const auto t = sim.run(stim, 30);
+  for (netlist::CellInstId id = 0; id < gate.num_cells(); ++id) {
+    const auto f = gate.lib_cell(id).func;
+    if (f != liberty::CellFunc::kTieHi && f != liberty::CellFunc::kTieLo) continue;
+    const netlist::NetId out = gate.output_net(id);
+    EXPECT_EQ(t.total_transitions(out), 0);
+    EXPECT_EQ(t.value(10, out), f == liberty::CellFunc::kTieHi);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Liberty parser robustness sweep over malformed inputs.
+// ---------------------------------------------------------------------------
+
+class LibertyMalformedTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LibertyMalformedTest, ThrowsInsteadOfCrashingOrHanging) {
+  EXPECT_THROW(liberty::parse_library(GetParam()), std::exception);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LibertyMalformedTest,
+    ::testing::Values("", "library", "library(", "library(x)", "library(x) {",
+                      "library(x) { cell(", "library(x) { cell(Y) { ",
+                      "library(x) { a : 1 }", "library(x) { \"unterminated",
+                      "library(x) { /* open comment }",
+                      "library(x) { cell(Y) { cell_function : \"NOPE\"; } }",
+                      "notalibrary(x) { }"));
+
+class VerilogMalformedTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(VerilogMalformedTest, ThrowsInsteadOfCrashingOrHanging) {
+  EXPECT_THROW(netlist::parse_verilog(GetParam(), lib()), std::exception);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VerilogMalformedTest,
+    ::testing::Values("", "module", "module x", "module x (", "module x ();",
+                      "module x (); wire", "module x (); wire a;",
+                      "module x (); INV_X1 u0", "module x (); INV_X1 u0 (",
+                      "module x (); INV_X1 u0 (.A(a)); endmodule",
+                      "module x (); (* submodule = *) endmodule",
+                      "module x (a); input a; input a2; NAND2_X1 u0 (.A(a), "
+                      ".B(a2), .Y(a)); endmodule"));
+
+// ---------------------------------------------------------------------------
+// Vectorless statistics invariants across input assumptions.
+// ---------------------------------------------------------------------------
+
+class VectorlessSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VectorlessSweepTest, StatisticsStayInRange) {
+  const netlist::Netlist gate = designgen::generate_design(
+      designgen::paper_design_spec(3, 0.0015), lib());
+  power::VectorlessConfig cfg;
+  cfg.input_toggle_density = GetParam();
+  const auto stats = power::propagate_vectorless(gate, cfg);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.p_high, 0.0);
+    EXPECT_LE(s.p_high, 1.0);
+    EXPECT_GE(s.toggle_density, 0.0);
+    EXPECT_LE(s.toggle_density, 2.0);
+  }
+  const power::GroupPower p = power::vectorless_average_power(gate, cfg);
+  EXPECT_GT(p.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, VectorlessSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 1.0));
+
+// ---------------------------------------------------------------------------
+// Library physics properties.
+// ---------------------------------------------------------------------------
+
+TEST(LibraryProperty, StrongerDrivesHaveMoreCapAreaLeakage) {
+  const auto& l = lib();
+  for (liberty::CellId id = 0; id < l.size(); ++id) {
+    const auto up = l.next_drive_up(id);
+    if (!up) continue;
+    const auto& a = l.cell(id);
+    const auto& b = l.cell(*up);
+    EXPECT_GT(b.area_um2, a.area_um2) << a.name;
+    EXPECT_GT(b.leakage_uw, a.leakage_uw) << a.name;
+    const int out_a = a.output_pin();
+    const int out_b = b.output_pin();
+    if (out_a >= 0 && out_b >= 0) {
+      EXPECT_GE(b.pins[static_cast<std::size_t>(out_b)].max_cap_ff,
+                a.pins[static_cast<std::size_t>(out_a)].max_cap_ff)
+          << a.name;
+    }
+  }
+}
+
+TEST(LibraryProperty, EnergyLutsAscendInLoad) {
+  const auto& l = lib();
+  for (liberty::CellId id = 0; id < l.size(); ++id) {
+    const auto& c = l.cell(id);
+    for (std::size_t i = 1; i < c.energy_index_ff.size(); ++i) {
+      EXPECT_GT(c.energy_index_ff[i], c.energy_index_ff[i - 1]) << c.name;
+      EXPECT_GE(c.energy_fj[i], c.energy_fj[i - 1]) << c.name;
+    }
+  }
+}
+
+TEST(LibraryProperty, EveryCombCellEvaluatesAllInputPatterns) {
+  const auto& l = lib();
+  for (liberty::CellId id = 0; id < l.size(); ++id) {
+    const auto f = l.cell(id).func;
+    if (!liberty::is_combinational(f) || liberty::is_clock_cell(f)) continue;
+    const int n = liberty::comb_input_count(f);
+    for (int pattern = 0; pattern < (1 << n); ++pattern) {
+      bool in[3];
+      for (int b = 0; b < n; ++b) in[b] = (pattern >> b) & 1;
+      EXPECT_NO_THROW(liberty::eval_comb(f, in, n));
+    }
+  }
+}
+
+TEST(LibraryProperty, DualGatePairsAreComplements) {
+  using liberty::CellFunc;
+  const std::pair<CellFunc, CellFunc> duals[] = {
+      {CellFunc::kAnd2, CellFunc::kNand2}, {CellFunc::kOr2, CellFunc::kNor2},
+      {CellFunc::kAnd3, CellFunc::kNand3}, {CellFunc::kOr3, CellFunc::kNor3},
+      {CellFunc::kXor2, CellFunc::kXnor2}};
+  for (const auto& [pos, neg] : duals) {
+    const int n = liberty::comb_input_count(pos);
+    for (int pattern = 0; pattern < (1 << n); ++pattern) {
+      bool in[3];
+      for (int b = 0; b < n; ++b) in[b] = (pattern >> b) & 1;
+      EXPECT_NE(liberty::eval_comb(pos, in, n), liberty::eval_comb(neg, in, n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atlas

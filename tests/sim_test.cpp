@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "designgen/design_generator.h"
+#include "liberty/library.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "sim/stimulus.h"
+#include "sim/vcd.h"
+
+namespace atlas::sim {
+namespace {
+
+using liberty::CellFunc;
+using netlist::CellInstId;
+using netlist::NetId;
+using netlist::Netlist;
+
+/// Stimulus that drives a fixed per-cycle pattern on chosen nets.
+class FixedStim : public StimulusGenerator {
+ public:
+  // Reuse base with an empty workload; we override by direct application.
+  FixedStim(const Netlist& nl, std::vector<std::pair<NetId, std::vector<int>>> seq)
+      : StimulusGenerator(nl, WorkloadSpec{}), seq_(std::move(seq)) {}
+
+  void apply_fixed(int cycle, std::vector<std::uint8_t>& values) const {
+    for (const auto& [net, pattern] : seq_) {
+      values[net] = static_cast<std::uint8_t>(
+          pattern[static_cast<std::size_t>(cycle) % pattern.size()]);
+    }
+  }
+
+ private:
+  std::vector<std::pair<NetId, std::vector<int>>> seq_;
+};
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : lib_(liberty::make_default_library()) {}
+  liberty::Library lib_;
+};
+
+// The StimulusGenerator API drives only PIs; to test exact logic we build
+// designs whose PIs carry deterministic patterns via the workload RNG seed
+// being irrelevant (we probe structure instead). For exact-value tests we
+// exercise the simulator through tiny designs with constant ties.
+TEST_F(SimTest, ConstantPropagation) {
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const NetId hi = nl.add_net("hi");
+  const NetId lo = nl.add_net("lo");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  nl.add_cell("tl", lib_.must("TIELO_X1"), {lo});
+  const NetId y = nl.add_net("y");
+  nl.add_cell("g", lib_.must("NAND2_X1"), {hi, lo, y});
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace trace = sim.run(stim, 5);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_TRUE(trace.value(c, hi));
+    EXPECT_FALSE(trace.value(c, lo));
+    EXPECT_TRUE(trace.value(c, y));  // NAND(1,0) = 1
+    EXPECT_EQ(trace.transitions(c, y), 0);
+  }
+}
+
+TEST_F(SimTest, ClockNetsToggleTwicePerCycle) {
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const NetId buffed = nl.add_net("ckb");
+  nl.add_cell("cb", lib_.must("CKBUF_X1"), {clk, buffed});
+  const NetId hi = nl.add_net("hi");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  const NetId q = nl.add_net("q");
+  nl.add_cell("r", lib_.must("DFF_X1"), {hi, buffed, q});
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace trace = sim.run(stim, 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(trace.transitions(c, clk), 2);
+    EXPECT_EQ(trace.transitions(c, buffed), 2);
+  }
+  // The register captures the tie-high after the first edge.
+  EXPECT_TRUE(trace.value(1, q));
+  EXPECT_TRUE(trace.value(3, q));
+}
+
+TEST_F(SimTest, ClockGateBlocksDownstreamActivity) {
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const NetId en = nl.add_net("en");
+  nl.mark_primary_input(en);  // data PI; workload drives it randomly
+  const NetId lo = nl.add_net("lo");
+  nl.add_cell("tl", lib_.must("TIELO_X1"), {lo});
+  const NetId gck = nl.add_net("gck");
+  nl.add_cell("icg", lib_.must("CKGATE_X1"), {clk, lo, gck});  // EN tied low
+  const NetId hi = nl.add_net("hi");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  const NetId q = nl.add_net("q");
+  nl.add_cell("r", lib_.must("DFF_X1"), {hi, gck, q});
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace trace = sim.run(stim, 6);
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(trace.transitions(c, gck), 0) << "gated clock must not toggle";
+    EXPECT_FALSE(trace.value(c, q)) << "gated register must hold reset value";
+  }
+}
+
+TEST_F(SimTest, DffrResetsSynchronously) {
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const NetId rstn = nl.add_net("rstn");
+  nl.mark_primary_input(rstn);
+  const NetId hi = nl.add_net("hi");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  const NetId q = nl.add_net("q");
+  nl.add_cell("r", lib_.must("DFFR_X1"), {hi, clk, rstn, q});
+  CycleSimulator sim(nl);
+  WorkloadSpec spec = make_w1();
+  spec.reset_cycles = 3;
+  StimulusGenerator stim(nl, spec);
+  const ToggleTrace trace = sim.run(stim, 8);
+  // While rstn=0 the register stays 0; after deassertion it captures 1.
+  EXPECT_FALSE(trace.value(0, q));
+  EXPECT_FALSE(trace.value(2, q));
+  EXPECT_TRUE(trace.value(5, q));
+  EXPECT_TRUE(trace.value(7, q));
+}
+
+TEST_F(SimTest, SramWritesThenReads) {
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const liberty::CellId sram = lib_.cell_for(CellFunc::kSram);
+  const liberty::Cell& sc = lib_.cell(sram);
+  // CSB=0 (always selected), WEB toggles: write phase then read phase driven
+  // by a register chain: WEB = q of a DFF capturing rstn-like PI. For
+  // simplicity tie CSB low and drive WEB from a data PI.
+  const NetId lo = nl.add_net("lo");
+  nl.add_cell("tl", lib_.must("TIELO_X1"), {lo});
+  const NetId hi = nl.add_net("hi");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  const NetId web = nl.add_net("web");
+  nl.mark_primary_input(web);
+  std::vector<NetId> pins;
+  pins.push_back(clk);
+  pins.push_back(lo);   // CSB active
+  pins.push_back(web);  // WEB from PI
+  // addr = all zero, din = all one.
+  for (std::size_t i = 0; i < 8; ++i) pins.push_back(lo);
+  for (std::size_t i = 0; i < 16; ++i) pins.push_back(hi);
+  std::vector<NetId> qnets;
+  for (std::size_t i = 0; i < 16; ++i) {
+    qnets.push_back(nl.add_net("q" + std::to_string(i)));
+    pins.push_back(qnets.back());
+  }
+  ASSERT_EQ(pins.size(), sc.pins.size());
+  nl.add_cell("mem", sram, pins);
+  CycleSimulator sim(nl);
+  // Drive WEB: low (write) for cycles 0-2, high (read) after. The stimulus
+  // generator can't express that, so approximate with reset_cycles trick:
+  // name the PI "rstn" is taken; instead run twice with constant web.
+  // Here: WEB low -> always writing; Q holds 0.
+  {
+    WorkloadSpec spec = make_w1();
+    spec.idle_activity = spec.compute_activity = spec.burst_activity = 0.0;
+    StimulusGenerator stim(nl, spec);  // PIs stay 0 -> WEB=0 (write)
+    const ToggleTrace t = sim.run(stim, 4);
+    for (const NetId q : qnets) EXPECT_FALSE(t.value(3, q));
+  }
+  // Fresh simulator; write once then read by toggling WEB via bus activity
+  // is stochastic — instead validate read path: memory zeroed, read gives 0,
+  // then after writes of all-ones appear when WEB low... covered above.
+  // Read phase: WEB stuck high reads address 0 (still zero).
+  {
+    CycleSimulator sim2(nl);
+    WorkloadSpec spec = make_w1();
+    spec.idle_activity = spec.compute_activity = spec.burst_activity = 1.0;
+    StimulusGenerator stim(nl, spec);
+    const ToggleTrace t = sim2.run(stim, 12);
+    // With WEB random, eventually a write of ones lands at addr 0 and a later
+    // read returns ones.
+    bool saw_ones = false;
+    for (int c = 0; c < 12; ++c) saw_ones = saw_ones || t.value(c, qnets[0]);
+    EXPECT_TRUE(saw_ones);
+  }
+}
+
+TEST_F(SimTest, ToggleTraceAccounting) {
+  ToggleTrace t(3, 4);
+  t.set(0, 1, true, 1);
+  t.set(1, 1, false, 1);
+  t.set(2, 1, false, 0);
+  t.set(3, 1, true, 1);
+  EXPECT_EQ(t.total_transitions(1), 3);
+  EXPECT_DOUBLE_EQ(t.toggle_rate(1), 0.75);
+  EXPECT_EQ(t.total_transitions(0), 0);
+  EXPECT_TRUE(t.value(3, 1));
+  EXPECT_FALSE(t.value(2, 1));
+}
+
+TEST_F(SimTest, DeterministicAcrossRuns) {
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator s1(nl, make_w1());
+  StimulusGenerator s2(nl, make_w1());
+  CycleSimulator sim2(nl);
+  const ToggleTrace a = sim.run(s1, 20);
+  const ToggleTrace b = sim2.run(s2, 20);
+  for (int c = 0; c < 20; ++c) {
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      ASSERT_EQ(a.value(c, n), b.value(c, n));
+      ASSERT_EQ(a.transitions(c, n), b.transitions(c, n));
+    }
+  }
+}
+
+TEST_F(SimTest, WorkloadsProduceDifferentActivity) {
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator s1(nl, make_w1());
+  const ToggleTrace a = sim.run(s1, 50);
+  CycleSimulator sim2(nl);
+  StimulusGenerator s2(nl, make_w2());
+  const ToggleTrace b = sim2.run(s2, 50);
+  long long ta = 0, tb = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    ta += a.total_transitions(n);
+    tb += b.total_transitions(n);
+  }
+  EXPECT_GT(ta, 0);
+  EXPECT_GT(tb, 0);
+  EXPECT_NE(ta, tb);
+}
+
+TEST_F(SimTest, ActivityVariesOverTime) {
+  // Per-cycle power modeling is pointless if activity is flat; check the
+  // workload produces fluctuating per-cycle toggle totals.
+  const auto spec = designgen::paper_design_spec(2, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace t = sim.run(stim, 100);
+  std::vector<long long> per_cycle(100, 0);
+  for (int c = 0; c < 100; ++c) {
+    for (NetId n = 0; n < nl.num_nets(); ++n) per_cycle[static_cast<std::size_t>(c)] += t.transitions(c, n);
+  }
+  const auto [mn, mx] = std::minmax_element(per_cycle.begin() + 5, per_cycle.end());
+  EXPECT_GT(*mx, *mn * 1.2) << "per-cycle activity should fluctuate";
+}
+
+TEST_F(SimTest, VcdRoundTrip) {
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace t = sim.run(stim, 10);
+  const std::string text = write_vcd(nl, t, sim.clock_net_mask());
+  const VcdData back = parse_vcd(text, nl);
+  ASSERT_EQ(back.num_cycles, 10);
+  int checked = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (sim.clock_net_mask()[n]) continue;
+    for (int c = 0; c < 10; ++c) {
+      ASSERT_EQ(back.value(c, n), t.value(c, n))
+          << "net " << nl.net(n).name << " cycle " << c;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+}  // namespace
+}  // namespace atlas::sim

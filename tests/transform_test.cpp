@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "designgen/design_generator.h"
+#include "liberty/library.h"
+#include "sim/simulator.h"
+#include "transform/rewrite.h"
+
+namespace atlas::transform {
+namespace {
+
+using netlist::NetId;
+using netlist::Netlist;
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  RewriteTest()
+      : lib_(liberty::make_default_library()),
+        nl_(designgen::generate_design(designgen::paper_design_spec(1, 0.003),
+                                       lib_)) {}
+
+  liberty::Library lib_;
+  Netlist nl_;
+};
+
+TEST_F(RewriteTest, ProducesStructurallyDifferentNetlist) {
+  RewriteStats stats;
+  const Netlist plus = apply_rewrites(nl_, RewriteConfig{}, &stats);
+  EXPECT_GT(stats.total(), 50);
+  EXPECT_NE(plus.num_cells(), nl_.num_cells());
+  EXPECT_NO_THROW(plus.check());
+  EXPECT_EQ(plus.name(), nl_.name() + "_plus");
+  // Structure differs: type histogram changes.
+  EXPECT_NE(plus.count_by_type(), nl_.count_by_type());
+}
+
+TEST_F(RewriteTest, PreservesSubmodulePartition) {
+  const Netlist plus = apply_rewrites(nl_, RewriteConfig{});
+  EXPECT_EQ(plus.submodules().size(), nl_.submodules().size());
+  for (netlist::CellInstId id = 0; id < plus.num_cells(); ++id) {
+    EXPECT_NE(plus.cell(id).submodule, netlist::kNoSubmodule);
+  }
+}
+
+TEST_F(RewriteTest, PreservesRegistersAndMacros) {
+  const Netlist plus = apply_rewrites(nl_, RewriteConfig{});
+  const auto a = nl_.count_by_group();
+  const auto b = plus.count_by_group();
+  using liberty::PowerGroup;
+  EXPECT_EQ(b[static_cast<std::size_t>(PowerGroup::kRegister)],
+            a[static_cast<std::size_t>(PowerGroup::kRegister)]);
+  EXPECT_EQ(b[static_cast<std::size_t>(PowerGroup::kMemory)],
+            a[static_cast<std::size_t>(PowerGroup::kMemory)]);
+}
+
+/// The central property: N_g+ is Boolean-equivalent to N_g. Simulate both
+/// under the same workload and compare every surviving original net by name.
+TEST_F(RewriteTest, FunctionalEquivalenceUnderSimulation) {
+  const Netlist plus = apply_rewrites(nl_, RewriteConfig{});
+  sim::CycleSimulator sim_g(nl_);
+  sim::CycleSimulator sim_p(plus);
+  sim::StimulusGenerator stim_g(nl_, sim::make_w1());
+  sim::StimulusGenerator stim_p(plus, sim::make_w1());
+  const int cycles = 40;
+  const sim::ToggleTrace tg = sim_g.run(stim_g, cycles);
+  const sim::ToggleTrace tp = sim_p.run(stim_p, cycles);
+
+  std::unordered_map<std::string, NetId> plus_by_name;
+  for (NetId n = 0; n < plus.num_nets(); ++n) {
+    plus_by_name.emplace(plus.net(n).name, n);
+  }
+  std::size_t compared = 0;
+  for (NetId n = 0; n < nl_.num_nets(); ++n) {
+    const auto it = plus_by_name.find(nl_.net(n).name);
+    if (it == plus_by_name.end()) continue;
+    for (int c = 0; c < cycles; ++c) {
+      ASSERT_EQ(tg.value(c, n), tp.value(c, it->second))
+          << "net " << nl_.net(n).name << " cycle " << c;
+    }
+    ++compared;
+  }
+  // Nearly all original nets survive rewriting (they keep their names).
+  EXPECT_GT(compared, nl_.num_nets() * 9 / 10);
+}
+
+TEST_F(RewriteTest, DeterministicForSeed) {
+  const Netlist a = apply_rewrites(nl_, RewriteConfig{});
+  const Netlist b = apply_rewrites(nl_, RewriteConfig{});
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  for (netlist::CellInstId id = 0; id < a.num_cells(); ++id) {
+    ASSERT_EQ(a.cell(id).lib_cell, b.cell(id).lib_cell);
+  }
+}
+
+TEST_F(RewriteTest, DifferentSeedsGiveDifferentStructures) {
+  RewriteConfig c1;
+  c1.seed = 1;
+  RewriteConfig c2;
+  c2.seed = 99;
+  const Netlist a = apply_rewrites(nl_, c1);
+  const Netlist b = apply_rewrites(nl_, c2);
+  EXPECT_NE(a.num_cells(), b.num_cells());
+}
+
+TEST_F(RewriteTest, ZeroProbabilitiesLeaveNetlistUnchanged) {
+  RewriteConfig cfg;
+  cfg.p_demorgan = cfg.p_split_wide = cfg.p_mux_decompose = 0.0;
+  cfg.p_xor_decompose = cfg.p_adder_decompose = cfg.p_aoi_flatten = 0.0;
+  cfg.p_double_inv = cfg.p_buffer = 0.0;
+  RewriteStats stats;
+  const Netlist same = apply_rewrites(nl_, cfg, &stats);
+  EXPECT_EQ(stats.total(), 0);
+  EXPECT_EQ(same.num_cells(), nl_.num_cells());
+}
+
+TEST_F(RewriteTest, MaxProbabilitiesStillEquivalent) {
+  RewriteConfig cfg;
+  cfg.p_demorgan = cfg.p_split_wide = cfg.p_mux_decompose = 1.0;
+  cfg.p_adder_decompose = cfg.p_aoi_flatten = 1.0;
+  cfg.p_double_inv = 0.3;
+  cfg.p_buffer = 0.3;
+  RewriteStats stats;
+  const Netlist plus = apply_rewrites(nl_, cfg, &stats);
+  EXPECT_NO_THROW(plus.check());
+  EXPECT_GT(stats.demorgan, 0);
+  EXPECT_GT(stats.split_wide, 0);
+  EXPECT_GT(stats.mux_decompose, 0);
+  EXPECT_GT(stats.adder_decompose, 0);
+  EXPECT_GT(stats.double_inv, 0);
+  EXPECT_GT(stats.buffer, 0);
+
+  // Spot-check equivalence on a short run.
+  sim::CycleSimulator sim_g(nl_);
+  sim::CycleSimulator sim_p(plus);
+  sim::StimulusGenerator stim_g(nl_, sim::make_w2());
+  sim::StimulusGenerator stim_p(plus, sim::make_w2());
+  const sim::ToggleTrace tg = sim_g.run(stim_g, 15);
+  const sim::ToggleTrace tp = sim_p.run(stim_p, 15);
+  std::unordered_map<std::string, NetId> plus_by_name;
+  for (NetId n = 0; n < plus.num_nets(); ++n) {
+    plus_by_name.emplace(plus.net(n).name, n);
+  }
+  for (const NetId po : nl_.primary_outputs()) {
+    const auto it = plus_by_name.find(nl_.net(po).name);
+    ASSERT_NE(it, plus_by_name.end());
+    for (int c = 0; c < 15; ++c) {
+      ASSERT_EQ(tg.value(c, po), tp.value(c, it->second));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atlas::transform

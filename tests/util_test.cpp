@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace atlas::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowThrowsOnZero) {
+  Rng r(7);
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextIntCoversInclusiveRange) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_int(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng r(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  Rng r(17);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.next_weighted({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(Rng, WeightedThrowsOnAllZero) {
+  Rng r(17);
+  EXPECT_THROW(r.next_weighted({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(r.next_weighted({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Rng, WeightedApproximatesDistribution) {
+  Rng r(19);
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[r.next_weighted({1.0, 3.0})];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x\n"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_TRUE(ends_with("hello", "lo"));
+  EXPECT_FALSE(ends_with("lo", "hello"));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(289384), "289,384");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  Cli cli;
+  cli.flag("cycles", "300", "number of cycles")
+      .flag("scale", "0.01", "design scale")
+      .flag("verbose", "false", "chatty output");
+  const char* argv[] = {"prog", "--cycles", "500", "--verbose"};
+  cli.parse(4, argv);
+  EXPECT_EQ(cli.integer("cycles"), 500);
+  EXPECT_DOUBLE_EQ(cli.real("scale"), 0.01);
+  EXPECT_TRUE(cli.boolean("verbose"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  Cli cli;
+  cli.flag("name", "C1", "design");
+  const char* argv[] = {"prog", "--name=C4"};
+  cli.parse(2, argv);
+  EXPECT_EQ(cli.str("name"), "C4");
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli;
+  cli.flag("a", "1", "");
+  const char* argv[] = {"prog", "--nope", "3"};
+  EXPECT_THROW(cli.parse(3, argv), std::runtime_error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  Cli cli;
+  cli.flag("a", "1", "");
+  const char* argv[] = {"prog", "--a"};
+  EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(Serialize, RoundTripScalars) {
+  std::stringstream ss;
+  write_u32(ss, 42);
+  write_u64(ss, 1ULL << 60);
+  write_i64(ss, -7);
+  write_f64(ss, 2.5);
+  write_string(ss, "hello world");
+  EXPECT_EQ(read_u32(ss), 42u);
+  EXPECT_EQ(read_u64(ss), 1ULL << 60);
+  EXPECT_EQ(read_i64(ss), -7);
+  EXPECT_DOUBLE_EQ(read_f64(ss), 2.5);
+  EXPECT_EQ(read_string(ss), "hello world");
+}
+
+TEST(Serialize, TruncatedReadThrows) {
+  std::stringstream ss;
+  write_u32(ss, 1);
+  EXPECT_EQ(read_u32(ss), 1u);
+  EXPECT_THROW(read_u64(ss), SerializeError);
+}
+
+TEST(Serialize, HeaderMismatchThrows) {
+  std::stringstream ss;
+  write_header(ss, "ATLS", 3);
+  EXPECT_THROW(read_header(ss, "XXXX"), SerializeError);
+}
+
+TEST(Serialize, HeaderRoundTrip) {
+  std::stringstream ss;
+  write_header(ss, "ATLS", 3);
+  EXPECT_EQ(read_header(ss, "ATLS"), 3u);
+}
+
+TEST(Serialize, VectorRoundTrip) {
+  std::stringstream ss;
+  std::vector<double> v{1.0, 2.5, -3.0};
+  write_vector(ss, v, [](std::ostream& os, double d) { write_f64(os, d); });
+  const auto back = read_vector<double>(ss, [](std::istream& is) { return read_f64(is); });
+  EXPECT_EQ(back, v);
+}
+
+TEST(PhaseTimersTest, AccumulatesAndOrders) {
+  PhaseTimers t;
+  t.add("a", 1.0);
+  t.add("b", 2.0);
+  t.add("a", 0.5);
+  EXPECT_DOUBLE_EQ(t.get("a"), 1.5);
+  EXPECT_DOUBLE_EQ(t.get("b"), 2.0);
+  EXPECT_DOUBLE_EQ(t.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+  ASSERT_EQ(t.phases().size(), 2u);
+  EXPECT_EQ(t.phases()[0], "a");
+}
+
+TEST(TimerTest, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace atlas::util
