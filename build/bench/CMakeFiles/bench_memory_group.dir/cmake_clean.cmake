@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_group.dir/bench_memory_group.cpp.o"
+  "CMakeFiles/bench_memory_group.dir/bench_memory_group.cpp.o.d"
+  "bench_memory_group"
+  "bench_memory_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

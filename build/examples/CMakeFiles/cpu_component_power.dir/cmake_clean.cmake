@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_component_power.dir/cpu_component_power.cpp.o"
+  "CMakeFiles/cpu_component_power.dir/cpu_component_power.cpp.o.d"
+  "cpu_component_power"
+  "cpu_component_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_component_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

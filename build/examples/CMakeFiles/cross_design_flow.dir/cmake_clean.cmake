@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_design_flow.dir/cross_design_flow.cpp.o"
+  "CMakeFiles/cross_design_flow.dir/cross_design_flow.cpp.o.d"
+  "cross_design_flow"
+  "cross_design_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_design_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peak_power_sweep.dir/peak_power_sweep.cpp.o"
+  "CMakeFiles/peak_power_sweep.dir/peak_power_sweep.cpp.o.d"
+  "peak_power_sweep"
+  "peak_power_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peak_power_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

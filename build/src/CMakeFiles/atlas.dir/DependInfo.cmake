@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/finetune.cpp" "src/CMakeFiles/atlas.dir/atlas/finetune.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/finetune.cpp.o.d"
+  "/root/repo/src/atlas/flow.cpp" "src/CMakeFiles/atlas.dir/atlas/flow.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/flow.cpp.o.d"
+  "/root/repo/src/atlas/logic_cones.cpp" "src/CMakeFiles/atlas.dir/atlas/logic_cones.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/logic_cones.cpp.o.d"
+  "/root/repo/src/atlas/memory_model.cpp" "src/CMakeFiles/atlas.dir/atlas/memory_model.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/memory_model.cpp.o.d"
+  "/root/repo/src/atlas/metrics.cpp" "src/CMakeFiles/atlas.dir/atlas/metrics.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/metrics.cpp.o.d"
+  "/root/repo/src/atlas/model.cpp" "src/CMakeFiles/atlas.dir/atlas/model.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/model.cpp.o.d"
+  "/root/repo/src/atlas/preprocess.cpp" "src/CMakeFiles/atlas.dir/atlas/preprocess.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/preprocess.cpp.o.d"
+  "/root/repo/src/atlas/pretrain.cpp" "src/CMakeFiles/atlas.dir/atlas/pretrain.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/atlas/pretrain.cpp.o.d"
+  "/root/repo/src/designgen/block_builder.cpp" "src/CMakeFiles/atlas.dir/designgen/block_builder.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/designgen/block_builder.cpp.o.d"
+  "/root/repo/src/designgen/blocks.cpp" "src/CMakeFiles/atlas.dir/designgen/blocks.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/designgen/blocks.cpp.o.d"
+  "/root/repo/src/designgen/design_generator.cpp" "src/CMakeFiles/atlas.dir/designgen/design_generator.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/designgen/design_generator.cpp.o.d"
+  "/root/repo/src/graph/submodule_graph.cpp" "src/CMakeFiles/atlas.dir/graph/submodule_graph.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/graph/submodule_graph.cpp.o.d"
+  "/root/repo/src/layout/cts.cpp" "src/CMakeFiles/atlas.dir/layout/cts.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/layout/cts.cpp.o.d"
+  "/root/repo/src/layout/extraction.cpp" "src/CMakeFiles/atlas.dir/layout/extraction.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/layout/extraction.cpp.o.d"
+  "/root/repo/src/layout/layout_flow.cpp" "src/CMakeFiles/atlas.dir/layout/layout_flow.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/layout/layout_flow.cpp.o.d"
+  "/root/repo/src/layout/placer.cpp" "src/CMakeFiles/atlas.dir/layout/placer.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/layout/placer.cpp.o.d"
+  "/root/repo/src/layout/spef.cpp" "src/CMakeFiles/atlas.dir/layout/spef.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/layout/spef.cpp.o.d"
+  "/root/repo/src/layout/timing_opt.cpp" "src/CMakeFiles/atlas.dir/layout/timing_opt.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/layout/timing_opt.cpp.o.d"
+  "/root/repo/src/liberty/default_library.cpp" "src/CMakeFiles/atlas.dir/liberty/default_library.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/liberty/default_library.cpp.o.d"
+  "/root/repo/src/liberty/liberty_io.cpp" "src/CMakeFiles/atlas.dir/liberty/liberty_io.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/liberty/liberty_io.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/CMakeFiles/atlas.dir/liberty/library.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/liberty/library.cpp.o.d"
+  "/root/repo/src/liberty/types.cpp" "src/CMakeFiles/atlas.dir/liberty/types.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/liberty/types.cpp.o.d"
+  "/root/repo/src/ml/adam.cpp" "src/CMakeFiles/atlas.dir/ml/adam.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/ml/adam.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/CMakeFiles/atlas.dir/ml/gbdt.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/ml/gbdt.cpp.o.d"
+  "/root/repo/src/ml/losses.cpp" "src/CMakeFiles/atlas.dir/ml/losses.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/ml/losses.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/CMakeFiles/atlas.dir/ml/matrix.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/ml/matrix.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/CMakeFiles/atlas.dir/ml/mlp.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/ml/mlp.cpp.o.d"
+  "/root/repo/src/ml/sgformer.cpp" "src/CMakeFiles/atlas.dir/ml/sgformer.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/ml/sgformer.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/atlas.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_io.cpp" "src/CMakeFiles/atlas.dir/netlist/verilog_io.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/netlist/verilog_io.cpp.o.d"
+  "/root/repo/src/power/power_analyzer.cpp" "src/CMakeFiles/atlas.dir/power/power_analyzer.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/power/power_analyzer.cpp.o.d"
+  "/root/repo/src/power/power_report.cpp" "src/CMakeFiles/atlas.dir/power/power_report.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/power/power_report.cpp.o.d"
+  "/root/repo/src/power/vectorless.cpp" "src/CMakeFiles/atlas.dir/power/vectorless.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/power/vectorless.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/atlas.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/CMakeFiles/atlas.dir/sim/stimulus.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/sim/stimulus.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/atlas.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/transform/rewrite.cpp" "src/CMakeFiles/atlas.dir/transform/rewrite.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/transform/rewrite.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/atlas.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/atlas.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/serialize.cpp" "src/CMakeFiles/atlas.dir/util/serialize.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/util/serialize.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/atlas.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/atlas.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/atlas.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

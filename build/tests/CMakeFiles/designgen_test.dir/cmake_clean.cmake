@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/designgen_test.dir/designgen_test.cpp.o"
+  "CMakeFiles/designgen_test.dir/designgen_test.cpp.o.d"
+  "designgen_test"
+  "designgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/designgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atlas_cli.dir/atlas_cli.cpp.o"
+  "CMakeFiles/atlas_cli.dir/atlas_cli.cpp.o.d"
+  "atlas_cli"
+  "atlas_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atlas_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
