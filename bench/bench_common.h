@@ -10,6 +10,7 @@
 
 #include "atlas/flow.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 
 namespace atlas::bench {
 
@@ -23,11 +24,13 @@ inline util::Cli make_cli() {
       .flag("stride", "2", "cycle stride for fine-tuning rows")
       .flag("cache-dir", "atlas_cache", "trained-model cache directory")
       .flag("no-cache", "false", "retrain even if a cached model exists")
+      .flag("threads", "0", "worker threads (0 = hardware concurrency, 1 = serial)")
       .flag("quiet", "false", "suppress progress logging");
   return cli;
 }
 
 inline core::ExperimentConfig config_from_cli(const util::Cli& cli) {
+  util::set_global_threads(static_cast<int>(cli.integer("threads")));
   core::ExperimentConfig cfg;
   cfg.scale = cli.real("scale");
   cfg.cycles = static_cast<int>(cli.integer("cycles"));

@@ -12,6 +12,7 @@
 #include "power/power_analyzer.h"
 #include "sim/simulator.h"
 #include "transform/rewrite.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -53,6 +54,42 @@ void BM_PowerAnalysis(benchmark::State& state) {
                           static_cast<long>(nl.num_cells()));
 }
 BENCHMARK(BM_PowerAnalysis)->Arg(300);
+
+// Thread-scaling of the per-cycle power loop (the issue's headline hot
+// path). Arg = thread count; compare against Arg(1) for the speedup — on
+// multi-core hardware 4 threads should land >= 2x (the loop is
+// embarrassingly parallel over cycles). Outputs are bit-identical at every
+// thread count; see power_test ThreadCountEquivalence.
+void BM_PowerAnalysisThreads(benchmark::State& state) {
+  const netlist::Netlist& nl = design();
+  sim::CycleSimulator sim(nl);
+  sim::StimulusGenerator stim(nl, sim::make_w1());
+  const sim::ToggleTrace trace = sim.run(stim, 300);
+  util::set_global_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(power::analyze_power(nl, trace));
+  }
+  util::set_global_threads(0);
+  state.SetItemsProcessed(state.iterations() * 300 *
+                          static_cast<long>(nl.num_cells()));
+}
+BENCHMARK(BM_PowerAnalysisThreads)->Arg(1)->Arg(2)->Arg(4)
+    ->Arg(atlas::util::hardware_concurrency());
+
+// Thread-scaling of the full workload simulation + toggle recording.
+void BM_CycleSimulatorThreads(benchmark::State& state) {
+  const netlist::Netlist& nl = design();
+  util::set_global_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    sim::CycleSimulator sim(nl);
+    sim::StimulusGenerator stim(nl, sim::make_w1());
+    benchmark::DoNotOptimize(sim.run(stim, 300));
+  }
+  util::set_global_threads(0);
+  state.SetItemsProcessed(state.iterations() * 300 *
+                          static_cast<long>(nl.num_cells()));
+}
+BENCHMARK(BM_CycleSimulatorThreads)->Arg(1)->Arg(4);
 
 void BM_LogicRewrite(benchmark::State& state) {
   const netlist::Netlist& nl = design();

@@ -3,6 +3,8 @@
 #include <deque>
 #include <stdexcept>
 
+#include "util/parallel.h"
+
 namespace atlas::core {
 
 using netlist::CellInstId;
@@ -77,11 +79,18 @@ DesignData prepare_design(const designgen::DesignSpec& spec,
                   {},
                   std::move(timers)};
 
-  for (const sim::WorkloadSpec& w : cfg.workloads) {
-    data.workloads.push_back(run_workload(data.gate, data.plus,
-                                          data.layout.netlist, w, cfg.cycles,
-                                          data.timers));
-  }
+  // Workloads are independent (each simulates all three netlists with its
+  // own simulator state), so they run in parallel. Each records wall time
+  // into a private PhaseTimers merged below in workload order, keeping the
+  // timer phases deterministic.
+  data.workloads.resize(cfg.workloads.size());
+  std::vector<util::PhaseTimers> workload_timers(cfg.workloads.size());
+  util::parallel_for(cfg.workloads.size(), std::size_t{1}, [&](std::size_t i) {
+    data.workloads[i] =
+        run_workload(data.gate, data.plus, data.layout.netlist,
+                     cfg.workloads[i], cfg.cycles, workload_timers[i]);
+  });
+  for (const util::PhaseTimers& t : workload_timers) data.timers.merge(t);
 
   {
     util::ScopedPhase t(data.timers, "atlas_pre");

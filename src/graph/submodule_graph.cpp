@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "layout/extraction.h"
+#include "util/parallel.h"
 
 namespace atlas::graph {
 
@@ -74,13 +75,19 @@ SubmoduleGraph build_submodule_graph(const netlist::Netlist& nl,
 }
 
 std::vector<SubmoduleGraph> build_submodule_graphs(const netlist::Netlist& nl) {
-  std::vector<SubmoduleGraph> graphs;
-  graphs.reserve(nl.submodules().size());
+  // Sub-modules build independently: collect the non-empty ids first (the
+  // output keeps ascending SubmoduleId order), then extract each graph's
+  // per-node features in parallel.
+  std::vector<netlist::SubmoduleId> live;
+  live.reserve(nl.submodules().size());
   for (netlist::SubmoduleId sm = 0;
        sm < static_cast<netlist::SubmoduleId>(nl.submodules().size()); ++sm) {
-    if (nl.cells_in_submodule(sm).empty()) continue;
-    graphs.push_back(build_submodule_graph(nl, sm));
+    if (!nl.cells_in_submodule(sm).empty()) live.push_back(sm);
   }
+  std::vector<SubmoduleGraph> graphs(live.size());
+  util::parallel_for(live.size(), std::size_t{1}, [&](std::size_t i) {
+    graphs[i] = build_submodule_graph(nl, live[i]);
+  });
   return graphs;
 }
 

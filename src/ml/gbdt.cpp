@@ -5,9 +5,16 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace atlas::ml {
+
+namespace {
+// Grain for row-indexed parallel loops. Rows are cheap (a handful of tree
+// traversals or binary searches), so chunks are sized in the hundreds.
+constexpr std::size_t kRowsPerChunk = 512;
+}  // namespace
 
 double GbdtRegressor::Tree::predict(const float* features) const {
   int idx = 0;
@@ -57,15 +64,16 @@ void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
       }
     }
   }
+  // Rows bin independently — parallel, bit-identical to the serial loop.
   std::vector<std::uint8_t> binned(n * f);
-  for (std::size_t i = 0; i < n; ++i) {
+  util::parallel_for(n, kRowsPerChunk, [&](std::size_t i) {
     for (std::size_t j = 0; j < f; ++j) {
       const auto& c = cuts[j];
       const float v = x.at(i, j);
       const auto it = std::upper_bound(c.begin(), c.end(), v);
       binned[i * f + j] = static_cast<std::uint8_t>(it - c.begin());
     }
-  }
+  });
 
   std::vector<double> residual(y);
   for (std::size_t i = 0; i < n; ++i) residual[i] -= base_;
@@ -167,34 +175,40 @@ void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
       for (std::size_t s = 0; s < slots; ++s) {
         if (best[s].feature < 0) continue;
         const int node_id = frontier[s];
-        Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
-        node.feature = best[s].feature;
-        const auto& c = cuts[static_cast<std::size_t>(best[s].feature)];
-        // Bin b covers values <= c[b] (last bin unbounded).
-        node.threshold = best[s].bin < static_cast<int>(c.size())
-                             ? c[static_cast<std::size_t>(best[s].bin)]
-                             : std::numeric_limits<float>::max();
-        node.left = static_cast<int>(tree.nodes.size());
-        node.right = node.left + 1;
+        const int left = static_cast<int>(tree.nodes.size());
+        const int right = left + 1;
+        {
+          // Scoped: the push_backs below may reallocate tree.nodes and
+          // would dangle this reference (caught by TSan as use-after-free).
+          Node& node = tree.nodes[static_cast<std::size_t>(node_id)];
+          node.feature = best[s].feature;
+          const auto& c = cuts[static_cast<std::size_t>(best[s].feature)];
+          // Bin b covers values <= c[b] (last bin unbounded).
+          node.threshold = best[s].bin < static_cast<int>(c.size())
+                               ? c[static_cast<std::size_t>(best[s].bin)]
+                               : std::numeric_limits<float>::max();
+          node.left = left;
+          node.right = right;
+        }
         tree.nodes.push_back(Node{});
         tree.nodes.push_back(Node{});
-        next_frontier.push_back(node.left);
-        next_frontier.push_back(node.right);
+        next_frontier.push_back(left);
+        next_frontier.push_back(right);
         has_split.resize(tree.nodes.size(), 0);
         has_split[static_cast<std::size_t>(node_id)] = 1;
       }
       if (next_frontier.empty()) break;
-      // Reassign samples to children.
-      for (std::size_t i = 0; i < n; ++i) {
+      // Reassign samples to children (row-independent -> parallel).
+      util::parallel_for(n, kRowsPerChunk, [&](std::size_t i) {
         const int node = node_of[i];
         if (node < 0 || static_cast<std::size_t>(node) >= has_split.size() ||
             !has_split[static_cast<std::size_t>(node)]) {
-          continue;
+          return;
         }
         const Node& nd = tree.nodes[static_cast<std::size_t>(node)];
         const float v = x.at(i, static_cast<std::size_t>(nd.feature));
         node_of[i] = v <= nd.threshold ? nd.left : nd.right;
-      }
+      });
       frontier = std::move(next_frontier);
     }
 
@@ -217,9 +231,14 @@ void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
     }
 
     // Update residuals with this tree (all rows, including out-of-bag).
-    for (std::size_t i = 0; i < n; ++i) {
+    // Trees themselves are inherently sequential — boosting fits each tree
+    // to the previous trees' residuals — so within-tree row loops are the
+    // parallel axis here. Histogram accumulation above stays serial: its
+    // float adds would re-associate under chunking, and we keep training
+    // numerics bit-identical to the original serial implementation.
+    util::parallel_for(n, kRowsPerChunk, [&](std::size_t i) {
       residual[i] -= tree.predict(x.row(i));
-    }
+    });
     trees_.push_back(std::move(tree));
   }
 }
@@ -235,7 +254,8 @@ std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
     throw std::invalid_argument("Gbdt::predict: feature count mismatch");
   }
   std::vector<double> out(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_row(x.row(i));
+  util::parallel_for(x.rows(), kRowsPerChunk,
+                     [&](std::size_t i) { out[i] = predict_row(x.row(i)); });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "layout/extraction.h"
+#include "util/parallel.h"
 
 namespace atlas::power {
 
@@ -11,6 +12,11 @@ using liberty::PowerGroup;
 using netlist::CellInstId;
 using netlist::kNoNet;
 using netlist::NetId;
+
+// Grain for cycle-indexed parallel loops: one cycle is O(num_cells) work,
+// so a handful of cycles per chunk amortizes dispatch while leaving enough
+// chunks to fill a pool on 300-cycle traces.
+constexpr std::size_t kCyclesPerChunk = 4;
 
 double GroupPower::group(PowerGroup g) const {
   switch (g) {
@@ -56,8 +62,19 @@ GroupPower& PowerResult::mutable_submodule(int cycle, netlist::SubmoduleId sm) {
 }
 
 GroupPower PowerResult::average_design() const {
-  GroupPower avg;
-  for (const GroupPower& g : design_) avg += g;
+  // Ordered tree reduction: deterministic for every thread count (chunk
+  // layout and combine order depend only on the cycle count).
+  GroupPower avg = util::parallel_reduce(
+      design_.size(), kCyclesPerChunk, GroupPower{},
+      [this](std::size_t begin, std::size_t end) {
+        GroupPower partial;
+        for (std::size_t c = begin; c < end; ++c) partial += design_[c];
+        return partial;
+      },
+      [](GroupPower a, const GroupPower& b) {
+        a += b;
+        return a;
+      });
   if (num_cycles_ > 0) {
     const double inv = 1.0 / num_cycles_;
     avg.comb *= inv;
@@ -149,8 +166,13 @@ PowerResult analyze_power(const netlist::Netlist& nl,
     }
   }
 
+  // Per-cycle accumulation: cycles are independent, so the cycle loop
+  // parallelizes with no reduction — each cycle's output is produced by
+  // exactly the serial inner loop, hence bit-identical at any thread count.
   PowerResult result(trace.num_cycles(), nl.submodules().size());
-  for (int c = 0; c < trace.num_cycles(); ++c) {
+  util::parallel_for(static_cast<std::size_t>(trace.num_cycles()),
+                     kCyclesPerChunk, [&](std::size_t cycle) {
+    const int c = static_cast<int>(cycle);
     GroupPower& design = result.mutable_design(c);
     for (CellInstId id = 0; id < nl.num_cells(); ++id) {
       const CellPlan& p = plans[id];
@@ -177,7 +199,7 @@ PowerResult analyze_power(const netlist::Netlist& nl,
         result.mutable_submodule(c, p.submodule).add(p.group, uw);
       }
     }
-  }
+  });
   return result;
 }
 

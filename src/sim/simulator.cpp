@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace atlas::sim {
@@ -26,9 +27,19 @@ double ToggleTrace::toggle_rate(NetId net) const {
 }
 
 long long ToggleTrace::total_transitions(NetId net) const {
-  long long total = 0;
-  for (int c = 0; c < num_cycles_; ++c) total += transitions(c, net);
-  return total;
+  // Integer sum via the ordered reduction — exact under any association,
+  // the helper only buys wall-clock on very long traces (grain keeps short
+  // traces on the serial single-chunk path).
+  return util::parallel_reduce(
+      static_cast<std::size_t>(num_cycles_), std::size_t{4096}, 0LL,
+      [this, net](std::size_t begin, std::size_t end) {
+        long long partial = 0;
+        for (std::size_t c = begin; c < end; ++c) {
+          partial += transitions(static_cast<int>(c), net);
+        }
+        return partial;
+      },
+      [](long long a, long long b) { return a + b; });
 }
 
 CycleSimulator::CycleSimulator(const netlist::Netlist& nl) : nl_(nl) {
@@ -173,17 +184,23 @@ ToggleTrace CycleSimulator::run(StimulusGenerator& stim, int num_cycles) {
     // 5. Combinational propagation.
     for (const CellInstId id : comb_order_) eval_cell(id, cur);
 
-    // 6. Record values and transition counts.
-    for (NetId net = 0; net < n_nets; ++net) {
-      if (is_clock_net_[net]) {
-        const bool act = clock_active[net] != 0;
-        trace.set(cycle, net, act, act ? 2 : 0);
-        cur[net] = act ? 1 : 0;
-      } else {
-        const int transitions = (cur[net] != prev[net]) ? 1 : 0;
-        trace.set(cycle, net, cur[net] != 0, transitions);
+    // 6. Record values and transition counts. Nets are independent (each
+    // writes its own trace byte and cur slot), so the per-cycle toggle
+    // count parallelizes bit-identically to the serial loop.
+    util::parallel_for_chunks(n_nets, std::size_t{8192},
+                              [&](std::size_t begin, std::size_t end) {
+      for (NetId net = static_cast<NetId>(begin);
+           net < static_cast<NetId>(end); ++net) {
+        if (is_clock_net_[net]) {
+          const bool act = clock_active[net] != 0;
+          trace.set(cycle, net, act, act ? 2 : 0);
+          cur[net] = act ? 1 : 0;
+        } else {
+          const int transitions = (cur[net] != prev[net]) ? 1 : 0;
+          trace.set(cycle, net, cur[net] != 0, transitions);
+        }
       }
-    }
+    });
     prev.swap(cur);
   }
   return trace;

@@ -12,6 +12,12 @@ void PhaseTimers::add(const std::string& phase, double seconds) {
   it->second += seconds;
 }
 
+void PhaseTimers::merge(const PhaseTimers& other) {
+  for (const std::string& phase : other.phases()) {
+    add(phase, other.get(phase));
+  }
+}
+
 double PhaseTimers::get(const std::string& phase) const {
   const auto it = acc_.find(phase);
   return it == acc_.end() ? 0.0 : it->second;

@@ -30,6 +30,11 @@ class PhaseTimers {
   /// Add `seconds` to the named phase (creates it on first use).
   void add(const std::string& phase, double seconds);
 
+  /// Fold another timer set into this one (phase order: ours first, then
+  /// any new phases in `other`'s order). Lets parallel pipeline stages
+  /// time themselves locally and merge on the main thread afterwards.
+  void merge(const PhaseTimers& other);
+
   /// Total accumulated seconds for a phase (0 if never recorded).
   double get(const std::string& phase) const;
 

@@ -10,6 +10,7 @@
 #include "atlas/preprocess.h"
 #include "atlas/pretrain.h"
 #include "netlist/verilog_io.h"
+#include "util/parallel.h"
 
 namespace atlas::core {
 namespace {
@@ -109,6 +110,68 @@ TEST_F(AtlasCoreTest, TaskMaskDisablesTasks) {
   EXPECT_DOUBLE_EQ(s.loss_size, 0.0);
   EXPECT_DOUBLE_EQ(s.loss_cl_gate, 0.0);
   EXPECT_DOUBLE_EQ(s.loss_cl_cross, 0.0);
+}
+
+TEST_F(AtlasCoreTest, PreprocessThreadEquivalenceBitExact) {
+  // prepare_design runs workloads in parallel and parallelizes per-node
+  // feature extraction; all outputs must be bit-identical at threads=1 vs
+  // threads=4 (exact float comparisons, no tolerances).
+  PreprocessConfig cfg;
+  cfg.cycles = 20;
+  const auto spec = designgen::paper_design_spec(3, 0.002);
+  util::set_global_threads(1);
+  const DesignData serial = prepare_design(spec, *lib_, cfg);
+  util::set_global_threads(4);
+  const DesignData threaded = prepare_design(spec, *lib_, cfg);
+  util::set_global_threads(0);
+
+  ASSERT_EQ(serial.workloads.size(), threaded.workloads.size());
+  for (std::size_t w = 0; w < serial.workloads.size(); ++w) {
+    const auto& a = serial.workloads[w];
+    const auto& b = threaded.workloads[w];
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.golden.num_cycles(), b.golden.num_cycles());
+    for (int c = 0; c < a.golden.num_cycles(); ++c) {
+      ASSERT_EQ(a.golden.design(c).total(), b.golden.design(c).total())
+          << "workload " << w << " cycle " << c;
+      ASSERT_EQ(a.gate_level.design(c).total(), b.gate_level.design(c).total())
+          << "workload " << w << " cycle " << c;
+      for (std::size_t sm = 0; sm < a.golden.num_submodules(); ++sm) {
+        const auto id = static_cast<netlist::SubmoduleId>(sm);
+        ASSERT_EQ(a.golden.submodule(c, id).total(),
+                  b.golden.submodule(c, id).total());
+      }
+    }
+    // Toggle traces byte-for-byte (gate and post-layout net spaces differ,
+    // so each trace is compared over its own net range).
+    ASSERT_EQ(a.gate_trace.num_nets(), b.gate_trace.num_nets());
+    ASSERT_EQ(a.post_trace.num_nets(), b.post_trace.num_nets());
+    for (int c = 0; c < a.gate_trace.num_cycles(); ++c) {
+      for (netlist::NetId n = 0; n < a.gate_trace.num_nets(); ++n) {
+        ASSERT_EQ(a.gate_trace.transitions(c, n), b.gate_trace.transitions(c, n));
+        ASSERT_EQ(a.gate_trace.value(c, n), b.gate_trace.value(c, n));
+      }
+      for (netlist::NetId n = 0; n < a.post_trace.num_nets(); ++n) {
+        ASSERT_EQ(a.post_trace.transitions(c, n), b.post_trace.transitions(c, n));
+      }
+    }
+  }
+  // Sub-module graphs: same structure and bit-identical static features.
+  ASSERT_EQ(serial.gate_graphs.size(), threaded.gate_graphs.size());
+  for (std::size_t g = 0; g < serial.gate_graphs.size(); ++g) {
+    const auto& a = serial.gate_graphs[g];
+    const auto& b = threaded.gate_graphs[g];
+    ASSERT_EQ(a.submodule, b.submodule);
+    ASSERT_EQ(a.cells, b.cells);
+    ASSERT_EQ(a.edges, b.edges);
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+      for (std::size_t j = 0; j < graph::kFeatureDim; ++j) {
+        ASSERT_EQ(a.static_features.at(i, j), b.static_features.at(i, j))
+            << "graph " << g << " node " << i << " feat " << j;
+      }
+    }
+  }
 }
 
 TEST_F(AtlasCoreTest, SubmoduleStaticCountsMatchNetlist) {

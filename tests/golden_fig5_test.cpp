@@ -1,0 +1,126 @@
+// Golden-file regression test for the fig5 per-cycle power pipeline.
+//
+// The committed fig5_C2_W1.csv / fig5_C4_W1.csv (repo root) were produced
+// by `build/bench/bench_fig5` at its default flags (scale=0.01,
+// cycles=300). Their label_* columns are the golden power analysis
+// (post-layout netlist + extracted caps) and their gate_* columns are the
+// Gate-Level-PTPX baseline — both fully deterministic given the seeded
+// design generator. This test rebuilds exactly that pipeline for C2 and C4
+// and compares every deterministic column of all 300 cycles against the
+// committed files, so a perf PR that silently changes numerics fails here.
+//
+// (The atlas_* columns depend on the trained model and are covered by the
+// shape checks in bench_fig5 itself, not pinned by this test.)
+//
+// Regenerating after an *intentional* numerics change:
+//   cmake --build build -j && (cd <repo-root> && ./build/bench/bench_fig5)
+// then commit the rewritten fig5_C2_W1.csv / fig5_C4_W1.csv.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "designgen/design_generator.h"
+#include "layout/layout_flow.h"
+#include "liberty/library.h"
+#include "power/power_analyzer.h"
+#include "sim/simulator.h"
+
+#ifndef ATLAS_SOURCE_DIR
+#error "ATLAS_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace atlas {
+namespace {
+
+constexpr int kCycles = 300;     // bench default: --cycles 300
+constexpr double kScale = 0.01;  // bench default: --scale 0.01
+
+struct CsvRow {
+  // Column order in the committed files (see bench_fig5.cpp).
+  double label_comb, label_clock, label_reg, label_total;
+  double atlas_comb, atlas_clock, atlas_reg, atlas_total;
+  double gate_comb, gate_clock, gate_reg, gate_total;
+};
+
+std::vector<CsvRow> load_golden_csv(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::string line;
+  std::getline(in, line);  // header
+  EXPECT_NE(line.find("label_comb"), std::string::npos);
+  std::vector<CsvRow> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string field;
+    std::vector<double> v;
+    while (std::getline(ls, field, ',')) v.push_back(std::stod(field));
+    EXPECT_EQ(v.size(), 13u) << "malformed row in " << path << ": " << line;
+    rows.push_back(CsvRow{v[1], v[2], v[3], v[4], v[5], v[6], v[7], v[8], v[9],
+                          v[10], v[11], v[12]});
+  }
+  return rows;
+}
+
+/// The CSV stores %.3f-rounded values; allow rounding plus a whisker of
+/// relative slack for compiler/libm variation.
+void expect_close(double golden, double computed, const char* col, int cycle) {
+  const double tol = 2e-3 + 5e-7 * std::fabs(golden);
+  EXPECT_NEAR(golden, computed, tol) << col << " at cycle " << cycle;
+}
+
+void check_design(int design_index, const std::string& csv_name) {
+  const liberty::Library lib = liberty::make_default_library();
+  const netlist::Netlist gate = designgen::generate_design(
+      designgen::paper_design_spec(design_index, kScale), lib);
+  const layout::LayoutResult post = layout::run_layout(gate);
+
+  // Golden labels: W1 on the post-layout netlist with extracted caps.
+  sim::CycleSimulator sim_post(post.netlist);
+  sim::StimulusGenerator stim_post(post.netlist, sim::make_w1());
+  const power::PowerResult golden =
+      power::analyze_power(post.netlist, sim_post.run(stim_post, kCycles));
+
+  // Gate-Level PTPX baseline: same engine on the gate-level netlist.
+  sim::CycleSimulator sim_gate(gate);
+  sim::StimulusGenerator stim_gate(gate, sim::make_w1());
+  const power::PowerResult baseline =
+      power::analyze_power(gate, sim_gate.run(stim_gate, kCycles));
+
+  const std::vector<CsvRow> rows =
+      load_golden_csv(std::string(ATLAS_SOURCE_DIR) + "/" + csv_name);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(kCycles)) << csv_name;
+  for (int c = 0; c < kCycles; ++c) {
+    const CsvRow& r = rows[static_cast<std::size_t>(c)];
+    const power::GroupPower& lab = golden.design(c);
+    const power::GroupPower& gl = baseline.design(c);
+    expect_close(r.label_comb, lab.comb, "label_comb", c);
+    expect_close(r.label_clock, lab.clock, "label_clock", c);
+    expect_close(r.label_reg, lab.reg, "label_reg", c);
+    expect_close(r.label_total, lab.total_no_memory(), "label_total", c);
+    expect_close(r.gate_comb, gl.comb, "gate_comb", c);
+    expect_close(r.gate_clock, gl.clock, "gate_clock", c);
+    expect_close(r.gate_reg, gl.reg, "gate_reg", c);
+    expect_close(r.gate_total, gl.total_no_memory(), "gate_total", c);
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "golden mismatch in " << csv_name << " — if intentional, "
+             << "regenerate with ./build/bench/bench_fig5 (run from the repo "
+             << "root) and commit the new CSVs";
+    }
+  }
+}
+
+TEST(GoldenFig5Test, C2PerCyclePowerMatchesCommittedCsv) {
+  check_design(2, "fig5_C2_W1.csv");
+}
+
+TEST(GoldenFig5Test, C4PerCyclePowerMatchesCommittedCsv) {
+  check_design(4, "fig5_C4_W1.csv");
+}
+
+}  // namespace
+}  // namespace atlas

@@ -8,6 +8,7 @@
 #include "power/vectorless.h"
 #include "sim/vcd.h"
 #include "sim/simulator.h"
+#include "util/parallel.h"
 
 namespace atlas::power {
 namespace {
@@ -205,6 +206,43 @@ TEST_F(PowerShapeTest, VectorlessRespondsToInputActivity) {
   const GroupPower plo = vectorless_average_power(gate_, lo);
   const GroupPower phi = vectorless_average_power(gate_, hi);
   EXPECT_GT(phi.comb, plo.comb);
+}
+
+TEST_F(PowerShapeTest, ThreadCountEquivalenceBitExact) {
+  // The full per-cycle pipeline (simulation + power analysis) must produce
+  // bit-identical outputs at threads=1 and threads=4: parallel loops write
+  // disjoint per-cycle/per-net slots and all reductions are ordered, so
+  // exact double equality is the contract, not a tolerance.
+  auto run_pipeline = [&] {
+    sim::CycleSimulator sim(layout_.netlist);
+    sim::StimulusGenerator stim(layout_.netlist, sim::make_w1());
+    return analyze_power(layout_.netlist, sim.run(stim, kCycles));
+  };
+  util::set_global_threads(1);
+  const PowerResult serial = run_pipeline();
+  util::set_global_threads(4);
+  const PowerResult threaded = run_pipeline();
+  util::set_global_threads(0);
+
+  ASSERT_EQ(serial.num_cycles(), threaded.num_cycles());
+  ASSERT_EQ(serial.num_submodules(), threaded.num_submodules());
+  for (int c = 0; c < serial.num_cycles(); ++c) {
+    const GroupPower& a = serial.design(c);
+    const GroupPower& b = threaded.design(c);
+    ASSERT_EQ(a.comb, b.comb) << "cycle " << c;
+    ASSERT_EQ(a.reg, b.reg) << "cycle " << c;
+    ASSERT_EQ(a.clock, b.clock) << "cycle " << c;
+    ASSERT_EQ(a.memory, b.memory) << "cycle " << c;
+    for (std::size_t sm = 0; sm < serial.num_submodules(); ++sm) {
+      const auto id = static_cast<netlist::SubmoduleId>(sm);
+      ASSERT_EQ(serial.submodule(c, id).total(), threaded.submodule(c, id).total())
+          << "cycle " << c << " submodule " << sm;
+    }
+  }
+  // Ordered reductions make the averages exact too.
+  const GroupPower avg_a = serial.average_design();
+  const GroupPower avg_b = threaded.average_design();
+  EXPECT_EQ(avg_a.total(), avg_b.total());
 }
 
 TEST_F(PowerShapeTest, VcdRoundTripPowerMatches) {

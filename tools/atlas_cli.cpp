@@ -25,11 +25,22 @@
 #include "power/power_report.h"
 #include "sim/vcd.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace {
 
 using namespace atlas;
+
+/// Every subcommand accepts --threads; call after cli.parse().
+util::Cli& add_threads_flag(util::Cli& cli) {
+  return cli.flag("threads", "0",
+                  "worker threads (0 = hardware concurrency, 1 = serial)");
+}
+
+void apply_threads_flag(const util::Cli& cli) {
+  util::set_global_threads(static_cast<int>(cli.integer("threads")));
+}
 
 sim::WorkloadSpec workload_by_name(const std::string& name) {
   if (name == "w1" || name == "W1") return sim::make_w1();
@@ -50,8 +61,9 @@ int cmd_gen(int argc, const char* const* argv) {
       .flag("cells", "2000", "approximate cell count")
       .flag("out", "design.v", "output Verilog path")
       .flag("lib", "", "Liberty file (default: built-in library)");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   const liberty::Library lib = load_lib(cli);
   designgen::DesignSpec spec;
   spec.name = cli.str("name");
@@ -68,8 +80,9 @@ int cmd_gen(int argc, const char* const* argv) {
 int cmd_liberty(int argc, const char* const* argv) {
   util::Cli cli;
   cli.flag("out", "atlas40lp.lib", "output Liberty path");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   const liberty::Library lib = liberty::make_default_library();
   liberty::save_liberty_file(lib, cli.str("out"));
   std::printf("wrote %s: %zu cells\n", cli.str("out").c_str(), lib.size());
@@ -82,8 +95,9 @@ int cmd_layout(int argc, const char* const* argv) {
       .flag("lib", "", "Liberty file (default: built-in library)")
       .flag("out-netlist", "design_layout.v", "post-layout Verilog output")
       .flag("out-spef", "design_layout.spef", "extracted parasitics output");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   const liberty::Library lib = load_lib(cli);
   const netlist::Netlist gate = netlist::load_verilog_file(cli.str("in"), lib);
   const layout::LayoutResult post = layout::run_layout(gate);
@@ -106,8 +120,9 @@ int cmd_sim(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("out", "trace.vcd", "VCD output");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   const liberty::Library lib = load_lib(cli);
   const netlist::Netlist nl = netlist::load_verilog_file(cli.str("in"), lib);
   sim::CycleSimulator simulator(nl);
@@ -135,8 +150,9 @@ int cmd_power(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("csv", "power.csv", "per-cycle power CSV output");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   const liberty::Library lib = load_lib(cli);
   netlist::Netlist nl = netlist::load_verilog_file(cli.str("in"), lib);
   if (!cli.str("spef").empty()) {
@@ -161,8 +177,9 @@ int cmd_train(int argc, const char* const* argv) {
       .flag("epochs", "10", "pre-training epochs")
       .flag("out", "atlas_model.bin", "trained model output")
       .flag("cache-dir", "atlas_cache", "model cache directory");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   core::ExperimentConfig cfg;
   cfg.scale = cli.real("scale");
   cfg.cycles = static_cast<int>(cli.integer("cycles"));
@@ -188,8 +205,9 @@ int cmd_predict(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
-  cli.parse(argc, argv);
+  add_threads_flag(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
+  apply_threads_flag(cli);
   const liberty::Library lib = load_lib(cli);
   netlist::Netlist gate = netlist::load_verilog_file(cli.str("in"), lib);
   // Third-party netlists may arrive without sub-module attributes.
