@@ -1,0 +1,169 @@
+// bench_serve — serving-path latency and throughput for atlas_serve.
+//
+// Trains a tiny model in-process, starts an in-process Server on an
+// ephemeral loopback port, and measures over the real wire protocol:
+//
+//   * cold request latency (empty feature cache: parse + graphs + sim +
+//     encoder + heads), sampled against fresh server instances;
+//   * design-warm latency (graphs cached, new workload: sim + encoder +
+//     heads);
+//   * fully warm latency (embedding cache hit: GBDT heads only);
+//   * warm requests/sec at 1, 4 and 8 concurrent client connections.
+//
+// Numbers land in EXPERIMENTS.md. The interesting ratio is cold : warm —
+// the feature cache exists to delete the per-design preprocessing and
+// encoder forwards from repeat queries.
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "atlas/finetune.h"
+#include "atlas/model.h"
+#include "atlas/preprocess.h"
+#include "atlas/pretrain.h"
+#include "designgen/design_generator.h"
+#include "netlist/verilog_io.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace atlas;
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+serve::PredictRequest make_request(const std::string& verilog, int cycles,
+                                   const std::string& workload) {
+  serve::PredictRequest req;
+  req.model = "bench";
+  req.netlist_verilog = verilog;
+  req.workload = workload;
+  req.cycles = cycles;
+  return req;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.flag("scale", "0.0025", "design size as a fraction of the paper's")
+      .flag("cycles", "40", "workload cycles per request")
+      .flag("dim", "16", "encoder embedding dimension")
+      .flag("trees", "20", "GBDT estimators per group model")
+      .flag("cold-samples", "3", "fresh-server samples for cold latency")
+      .flag("warm-requests", "50", "warm requests per throughput client")
+      .flag("threads", "0", "worker threads (0 = hardware concurrency)");
+  try {
+    cli.parse(argc, argv);
+    if (cli.help_requested()) return 0;
+    util::set_global_threads(static_cast<int>(cli.integer("threads")));
+    const int cycles = static_cast<int>(cli.integer("cycles"));
+    const double scale = cli.real("scale");
+
+    // --- train a tiny model + build the query design (off the clock) -------
+    const liberty::Library lib = liberty::make_default_library();
+    core::PreprocessConfig pcfg;
+    pcfg.cycles = cycles;
+    const core::DesignData train =
+        core::prepare_design(designgen::paper_design_spec(1, scale), lib, pcfg);
+    core::PretrainConfig pre_cfg;
+    pre_cfg.epochs = 1;
+    pre_cfg.cycles_per_graph = 1;
+    pre_cfg.dim = static_cast<std::size_t>(cli.integer("dim"));
+    core::PretrainResult pre = core::pretrain_encoder({&train}, pre_cfg);
+    core::FinetuneConfig fcfg;
+    fcfg.gbdt.n_trees = static_cast<int>(cli.integer("trees"));
+    fcfg.cycle_stride = 4;
+    core::GroupModels models = core::finetune_models({&train}, pre.encoder, fcfg);
+    auto model = std::make_shared<const core::AtlasModel>(std::move(pre.encoder),
+                                                          std::move(models));
+    const std::string verilog = netlist::write_verilog(
+        designgen::generate_design(designgen::paper_design_spec(2, scale), lib));
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->add("bench", model);
+    serve::ServerConfig scfg;
+    scfg.port = 0;
+
+    std::printf("bench_serve: scale=%.4g cycles=%d dim=%zu trees=%d "
+                "netlist=%zu bytes\n\n",
+                scale, cycles, pre_cfg.dim, fcfg.gbdt.n_trees, verilog.size());
+
+    // --- latency: cold (fresh server per sample) ---------------------------
+    const int cold_samples = static_cast<int>(cli.integer("cold-samples"));
+    std::vector<double> cold_s;
+    for (int i = 0; i < cold_samples; ++i) {
+      serve::Server server(scfg, registry);
+      server.start();
+      serve::Client client =
+          serve::Client::connect_tcp("127.0.0.1", server.port());
+      util::Timer t;
+      client.predict(make_request(verilog, cycles, "w1"));
+      cold_s.push_back(t.seconds());
+      server.stop();
+    }
+
+    // --- latency: design-warm (new workload) and fully warm ----------------
+    serve::Server server(scfg, registry);
+    server.start();
+    {
+      serve::Client client =
+          serve::Client::connect_tcp("127.0.0.1", server.port());
+      client.predict(make_request(verilog, cycles, "w1"));  // prime
+      util::Timer tw2;
+      client.predict(make_request(verilog, cycles, "w2"));
+      const double design_warm_s = tw2.seconds();
+
+      std::vector<double> warm_s;
+      for (int i = 0; i < 10; ++i) {
+        util::Timer t;
+        client.predict(make_request(verilog, cycles, "w1"));
+        warm_s.push_back(t.seconds());
+      }
+      std::printf("latency (ms):\n");
+      std::printf("  cold  (parse+graphs+sim+encode+heads)  %8.2f\n",
+                  median(cold_s) * 1e3);
+      std::printf("  design-warm (sim+encode+heads, w2)     %8.2f\n",
+                  design_warm_s * 1e3);
+      std::printf("  warm  (embedding hit -> heads only)    %8.2f\n\n",
+                  median(warm_s) * 1e3);
+    }
+
+    // --- throughput: warm requests/sec at N concurrent clients -------------
+    const int per_client = static_cast<int>(cli.integer("warm-requests"));
+    std::printf("warm throughput (%d requests/client):\n", per_client);
+    for (int nclients : {1, 4, 8}) {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(nclients));
+      util::Timer t;
+      for (int c = 0; c < nclients; ++c) {
+        threads.emplace_back([&] {
+          serve::Client client =
+              serve::Client::connect_tcp("127.0.0.1", server.port());
+          for (int r = 0; r < per_client; ++r) {
+            client.predict(make_request(verilog, cycles, "w1"));
+          }
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      const double secs = t.seconds();
+      const double total = static_cast<double>(nclients) * per_client;
+      std::printf("  %d client%s  %8.1f req/s  (%.2f ms/req at the client)\n",
+                  nclients, nclients == 1 ? " " : "s", total / secs,
+                  secs * 1e3 * nclients / total);
+    }
+    std::printf("\n%s", server.stats_text().c_str());
+    server.stop();
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

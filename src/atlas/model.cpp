@@ -36,11 +36,59 @@ std::vector<power::GroupPower> Prediction::component_average(
   return avg;
 }
 
+std::size_t DesignEmbeddings::approx_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const PerGraph& g : graphs) {
+    total += sizeof(PerGraph) + g.emb.size() * sizeof(float) +
+             g.extras.size() * sizeof(CycleExtras) +
+             (g.st.internal_fj.size() + g.st.cap_ff.size()) * sizeof(float);
+  }
+  return total;
+}
+
 Prediction AtlasModel::predict(const netlist::Netlist& gate,
                                const std::vector<SubmoduleGraph>& graphs,
                                const sim::ToggleTrace& gate_trace) const {
+  return predict_from_embeddings(gate, graphs,
+                                 encode(gate, graphs, gate_trace));
+}
+
+DesignEmbeddings AtlasModel::encode(
+    const netlist::Netlist& gate, const std::vector<SubmoduleGraph>& graphs,
+    const sim::ToggleTrace& gate_trace) const {
+  DesignEmbeddings emb;
+  emb.num_cycles = gate_trace.num_cycles();
+  emb.graphs.reserve(graphs.size());
+
+  const std::size_t d = encoder_.dim();
+  Matrix feats;
+  for (const SubmoduleGraph& g : graphs) {
+    DesignEmbeddings::PerGraph pg;
+    pg.st = compute_submodule_static(gate, g);
+    pg.emb = Matrix(static_cast<std::size_t>(emb.num_cycles), d);
+    pg.extras.resize(static_cast<std::size_t>(emb.num_cycles));
+    for (int c = 0; c < emb.num_cycles; ++c) {
+      graph::fill_cycle_features(g, gate_trace, c, feats);
+      const auto out = encoder_.forward(graph::view_with_features(g, feats));
+      std::copy(out.graph_emb.row(0), out.graph_emb.row(0) + d,
+                pg.emb.row(static_cast<std::size_t>(c)));
+      pg.extras[static_cast<std::size_t>(c)] =
+          compute_cycle_extras(g, pg.st, gate_trace, c);
+    }
+    emb.graphs.push_back(std::move(pg));
+  }
+  return emb;
+}
+
+Prediction AtlasModel::predict_from_embeddings(
+    const netlist::Netlist& gate, const std::vector<SubmoduleGraph>& graphs,
+    const DesignEmbeddings& emb) const {
+  if (emb.graphs.size() != graphs.size()) {
+    throw std::invalid_argument(
+        "predict_from_embeddings: embeddings/graphs mismatch");
+  }
   Prediction pred;
-  pred.num_cycles = gate_trace.num_cycles();
+  pred.num_cycles = emb.num_cycles;
   pred.num_submodules = gate.submodules().size();
   pred.design.assign(static_cast<std::size_t>(pred.num_cycles), {});
   pred.submodule.assign(
@@ -50,17 +98,20 @@ Prediction AtlasModel::predict(const netlist::Netlist& gate,
   std::vector<float> ct_row(ct_dim(d));
   std::vector<float> comb_row(comb_dim(d));
   std::vector<float> reg_row(reg_dim(d));
+  Matrix cycle_emb(1, d);
 
-  Matrix feats;
-  for (const SubmoduleGraph& g : graphs) {
-    const SubmoduleStatic st = compute_submodule_static(gate, g);
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const SubmoduleGraph& g = graphs[gi];
+    const DesignEmbeddings::PerGraph& pg = emb.graphs[gi];
+    const SubmoduleStatic& st = pg.st;
     for (int c = 0; c < pred.num_cycles; ++c) {
-      graph::fill_cycle_features(g, gate_trace, c, feats);
-      const auto out = encoder_.forward(graph::view_with_features(g, feats));
-      const CycleExtras ex = compute_cycle_extras(g, st, gate_trace, c);
-      fill_ct_row(out.graph_emb, ct_row.data());
-      fill_comb_row(out.graph_emb, st, ex, comb_row.data());
-      fill_reg_row(out.graph_emb, st, ex, reg_row.data());
+      std::copy(pg.emb.row(static_cast<std::size_t>(c)),
+                pg.emb.row(static_cast<std::size_t>(c)) + d,
+                cycle_emb.row(0));
+      const CycleExtras& ex = pg.extras[static_cast<std::size_t>(c)];
+      fill_ct_row(cycle_emb, ct_row.data());
+      fill_comb_row(cycle_emb, st, ex, comb_row.data());
+      fill_reg_row(cycle_emb, st, ex, reg_row.data());
       power::GroupPower p;
       // The regressors predict ratios to the analytic gate-level estimates;
       // multiply back and clamp at zero (power cannot be negative).

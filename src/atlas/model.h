@@ -38,6 +38,24 @@ struct Prediction {
       const netlist::Netlist& gate) const;
 };
 
+/// Everything the GBDT heads consume for one design under one workload:
+/// per-sub-module static context plus, per cycle, the encoder's graph
+/// embedding and the paper's extra toggle-weighted features. Computing this
+/// is the expensive part of prediction (per-cycle encoder forwards); the
+/// serve-layer feature cache stores it so repeat queries on the same
+/// (design, workload) skip straight to the GBDT heads.
+struct DesignEmbeddings {
+  struct PerGraph {
+    SubmoduleStatic st;
+    ml::Matrix emb;                   // num_cycles x encoder dim
+    std::vector<CycleExtras> extras;  // [cycle]
+  };
+  int num_cycles = 0;
+  std::vector<PerGraph> graphs;  // aligned with the SubmoduleGraph vector
+
+  std::size_t approx_bytes() const;
+};
+
 class AtlasModel {
  public:
   AtlasModel(ml::SgFormer encoder, GroupModels models);
@@ -47,9 +65,24 @@ class AtlasModel {
 
   /// Predict per-cycle post-layout power from the gate-level netlist and its
   /// workload trace. `graphs` must come from build_submodule_graphs(gate).
+  /// Exactly encode() followed by predict_from_embeddings().
   Prediction predict(const netlist::Netlist& gate,
                      const std::vector<graph::SubmoduleGraph>& graphs,
                      const sim::ToggleTrace& gate_trace) const;
+
+  /// Stage 1: run the encoder over every (sub-module, cycle) and collect
+  /// the head inputs. Reusable across predictions with the same workload.
+  DesignEmbeddings encode(const netlist::Netlist& gate,
+                          const std::vector<graph::SubmoduleGraph>& graphs,
+                          const sim::ToggleTrace& gate_trace) const;
+
+  /// Stage 2: GBDT heads only. Bit-identical to predict() when `emb` comes
+  /// from encode() on the same inputs — pinned by tests; the serve feature
+  /// cache depends on it.
+  Prediction predict_from_embeddings(
+      const netlist::Netlist& gate,
+      const std::vector<graph::SubmoduleGraph>& graphs,
+      const DesignEmbeddings& emb) const;
 
   void save(const std::string& path) const;
   static AtlasModel load(const std::string& path);

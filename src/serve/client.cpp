@@ -1,0 +1,58 @@
+#include "serve/client.h"
+
+namespace atlas::serve {
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  return Client(util::connect_tcp(host, port));
+}
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(util::connect_unix(path));
+}
+
+Frame Client::round_trip(MsgType type, const std::string& payload,
+                         MsgType expected) {
+  write_frame(sock_, type, payload);
+  Frame resp;
+  if (!read_frame(sock_, resp)) {
+    throw ProtocolError("server closed the connection");
+  }
+  if (resp.type == MsgType::kError) {
+    const ErrorResponse err = ErrorResponse::decode(resp.payload);
+    throw ServeError(err.code, err.message);
+  }
+  if (resp.type != expected) {
+    throw ProtocolError(
+        "unexpected response type " +
+        std::to_string(static_cast<std::uint32_t>(resp.type)));
+  }
+  return resp;
+}
+
+void Client::ping() {
+  round_trip(MsgType::kPing, std::string(), MsgType::kPong);
+}
+
+PredictResponse Client::predict(const PredictRequest& request) {
+  const Frame resp =
+      round_trip(MsgType::kPredict, request.encode(), MsgType::kPredictOk);
+  return PredictResponse::decode(resp.payload);
+}
+
+std::vector<ModelInfo> Client::models() {
+  const Frame resp =
+      round_trip(MsgType::kListModels, std::string(), MsgType::kModelList);
+  return ModelListResponse::decode(resp.payload).models;
+}
+
+std::string Client::stats_text() {
+  const Frame resp =
+      round_trip(MsgType::kStats, std::string(), MsgType::kStatsText);
+  return decode_string_payload(resp.payload);
+}
+
+void Client::shutdown_server() {
+  round_trip(MsgType::kShutdown, std::string(), MsgType::kShutdownOk);
+}
+
+}  // namespace atlas::serve

@@ -1,0 +1,56 @@
+// Client library for the atlas_serve protocol.
+//
+// One Client wraps one connection; requests are synchronous (one frame
+// out, one frame in). An Error response from the server is surfaced as a
+// thrown ServeError carrying the server's error code, so callers
+// distinguish "daemon rejected the request" from transport failures
+// (util::SocketError) and framing corruption (ProtocolError).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/socket.h"
+
+namespace atlas::serve {
+
+/// The server answered with an Error response.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(ErrorCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+class Client {
+ public:
+  static Client connect_tcp(const std::string& host, int port);
+  static Client connect_unix(const std::string& path);
+
+  /// Round-trip a ping; throws on any failure.
+  void ping();
+
+  PredictResponse predict(const PredictRequest& request);
+
+  std::vector<ModelInfo> models();
+
+  std::string stats_text();
+
+  /// Ask the daemon to shut down (it drains in-flight work first).
+  void shutdown_server();
+
+ private:
+  explicit Client(util::Socket sock) : sock_(std::move(sock)) {}
+
+  /// Send `type`+payload, read one response frame, unwrap Error replies.
+  Frame round_trip(MsgType type, const std::string& payload,
+                   MsgType expected);
+
+  util::Socket sock_;
+};
+
+}  // namespace atlas::serve

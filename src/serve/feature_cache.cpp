@@ -1,0 +1,107 @@
+#include "serve/feature_cache.h"
+
+namespace atlas::serve {
+
+FeatureCache::FeatureCache(std::size_t max_designs,
+                           std::size_t max_embeddings_per_design)
+    : max_designs_(max_designs < 1 ? 1 : max_designs),
+      max_embeddings_per_design_(
+          max_embeddings_per_design < 1 ? 1 : max_embeddings_per_design) {}
+
+void FeatureCache::touch(std::uint64_t key, Entry& e) {
+  lru_.erase(e.lru_pos);
+  lru_.push_front(key);
+  e.lru_pos = lru_.begin();
+}
+
+void FeatureCache::evict_if_needed() {
+  while (entries_.size() > max_designs_) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.design_evictions;
+  }
+}
+
+std::shared_ptr<const DesignArtifacts> FeatureCache::find_design(
+    std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.design_misses;
+    return nullptr;
+  }
+  ++stats_.design_hits;
+  touch(key, it->second);
+  return it->second.design;
+}
+
+void FeatureCache::put_design(std::uint64_t key,
+                              std::shared_ptr<const DesignArtifacts> d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.design = std::move(d);
+    touch(key, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  Entry e;
+  e.design = std::move(d);
+  e.lru_pos = lru_.begin();
+  entries_.emplace(key, std::move(e));
+  evict_if_needed();
+}
+
+std::shared_ptr<const core::DesignEmbeddings> FeatureCache::find_embeddings(
+    std::uint64_t design_key, const EmbeddingKey& emb_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(design_key);
+  if (it == entries_.end()) {
+    ++stats_.embedding_misses;
+    return nullptr;
+  }
+  const auto eit = it->second.embeddings.find(emb_key);
+  if (eit == it->second.embeddings.end()) {
+    ++stats_.embedding_misses;
+    return nullptr;
+  }
+  ++stats_.embedding_hits;
+  touch(design_key, it->second);
+  return eit->second;
+}
+
+void FeatureCache::put_embeddings(
+    std::uint64_t design_key, const EmbeddingKey& emb_key,
+    std::shared_ptr<const core::DesignEmbeddings> emb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(design_key);
+  // The design entry may have been evicted between the handler's lookup and
+  // this insert; dropping the embeddings is correct (they would be
+  // unreachable without their design anyway).
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  const auto eit = e.embeddings.find(emb_key);
+  if (eit != e.embeddings.end()) {
+    eit->second = std::move(emb);
+    return;
+  }
+  e.embeddings.emplace(emb_key, std::move(emb));
+  e.embedding_order.push_back(emb_key);
+  while (e.embeddings.size() > max_embeddings_per_design_) {
+    e.embeddings.erase(e.embedding_order.front());
+    e.embedding_order.pop_front();
+  }
+}
+
+FeatureCacheStats FeatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t FeatureCache::num_designs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace atlas::serve

@@ -1,0 +1,107 @@
+// LRU cache for the expensive per-design prediction artifacts.
+//
+// Two layers, keyed off the FNV-1a hash of the request's Verilog text:
+//
+//   design layer      hash -> parsed netlist + sub-module graphs (the
+//                     per-design preprocessing every request would
+//                     otherwise repeat);
+//   embedding layer   (hash, model, workload, cycles) -> DesignEmbeddings
+//                     (per-cycle encoder forwards + cycle extras), nested
+//                     under the design entry so evicting a design drops
+//                     its embeddings too.
+//
+// A warm embedding hit skips netlist parsing, graph building, workload
+// simulation AND the encoder — the request goes straight to the GBDT
+// heads, which is the serving fast path the PR exists for. Entries are
+// immutable once inserted (shared_ptr<const>), so handlers running on
+// pool threads read them without further locking; the cache mutex only
+// guards the index. Concurrent misses on the same key may both compute
+// and insert — last insert wins, results are identical by determinism.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "atlas/model.h"
+#include "graph/submodule_graph.h"
+#include "netlist/netlist.h"
+
+namespace atlas::serve {
+
+/// Cached per-design preprocessing output.
+struct DesignArtifacts {
+  netlist::Netlist gate;
+  std::vector<graph::SubmoduleGraph> graphs;
+  /// Sub-modules created by the structural fallback splitter (0 when the
+  /// netlist arrived with sub-module attributes).
+  int structural_submodules = 0;
+};
+
+struct EmbeddingKey {
+  std::string model;
+  std::string workload;
+  std::int32_t cycles = 0;
+
+  bool operator<(const EmbeddingKey& o) const {
+    return std::tie(model, workload, cycles) <
+           std::tie(o.model, o.workload, o.cycles);
+  }
+};
+
+struct FeatureCacheStats {
+  std::uint64_t design_hits = 0;
+  std::uint64_t design_misses = 0;
+  std::uint64_t embedding_hits = 0;
+  std::uint64_t embedding_misses = 0;
+  std::uint64_t design_evictions = 0;
+};
+
+class FeatureCache {
+ public:
+  /// `max_designs` bounds the design layer (LRU); `max_embeddings_per_design`
+  /// bounds each entry's embedding map (oldest-inserted evicted first).
+  explicit FeatureCache(std::size_t max_designs = 16,
+                        std::size_t max_embeddings_per_design = 8);
+
+  std::shared_ptr<const DesignArtifacts> find_design(std::uint64_t key);
+  void put_design(std::uint64_t key, std::shared_ptr<const DesignArtifacts> d);
+
+  std::shared_ptr<const core::DesignEmbeddings> find_embeddings(
+      std::uint64_t design_key, const EmbeddingKey& emb_key);
+  void put_embeddings(std::uint64_t design_key, const EmbeddingKey& emb_key,
+                      std::shared_ptr<const core::DesignEmbeddings> emb);
+
+  FeatureCacheStats stats() const;
+  std::size_t num_designs() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const DesignArtifacts> design;
+    // Insertion-ordered for simple FIFO eviction within one design.
+    std::map<EmbeddingKey, std::shared_ptr<const core::DesignEmbeddings>>
+        embeddings;
+    std::list<EmbeddingKey> embedding_order;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  // Caller must hold mu_. Moves `key` to the front of the LRU list.
+  void touch(std::uint64_t key, Entry& e);
+  void evict_if_needed();
+
+  const std::size_t max_designs_;
+  const std::size_t max_embeddings_per_design_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  FeatureCacheStats stats_;
+};
+
+}  // namespace atlas::serve

@@ -1,0 +1,199 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace atlas::serve {
+namespace {
+
+using util::read_f64;
+using util::read_string;
+using util::read_u32;
+using util::read_u64;
+using util::write_f64;
+using util::write_string;
+using util::write_u32;
+using util::write_u64;
+
+void write_group_power_rows(std::ostream& os,
+                            const std::vector<power::GroupPower>& rows) {
+  write_u64(os, rows.size());
+  for (const power::GroupPower& g : rows) {
+    write_f64(os, g.comb);
+    write_f64(os, g.reg);
+    write_f64(os, g.clock);
+    write_f64(os, g.memory);
+  }
+}
+
+std::vector<power::GroupPower> read_group_power_rows(std::istream& is) {
+  return util::read_vector<power::GroupPower>(is, [](std::istream& s) {
+    power::GroupPower g;
+    g.comb = read_f64(s);
+    g.reg = read_f64(s);
+    g.clock = read_f64(s);
+    g.memory = read_f64(s);
+    return g;
+  });
+}
+
+template <typename Fn>
+std::string encode_payload(Fn&& fn) {
+  std::ostringstream os(std::ios::binary);
+  fn(os);
+  return std::move(os).str();
+}
+
+template <typename T, typename Fn>
+T decode_payload(const std::string& payload, Fn&& fn) {
+  std::istringstream is(payload, std::ios::binary);
+  try {
+    T value = fn(is);
+    return value;
+  } catch (const util::SerializeError& e) {
+    throw ProtocolError(std::string("bad payload: ") + e.what());
+  }
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, 4);
+  const std::uint32_t t = static_cast<std::uint32_t>(type);
+  const std::uint64_t len = payload.size();
+  char buf[12];
+  std::memcpy(buf, &t, 4);
+  std::memcpy(buf + 4, &len, 8);
+  out.append(buf, 12);
+  out += payload;
+  return out;
+}
+
+void write_frame(util::Socket& sock, MsgType type, const std::string& payload) {
+  const std::string wire = encode_frame(type, payload);
+  sock.send_all(wire.data(), wire.size());
+}
+
+bool read_frame(util::Socket& sock, Frame& out, std::size_t max_frame_bytes) {
+  char header[kFrameHeaderBytes];
+  if (!sock.recv_exact(header, sizeof(header))) return false;
+  if (std::memcmp(header, kFrameMagic, 4) != 0) {
+    throw ProtocolError("bad frame magic");
+  }
+  std::uint32_t type = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&len, header + 8, 8);
+  if (len > max_frame_bytes) {
+    throw ProtocolError("declared frame length " + std::to_string(len) +
+                        " exceeds limit " + std::to_string(max_frame_bytes));
+  }
+  out.type = static_cast<MsgType>(type);
+  out.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0 && !sock.recv_exact(out.payload.data(), out.payload.size())) {
+    throw ProtocolError("truncated frame payload");
+  }
+  return true;
+}
+
+std::string PredictRequest::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_string(os, model);
+    write_string(os, netlist_verilog);
+    write_string(os, workload);
+    write_u32(os, static_cast<std::uint32_t>(cycles));
+    write_u32(os, deadline_ms);
+    write_u32(os, want_submodules ? 1u : 0u);
+  });
+}
+
+PredictRequest PredictRequest::decode(const std::string& payload) {
+  return decode_payload<PredictRequest>(payload, [](std::istream& is) {
+    PredictRequest r;
+    r.model = read_string(is);
+    r.netlist_verilog = read_string(is);
+    r.workload = read_string(is);
+    r.cycles = static_cast<std::int32_t>(read_u32(is));
+    r.deadline_ms = read_u32(is);
+    r.want_submodules = read_u32(is) != 0;
+    return r;
+  });
+}
+
+std::string PredictResponse::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u32(os, cache_flags);
+    write_f64(os, server_seconds);
+    write_u32(os, static_cast<std::uint32_t>(num_cycles));
+    write_u64(os, num_submodules);
+    write_group_power_rows(os, design);
+    write_group_power_rows(os, submodule);
+  });
+}
+
+PredictResponse PredictResponse::decode(const std::string& payload) {
+  return decode_payload<PredictResponse>(payload, [](std::istream& is) {
+    PredictResponse r;
+    r.cache_flags = read_u32(is);
+    r.server_seconds = read_f64(is);
+    r.num_cycles = static_cast<std::int32_t>(read_u32(is));
+    r.num_submodules = read_u64(is);
+    r.design = read_group_power_rows(is);
+    r.submodule = read_group_power_rows(is);
+    return r;
+  });
+}
+
+std::string ModelListResponse::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u64(os, models.size());
+    for (const ModelInfo& m : models) {
+      write_string(os, m.name);
+      write_u64(os, m.encoder_dim);
+    }
+  });
+}
+
+ModelListResponse ModelListResponse::decode(const std::string& payload) {
+  return decode_payload<ModelListResponse>(payload, [](std::istream& is) {
+    ModelListResponse r;
+    r.models = util::read_vector<ModelInfo>(is, [](std::istream& s) {
+      ModelInfo m;
+      m.name = read_string(s);
+      m.encoder_dim = read_u64(s);
+      return m;
+    });
+    return r;
+  });
+}
+
+std::string ErrorResponse::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u32(os, static_cast<std::uint32_t>(code));
+    write_string(os, message);
+  });
+}
+
+ErrorResponse ErrorResponse::decode(const std::string& payload) {
+  return decode_payload<ErrorResponse>(payload, [](std::istream& is) {
+    ErrorResponse r;
+    r.code = static_cast<ErrorCode>(read_u32(is));
+    r.message = read_string(is);
+    return r;
+  });
+}
+
+std::string encode_string_payload(const std::string& s) {
+  return encode_payload([&s](std::ostream& os) { write_string(os, s); });
+}
+
+std::string decode_string_payload(const std::string& payload) {
+  return decode_payload<std::string>(
+      payload, [](std::istream& is) { return read_string(is); });
+}
+
+}  // namespace atlas::serve

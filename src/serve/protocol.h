@@ -1,0 +1,143 @@
+// Wire protocol for the atlas_serve daemon.
+//
+// Every message is one length-prefixed binary frame:
+//
+//   offset  size  field
+//   0       4     magic "ATSP"
+//   4       4     message type (u32, little-endian like all payloads)
+//   8       8     payload length in bytes (u64)
+//   16      ...   payload (type-specific, encoded with util/serialize)
+//
+// The header is fixed-size so a reader can validate the magic and the
+// declared length *before* allocating: declared lengths above
+// `max_frame_bytes` are rejected without reading the payload, and payload
+// decoding reuses the hardened util/serialize codecs, so truncated or
+// hostile frames surface as ProtocolError / SerializeError — never as an
+// allocation bomb or a crash.
+//
+// Requests: Ping, Predict, ListModels, Stats, Shutdown.
+// Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk, Error.
+// One response frame per request frame, in request order per connection.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "power/power_analyzer.h"
+#include "util/socket.h"
+
+namespace atlas::serve {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kFrameMagic[4] = {'A', 'T', 'S', 'P'};
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64ull << 20;  // 64 MiB
+
+enum class MsgType : std::uint32_t {
+  // Requests.
+  kPing = 1,
+  kPredict = 2,
+  kListModels = 3,
+  kStats = 4,
+  kShutdown = 5,
+  // Responses.
+  kPong = 100,
+  kPredictOk = 101,
+  kModelList = 102,
+  kStatsText = 103,
+  kShutdownOk = 104,
+  kError = 199,
+};
+
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,       // undecodable payload / bad frame
+  kUnknownModel = 2,     // model name not in the registry
+  kUnknownWorkload = 3,  // workload name not recognized
+  kDeadlineExceeded = 4, // request expired waiting for dispatch
+  kShuttingDown = 5,     // server is draining
+  kInternal = 6,         // handler threw (bad netlist, ...)
+};
+
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Serialize a frame (header + payload) into wire bytes.
+std::string encode_frame(MsgType type, const std::string& payload);
+
+/// Write one frame to a socket.
+void write_frame(util::Socket& sock, MsgType type, const std::string& payload);
+
+/// Read one frame. Returns false on clean EOF at a frame boundary. Throws
+/// ProtocolError on bad magic, unreasonable declared length (checked
+/// against `max_frame_bytes` before any payload allocation), or truncation.
+bool read_frame(util::Socket& sock, Frame& out,
+                std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// ---- Request payloads -----------------------------------------------------
+
+struct PredictRequest {
+  std::string model;            // registry name
+  std::string netlist_verilog;  // gate-level structural Verilog text
+  std::string workload;         // "w1" | "w2"
+  std::int32_t cycles = 300;
+  std::uint32_t deadline_ms = 0;     // 0 = no deadline
+  bool want_submodules = false;      // include per-sub-module rows
+
+  std::string encode() const;
+  static PredictRequest decode(const std::string& payload);
+};
+
+// ---- Response payloads ----------------------------------------------------
+
+/// Cache-path flags reported back to the client (and asserted by tests).
+inline constexpr std::uint32_t kCacheHitDesign = 1u << 0;      // graphs reused
+inline constexpr std::uint32_t kCacheHitEmbeddings = 1u << 1;  // encoder skipped
+
+struct PredictResponse {
+  std::uint32_t cache_flags = 0;
+  double server_seconds = 0.0;  // handler wall-clock on the server
+  std::int32_t num_cycles = 0;
+  std::uint64_t num_submodules = 0;
+  std::vector<power::GroupPower> design;     // [cycle]
+  std::vector<power::GroupPower> submodule;  // [cycle*nsm + sm], optional
+
+  bool design_cache_hit() const { return cache_flags & kCacheHitDesign; }
+  bool embedding_cache_hit() const { return cache_flags & kCacheHitEmbeddings; }
+
+  std::string encode() const;
+  static PredictResponse decode(const std::string& payload);
+};
+
+struct ModelInfo {
+  std::string name;
+  std::uint64_t encoder_dim = 0;
+};
+
+struct ModelListResponse {
+  std::vector<ModelInfo> models;
+
+  std::string encode() const;
+  static ModelListResponse decode(const std::string& payload);
+};
+
+struct ErrorResponse {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  std::string encode() const;
+  static ErrorResponse decode(const std::string& payload);
+};
+
+/// StatsText and Pong/ShutdownOk payloads are a bare string / empty.
+std::string encode_string_payload(const std::string& s);
+std::string decode_string_payload(const std::string& payload);
+
+}  // namespace atlas::serve

@@ -1,0 +1,39 @@
+#include "serve/registry.h"
+
+namespace atlas::serve {
+
+void ModelRegistry::load(const std::string& name, const std::string& path) {
+  auto model =
+      std::make_shared<const core::AtlasModel>(core::AtlasModel::load(path));
+  add(name, std::move(model));
+}
+
+void ModelRegistry::add(const std::string& name,
+                        std::shared_ptr<const core::AtlasModel> m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = std::move(m);
+}
+
+std::shared_ptr<const core::AtlasModel> ModelRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::vector<std::pair<std::string, std::size_t>> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(models_.size());
+  for (const auto& [name, model] : models_) {
+    out.emplace_back(name, model->encoder().dim());
+  }
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace atlas::serve

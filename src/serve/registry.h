@@ -1,0 +1,42 @@
+// Named registry of loaded AtlasModel artifacts.
+//
+// The daemon deserializes each model once at startup (AtlasModel::load is
+// the expensive part an `atlas_cli predict` invocation pays per call) and
+// hands out shared const references, so concurrent predict handlers share
+// one immutable model instance. AtlasModel is read-only after construction
+// — predict/encode touch no mutable state — which is what makes the
+// lock-free concurrent use of one instance sound.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "atlas/model.h"
+
+namespace atlas::serve {
+
+class ModelRegistry {
+ public:
+  /// Load a model file under `name`, replacing any previous binding.
+  void load(const std::string& name, const std::string& path);
+
+  /// Register an already-constructed model (in-process tests, benches).
+  void add(const std::string& name, std::shared_ptr<const core::AtlasModel> m);
+
+  /// nullptr when the name is unknown.
+  std::shared_ptr<const core::AtlasModel> get(const std::string& name) const;
+
+  /// {name, encoder_dim} for every registered model, name-sorted.
+  std::vector<std::pair<std::string, std::size_t>> list() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const core::AtlasModel>> models_;
+};
+
+}  // namespace atlas::serve

@@ -1,0 +1,382 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+
+#include "atlas/preprocess.h"
+#include "graph/submodule_graph.h"
+#include "netlist/verilog_io.h"
+#include "sim/simulator.h"
+#include "sim/stimulus.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+
+namespace atlas::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            since)
+          .count());
+}
+
+std::pair<MsgType, std::string> error_reply(ErrorCode code,
+                                            const std::string& message) {
+  ErrorResponse err;
+  err.code = code;
+  err.message = message;
+  return {MsgType::kError, err.encode()};
+}
+
+/// Largest cycle count a single request may ask the server to simulate.
+constexpr std::int32_t kMaxRequestCycles = 1 << 20;
+
+}  // namespace
+
+Server::Server(ServerConfig config, std::shared_ptr<ModelRegistry> registry)
+    : config_(std::move(config)),
+      registry_(std::move(registry)),
+      lib_(liberty::make_default_library()),
+      cache_(config_.cache_designs, config_.cache_embeddings_per_design) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_) throw std::logic_error("Server::start called twice");
+  if (config_.port < 0 && config_.unix_path.empty()) {
+    throw util::SocketError("server has no endpoint (TCP and UDS disabled)");
+  }
+  if (config_.port >= 0) {
+    int port = config_.port;
+    tcp_listener_ = util::Listener::tcp(config_.host, port);
+    resolved_port_ = port;
+  }
+  if (!config_.unix_path.empty()) {
+    unix_listener_ = util::Listener::unix_domain(config_.unix_path);
+  }
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+  if (tcp_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&tcp_listener_); });
+  }
+  if (unix_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
+  }
+  if (config_.verbose) {
+    std::fprintf(stderr, "atlas_serve: listening (tcp %s:%d%s%s)\n",
+                 config_.host.c_str(), resolved_port_,
+                 config_.unix_path.empty() ? "" : ", uds ",
+                 config_.unix_path.c_str());
+  }
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  {
+    // stopping_ is flipped under the queue mutex so the dispatcher cannot
+    // exit between a connection's stopping_ check and its enqueue — every
+    // accepted predict request is drained and answered.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // All queued work is answered; unblock idle connection readers.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) c->sock.shutdown_read();
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  tcp_listener_.close();
+  unix_listener_.close();
+  stopped_ = true;
+  if (config_.verbose) std::fprintf(stderr, "atlas_serve: stopped\n");
+}
+
+void Server::wait_for_stop_request(const std::function<bool()>& poll) {
+  while (!stop_requested_.load()) {
+    if (poll && poll()) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+std::string Server::stats_text() const {
+  return stats_.render_text(cache_.stats());
+}
+
+void Server::accept_loop(util::Listener* listener) {
+  while (!stopping_.load()) {
+    std::optional<util::Socket> sock;
+    try {
+      sock = listener->accept(/*timeout_ms=*/100);
+    } catch (const util::SocketError&) {
+      // Listener failure (fd limit, ...): back off rather than spin.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    reap_finished_connections();
+    if (!sock) continue;
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(*sock);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void Server::reap_finished_connections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = std::partition(conns_.begin(), conns_.end(),
+                             [](const auto& c) { return !c->done.load(); });
+    for (auto move_it = it; move_it != conns_.end(); ++move_it) {
+      finished.push_back(std::move(*move_it));
+    }
+    conns_.erase(it, conns_.end());
+  }
+  for (auto& c : finished) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void Server::connection_loop(Connection* conn) {
+  util::Socket& sock = conn->sock;
+  try {
+    for (;;) {
+      Frame frame;
+      try {
+        if (!read_frame(sock, frame, config_.max_frame_bytes)) break;
+      } catch (const ProtocolError& e) {
+        // Bad magic / hostile length / truncation: the byte stream cannot
+        // be resynchronized, so answer best-effort and drop the peer.
+        const auto [type, payload] =
+            error_reply(ErrorCode::kBadRequest, e.what());
+        try {
+          write_frame(sock, type, payload);
+        } catch (const util::SocketError&) {
+        }
+        break;
+      }
+
+      const Clock::time_point received_at = Clock::now();
+      switch (frame.type) {
+        case MsgType::kPing:
+          write_frame(sock, MsgType::kPong, encode_string_payload("pong"));
+          stats_.record("ping", elapsed_us(received_at), false);
+          break;
+        case MsgType::kListModels: {
+          ModelListResponse resp;
+          for (const auto& [name, dim] : registry_->list()) {
+            resp.models.push_back({name, dim});
+          }
+          write_frame(sock, MsgType::kModelList, resp.encode());
+          stats_.record("models", elapsed_us(received_at), false);
+          break;
+        }
+        case MsgType::kStats:
+          write_frame(sock, MsgType::kStatsText,
+                      encode_string_payload(stats_text()));
+          stats_.record("stats", elapsed_us(received_at), false);
+          break;
+        case MsgType::kShutdown:
+          write_frame(sock, MsgType::kShutdownOk, encode_string_payload("ok"));
+          stats_.record("shutdown", elapsed_us(received_at), false);
+          stop_requested_.store(true);
+          break;
+        case MsgType::kPredict: {
+          auto job = std::make_shared<PendingJob>();
+          try {
+            job->request = PredictRequest::decode(frame.payload);
+          } catch (const ProtocolError& e) {
+            const auto [type, payload] =
+                error_reply(ErrorCode::kBadRequest, e.what());
+            write_frame(sock, type, payload);
+            stats_.record("predict", elapsed_us(received_at), true);
+            break;
+          }
+          job->enqueued_at = received_at;
+          auto future = job->result.get_future();
+          bool rejected = false;
+          {
+            std::lock_guard<std::mutex> lock(queue_mu_);
+            if (stopping_) {
+              rejected = true;
+            } else {
+              queue_.push_back(job);
+            }
+          }
+          if (rejected) {
+            const auto [type, payload] = error_reply(
+                ErrorCode::kShuttingDown, "server is shutting down");
+            write_frame(sock, type, payload);
+            stats_.record("predict", elapsed_us(received_at), true);
+            break;
+          }
+          queue_cv_.notify_one();
+          const auto [type, payload] = future.get();
+          write_frame(sock, type, payload);
+          break;
+        }
+        default: {
+          const auto [type, payload] = error_reply(
+              ErrorCode::kBadRequest,
+              "unknown message type " +
+                  std::to_string(static_cast<std::uint32_t>(frame.type)));
+          write_frame(sock, type, payload);
+          break;
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Peer vanished mid-write or similar: drop this connection only.
+  }
+  // Signal EOF to the peer but leave the fd to the owning Connection's
+  // destructor (after join) — closing here would race stop()'s
+  // shutdown_read() on a possibly recycled descriptor.
+  sock.shutdown_both();
+  conn->done.store(true);
+}
+
+void Server::dispatcher_loop() {
+  for (;;) {
+    std::vector<std::shared_ptr<PendingJob>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty() && stopping_) return;
+      const std::size_t n = std::min(queue_.size(), config_.batch_max);
+      batch.assign(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(n));
+      queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    if (config_.dispatch_delay_for_test_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.dispatch_delay_for_test_ms));
+    }
+    util::ThreadPool::global().run(
+        batch.size(), [&batch, this](std::size_t i) { process_job(*batch[i]); });
+  }
+}
+
+void Server::process_job(PendingJob& job) {
+  bool is_error = true;
+  std::pair<MsgType, std::string> reply;
+  try {
+    const std::uint64_t waited_ms = elapsed_us(job.enqueued_at) / 1000;
+    if (job.request.deadline_ms > 0 && waited_ms > job.request.deadline_ms) {
+      reply = error_reply(ErrorCode::kDeadlineExceeded,
+                          "request waited " + std::to_string(waited_ms) +
+                              "ms, deadline " +
+                              std::to_string(job.request.deadline_ms) + "ms");
+    } else {
+      reply = handle_predict(job.request);
+      is_error = reply.first == MsgType::kError;
+    }
+  } catch (const std::exception& e) {
+    reply = error_reply(ErrorCode::kInternal, e.what());
+  }
+  stats_.record("predict", elapsed_us(job.enqueued_at), is_error);
+  job.result.set_value(std::move(reply));
+}
+
+std::pair<MsgType, std::string> Server::handle_predict(
+    const PredictRequest& req) {
+  const Clock::time_point handler_start = Clock::now();
+
+  const auto model = registry_->get(req.model);
+  if (!model) {
+    return error_reply(ErrorCode::kUnknownModel,
+                       "unknown model: " + req.model);
+  }
+  sim::WorkloadSpec workload;
+  if (req.workload == "w1" || req.workload == "W1") {
+    workload = sim::make_w1();
+  } else if (req.workload == "w2" || req.workload == "W2") {
+    workload = sim::make_w2();
+  } else {
+    return error_reply(ErrorCode::kUnknownWorkload,
+                       "unknown workload: " + req.workload + " (use w1|w2)");
+  }
+  if (req.cycles <= 0 || req.cycles > kMaxRequestCycles) {
+    return error_reply(ErrorCode::kBadRequest,
+                       "cycles out of range: " + std::to_string(req.cycles));
+  }
+
+  std::uint32_t cache_flags = 0;
+  const std::uint64_t design_key = util::fnv1a64(req.netlist_verilog);
+
+  std::shared_ptr<const DesignArtifacts> design =
+      cache_.find_design(design_key);
+  if (design) {
+    cache_flags |= kCacheHitDesign;
+  } else {
+    std::optional<netlist::Netlist> parsed;
+    try {
+      parsed = netlist::parse_verilog(req.netlist_verilog, lib_);
+    } catch (const std::exception& e) {
+      return error_reply(ErrorCode::kBadRequest,
+                         std::string("netlist parse failed: ") + e.what());
+    }
+    bool untagged = false;
+    for (netlist::CellInstId id = 0; id < parsed->num_cells(); ++id) {
+      untagged = untagged || parsed->cell(id).submodule == netlist::kNoSubmodule;
+    }
+    int structural = 0;
+    if (untagged) {
+      structural = core::assign_submodules_by_structure(*parsed);
+    }
+    auto graphs = graph::build_submodule_graphs(*parsed);
+    design = std::make_shared<const DesignArtifacts>(DesignArtifacts{
+        std::move(*parsed), std::move(graphs), structural});
+    cache_.put_design(design_key, design);
+  }
+
+  const EmbeddingKey emb_key{req.model, req.workload,
+                             req.cycles};
+  std::shared_ptr<const core::DesignEmbeddings> emb =
+      cache_.find_embeddings(design_key, emb_key);
+  if (emb) {
+    cache_flags |= kCacheHitEmbeddings;
+  } else {
+    sim::CycleSimulator simulator(design->gate);
+    sim::StimulusGenerator stimulus(design->gate, workload);
+    const sim::ToggleTrace trace = simulator.run(stimulus, req.cycles);
+    emb = std::make_shared<const core::DesignEmbeddings>(
+        model->encode(design->gate, design->graphs, trace));
+    cache_.put_embeddings(design_key, emb_key, emb);
+  }
+
+  const core::Prediction pred =
+      model->predict_from_embeddings(design->gate, design->graphs, *emb);
+
+  PredictResponse resp;
+  resp.cache_flags = cache_flags;
+  resp.num_cycles = pred.num_cycles;
+  resp.num_submodules = pred.num_submodules;
+  resp.design = pred.design;
+  if (req.want_submodules) resp.submodule = pred.submodule;
+  resp.server_seconds =
+      static_cast<double>(elapsed_us(handler_start)) / 1e6;
+  return {MsgType::kPredictOk, resp.encode()};
+}
+
+}  // namespace atlas::serve

@@ -1,0 +1,148 @@
+// The atlas_serve daemon core: accept loops, per-connection framing, and a
+// batching dispatcher that runs predict handlers on the global thread pool.
+//
+// Threading model:
+//
+//   * one accept thread per listener (TCP and/or Unix-domain), polling with
+//     a short timeout so a stop flag is observed without fd teardown races;
+//   * one thread per live connection, reading frames and answering cheap
+//     requests (ping/models/stats) inline; predict requests are enqueued to
+//     the dispatcher and the connection thread blocks on the response — so
+//     responses stay in request order per connection;
+//   * one dispatcher thread that drains the queue in opportunistic batches
+//     (whatever is queued when it wakes, capped at `batch_max`) and runs
+//     each batch via util::ThreadPool::global(). Handler-internal parallel
+//     loops run inline on their pool thread (the pool is non-reentrant by
+//     design), so per-request numerics are bit-identical no matter how
+//     requests are batched — the determinism contract tests pin.
+//
+// Failure containment: any malformed frame, undecodable payload, unknown
+// model/workload, or handler exception turns into an Error response (or at
+// worst a closed connection) and never unwinds the daemon. Shutdown —
+// stop(), a client Shutdown request, or SIGTERM in the daemon binary —
+// stops accepting, drains every queued request, answers it, then closes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "liberty/library.h"
+#include "serve/feature_cache.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/stats.h"
+#include "util/socket.h"
+
+namespace atlas::serve {
+
+struct ServerConfig {
+  /// TCP endpoint; port 0 binds an ephemeral port (see Server::port()),
+  /// port < 0 disables TCP.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Unix-domain socket path; empty disables.
+  std::string unix_path;
+
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::size_t cache_designs = 16;
+  std::size_t cache_embeddings_per_design = 8;
+  /// Max predict requests dispatched as one thread-pool batch.
+  std::size_t batch_max = 8;
+  /// Test hook: sleep before dispatching each batch so deadline expiry can
+  /// be exercised deterministically. 0 in production.
+  int dispatch_delay_for_test_ms = 0;
+  bool verbose = false;
+};
+
+class Server {
+ public:
+  Server(ServerConfig config, std::shared_ptr<ModelRegistry> registry);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners and launch the accept/dispatcher threads. Throws
+  /// util::SocketError if neither endpoint can be bound.
+  void start();
+
+  /// Drain queued requests, answer them, close connections, join all
+  /// threads. Idempotent; also called by the destructor.
+  void stop();
+
+  bool running() const { return started_ && !stopped_; }
+
+  /// True once a client Shutdown request was accepted (the daemon's main
+  /// loop turns this into stop()).
+  bool stop_requested() const { return stop_requested_.load(); }
+
+  /// Block until stop_requested() or `poll` returns true (checked every
+  /// ~50ms; `poll` lets the daemon also watch a signal flag).
+  void wait_for_stop_request(const std::function<bool()>& poll = {});
+
+  /// Resolved TCP port (after an ephemeral bind); -1 when TCP is disabled.
+  int port() const { return resolved_port_; }
+
+  const ServerConfig& config() const { return config_; }
+  const ModelRegistry& registry() const { return *registry_; }
+  FeatureCacheStats cache_stats() const { return cache_.stats(); }
+  std::string stats_text() const;
+
+ private:
+  struct PendingJob {
+    PredictRequest request;
+    std::chrono::steady_clock::time_point enqueued_at;
+    std::promise<std::pair<MsgType, std::string>> result;
+  };
+  struct Connection {
+    util::Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop(util::Listener* listener);
+  void connection_loop(Connection* conn);
+  void reap_finished_connections();
+
+  void dispatcher_loop();
+  void process_job(PendingJob& job);
+
+  /// Returns {response type, payload}; never throws.
+  std::pair<MsgType, std::string> handle_predict(const PredictRequest& req);
+
+  ServerConfig config_;
+  std::shared_ptr<ModelRegistry> registry_;
+  liberty::Library lib_;
+  FeatureCache cache_;
+  ServerStats stats_;
+
+  util::Listener tcp_listener_;
+  util::Listener unix_listener_;
+  int resolved_port_ = -1;
+
+  std::vector<std::thread> accept_threads_;
+  std::thread dispatcher_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingJob>> queue_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace atlas::serve

@@ -1,0 +1,66 @@
+#include "serve/stats.h"
+
+#include "util/strings.h"
+
+namespace atlas::serve {
+
+void LatencyHistogram::record_us(std::uint64_t us) {
+  int bucket = 0;
+  while (bucket + 1 < kBuckets && (1ULL << (bucket + 1)) <= us) ++bucket;
+  ++buckets_[static_cast<std::size_t>(bucket)];
+  ++count_;
+}
+
+std::uint64_t LatencyHistogram::percentile_us(double p) const {
+  if (count_ == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(cumulative) >= target) {
+      return 1ULL << (i + 1);  // bucket upper bound
+    }
+  }
+  return 1ULL << kBuckets;
+}
+
+void ServerStats::record(const std::string& endpoint, std::uint64_t latency_us,
+                         bool error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EndpointStats& s = endpoints_[endpoint];
+  ++s.requests;
+  if (error) ++s.errors;
+  s.latency.record_us(latency_us);
+}
+
+std::map<std::string, EndpointStats> ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_;
+}
+
+std::string ServerStats::render_text(const FeatureCacheStats& cache) const {
+  const auto snap = snapshot();
+  std::string out = "atlas_serve stats\n";
+  out += util::format("%-10s %10s %8s %12s %12s %12s\n", "endpoint", "requests",
+                      "errors", "p50_us", "p95_us", "p99_us");
+  for (const auto& [name, s] : snap) {
+    out += util::format(
+        "%-10s %10llu %8llu %12llu %12llu %12llu\n", name.c_str(),
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.errors),
+        static_cast<unsigned long long>(s.latency.percentile_us(50)),
+        static_cast<unsigned long long>(s.latency.percentile_us(95)),
+        static_cast<unsigned long long>(s.latency.percentile_us(99)));
+  }
+  out += util::format(
+      "cache: design %llu hits / %llu misses / %llu evictions; "
+      "embeddings %llu hits / %llu misses\n",
+      static_cast<unsigned long long>(cache.design_hits),
+      static_cast<unsigned long long>(cache.design_misses),
+      static_cast<unsigned long long>(cache.design_evictions),
+      static_cast<unsigned long long>(cache.embedding_hits),
+      static_cast<unsigned long long>(cache.embedding_misses));
+  return out;
+}
+
+}  // namespace atlas::serve

@@ -1,0 +1,58 @@
+// Server-side observability: per-endpoint counters and latency histograms.
+//
+// Latencies are recorded into log2-spaced microsecond buckets (1us ..
+// ~1.2h), so p50/p95/p99 are bucket upper bounds — coarse (within 2x) but
+// constant-memory and lock-cheap, which is what a daemon hot path wants.
+// The `stats` request renders the snapshot as text; the daemon also dumps
+// it on SIGTERM so a drained shutdown leaves a service record behind.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/feature_cache.h"
+
+namespace atlas::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 32;  // bucket i covers [2^i, 2^(i+1)) us
+
+  void record_us(std::uint64_t us);
+  std::uint64_t count() const { return count_; }
+  /// Upper bound (us) of the bucket containing the p-th percentile
+  /// (0 < p <= 100); 0 when empty.
+  std::uint64_t percentile_us(double p) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+struct EndpointStats {
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  LatencyHistogram latency;
+};
+
+/// Thread-safe aggregate over all endpoints; snapshot + text rendering.
+class ServerStats {
+ public:
+  void record(const std::string& endpoint, std::uint64_t latency_us,
+              bool error);
+
+  /// One text block: per-endpoint requests / errors / p50 / p95 / p99 plus
+  /// the feature-cache counters.
+  std::string render_text(const FeatureCacheStats& cache) const;
+
+  std::map<std::string, EndpointStats> snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, EndpointStats> endpoints_;
+};
+
+}  // namespace atlas::serve

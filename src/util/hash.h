@@ -1,0 +1,34 @@
+// Content hashing for cache keys.
+//
+// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms and
+// processes — the serve-layer feature cache keys designs by the hash of
+// their Verilog text, and the same key must resolve identically for every
+// client of one daemon. Not cryptographic; collision resistance at the
+// scale of a design cache (tens of entries) is more than sufficient.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace atlas::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range, optionally continuing a previous hash.
+std::uint64_t fnv1a64(const void* data, std::size_t n,
+                      std::uint64_t seed = kFnvOffsetBasis);
+
+inline std::uint64_t fnv1a64(std::string_view s,
+                             std::uint64_t seed = kFnvOffsetBasis) {
+  return fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Mix an integer into a running hash (for composite cache keys).
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v);
+
+/// 16-digit lowercase hex rendering (stable textual cache-key form).
+std::string hash_hex(std::uint64_t h);
+
+}  // namespace atlas::util

@@ -41,10 +41,23 @@ float read_f32(std::istream& is) { return read_raw<float>(is); }
 
 std::string read_string(std::istream& is) {
   const std::uint64_t n = read_u64(is);
-  if (n > (1ULL << 32)) throw SerializeError("string length implausible");
-  std::string s(n, '\0');
-  is.read(s.data(), static_cast<std::streamsize>(n));
-  if (!is) throw SerializeError("read failed (truncated string)");
+  if (n > kMaxSerializedStringBytes) {
+    throw SerializeError("string length implausible");
+  }
+  // Fill incrementally past the eager-reserve cap so a hostile length
+  // prefix on a short stream fails after a bounded allocation.
+  std::string s;
+  std::uint64_t remaining = n;
+  char buf[4096];
+  s.reserve(static_cast<std::size_t>(n < kMaxEagerReserve ? n : kMaxEagerReserve));
+  while (remaining > 0) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        remaining < sizeof(buf) ? remaining : sizeof(buf));
+    is.read(buf, static_cast<std::streamsize>(chunk));
+    if (!is) throw SerializeError("read failed (truncated string)");
+    s.append(buf, chunk);
+    remaining -= chunk;
+  }
   return s;
 }
 
@@ -57,6 +70,9 @@ void write_f32_span(std::ostream& os, const float* data, std::size_t n) {
 
 void read_f32_span(std::istream& is, float* data, std::size_t n) {
   const std::uint64_t stored = read_u64(is);
+  if (stored > kMaxSerializedElems) {
+    throw SerializeError("f32 span length implausible");
+  }
   if (stored != n) throw SerializeError("f32 span size mismatch");
   is.read(reinterpret_cast<char*>(data),
           static_cast<std::streamsize>(n * sizeof(float)));

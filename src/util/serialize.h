@@ -19,6 +19,19 @@ class SerializeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Hard ceilings on declared lengths. These codecs originally parsed only
+/// trusted on-disk caches, but the serve layer now runs them over bytes
+/// read off a socket: a hostile or corrupt length prefix must fail with
+/// SerializeError *before* any allocation proportional to it (no
+/// bad_alloc / OOM-kill allocation bombs).
+inline constexpr std::uint64_t kMaxSerializedElems = 1ULL << 32;
+inline constexpr std::uint64_t kMaxSerializedStringBytes = 1ULL << 32;
+
+/// Largest up-front reserve honored for a declared element count; larger
+/// (still legal) vectors grow incrementally, so a truncated stream throws
+/// after a bounded allocation instead of reserving the declared size.
+inline constexpr std::uint64_t kMaxEagerReserve = 1ULL << 16;
+
 void write_u32(std::ostream& os, std::uint32_t v);
 void write_u64(std::ostream& os, std::uint64_t v);
 void write_i64(std::ostream& os, std::int64_t v);
@@ -42,8 +55,11 @@ void write_vector(std::ostream& os, const std::vector<T>& v, WriteFn fn) {
 template <typename T, typename ReadFn>
 std::vector<T> read_vector(std::istream& is, ReadFn fn) {
   const std::uint64_t n = read_u64(is);
+  if (n > kMaxSerializedElems) {
+    throw SerializeError("vector length implausible: " + std::to_string(n));
+  }
   std::vector<T> v;
-  v.reserve(n);
+  v.reserve(static_cast<std::size_t>(n < kMaxEagerReserve ? n : kMaxEagerReserve));
   for (std::uint64_t i = 0; i < n; ++i) v.push_back(fn(is));
   return v;
 }

@@ -1,0 +1,206 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace atlas::util {
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw SocketError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_inet_addr(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw SocketError("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw SocketError("unix socket path empty or too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // an error on this connection, not a process-wide SIGPIPE.
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw SocketError("connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(Listener&& o) noexcept
+    : fd_(o.fd_), unlink_path_(std::move(o.unlink_path_)) {
+  o.fd_ = -1;
+  o.unlink_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    unlink_path_ = std::move(o.unlink_path_);
+    o.fd_ = -1;
+    o.unlink_path_.clear();
+  }
+  return *this;
+}
+
+Listener Listener::tcp(const std::string& host, int& port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  Listener l;
+  l.fd_ = fd;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_inet_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    raise_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) raise_errno("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    raise_errno("getsockname");
+  }
+  port = ntohs(bound.sin_port);
+  return l;
+}
+
+Listener Listener::unix_domain(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  Listener l;
+  l.fd_ = fd;
+  sockaddr_un addr = make_unix_addr(path);
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    raise_errno("bind " + path);
+  }
+  if (::listen(fd, backlog) != 0) raise_errno("listen");
+  l.unlink_path_ = path;
+  return l;
+}
+
+std::optional<Socket> Listener::accept(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return std::nullopt;
+    raise_errno("poll");
+  }
+  if (n == 0) return std::nullopt;
+  const int cfd = ::accept(fd_, nullptr, nullptr);
+  if (cfd < 0) {
+    if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
+    raise_errno("accept");
+  }
+  return Socket(cfd);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  Socket s(fd);
+  sockaddr_in addr = make_inet_addr(host, port);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    raise_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  // Request/response framing: flush small frames immediately.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+Socket connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) raise_errno("socket");
+  Socket s(fd);
+  sockaddr_un addr = make_unix_addr(path);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    raise_errno("connect " + path);
+  }
+  return s;
+}
+
+}  // namespace atlas::util

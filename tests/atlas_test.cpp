@@ -250,16 +250,77 @@ TEST_F(AtlasCoreTest, ModelSerializationRoundTrip) {
   const std::string path = ::testing::TempDir() + "/atlas_model_test.bin";
   model.save(path);
   const AtlasModel back = AtlasModel::load(path);
+  EXPECT_EQ(back.encoder().dim(), model.encoder().dim());
 
+  // A loaded model is the same model: every cycle and every sub-module row
+  // must be bit-identical, not merely close — serving depends on artifacts
+  // behaving interchangeably with the in-memory original.
   const auto& wl = test_->workloads[0];
   const Prediction a = model.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
   const Prediction b = back.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
-  for (int c = 0; c < a.num_cycles; c += 7) {
-    EXPECT_DOUBLE_EQ(a.at(c).comb, b.at(c).comb);
-    EXPECT_DOUBLE_EQ(a.at(c).clock, b.at(c).clock);
-    EXPECT_DOUBLE_EQ(a.at(c).reg, b.at(c).reg);
+  ASSERT_EQ(a.num_cycles, b.num_cycles);
+  ASSERT_EQ(a.num_submodules, b.num_submodules);
+  for (int c = 0; c < a.num_cycles; ++c) {
+    EXPECT_EQ(a.at(c).comb, b.at(c).comb);
+    EXPECT_EQ(a.at(c).clock, b.at(c).clock);
+    EXPECT_EQ(a.at(c).reg, b.at(c).reg);
+  }
+  ASSERT_EQ(a.submodule.size(), b.submodule.size());
+  for (std::size_t i = 0; i < a.submodule.size(); ++i) {
+    EXPECT_EQ(a.submodule[i].comb, b.submodule[i].comb);
+    EXPECT_EQ(a.submodule[i].clock, b.submodule[i].clock);
+    EXPECT_EQ(a.submodule[i].reg, b.submodule[i].reg);
   }
   std::filesystem::remove(path);
+}
+
+TEST_F(AtlasCoreTest, EncodeThenPredictFromEmbeddingsMatchesPredict) {
+  PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  pcfg.cycles_per_graph = 1;
+  pcfg.dim = 16;
+  PretrainResult pre = pretrain_encoder({train_}, pcfg);
+  FinetuneConfig fcfg;
+  fcfg.gbdt.n_trees = 20;
+  fcfg.cycle_stride = 4;
+  GroupModels models = finetune_models({train_}, pre.encoder, fcfg);
+  const AtlasModel model(std::move(pre.encoder), std::move(models));
+
+  const auto& wl = test_->workloads[0];
+  const Prediction direct =
+      model.predict(test_->gate, test_->gate_graphs, wl.gate_trace);
+
+  // The split entry points the serving feature cache relies on: encode()
+  // once, then reuse the embeddings for repeated head evaluation. Both
+  // evaluations must be bit-identical to the monolithic predict().
+  const DesignEmbeddings emb =
+      model.encode(test_->gate, test_->gate_graphs, wl.gate_trace);
+  EXPECT_EQ(emb.num_cycles, direct.num_cycles);
+  EXPECT_EQ(emb.graphs.size(), test_->gate_graphs.size());
+  EXPECT_GT(emb.approx_bytes(), 0u);
+  for (int round = 0; round < 2; ++round) {
+    const Prediction split =
+        model.predict_from_embeddings(test_->gate, test_->gate_graphs, emb);
+    ASSERT_EQ(split.num_cycles, direct.num_cycles);
+    ASSERT_EQ(split.num_submodules, direct.num_submodules);
+    for (int c = 0; c < direct.num_cycles; ++c) {
+      EXPECT_EQ(split.at(c).comb, direct.at(c).comb);
+      EXPECT_EQ(split.at(c).clock, direct.at(c).clock);
+      EXPECT_EQ(split.at(c).reg, direct.at(c).reg);
+    }
+    ASSERT_EQ(split.submodule.size(), direct.submodule.size());
+    for (std::size_t i = 0; i < direct.submodule.size(); ++i) {
+      EXPECT_EQ(split.submodule[i].comb, direct.submodule[i].comb);
+      EXPECT_EQ(split.submodule[i].clock, direct.submodule[i].clock);
+      EXPECT_EQ(split.submodule[i].reg, direct.submodule[i].reg);
+    }
+  }
+
+  // Mismatched shapes are rejected, not silently mispredicted.
+  DesignEmbeddings wrong = model.encode(test_->gate, test_->gate_graphs, wl.gate_trace);
+  wrong.graphs.pop_back();
+  EXPECT_THROW(model.predict_from_embeddings(test_->gate, test_->gate_graphs, wrong),
+               std::invalid_argument);
 }
 
 TEST_F(AtlasCoreTest, MemoryModelAccurate) {

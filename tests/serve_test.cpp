@@ -1,0 +1,456 @@
+// End-to-end and robustness tests for the atlas_serve subsystem.
+//
+// A tiny ATLAS model is trained once for the whole suite; each test spins
+// up an in-process Server on an ephemeral loopback port (or a Unix socket)
+// and talks to it through the real client library / raw sockets, so the
+// full wire path — framing, dispatch batching, feature cache, GBDT heads —
+// is exercised exactly as the daemon runs it.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "atlas/finetune.h"
+#include "atlas/model.h"
+#include "atlas/preprocess.h"
+#include "atlas/pretrain.h"
+#include "designgen/design_generator.h"
+#include "graph/submodule_graph.h"
+#include "netlist/verilog_io.h"
+#include "serve/client.h"
+#include "serve/feature_cache.h"
+#include "serve/server.h"
+#include "serve/stats.h"
+#include "sim/simulator.h"
+#include "sim/stimulus.h"
+#include "util/hash.h"
+
+namespace atlas::serve {
+namespace {
+
+constexpr int kCycles = 20;
+
+/// Expensive shared state: a trained tiny model, a query design's Verilog
+/// text, and the reference prediction computed directly (no server).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new liberty::Library(liberty::make_default_library());
+
+    core::PreprocessConfig pcfg;
+    pcfg.cycles = 40;
+    const core::DesignData train = core::prepare_design(
+        designgen::paper_design_spec(1, 0.0025), *lib_, pcfg);
+
+    core::PretrainConfig pre_cfg;
+    pre_cfg.epochs = 1;
+    pre_cfg.cycles_per_graph = 1;
+    pre_cfg.dim = 16;
+    core::PretrainResult pre = core::pretrain_encoder({&train}, pre_cfg);
+    core::FinetuneConfig fcfg;
+    fcfg.gbdt.n_trees = 20;
+    fcfg.cycle_stride = 4;
+    core::GroupModels models =
+        core::finetune_models({&train}, pre.encoder, fcfg);
+    model_ = new std::shared_ptr<const core::AtlasModel>(
+        std::make_shared<const core::AtlasModel>(std::move(pre.encoder),
+                                                 std::move(models)));
+
+    // Query design: generation only (no layout/golden needed to predict).
+    const netlist::Netlist query = designgen::generate_design(
+        designgen::paper_design_spec(2, 0.0025), *lib_);
+    verilog_ = new std::string(netlist::write_verilog(query));
+
+    expected_w1_ = new core::Prediction(direct_predict("w1"));
+  }
+
+  static void TearDownTestSuite() {
+    delete expected_w1_;
+    delete verilog_;
+    delete model_;
+    delete lib_;
+    expected_w1_ = nullptr;
+    verilog_ = nullptr;
+    model_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  /// The exact computation the server performs, done inline: parse the
+  /// request text, build graphs, simulate, predict.
+  static core::Prediction direct_predict(const std::string& workload) {
+    netlist::Netlist gate = netlist::parse_verilog(*verilog_, *lib_);
+    const auto graphs = graph::build_submodule_graphs(gate);
+    sim::CycleSimulator simulator(gate);
+    sim::WorkloadSpec spec = workload == "w2" ? sim::make_w2() : sim::make_w1();
+    sim::StimulusGenerator stimulus(gate, spec);
+    const sim::ToggleTrace trace = simulator.run(stimulus, kCycles);
+    return (*model_)->predict(gate, graphs, trace);
+  }
+
+  static std::shared_ptr<ModelRegistry> make_registry() {
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("tiny", *model_);
+    return registry;
+  }
+
+  static PredictRequest make_request(const std::string& workload = "w1") {
+    PredictRequest req;
+    req.model = "tiny";
+    req.netlist_verilog = *verilog_;
+    req.workload = workload;
+    req.cycles = kCycles;
+    req.want_submodules = true;
+    return req;
+  }
+
+  static void expect_matches_direct(const PredictResponse& resp,
+                                    const core::Prediction& expected) {
+    ASSERT_EQ(resp.num_cycles, expected.num_cycles);
+    ASSERT_EQ(resp.num_submodules, expected.num_submodules);
+    ASSERT_EQ(resp.design.size(), expected.design.size());
+    for (std::size_t c = 0; c < expected.design.size(); ++c) {
+      // Bit-identical, not approximately equal: the serve path must be the
+      // same computation as a direct AtlasModel::predict call.
+      EXPECT_EQ(resp.design[c].comb, expected.design[c].comb) << "cycle " << c;
+      EXPECT_EQ(resp.design[c].reg, expected.design[c].reg) << "cycle " << c;
+      EXPECT_EQ(resp.design[c].clock, expected.design[c].clock)
+          << "cycle " << c;
+    }
+    ASSERT_EQ(resp.submodule.size(), expected.submodule.size());
+    for (std::size_t i = 0; i < expected.submodule.size(); ++i) {
+      EXPECT_EQ(resp.submodule[i].comb, expected.submodule[i].comb);
+      EXPECT_EQ(resp.submodule[i].reg, expected.submodule[i].reg);
+      EXPECT_EQ(resp.submodule[i].clock, expected.submodule[i].clock);
+    }
+  }
+
+  static liberty::Library* lib_;
+  static std::shared_ptr<const core::AtlasModel>* model_;
+  static std::string* verilog_;
+  static core::Prediction* expected_w1_;
+};
+
+liberty::Library* ServeTest::lib_ = nullptr;
+std::shared_ptr<const core::AtlasModel>* ServeTest::model_ = nullptr;
+std::string* ServeTest::verilog_ = nullptr;
+core::Prediction* ServeTest::expected_w1_ = nullptr;
+
+ServerConfig loopback_config() {
+  ServerConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = 0;  // ephemeral
+  return cfg;
+}
+
+TEST_F(ServeTest, PingModelsAndStats) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  client.ping();
+  const auto models = client.models();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].name, "tiny");
+  EXPECT_EQ(models[0].encoder_dim, 16u);
+  const std::string stats = client.stats_text();
+  EXPECT_NE(stats.find("ping"), std::string::npos);
+  EXPECT_NE(stats.find("cache:"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServeTest, PredictBitIdenticalAndCachePath) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  // Cold: no cache layer hit; results bit-identical to direct predict.
+  const PredictResponse cold = client.predict(make_request());
+  EXPECT_FALSE(cold.design_cache_hit());
+  EXPECT_FALSE(cold.embedding_cache_hit());
+  expect_matches_direct(cold, *expected_w1_);
+
+  // Warm repeat: both layers hit (straight to the GBDT heads), same bits.
+  const PredictResponse warm = client.predict(make_request());
+  EXPECT_TRUE(warm.design_cache_hit());
+  EXPECT_TRUE(warm.embedding_cache_hit());
+  expect_matches_direct(warm, *expected_w1_);
+
+  // Same design, new workload: graphs reused, encoder re-runs.
+  const PredictResponse w2 = client.predict(make_request("w2"));
+  EXPECT_TRUE(w2.design_cache_hit());
+  EXPECT_FALSE(w2.embedding_cache_hit());
+  expect_matches_direct(w2, direct_predict("w2"));
+
+  const FeatureCacheStats cache = server.cache_stats();
+  EXPECT_EQ(cache.design_hits, 2u);
+  EXPECT_EQ(cache.design_misses, 1u);
+  EXPECT_EQ(cache.embedding_hits, 1u);
+  EXPECT_EQ(cache.embedding_misses, 2u);
+  server.stop();
+}
+
+TEST_F(ServeTest, ConcurrentClientsAllBitIdentical) {
+  ServerConfig cfg = loopback_config();
+  cfg.batch_max = 4;
+  Server server(cfg, make_registry());
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 3;
+  std::vector<std::vector<PredictResponse>> results(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client = Client::connect_tcp("127.0.0.1", server.port());
+      for (int r = 0; r < kRequestsEach; ++r) {
+        results[static_cast<std::size_t>(t)].push_back(
+            client.predict(make_request()));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const auto& per_client : results) {
+    ASSERT_EQ(per_client.size(), static_cast<std::size_t>(kRequestsEach));
+    for (const PredictResponse& resp : per_client) {
+      expect_matches_direct(resp, *expected_w1_);
+    }
+  }
+  server.stop();
+}
+
+TEST_F(ServeTest, BadRequestsGetErrorResponsesNotCrashes) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  PredictRequest unknown_model = make_request();
+  unknown_model.model = "no_such_model";
+  try {
+    client.predict(unknown_model);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownModel);
+  }
+
+  PredictRequest bad_workload = make_request();
+  bad_workload.workload = "w9";
+  try {
+    client.predict(bad_workload);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownWorkload);
+  }
+
+  PredictRequest bad_netlist = make_request();
+  bad_netlist.netlist_verilog = "this is not verilog";
+  try {
+    client.predict(bad_netlist);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+
+  PredictRequest bad_cycles = make_request();
+  bad_cycles.cycles = 0;
+  try {
+    client.predict(bad_cycles);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+
+  // The same connection still works after every rejection...
+  client.ping();
+  // ...and so does real work.
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+TEST_F(ServeTest, MalformedFramesNeverKillTheDaemon) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+
+  {
+    // Garbage bytes where a frame header belongs (bad magic).
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    const char junk[32] = "XXXXYYYYZZZZ0123456789abcdefghi";
+    raw.send_all(junk, sizeof(junk));
+    // Server answers with an error frame (best effort) and disconnects.
+    Frame resp;
+    try {
+      if (read_frame(raw, resp)) {
+        EXPECT_EQ(resp.type, MsgType::kError);
+      }
+    } catch (const std::exception&) {
+      // A clean disconnect is equally acceptable.
+    }
+  }
+  {
+    // Valid magic, hostile declared length (1 EiB).
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    char header[16];
+    std::memcpy(header, kFrameMagic, 4);
+    const std::uint32_t type = static_cast<std::uint32_t>(MsgType::kPredict);
+    const std::uint64_t len = 1ULL << 60;
+    std::memcpy(header + 4, &type, 4);
+    std::memcpy(header + 8, &len, 8);
+    raw.send_all(header, sizeof(header));
+    Frame resp;
+    try {
+      if (read_frame(raw, resp)) {
+        ASSERT_EQ(resp.type, MsgType::kError);
+        const ErrorResponse err = ErrorResponse::decode(resp.payload);
+        EXPECT_EQ(err.code, ErrorCode::kBadRequest);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  {
+    // Truncated frame: declared 100-byte payload, send 3, disconnect.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    char header[16];
+    std::memcpy(header, kFrameMagic, 4);
+    const std::uint32_t type = static_cast<std::uint32_t>(MsgType::kPredict);
+    const std::uint64_t len = 100;
+    std::memcpy(header + 4, &type, 4);
+    std::memcpy(header + 8, &len, 8);
+    raw.send_all(header, sizeof(header));
+    raw.send_all("abc", 3);
+    raw.close();
+  }
+  {
+    // Undecodable predict payload (declared length consistent, bytes junk).
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    write_frame(raw, MsgType::kPredict, "junk payload");
+    Frame resp;
+    ASSERT_TRUE(read_frame(raw, resp));
+    ASSERT_EQ(resp.type, MsgType::kError);
+    EXPECT_EQ(ErrorResponse::decode(resp.payload).code,
+              ErrorCode::kBadRequest);
+  }
+
+  // After all of that, the daemon serves a fresh client flawlessly.
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  client.ping();
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+TEST_F(ServeTest, DeadlineExceededWhileQueued) {
+  ServerConfig cfg = loopback_config();
+  cfg.dispatch_delay_for_test_ms = 50;  // every batch waits 50ms
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  PredictRequest req = make_request();
+  req.deadline_ms = 1;  // expires during the forced dispatch delay
+  try {
+    client.predict(req);
+    FAIL() << "expected deadline error";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+
+  // No deadline: the same request succeeds despite the delay.
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+TEST_F(ServeTest, StopDrainsInFlightRequests) {
+  ServerConfig cfg = loopback_config();
+  cfg.dispatch_delay_for_test_ms = 100;  // hold the request in the queue
+  Server server(cfg, make_registry());
+  server.start();
+
+  PredictResponse resp;
+  std::thread requester([&] {
+    Client client = Client::connect_tcp("127.0.0.1", server.port());
+    resp = client.predict(make_request());
+  });
+  // Let the request reach the queue, then stop: the server must answer it
+  // before shutting down (graceful drain), not drop it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.stop();
+  requester.join();
+  expect_matches_direct(resp, *expected_w1_);
+}
+
+TEST_F(ServeTest, ClientShutdownRequestIsHonored) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  EXPECT_FALSE(server.stop_requested());
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  client.shutdown_server();
+  EXPECT_TRUE(server.stop_requested());
+  server.wait_for_stop_request();
+  server.stop();
+}
+
+TEST_F(ServeTest, UnixDomainSocketServesPredictions) {
+  ServerConfig cfg;
+  cfg.port = -1;  // TCP disabled
+  cfg.unix_path = ::testing::TempDir() + "/atlas_serve_test.sock";
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_unix(cfg.unix_path);
+  client.ping();
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+// ---- FeatureCache unit tests ----------------------------------------------
+
+std::shared_ptr<const DesignArtifacts> dummy_design(
+    const liberty::Library& lib) {
+  designgen::DesignSpec spec;
+  spec.target_cells = 200;
+  netlist::Netlist nl = designgen::generate_design(spec, lib);
+  auto graphs = graph::build_submodule_graphs(nl);
+  return std::make_shared<const DesignArtifacts>(
+      DesignArtifacts{std::move(nl), std::move(graphs), 0});
+}
+
+TEST_F(ServeTest, FeatureCacheLruEvictsOldestDesign) {
+  FeatureCache cache(/*max_designs=*/2, /*max_embeddings_per_design=*/2);
+  auto d = dummy_design(*lib_);
+  cache.put_design(1, d);
+  cache.put_design(2, d);
+  EXPECT_NE(cache.find_design(1), nullptr);  // 1 is now most recent
+  cache.put_design(3, d);                    // evicts 2
+  EXPECT_EQ(cache.find_design(2), nullptr);
+  EXPECT_NE(cache.find_design(1), nullptr);
+  EXPECT_NE(cache.find_design(3), nullptr);
+  EXPECT_EQ(cache.num_designs(), 2u);
+  EXPECT_EQ(cache.stats().design_evictions, 1u);
+}
+
+TEST_F(ServeTest, FeatureCacheEmbeddingLayerBoundsAndEviction) {
+  FeatureCache cache(2, 2);
+  auto d = dummy_design(*lib_);
+  cache.put_design(1, d);
+  auto emb = std::make_shared<const core::DesignEmbeddings>();
+  cache.put_embeddings(1, {"m", "w1", 10}, emb);
+  cache.put_embeddings(1, {"m", "w2", 10}, emb);
+  cache.put_embeddings(1, {"m", "w1", 20}, emb);  // evicts {m,w1,10}
+  EXPECT_EQ(cache.find_embeddings(1, {"m", "w1", 10}), nullptr);
+  EXPECT_NE(cache.find_embeddings(1, {"m", "w2", 10}), nullptr);
+  EXPECT_NE(cache.find_embeddings(1, {"m", "w1", 20}), nullptr);
+  // Embeddings for an unknown design are dropped, not crashed on.
+  cache.put_embeddings(99, {"m", "w1", 10}, emb);
+  EXPECT_EQ(cache.find_embeddings(99, {"m", "w1", 10}), nullptr);
+}
+
+TEST_F(ServeTest, LatencyHistogramPercentiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.percentile_us(50), 0u);
+  for (int i = 0; i < 90; ++i) h.record_us(100);   // bucket [64,128)
+  for (int i = 0; i < 10; ++i) h.record_us(10000);  // bucket [8192,16384)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile_us(50), 128u);
+  EXPECT_EQ(h.percentile_us(99), 16384u);
+}
+
+}  // namespace
+}  // namespace atlas::serve

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/cli.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/strings.h"
@@ -218,6 +219,65 @@ TEST(Serialize, VectorRoundTrip) {
   write_vector(ss, v, [](std::ostream& os, double d) { write_f64(os, d); });
   const auto back = read_vector<double>(ss, [](std::istream& is) { return read_f64(is); });
   EXPECT_EQ(back, v);
+}
+
+// Hostile streams must fail with SerializeError after bounded work — a
+// declared length is not trusted until that many elements actually parse,
+// so a corrupt/truncated header can't become a multi-GiB allocation
+// (std::bad_alloc / OOM kill) before the truncation is noticed.
+TEST(Serialize, ImplausibleVectorLengthThrows) {
+  std::stringstream ss;
+  write_u64(ss, kMaxSerializedElems + 1);  // length word only, no payload
+  EXPECT_THROW(
+      read_vector<double>(ss, [](std::istream& is) { return read_f64(is); }),
+      SerializeError);
+}
+
+TEST(Serialize, HugeDeclaredVectorOnShortStreamThrows) {
+  std::stringstream ss;
+  write_u64(ss, 1ULL << 30);  // plausible count, absent payload
+  write_f64(ss, 1.0);         // ... one element instead of a billion
+  EXPECT_THROW(
+      read_vector<double>(ss, [](std::istream& is) { return read_f64(is); }),
+      SerializeError);
+}
+
+TEST(Serialize, ImplausibleStringLengthThrows) {
+  std::stringstream ss;
+  write_u64(ss, kMaxSerializedStringBytes + 1);
+  EXPECT_THROW(read_string(ss), SerializeError);
+}
+
+TEST(Serialize, HugeDeclaredStringOnShortStreamThrows) {
+  std::stringstream ss;
+  write_u64(ss, 1ULL << 30);
+  ss << "short";
+  EXPECT_THROW(read_string(ss), SerializeError);
+}
+
+TEST(Serialize, F32SpanLengthMismatchThrows) {
+  std::stringstream ss;
+  write_u64(ss, kMaxSerializedElems + 1);
+  float buf[4] = {};
+  EXPECT_THROW(read_f32_span(ss, buf, 4), SerializeError);
+}
+
+TEST(Hash, Fnv1a64KnownValuesAndStability) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  // Deterministic across calls, sensitive to every byte.
+  const std::string verilog = "module top(); endmodule";
+  EXPECT_EQ(fnv1a64(verilog), fnv1a64(verilog));
+  EXPECT_NE(fnv1a64(verilog), fnv1a64("module top();  endmodule"));
+}
+
+TEST(Hash, MixAndHexFormat) {
+  const std::uint64_t a = hash_mix(fnv1a64("model"), 300);
+  const std::uint64_t b = hash_mix(fnv1a64("model"), 301);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(hash_hex(0).size(), 16u);
+  EXPECT_EQ(hash_hex(0xabcULL), "0000000000000abc");
 }
 
 TEST(PhaseTimersTest, AccumulatesAndOrders) {

@@ -1,0 +1,167 @@
+// atlas_client — command-line client for the atlas_serve daemon.
+//
+// Subcommands (all take --host/--port or --unix to pick the endpoint):
+//   ping      round-trip health check
+//   models    list registered models (name + encoder dim)
+//   stats     print the server's stats block
+//   predict   send a gate-level Verilog netlist for per-cycle power -> CSV
+//   shutdown  ask the daemon to drain and exit
+//
+// `predict` mirrors `atlas_cli predict` but amortizes model loading and
+// per-design preprocessing across calls: the daemon reports which cache
+// layers were hit and how long the server-side handler took.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "serve/client.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace atlas;
+
+util::Cli& add_endpoint_flags(util::Cli& cli) {
+  return cli.flag("host", "127.0.0.1", "server TCP address")
+      .flag("port", "7433", "server TCP port")
+      .flag("unix", "", "Unix-domain socket path (overrides TCP when set)");
+}
+
+serve::Client connect(const util::Cli& cli) {
+  const std::string unix_path = cli.str("unix");
+  if (!unix_path.empty()) return serve::Client::connect_unix(unix_path);
+  return serve::Client::connect_tcp(cli.str("host"),
+                                    static_cast<int>(cli.integer("port")));
+}
+
+int cmd_ping(int argc, const char* const* argv) {
+  util::Cli cli;
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  client.ping();
+  std::printf("pong\n");
+  return 0;
+}
+
+int cmd_models(int argc, const char* const* argv) {
+  util::Cli cli;
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  for (const serve::ModelInfo& m : client.models()) {
+    std::printf("%s  (encoder dim %llu)\n", m.name.c_str(),
+                static_cast<unsigned long long>(m.encoder_dim));
+  }
+  return 0;
+}
+
+int cmd_stats(int argc, const char* const* argv) {
+  util::Cli cli;
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  std::printf("%s", client.stats_text().c_str());
+  return 0;
+}
+
+int cmd_shutdown(int argc, const char* const* argv) {
+  util::Cli cli;
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  client.shutdown_server();
+  std::printf("server shutting down\n");
+  return 0;
+}
+
+int cmd_predict(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("model", "default", "registry name of the model to query")
+      .flag("in", "design.v", "gate-level Verilog input")
+      .flag("workload", "w1", "workload (w1 | w2)")
+      .flag("cycles", "300", "cycles to simulate")
+      .flag("deadline-ms", "0", "per-request deadline (0 = none)")
+      .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  std::ifstream in(cli.str("in"));
+  if (!in) throw std::runtime_error("cannot open " + cli.str("in"));
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  serve::PredictRequest req;
+  req.model = cli.str("model");
+  req.netlist_verilog = std::move(text).str();
+  req.workload = cli.str("workload");
+  req.cycles = static_cast<std::int32_t>(cli.integer("cycles"));
+  req.deadline_ms = static_cast<std::uint32_t>(cli.integer("deadline-ms"));
+
+  serve::Client client = connect(cli);
+  const serve::PredictResponse resp = client.predict(req);
+
+  std::ofstream csv(cli.str("csv"));
+  csv << "cycle,comb_uw,clock_uw,reg_uw,total_uw\n";
+  power::GroupPower avg;
+  for (std::int32_t c = 0; c < resp.num_cycles; ++c) {
+    const power::GroupPower& g = resp.design[static_cast<std::size_t>(c)];
+    csv << util::format("%d,%.4f,%.4f,%.4f,%.4f\n", c, g.comb, g.clock, g.reg,
+                        g.total_no_memory());
+    avg += g;
+  }
+  const double inv = resp.num_cycles > 0 ? 1.0 / resp.num_cycles : 0.0;
+  std::printf("predicted post-layout power (avg over %d cycles): comb=%.3f "
+              "clock=%.3f reg=%.3f total=%.3f mW\n",
+              resp.num_cycles, avg.comb * inv / 1e3, avg.clock * inv / 1e3,
+              avg.reg * inv / 1e3, avg.total_no_memory() * inv / 1e3);
+  std::printf("server: %.1f ms, cache %s/%s; wrote %s\n",
+              resp.server_seconds * 1e3,
+              resp.design_cache_hit() ? "design-hit" : "design-miss",
+              resp.embedding_cache_hit() ? "emb-hit" : "emb-miss",
+              cli.str("csv").c_str());
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: atlas_client <command> [flags]   (--help per command)\n"
+      "  ping      round-trip health check\n"
+      "  models    list models registered on the server\n"
+      "  stats     print server stats (latency percentiles, cache hits)\n"
+      "  predict   per-cycle power for a gate-level netlist -> CSV\n"
+      "  shutdown  drain and stop the server");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "ping") return cmd_ping(argc - 1, argv + 1);
+    if (cmd == "models") return cmd_models(argc - 1, argv + 1);
+    if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
+    if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
+    if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      usage();
+      return 0;
+    }
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    usage();
+    return 1;
+  } catch (const serve::ServeError& e) {
+    std::fprintf(stderr, "server error (code %u): %s\n",
+                 static_cast<unsigned>(e.code()), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,103 @@
+// atlas_serve — persistent ATLAS inference daemon.
+//
+// Loads one or more trained AtlasModel artifacts into a model registry at
+// startup, then serves predict/stats/models/ping requests over TCP and/or
+// a Unix-domain socket (see src/serve/protocol.h for the wire format).
+// Repeat queries are amortized by the feature cache: the per-design graph
+// build and, per (model, workload, cycles), the encoder embeddings are
+// computed once and reused, so warm requests go straight to the GBDT heads.
+//
+//   atlas_serve --models default=atlas_model.bin --port 7433
+//   atlas_serve --models "a=a.bin,b=b.bin" --unix /tmp/atlas.sock --port -1
+//
+// SIGTERM / SIGINT (or a client `shutdown` request) drains in-flight
+// requests, dumps the stats block to stderr, and exits 0.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace atlas;
+
+// async-signal-safe flag; the main thread polls it while waiting.
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int) { g_signal = 1; }
+
+/// Parse "name=path,name2=path2" into the registry.
+void load_models(serve::ModelRegistry& registry, const std::string& spec) {
+  for (const std::string& item : util::split(spec, ',')) {
+    const std::string entry(util::trim(item));
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      throw std::runtime_error("bad --models entry (want name=path): " + entry);
+    }
+    const std::string name = entry.substr(0, eq);
+    const std::string path = entry.substr(eq + 1);
+    registry.load(name, path);
+    std::fprintf(stderr, "atlas_serve: loaded model '%s' from %s\n",
+                 name.c_str(), path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli;
+  cli.flag("models", "default=atlas_model.bin",
+           "comma-separated name=path model list")
+      .flag("host", "127.0.0.1", "TCP bind address")
+      .flag("port", "7433", "TCP port (0 = ephemeral, -1 = disable TCP)")
+      .flag("unix", "", "Unix-domain socket path (empty = disabled)")
+      .flag("cache-designs", "16", "feature-cache capacity (designs)")
+      .flag("cache-embeddings", "8", "cached embedding sets per design")
+      .flag("batch-max", "8", "max predict requests per dispatch batch")
+      .flag("threads", "0",
+            "worker threads (0 = hardware concurrency, 1 = serial)");
+  try {
+    cli.parse(argc, argv);
+    if (cli.help_requested()) return 0;
+    util::set_global_threads(static_cast<int>(cli.integer("threads")));
+
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    load_models(*registry, cli.str("models"));
+    if (registry->size() == 0) {
+      std::fprintf(stderr, "error: no models loaded (--models)\n");
+      return 1;
+    }
+
+    serve::ServerConfig cfg;
+    cfg.host = cli.str("host");
+    cfg.port = static_cast<int>(cli.integer("port"));
+    cfg.unix_path = cli.str("unix");
+    cfg.cache_designs = static_cast<std::size_t>(cli.integer("cache-designs"));
+    cfg.cache_embeddings_per_design =
+        static_cast<std::size_t>(cli.integer("cache-embeddings"));
+    cfg.batch_max = static_cast<std::size_t>(cli.integer("batch-max"));
+    cfg.verbose = true;
+
+    serve::Server server(cfg, registry);
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
+    server.start();
+    std::fprintf(stderr, "atlas_serve: ready (port %d)\n", server.port());
+    server.wait_for_stop_request([] { return g_signal != 0; });
+    std::fprintf(stderr, "atlas_serve: draining...\n");
+    server.stop();
+    std::fprintf(stderr, "%s", server.stats_text().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
