@@ -9,6 +9,8 @@
 #include "liberty/library.h"
 #include "ml/gbdt.h"
 #include "ml/sgformer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "power/power_analyzer.h"
 #include "sim/simulator.h"
 #include "transform/rewrite.h"
@@ -151,6 +153,47 @@ void BM_SubmoduleGraphBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SubmoduleGraphBuild);
+
+// --- Observability overhead (src/obs/) -----------------------------------
+//
+// BM_ObsSpanDisabled is the number that licenses leaving ObsSpan in every
+// flow phase and pool batch: the disabled path is one relaxed load plus a
+// branch, targeted under 5 ns. The enabled path pays two clock reads and a
+// short critical section — fine for coarse spans, never per-cell loops.
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Trace::disable();
+  for (auto _ : state) {
+    obs::ObsSpan span("bench", "disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Trace::enable();
+  for (auto _ : state) {
+    obs::ObsSpan span("bench", "enabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::Trace::disable();
+  obs::Trace::clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+// Contended counter increment: all threads hammer one cache line. This is
+// the worst case; real instrumentation points increment far less often
+// than once per ~20 ns, so even the 8-thread number is invisible at the
+// batch/request granularity the pipeline uses.
+void BM_ObsCounterInc(benchmark::State& state) {
+  static obs::Counter* c =
+      &obs::Registry::global().counter("atlas_bench_incs_total");
+  for (auto _ : state) {
+    c->inc();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc)->Threads(1)->Threads(4)->Threads(8);
 
 }  // namespace
 

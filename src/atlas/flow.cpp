@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "util/timer.h"
 
@@ -38,8 +40,11 @@ std::uint64_t config_hash(const ExperimentConfig& c) {
   return h;
 }
 
+// Verbose runs log at info (visible by default); quiet runs demote to
+// debug so ATLAS_LOG_LEVEL=debug can still surface the flow narrative.
 void log_line(const ExperimentConfig& c, const std::string& msg) {
-  if (c.verbose) std::fprintf(stderr, "[atlas] %s\n", msg.c_str());
+  obs::LogLine(c.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug, "flow")
+      .kv("msg", msg);
 }
 
 }  // namespace
@@ -50,6 +55,7 @@ Experiment::Experiment(ExperimentConfig config)
   pre.cycles = config_.cycles;
   designs_.reserve(6);
   for (int i = 1; i <= 6; ++i) {
+    obs::ObsSpan span("flow", "prepare_C" + std::to_string(i));
     log_line(config_, util::format("preparing design C%d (scale %.4f)...", i,
                                    config_.scale));
     designs_.push_back(prepare_design(
@@ -84,6 +90,7 @@ std::string Experiment::cache_path() const {
 void Experiment::train_or_load() {
   const std::string path = cache_path();
   if (config_.use_cache && std::filesystem::exists(path)) {
+    obs::ObsSpan span("flow", "model_load_cache");
     log_line(config_, "loading cached model from " + path);
     model_ = AtlasModel::load(path);
     model_from_cache_ = true;
@@ -95,8 +102,10 @@ void Experiment::train_or_load() {
   log_line(config_, util::format("pre-training encoder (%d epochs)...",
                                  config_.pretrain.epochs));
   util::Timer t1;
-  PretrainResult pre =
-      pretrain_encoder(train, config_.pretrain, config_.pretrain_tasks);
+  PretrainResult pre = [&] {
+    obs::ObsSpan span("flow", "pretrain");
+    return pretrain_encoder(train, config_.pretrain, config_.pretrain_tasks);
+  }();
   pretrain_seconds_ = t1.seconds();
   pretrain_report_ = pre.report;
   if (!pre.report.epochs.empty()) {
@@ -111,7 +120,10 @@ void Experiment::train_or_load() {
 
   log_line(config_, "fine-tuning group models...");
   util::Timer t2;
-  GroupModels models = finetune_models(train, pre.encoder, config_.finetune);
+  GroupModels models = [&] {
+    obs::ObsSpan span("flow", "finetune");
+    return finetune_models(train, pre.encoder, config_.finetune);
+  }();
   finetune_seconds_ = t2.seconds();
 
   model_.emplace(std::move(pre.encoder), std::move(models));
@@ -129,6 +141,7 @@ EvalRow Experiment::evaluate(int design_index, int workload_index) const {
     throw std::out_of_range("Experiment::evaluate: bad workload index");
   }
   const auto& wl = d.workloads[static_cast<std::size_t>(workload_index)];
+  obs::ObsSpan span("flow", "evaluate");
   EvalRow row;
   row.design = d.spec.name;
   row.workload = wl.name;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/serialize.h"
 
 namespace atlas::core {
@@ -56,6 +58,10 @@ Prediction AtlasModel::predict(const netlist::Netlist& gate,
 DesignEmbeddings AtlasModel::encode(
     const netlist::Netlist& gate, const std::vector<SubmoduleGraph>& graphs,
     const sim::ToggleTrace& gate_trace) const {
+  obs::ObsSpan span("model", "encode");
+  static obs::Counter* encodes =
+      &obs::Registry::global().counter("atlas_model_encodes_total");
+  encodes->inc();
   DesignEmbeddings emb;
   emb.num_cycles = gate_trace.num_cycles();
   emb.graphs.reserve(graphs.size());
@@ -87,6 +93,10 @@ Prediction AtlasModel::predict_from_embeddings(
     throw std::invalid_argument(
         "predict_from_embeddings: embeddings/graphs mismatch");
   }
+  obs::ObsSpan span("model", "gbdt_heads");
+  static obs::Counter* predictions =
+      &obs::Registry::global().counter("atlas_model_predictions_total");
+  predictions->inc();
   Prediction pred;
   pred.num_cycles = emb.num_cycles;
   pred.num_submodules = gate.submodules().size();

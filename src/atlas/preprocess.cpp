@@ -3,6 +3,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace atlas::core {
@@ -17,6 +18,7 @@ DesignData::WorkloadData run_workload(const Netlist& gate, const Netlist& plus,
                                       const Netlist& post,
                                       const sim::WorkloadSpec& spec, int cycles,
                                       util::PhaseTimers& timers) {
+  obs::ObsSpan span("preprocess", "workload:" + spec.name);
   DesignData::WorkloadData w;
   w.name = spec.name;
   {
@@ -56,16 +58,19 @@ DesignData prepare_design(const designgen::DesignSpec& spec,
   util::PhaseTimers timers;
   Netlist gate = [&] {
     util::ScopedPhase t(timers, "generate");
+    obs::ObsSpan span("preprocess", "generate");
     return designgen::generate_design(spec, lib);
   }();
   transform::RewriteConfig rw = cfg.rewrite;
   rw.seed = spec.seed ^ 0x5eedULL;
   Netlist plus = [&] {
     util::ScopedPhase t(timers, "rewrite");
+    obs::ObsSpan span("preprocess", "rewrite");
     return transform::apply_rewrites(gate, rw);
   }();
   layout::LayoutResult layout_result = [&] {
     util::ScopedPhase t(timers, "pnr");
+    obs::ObsSpan span("preprocess", "pnr");
     return layout::run_layout(gate, cfg.layout);
   }();
 
@@ -94,6 +99,7 @@ DesignData prepare_design(const designgen::DesignSpec& spec,
 
   {
     util::ScopedPhase t(data.timers, "atlas_pre");
+    obs::ObsSpan span("preprocess", "graph_build");
     data.gate_graphs = graph::build_submodule_graphs(data.gate);
     data.plus_graphs = graph::build_submodule_graphs(data.plus);
   }

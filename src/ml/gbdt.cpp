@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
 
@@ -33,6 +35,7 @@ GbdtRegressor::GbdtRegressor(const GbdtConfig& config) : config_(config) {
 }
 
 void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
+  obs::ObsSpan span("ml", "gbdt_fit");
   const std::size_t n = x.rows();
   const std::size_t f = x.cols();
   if (n == 0 || f == 0) throw std::invalid_argument("Gbdt::fit: empty input");
@@ -241,6 +244,9 @@ void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
     });
     trees_.push_back(std::move(tree));
   }
+  static obs::Counter* trees_trained =
+      &obs::Registry::global().counter("atlas_ml_gbdt_trees_trained_total");
+  trees_trained->inc(static_cast<std::uint64_t>(trees_.size()));
 }
 
 double GbdtRegressor::predict_row(const float* features) const {
@@ -254,6 +260,9 @@ std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
     throw std::invalid_argument("Gbdt::predict: feature count mismatch");
   }
   std::vector<double> out(x.rows());
+  static obs::Counter* rows =
+      &obs::Registry::global().counter("atlas_ml_gbdt_predict_rows_total");
+  rows->inc(static_cast<std::uint64_t>(x.rows()));
   util::parallel_for(x.rows(), kRowsPerChunk,
                      [&](std::size_t i) { out[i] = predict_row(x.row(i)); });
   return out;

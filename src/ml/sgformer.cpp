@@ -3,9 +3,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "util/serialize.h"
 
 namespace atlas::ml {
+
+namespace {
+// forward/backward are called once per graph per cycle — far too hot for
+// spans, so they only bump relaxed counters through cached references.
+obs::Counter& forward_counter() {
+  static obs::Counter* c =
+      &obs::Registry::global().counter("atlas_ml_sgformer_forward_total");
+  return *c;
+}
+obs::Counter& backward_counter() {
+  static obs::Counter* c =
+      &obs::Registry::global().counter("atlas_ml_sgformer_backward_total");
+  return *c;
+}
+}  // namespace
 
 SgFormer::SgFormer(const Config& config) : config_(config) {
   if (config_.in_dim == 0 || config_.dim == 0) {
@@ -44,6 +60,7 @@ void SgFormer::propagate(const Cache& cache, const Matrix& x, Matrix& y) const {
 }
 
 SgFormer::Output SgFormer::forward(const GraphView& g, Cache* cache) const {
+  forward_counter().inc();
   if (g.num_nodes == 0) throw std::invalid_argument("SgFormer: empty graph");
   if (g.feat_dim != config_.in_dim) {
     throw std::invalid_argument("SgFormer: feature dim mismatch");
@@ -129,6 +146,7 @@ SgFormer::Output SgFormer::forward(const GraphView& g, Cache* cache) const {
 
 void SgFormer::backward(const Cache& c, const Matrix& d_node,
                         const Matrix& d_graph) {
+  backward_counter().inc();
   const std::size_t n = c.n;
   const std::size_t d = config_.dim;
   Matrix de(n, d);

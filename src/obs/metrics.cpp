@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace atlas::obs {
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p <= 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += bucket_count(i);
+    if (cumulative >= rank) return bucket_upper_bound(i);
+  }
+  return kOverflowBound;
+}
+
+Registry& Registry::global() {
+  // Intentionally leaked: cached Counter&/Histogram& references must stay
+  // valid through every static destructor (including the global thread
+  // pool's), and still-reachable memory is not a LeakSanitizer finding.
+  static Registry* r = new Registry();
+  return *r;
+}
+
+Registry::Series& Registry::lookup(const std::string& name,
+                                   const std::string& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace({name, labels});
+  Series& s = it->second;
+  if (inserted) {
+    s.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: s.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: s.histogram = std::make_unique<Histogram>(); break;
+    }
+  } else if (s.kind != kind) {
+    throw std::logic_error("obs::Registry: metric '" + name +
+                           "' registered with two different kinds");
+  }
+  return s;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& labels) {
+  return *lookup(name, labels, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& labels) {
+  return *lookup(name, labels, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& labels) {
+  return *lookup(name, labels, Kind::kHistogram).histogram;
+}
+
+namespace {
+
+void append_series_line(std::string& out, const std::string& name,
+                        const std::string& labels, const std::string& extra,
+                        std::uint64_t value) {
+  out += name;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %llu\n",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+void append_gauge_line(std::string& out, const std::string& name,
+                       const std::string& labels, std::int64_t value) {
+  out += name;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(value));
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(series_.size() * 64);
+  const std::string* prev_family = nullptr;
+  for (const auto& [key, s] : series_) {
+    const auto& [name, labels] = key;
+    if (prev_family == nullptr || *prev_family != name) {
+      out += "# TYPE ";
+      out += name;
+      switch (s.kind) {
+        case Kind::kCounter: out += " counter\n"; break;
+        case Kind::kGauge: out += " gauge\n"; break;
+        case Kind::kHistogram: out += " histogram\n"; break;
+      }
+      prev_family = &name;
+    }
+    switch (s.kind) {
+      case Kind::kCounter:
+        append_series_line(out, name, labels, "", s.counter->value());
+        break;
+      case Kind::kGauge:
+        append_gauge_line(out, name, labels, s.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *s.histogram;
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          const std::uint64_t c = h.bucket_count(i);
+          cumulative += c;
+          // Skip interior empty buckets to keep the payload scrape-sized;
+          // cumulative counts stay correct because `le` bounds are
+          // inclusive upper bounds.
+          if (c == 0 && i + 1 < Histogram::kBuckets) continue;
+          char le[32];
+          std::snprintf(le, sizeof(le), "le=\"%llu\"",
+                        static_cast<unsigned long long>(
+                            Histogram::bucket_upper_bound(i) - 1));
+          append_series_line(out, name + "_bucket", labels, le, cumulative);
+        }
+        append_series_line(out, name + "_bucket", labels, "le=\"+Inf\"",
+                           h.count());
+        append_series_line(out, name + "_sum", labels, "", h.sum());
+        append_series_line(out, name + "_count", labels, "", h.count());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace atlas::obs

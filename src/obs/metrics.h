@@ -1,0 +1,156 @@
+// Process-wide metrics registry: named counters, gauges and log2-bucket
+// histograms, rendered in Prometheus exposition format.
+//
+// Design constraints, in priority order:
+//
+//   1. **Lock-cheap hot path.** Every metric is a handful of relaxed
+//      atomics; the registry mutex is taken only to *create or look up* a
+//      series. Callers cache the returned reference (typically in a
+//      function-local static), so steady-state instrumentation is one
+//      `fetch_add` — safe inside the thread pool, the simulator cycle loop
+//      and the serve dispatcher.
+//   2. **Stable references.** Series objects are heap-allocated and never
+//      destroyed (the registry intentionally leaks at exit), so a cached
+//      `Counter&` outlives every subsystem including the global thread
+//      pool's teardown.
+//   3. **No dependencies.** obs/ sits below util/ in the dependency order
+//      so the thread pool itself can be instrumented.
+//
+// Naming convention: `atlas_<subsystem>_<metric>_<unit>` with `_total` for
+// counters (e.g. `atlas_parallel_tasks_total`,
+// `atlas_serve_request_latency_us`). Labels are passed pre-rendered as
+// `key="value"` pairs, e.g. `counter("atlas_serve_requests_total",
+// "endpoint=\"ping\"")`.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace atlas::obs {
+
+/// Monotonic event count. Relaxed atomics: totals are exact, ordering
+/// against other metrics is not guaranteed (nor needed for scraping).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (cache occupancy, bytes held, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram of non-negative integer samples (microseconds
+/// in practice): bucket i counts values in [2^i, 2^{i+1}), bucket 0 also
+/// absorbs 0. Values >= 2^kBuckets land in an explicit overflow bucket
+/// instead of being silently clamped into the top bucket, so a latency
+/// spike beyond ~1.2h (or a unit bug) is visible as overflow rather than
+/// masquerading as a legitimate top-bucket sample.
+///
+/// Percentiles return the upper bound of the bucket containing the p-th
+/// sample — coarse (within 2x) but constant-memory and wait-free to
+/// record. This generalizes the serve-local LatencyHistogram this class
+/// replaced; see percentile() for the single-sample edge contract.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 32;
+
+  /// Returned by percentile() when the rank falls in the overflow bucket:
+  /// "beyond the largest representable bound", not a real measurement.
+  static constexpr std::uint64_t kOverflowBound =
+      std::numeric_limits<std::uint64_t>::max();
+
+  void record(std::uint64_t v) {
+    int bucket = 0;
+    while (bucket < kBuckets && (1ULL << (bucket + 1)) <= v) ++bucket;
+    if (bucket >= kBuckets) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket i (exclusive): 2^{i+1}.
+  static std::uint64_t bucket_upper_bound(int i) { return 1ULL << (i + 1); }
+
+  /// Upper bound of the bucket containing the p-th percentile sample,
+  /// 0 < p <= 100. Rank is ceil(p/100 * count) clamped to at least 1, so a
+  /// single-sample histogram returns that sample's bucket bound for every
+  /// p in (0, 100]. Returns 0 when empty and kOverflowBound when the rank
+  /// falls in the overflow bucket.
+  std::uint64_t percentile(double p) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// The process-wide named-series registry.
+///
+/// A series is (family name, label string); looking one up twice returns
+/// the same object. Creating a name with two different metric kinds throws
+/// std::logic_error — that is an instrumentation bug, not a runtime
+/// condition.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  Histogram& histogram(const std::string& name, const std::string& labels = "");
+
+  /// Prometheus text exposition: `# TYPE` per family, one line per series
+  /// (histograms expand to cumulative `_bucket{le=...}` + `_sum` +
+  /// `_count`). Families render name-sorted, series label-sorted, so the
+  /// output is deterministic for a fixed set of values.
+  std::string render_prometheus() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Series {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& lookup(const std::string& name, const std::string& labels, Kind kind);
+
+  mutable std::mutex mu_;
+  // Keyed (family, labels): ordered so rendering groups each family's
+  // series under one TYPE header without a separate sort.
+  std::map<std::pair<std::string, std::string>, Series> series_;
+};
+
+}  // namespace atlas::obs

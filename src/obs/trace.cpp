@@ -1,0 +1,222 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace atlas::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  std::uint32_t tid = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Ring state behind one mutex. Spans are coarse (phases, batches,
+/// requests), so contention on this lock is negligible next to the work
+/// the spans measure. Leaked at exit for the same lifetime reason as the
+/// metrics registry.
+struct Ring {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::size_t capacity = Trace::kDefaultCapacity;
+  std::size_t write = 0;     // next slot to write
+  std::uint64_t total = 0;   // events ever recorded
+  std::string output_path;
+};
+
+Ring& ring() {
+  static Ring* r = new Ring();
+  return *r;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::uint32_t this_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t trace_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void Trace::enable(std::size_t capacity) {
+  if (capacity < 1) capacity = 1;
+  Ring& r = ring();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (r.capacity != capacity || r.events.capacity() < capacity) {
+      r.events.clear();
+      r.events.reserve(capacity);
+      r.capacity = capacity;
+      r.write = 0;
+      r.total = 0;
+    }
+  }
+  trace_epoch();  // pin the epoch no later than the first enable
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Trace::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Trace::clear() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.events.clear();
+  r.write = 0;
+  r.total = 0;
+}
+
+void Trace::set_output_path(const std::string& path) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.output_path = path;
+}
+
+std::string Trace::output_path() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.output_path;
+}
+
+void Trace::record_complete(const char* category, const std::string& name,
+                            std::uint64_t start_us, std::uint64_t dur_us) {
+  if (!trace_enabled()) return;
+  const std::uint32_t tid = this_thread_id();
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.tid = tid;
+  ev.start_us = start_us;
+  ev.dur_us = dur_us;
+  if (r.events.size() < r.capacity) {
+    r.events.push_back(std::move(ev));
+  } else {
+    r.events[r.write] = std::move(ev);  // overwrite oldest
+  }
+  r.write = (r.write + 1) % r.capacity;
+  ++r.total;
+}
+
+void Trace::record_complete(const char* category, const char* name,
+                            std::uint64_t start_us, std::uint64_t dur_us) {
+  if (!trace_enabled()) return;
+  record_complete(category, std::string(name), start_us, dur_us);
+}
+
+std::size_t Trace::size() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.events.size();
+}
+
+std::uint64_t Trace::dropped() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.total > r.events.size() ? r.total - r.events.size() : 0;
+}
+
+std::string Trace::render_chrome_json() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::string out = "{\"traceEvents\":[";
+  const std::size_t n = r.events.size();
+  // Oldest-first: once wrapped, the oldest surviving event sits at the
+  // write cursor.
+  const std::size_t first = n < r.capacity ? 0 : r.write;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = r.events[(first + i) % n];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"";
+    append_json_escaped(out, ev.name.c_str());
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, ev.category);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_u64(out, ev.start_us);
+    out += ",\"dur\":";
+    append_u64(out, ev.dur_us);
+    out += ",\"pid\":1,\"tid\":";
+    append_u64(out, ev.tid);
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"atlasDroppedEvents\":";
+  append_u64(out, r.total > n ? r.total - n : 0);
+  out += '}';
+  return out;
+}
+
+bool Trace::flush_file() {
+  const std::string path = output_path();
+  if (path.empty()) return false;
+  const std::string json = render_chrome_json();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("obs::Trace: cannot open " + path);
+  os << json;
+  if (!os) throw std::runtime_error("obs::Trace: write failed: " + path);
+  return true;
+}
+
+bool init_trace_from_env() {
+  if (trace_enabled()) return true;
+  const char* path = std::getenv("ATLAS_TRACE");
+  if (path == nullptr || *path == '\0') return false;
+  Trace::enable();
+  Trace::set_output_path(path);
+  return true;
+}
+
+}  // namespace atlas::obs

@@ -3,6 +3,8 @@
 #include <stdexcept>
 
 #include "layout/extraction.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 
 namespace atlas::power {
@@ -129,6 +131,15 @@ PowerResult analyze_power(const netlist::Netlist& nl,
                           const PowerConfig& config) {
   if (trace.num_nets() != nl.num_nets()) {
     throw std::invalid_argument("analyze_power: trace/netlist net count mismatch");
+  }
+  obs::ObsSpan span("power", "analyze_power");
+  {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter* analyses = &reg.counter("atlas_power_analyses_total");
+    static obs::Counter* cycles = &reg.counter("atlas_power_cycles_total");
+    analyses->inc();
+    cycles->inc(static_cast<std::uint64_t>(
+        trace.num_cycles() < 0 ? 0 : trace.num_cycles()));
   }
   const liberty::Library& lib = nl.library();
   const double period_ns = lib.clock_period_ns();

@@ -51,6 +51,12 @@ std::string Client::stats_text() {
   return decode_string_payload(resp.payload);
 }
 
+std::string Client::metrics_text() {
+  const Frame resp =
+      round_trip(MsgType::kMetrics, std::string(), MsgType::kMetricsText);
+  return decode_string_payload(resp.payload);
+}
+
 void Client::shutdown_server() {
   round_trip(MsgType::kShutdown, std::string(), MsgType::kShutdownOk);
 }

@@ -40,6 +40,9 @@ class Client {
 
   std::string stats_text();
 
+  /// Prometheus text exposition of the server's metrics registry.
+  std::string metrics_text();
+
   /// Ask the daemon to shut down (it drains in-flight work first).
   void shutdown_server();
 

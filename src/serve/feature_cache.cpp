@@ -1,12 +1,61 @@
 #include "serve/feature_cache.h"
 
+#include "obs/metrics.h"
+
 namespace atlas::serve {
+
+namespace {
+
+// Process-wide cache gauges (point-in-time view of the daemon's one cache;
+// in a multi-cache test process the last mutator wins, which is fine for
+// scraping). Counters live in FeatureCacheStats per instance; these mirror
+// them so `metrics` exports the cache state without a custom renderer.
+struct CacheGauges {
+  obs::Gauge& design_hits;
+  obs::Gauge& design_misses;
+  obs::Gauge& design_evictions;
+  obs::Gauge& embedding_hits;
+  obs::Gauge& embedding_misses;
+  obs::Gauge& designs;
+  obs::Gauge& embedding_bytes;
+};
+
+CacheGauges& cache_gauges() {
+  obs::Registry& reg = obs::Registry::global();
+  static CacheGauges* g = new CacheGauges{
+      reg.gauge("atlas_serve_cache_design_hits"),
+      reg.gauge("atlas_serve_cache_design_misses"),
+      reg.gauge("atlas_serve_cache_design_evictions"),
+      reg.gauge("atlas_serve_cache_embedding_hits"),
+      reg.gauge("atlas_serve_cache_embedding_misses"),
+      reg.gauge("atlas_serve_cache_designs"),
+      reg.gauge("atlas_serve_cache_embedding_bytes")};
+  return *g;
+}
+
+std::size_t bytes_of(
+    const std::shared_ptr<const core::DesignEmbeddings>& emb) {
+  return emb ? emb->approx_bytes() : 0;
+}
+
+}  // namespace
 
 FeatureCache::FeatureCache(std::size_t max_designs,
                            std::size_t max_embeddings_per_design)
     : max_designs_(max_designs < 1 ? 1 : max_designs),
       max_embeddings_per_design_(
           max_embeddings_per_design < 1 ? 1 : max_embeddings_per_design) {}
+
+void FeatureCache::publish_gauges() const {
+  CacheGauges& g = cache_gauges();
+  g.design_hits.set(static_cast<std::int64_t>(stats_.design_hits));
+  g.design_misses.set(static_cast<std::int64_t>(stats_.design_misses));
+  g.design_evictions.set(static_cast<std::int64_t>(stats_.design_evictions));
+  g.embedding_hits.set(static_cast<std::int64_t>(stats_.embedding_hits));
+  g.embedding_misses.set(static_cast<std::int64_t>(stats_.embedding_misses));
+  g.designs.set(static_cast<std::int64_t>(entries_.size()));
+  g.embedding_bytes.set(static_cast<std::int64_t>(embedding_bytes_));
+}
 
 void FeatureCache::touch(std::uint64_t key, Entry& e) {
   lru_.erase(e.lru_pos);
@@ -18,7 +67,11 @@ void FeatureCache::evict_if_needed() {
   while (entries_.size() > max_designs_) {
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
-    entries_.erase(victim);
+    const auto it = entries_.find(victim);
+    for (const auto& [k, emb] : it->second.embeddings) {
+      embedding_bytes_ -= bytes_of(emb);
+    }
+    entries_.erase(it);
     ++stats_.design_evictions;
   }
 }
@@ -29,10 +82,12 @@ std::shared_ptr<const DesignArtifacts> FeatureCache::find_design(
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.design_misses;
+    publish_gauges();
     return nullptr;
   }
   ++stats_.design_hits;
   touch(key, it->second);
+  publish_gauges();
   return it->second.design;
 }
 
@@ -43,6 +98,7 @@ void FeatureCache::put_design(std::uint64_t key,
   if (it != entries_.end()) {
     it->second.design = std::move(d);
     touch(key, it->second);
+    publish_gauges();
     return;
   }
   lru_.push_front(key);
@@ -51,6 +107,7 @@ void FeatureCache::put_design(std::uint64_t key,
   e.lru_pos = lru_.begin();
   entries_.emplace(key, std::move(e));
   evict_if_needed();
+  publish_gauges();
 }
 
 std::shared_ptr<const core::DesignEmbeddings> FeatureCache::find_embeddings(
@@ -59,15 +116,18 @@ std::shared_ptr<const core::DesignEmbeddings> FeatureCache::find_embeddings(
   const auto it = entries_.find(design_key);
   if (it == entries_.end()) {
     ++stats_.embedding_misses;
+    publish_gauges();
     return nullptr;
   }
   const auto eit = it->second.embeddings.find(emb_key);
   if (eit == it->second.embeddings.end()) {
     ++stats_.embedding_misses;
+    publish_gauges();
     return nullptr;
   }
   ++stats_.embedding_hits;
   touch(design_key, it->second);
+  publish_gauges();
   return eit->second;
 }
 
@@ -81,17 +141,23 @@ void FeatureCache::put_embeddings(
   // unreachable without their design anyway).
   if (it == entries_.end()) return;
   Entry& e = it->second;
+  embedding_bytes_ += bytes_of(emb);
   const auto eit = e.embeddings.find(emb_key);
   if (eit != e.embeddings.end()) {
+    embedding_bytes_ -= bytes_of(eit->second);
     eit->second = std::move(emb);
+    publish_gauges();
     return;
   }
   e.embeddings.emplace(emb_key, std::move(emb));
   e.embedding_order.push_back(emb_key);
   while (e.embeddings.size() > max_embeddings_per_design_) {
-    e.embeddings.erase(e.embedding_order.front());
+    const auto victim = e.embeddings.find(e.embedding_order.front());
+    embedding_bytes_ -= bytes_of(victim->second);
+    e.embeddings.erase(victim);
     e.embedding_order.pop_front();
   }
+  publish_gauges();
 }
 
 FeatureCacheStats FeatureCache::stats() const {
@@ -102,6 +168,11 @@ FeatureCacheStats FeatureCache::stats() const {
 std::size_t FeatureCache::num_designs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();
+}
+
+std::size_t FeatureCache::embedding_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return embedding_bytes_;
 }
 
 }  // namespace atlas::serve

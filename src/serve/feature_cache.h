@@ -80,6 +80,8 @@ class FeatureCache {
 
   FeatureCacheStats stats() const;
   std::size_t num_designs() const;
+  /// Approximate bytes held by cached embeddings (all designs).
+  std::size_t embedding_bytes() const;
 
  private:
   struct Entry {
@@ -94,6 +96,9 @@ class FeatureCache {
   // Caller must hold mu_. Moves `key` to the front of the LRU list.
   void touch(std::uint64_t key, Entry& e);
   void evict_if_needed();
+  // Caller must hold mu_. Mirrors stats_/occupancy onto the global
+  // atlas_serve_cache_* gauges after every mutation.
+  void publish_gauges() const;
 
   const std::size_t max_designs_;
   const std::size_t max_embeddings_per_design_;
@@ -102,6 +107,7 @@ class FeatureCache {
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = most recently used
   FeatureCacheStats stats_;
+  std::size_t embedding_bytes_ = 0;  // approx bytes across all entries
 };
 
 }  // namespace atlas::serve

@@ -15,8 +15,9 @@
 // hostile frames surface as ProtocolError / SerializeError — never as an
 // allocation bomb or a crash.
 //
-// Requests: Ping, Predict, ListModels, Stats, Shutdown.
-// Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk, Error.
+// Requests: Ping, Predict, ListModels, Stats, Shutdown, Metrics.
+// Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk,
+// MetricsText, Error.
 // One response frame per request frame, in request order per connection.
 #pragma once
 
@@ -46,12 +47,14 @@ enum class MsgType : std::uint32_t {
   kListModels = 3,
   kStats = 4,
   kShutdown = 5,
+  kMetrics = 6,
   // Responses.
   kPong = 100,
   kPredictOk = 101,
   kModelList = 102,
   kStatsText = 103,
   kShutdownOk = 104,
+  kMetricsText = 105,
   kError = 199,
 };
 

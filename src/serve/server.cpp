@@ -1,12 +1,14 @@
 #include "serve/server.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <optional>
 
 #include "atlas/preprocess.h"
 #include "graph/submodule_graph.h"
 #include "netlist/verilog_io.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
 #include "util/hash.h"
@@ -67,10 +69,10 @@ void Server::start() {
     accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
   }
   if (config_.verbose) {
-    std::fprintf(stderr, "atlas_serve: listening (tcp %s:%d%s%s)\n",
-                 config_.host.c_str(), resolved_port_,
-                 config_.unix_path.empty() ? "" : ", uds ",
-                 config_.unix_path.c_str());
+    obs::LogLine line(obs::LogLevel::kInfo, "serve");
+    line.kv("event", "listening").kv("host", config_.host);
+    line.kv("port", resolved_port_);
+    if (!config_.unix_path.empty()) line.kv("uds", config_.unix_path);
   }
 }
 
@@ -105,7 +107,9 @@ void Server::stop() {
   tcp_listener_.close();
   unix_listener_.close();
   stopped_ = true;
-  if (config_.verbose) std::fprintf(stderr, "atlas_serve: stopped\n");
+  if (config_.verbose) {
+    obs::LogLine(obs::LogLevel::kInfo, "serve").kv("event", "stopped");
+  }
 }
 
 void Server::wait_for_stop_request(const std::function<bool()>& poll) {
@@ -117,6 +121,10 @@ void Server::wait_for_stop_request(const std::function<bool()>& poll) {
 
 std::string Server::stats_text() const {
   return stats_.render_text(cache_.stats());
+}
+
+std::string Server::metrics_text() {
+  return obs::Registry::global().render_prometheus();
 }
 
 void Server::accept_loop(util::Listener* listener) {
@@ -196,6 +204,11 @@ void Server::connection_loop(Connection* conn) {
           write_frame(sock, MsgType::kStatsText,
                       encode_string_payload(stats_text()));
           stats_.record("stats", elapsed_us(received_at), false);
+          break;
+        case MsgType::kMetrics:
+          write_frame(sock, MsgType::kMetricsText,
+                      encode_string_payload(metrics_text()));
+          stats_.record("metrics", elapsed_us(received_at), false);
           break;
         case MsgType::kShutdown:
           write_frame(sock, MsgType::kShutdownOk, encode_string_payload("ok"));
@@ -300,6 +313,7 @@ void Server::process_job(PendingJob& job) {
 
 std::pair<MsgType, std::string> Server::handle_predict(
     const PredictRequest& req) {
+  obs::ObsSpan span("serve", "handle_predict");
   const Clock::time_point handler_start = Clock::now();
 
   const auto model = registry_->get(req.model);
@@ -329,6 +343,7 @@ std::pair<MsgType, std::string> Server::handle_predict(
   if (design) {
     cache_flags |= kCacheHitDesign;
   } else {
+    obs::ObsSpan prep_span("serve", "parse_and_graphs");
     std::optional<netlist::Netlist> parsed;
     try {
       parsed = netlist::parse_verilog(req.netlist_verilog, lib_);

@@ -96,6 +96,9 @@ class Server {
   const ModelRegistry& registry() const { return *registry_; }
   FeatureCacheStats cache_stats() const { return cache_.stats(); }
   std::string stats_text() const;
+  /// Prometheus text exposition of the process-wide metrics registry
+  /// (request histograms, cache gauges, thread-pool counters, ...).
+  static std::string metrics_text();
 
  private:
   struct PendingJob {

@@ -4,38 +4,40 @@
 
 namespace atlas::serve {
 
-void LatencyHistogram::record_us(std::uint64_t us) {
-  int bucket = 0;
-  while (bucket + 1 < kBuckets && (1ULL << (bucket + 1)) <= us) ++bucket;
-  ++buckets_[static_cast<std::size_t>(bucket)];
-  ++count_;
-}
-
-std::uint64_t LatencyHistogram::percentile_us(double p) const {
-  if (count_ == 0) return 0;
-  const double target = p / 100.0 * static_cast<double>(count_);
-  std::uint64_t cumulative = 0;
-  for (int i = 0; i < kBuckets; ++i) {
-    cumulative += buckets_[static_cast<std::size_t>(i)];
-    if (static_cast<double>(cumulative) >= target) {
-      return 1ULL << (i + 1);  // bucket upper bound
-    }
+ServerStats::Series& ServerStats::series_for(const std::string& endpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = endpoints_.try_emplace(endpoint);
+  if (inserted) {
+    obs::Registry& reg = obs::Registry::global();
+    const std::string label = "endpoint=\"" + endpoint + "\"";
+    it->second.requests = &reg.counter("atlas_serve_requests_total", label);
+    it->second.errors = &reg.counter("atlas_serve_request_errors_total", label);
+    it->second.latency = &reg.histogram("atlas_serve_request_latency_us", label);
   }
-  return 1ULL << kBuckets;
+  return it->second;
 }
 
 void ServerStats::record(const std::string& endpoint, std::uint64_t latency_us,
                          bool error) {
-  std::lock_guard<std::mutex> lock(mu_);
-  EndpointStats& s = endpoints_[endpoint];
-  ++s.requests;
-  if (error) ++s.errors;
-  s.latency.record_us(latency_us);
+  Series& s = series_for(endpoint);
+  s.requests->inc();
+  if (error) s.errors->inc();
+  s.latency->record(latency_us);
 }
 
 std::map<std::string, EndpointStats> ServerStats::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return endpoints_;
+  std::map<std::string, EndpointStats> out;
+  for (const auto& [name, s] : endpoints_) {
+    EndpointStats e;
+    e.requests = s.requests->value();
+    e.errors = s.errors->value();
+    e.p50_us = s.latency->percentile(50);
+    e.p95_us = s.latency->percentile(95);
+    e.p99_us = s.latency->percentile(99);
+    out.emplace(name, e);
+  }
+  return out;
 }
 
 std::string ServerStats::render_text(const FeatureCacheStats& cache) const {
@@ -44,13 +46,13 @@ std::string ServerStats::render_text(const FeatureCacheStats& cache) const {
   out += util::format("%-10s %10s %8s %12s %12s %12s\n", "endpoint", "requests",
                       "errors", "p50_us", "p95_us", "p99_us");
   for (const auto& [name, s] : snap) {
-    out += util::format(
-        "%-10s %10llu %8llu %12llu %12llu %12llu\n", name.c_str(),
-        static_cast<unsigned long long>(s.requests),
-        static_cast<unsigned long long>(s.errors),
-        static_cast<unsigned long long>(s.latency.percentile_us(50)),
-        static_cast<unsigned long long>(s.latency.percentile_us(95)),
-        static_cast<unsigned long long>(s.latency.percentile_us(99)));
+    out += util::format("%-10s %10llu %8llu %12llu %12llu %12llu\n",
+                        name.c_str(),
+                        static_cast<unsigned long long>(s.requests),
+                        static_cast<unsigned long long>(s.errors),
+                        static_cast<unsigned long long>(s.p50_us),
+                        static_cast<unsigned long long>(s.p95_us),
+                        static_cast<unsigned long long>(s.p99_us));
   }
   out += util::format(
       "cache: design %llu hits / %llu misses / %llu evictions; "

@@ -1,44 +1,40 @@
 // Server-side observability: per-endpoint counters and latency histograms.
 //
-// Latencies are recorded into log2-spaced microsecond buckets (1us ..
-// ~1.2h), so p50/p95/p99 are bucket upper bounds — coarse (within 2x) but
+// The series live in the process-wide obs::Registry (so the `metrics`
+// endpoint exports them as Prometheus text); this class caches per-endpoint
+// references and renders the human-readable `stats` text block. Latencies
+// go into obs::Histogram's log2-spaced microsecond buckets (1us .. ~1.2h),
+// so p50/p95/p99 are bucket upper bounds — coarse (within 2x) but
 // constant-memory and lock-cheap, which is what a daemon hot path wants.
 // The `stats` request renders the snapshot as text; the daemon also dumps
 // it on SIGTERM so a drained shutdown leaves a service record behind.
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 
+#include "obs/metrics.h"
 #include "serve/feature_cache.h"
 
 namespace atlas::serve {
 
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 32;  // bucket i covers [2^i, 2^(i+1)) us
-
-  void record_us(std::uint64_t us);
-  std::uint64_t count() const { return count_; }
-  /// Upper bound (us) of the bucket containing the p-th percentile
-  /// (0 < p <= 100); 0 when empty.
-  std::uint64_t percentile_us(double p) const;
-
- private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-};
-
+/// Point-in-time per-endpoint snapshot (percentiles already resolved).
 struct EndpointStats {
   std::uint64_t requests = 0;
   std::uint64_t errors = 0;
-  LatencyHistogram latency;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
 };
 
-/// Thread-safe aggregate over all endpoints; snapshot + text rendering.
+/// Thread-safe per-endpoint recorder over the global metrics registry.
+///
+/// Series are named atlas_serve_requests_total / _request_errors_total /
+/// _request_latency_us with an endpoint="..." label. The registry series
+/// are process-global, so two ServerStats in one process (only tests do
+/// this) share totals.
 class ServerStats {
  public:
   void record(const std::string& endpoint, std::uint64_t latency_us,
@@ -51,8 +47,17 @@ class ServerStats {
   std::map<std::string, EndpointStats> snapshot() const;
 
  private:
+  struct Series {
+    obs::Counter* requests = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+
+  Series& series_for(const std::string& endpoint);
+
   mutable std::mutex mu_;
-  std::map<std::string, EndpointStats> endpoints_;
+  // Cached registry references; the registry owns (and leaks) the series.
+  std::map<std::string, Series> endpoints_;
 };
 
 }  // namespace atlas::serve

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
@@ -107,6 +109,14 @@ CycleSimulator::CycleSimulator(const netlist::Netlist& nl) : nl_(nl) {
 }
 
 ToggleTrace CycleSimulator::run(StimulusGenerator& stim, int num_cycles) {
+  obs::ObsSpan span("sim", "simulate");
+  {
+    obs::Registry& reg = obs::Registry::global();
+    static obs::Counter* runs = &reg.counter("atlas_sim_runs_total");
+    static obs::Counter* cycles = &reg.counter("atlas_sim_cycles_total");
+    runs->inc();
+    cycles->inc(static_cast<std::uint64_t>(num_cycles < 0 ? 0 : num_cycles));
+  }
   const std::size_t n_nets = nl_.num_nets();
   std::vector<std::uint8_t> prev(n_nets, 0);  // values at end of previous cycle
   std::vector<std::uint8_t> cur(n_nets, 0);

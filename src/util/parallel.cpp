@@ -1,11 +1,45 @@
 #include "util/parallel.h"
 
+#include <chrono>
 #include <memory>
 #include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace atlas::util {
 
 namespace {
+
+// Pool observability. Chunks are coarse by design (thousands of cells per
+// chunk), so a pair of steady_clock reads per chunk and a relaxed
+// fetch_add per batch are noise next to the work being dispatched.
+// References are cached once; the registry series outlive the pool.
+struct PoolMetrics {
+  obs::Counter& batches;        // pool batches dispatched (incl. inline)
+  obs::Counter& tasks;          // chunk tasks executed
+  obs::Counter& inline_tasks;   // tasks run inline (serial/nested/fallback)
+  obs::Counter& busy_us;        // summed per-worker chunk execution time
+  obs::Histogram& queue_wait;   // us between batch post and chunk start
+};
+
+PoolMetrics& pool_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  static PoolMetrics* m = new PoolMetrics{
+      reg.counter("atlas_parallel_batches_total"),
+      reg.counter("atlas_parallel_tasks_total"),
+      reg.counter("atlas_parallel_inline_tasks_total"),
+      reg.counter("atlas_parallel_worker_busy_us_total"),
+      reg.histogram("atlas_parallel_task_queue_wait_us")};
+  return *m;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
 
 // Global pool configuration. The pool is rebuilt lazily when the requested
 // thread count changes; benches/tests call set_global_threads() from the
@@ -69,6 +103,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::execute(Batch& b, std::size_t index) {
+  PoolMetrics& pm = pool_metrics();
+  const auto start = std::chrono::steady_clock::now();
+  pm.queue_wait.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start -
+                                                            b.posted_at)
+          .count()));
   ++tl_parallel_depth;
   try {
     (*b.task)(index);
@@ -77,6 +117,8 @@ void ThreadPool::execute(Batch& b, std::size_t index) {
     if (!b.error) b.error = std::current_exception();
   }
   --tl_parallel_depth;
+  pm.tasks.inc();
+  pm.busy_us.inc(elapsed_us(start));
 }
 
 void ThreadPool::worker_loop() {
@@ -101,8 +143,11 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run(std::size_t num_tasks,
                      const std::function<void(std::size_t)>& task) {
   if (num_tasks == 0) return;
+  PoolMetrics& pm = pool_metrics();
   // Serial pool, single task, or nested call: run inline in index order.
   if (num_threads_ == 1 || num_tasks == 1 || tl_parallel_depth > 0) {
+    pm.batches.inc();
+    pm.inline_tasks.inc(num_tasks);
     ++tl_parallel_depth;
     try {
       for (std::size_t i = 0; i < num_tasks; ++i) task(i);
@@ -122,9 +167,14 @@ void ThreadPool::run(std::size_t num_tasks,
     // A concurrent external run() is already in flight; don't interleave
     // two batches — just run this one inline.
     lock.unlock();
+    pm.batches.inc();
+    pm.inline_tasks.inc(num_tasks);
     for (std::size_t i = 0; i < num_tasks; ++i) task(i);
     return;
   }
+  obs::ObsSpan span("parallel", "pool_batch");
+  pm.batches.inc();
+  b.posted_at = std::chrono::steady_clock::now();
   batch_ = &b;
   work_cv_.notify_all();
 

@@ -21,6 +21,7 @@
 // concurrency); benches and the CLI expose this as `--threads`.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -74,6 +75,9 @@ class ThreadPool {
     std::size_t next = 0;  // guarded by pool mutex
     std::size_t done = 0;  // guarded by pool mutex
     std::exception_ptr error;
+    // When the batch was posted; chunk start minus this is the queue wait
+    // exported as atlas_parallel_task_queue_wait_us.
+    std::chrono::steady_clock::time_point posted_at;
   };
 
   void worker_loop();

@@ -1,0 +1,453 @@
+// Tests for the observability layer (src/obs/): metrics registry,
+// span tracer + Chrome trace JSON export, and the structured logger.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace atlas::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to validate the Chrome trace export.
+// Parses objects/arrays/strings/numbers into a tagged struct; throws on
+// malformed input so EXPECT_NO_THROW doubles as a well-formedness check.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    auto it = obj.find(key);
+    if (it == obj.end()) throw std::runtime_error("missing key " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) != 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing JSON garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end of JSON");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return literal("true", [] { Json j; j.type = Json::Type::kBool; j.b = true; return j; }());
+      case 'f': return literal("false", [] { Json j; j.type = Json::Type::kBool; return j; }());
+      case 'n': return literal("null", Json{});
+      default: return number();
+    }
+  }
+
+  Json literal(const std::string& word, Json result) {
+    if (s_.compare(pos_, word.size(), word) != 0) {
+      throw std::runtime_error("bad JSON literal at " + std::to_string(pos_));
+    }
+    pos_ += word.size();
+    return result;
+  }
+
+  Json object() {
+    expect('{');
+    Json j;
+    j.type = Json::Type::kObject;
+    if (peek() == '}') { ++pos_; return j; }
+    while (true) {
+      Json key = string_value();
+      expect(':');
+      j.obj.emplace(key.str, value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return j;
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json j;
+    j.type = Json::Type::kArray;
+    if (peek() == ']') { ++pos_; return j; }
+    while (true) {
+      j.arr.push_back(value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return j;
+    }
+  }
+
+  Json string_value() {
+    expect('"');
+    Json j;
+    j.type = Json::Type::kString;
+    while (true) {
+      if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return j;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': j.str += '"'; break;
+          case '\\': j.str += '\\'; break;
+          case '/': j.str += '/'; break;
+          case 'n': j.str += '\n'; break;
+          case 't': j.str += '\t'; break;
+          case 'r': j.str += '\r'; break;
+          case 'b': j.str += '\b'; break;
+          case 'f': j.str += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) throw std::runtime_error("bad \\u");
+            pos_ += 4;  // validated but not decoded; trace export is ASCII
+            j.str += '?';
+            break;
+          default: throw std::runtime_error("bad escape char");
+        }
+        continue;
+      }
+      j.str += c;
+    }
+  }
+
+  Json number() {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad JSON number");
+    Json j;
+    j.type = Json::Type::kNumber;
+    j.num = std::stod(s_.substr(start, pos_ - start));
+    return j;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(ObsMetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(ObsMetricsTest, RegistryReturnsSameSeriesAndIsExactUnderParallelFor) {
+  Registry& reg = Registry::global();
+  Counter& c = reg.counter("atlas_test_parallel_incs_total");
+  EXPECT_EQ(&c, &reg.counter("atlas_test_parallel_incs_total"));
+
+  const std::uint64_t before = c.value();
+  constexpr std::size_t kN = 100000;
+  util::parallel_for(kN, 256, [&](std::size_t) {
+    // Steady-state pattern: cached pointer, one relaxed fetch_add per hit.
+    static Counter* cached =
+        &Registry::global().counter("atlas_test_parallel_incs_total");
+    cached->inc();
+  });
+  EXPECT_EQ(c.value(), before + kN);
+}
+
+TEST(ObsMetricsTest, KindConflictThrowsLogicError) {
+  Registry& reg = Registry::global();
+  reg.counter("atlas_test_kind_conflict");
+  EXPECT_THROW(reg.gauge("atlas_test_kind_conflict"), std::logic_error);
+  EXPECT_THROW(reg.histogram("atlas_test_kind_conflict"), std::logic_error);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAndPercentiles) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50), 0u);  // empty
+
+  for (int i = 0; i < 90; ++i) h.record(100);   // bucket [64,128)
+  for (int i = 0; i < 10; ++i) h.record(10000);  // bucket [8192,16384)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 90u * 100u + 10u * 10000u);
+  EXPECT_EQ(h.percentile(50), 128u);
+  EXPECT_EQ(h.percentile(90), 128u);
+  EXPECT_EQ(h.percentile(91), 16384u);
+  EXPECT_EQ(h.percentile(99), 16384u);
+  EXPECT_EQ(h.percentile(100), 16384u);
+}
+
+TEST(ObsMetricsTest, HistogramSingleSampleReturnsItsBucketForAllP) {
+  Histogram h;
+  h.record(100);  // bucket [64,128) -> bound 128
+  for (double p : {0.001, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 128u) << "p=" << p;
+  }
+}
+
+TEST(ObsMetricsTest, HistogramOverflowBucketIsExplicit) {
+  Histogram h;
+  h.record(1);
+  h.record(std::uint64_t{1} << 40);  // >= 2^32: overflow, not top bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_EQ(h.percentile(50), 2u);
+  EXPECT_EQ(h.percentile(100), Histogram::kOverflowBound);
+}
+
+TEST(ObsMetricsTest, HistogramZeroLandsInBucketZero) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.percentile(100), 2u);
+}
+
+TEST(ObsMetricsTest, PrometheusRenderShapes) {
+  Registry& reg = Registry::global();
+  reg.counter("atlas_test_render_total", "endpoint=\"a\"").inc(3);
+  reg.counter("atlas_test_render_total", "endpoint=\"b\"").inc(1);
+  reg.gauge("atlas_test_render_gauge").set(-5);
+  Histogram& h = reg.histogram("atlas_test_render_hist");
+  h.record(100);
+  h.record(100000);
+
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE atlas_test_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("atlas_test_render_total{endpoint=\"a\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("atlas_test_render_total{endpoint=\"b\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE atlas_test_render_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("atlas_test_render_gauge -5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE atlas_test_render_hist histogram"),
+            std::string::npos);
+  // Cumulative buckets end in +Inf; _count and _sum are present.
+  EXPECT_NE(text.find("atlas_test_render_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("atlas_test_render_hist_count 2"), std::string::npos);
+  EXPECT_NE(text.find("atlas_test_render_hist_sum 100100"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Trace::disable();
+    Trace::clear();
+  }
+  void TearDown() override {
+    Trace::disable();
+    Trace::clear();
+    Trace::set_output_path("");
+  }
+};
+
+TEST_F(ObsTraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace_enabled());
+  { ObsSpan span("test", "invisible"); }
+  EXPECT_EQ(Trace::size(), 0u);
+}
+
+TEST_F(ObsTraceTest, SpansProduceValidChromeTraceJson) {
+  Trace::enable();
+  {
+    ObsSpan outer("test", "outer");
+    ObsSpan inner("test", std::string("inner_dyn"));
+  }
+  Trace::record_complete("test", "explicit", 10, 5);
+  ASSERT_EQ(Trace::size(), 3u);
+
+  const std::string json_text = Trace::render_chrome_json();
+  Json root;
+  ASSERT_NO_THROW(root = JsonParser(json_text).parse());
+  ASSERT_EQ(root.type, Json::Type::kObject);
+  ASSERT_TRUE(root.has("traceEvents"));
+  EXPECT_EQ(root.at("displayTimeUnit").str, "ms");
+  EXPECT_EQ(root.at("atlasDroppedEvents").num, 0.0);
+
+  const std::vector<Json>& events = root.at("traceEvents").arr;
+  ASSERT_EQ(events.size(), 3u);
+  std::vector<std::string> names;
+  for (const Json& e : events) {
+    EXPECT_EQ(e.at("ph").str, "X");
+    EXPECT_EQ(e.at("cat").str, "test");
+    EXPECT_EQ(e.at("pid").num, 1.0);
+    EXPECT_GT(e.at("tid").num, 0.0);
+    EXPECT_GE(e.at("dur").num, 0.0);
+    names.push_back(e.at("name").str);
+  }
+  // Ring order is completion order: inner closes before outer.
+  EXPECT_NE(std::find(names.begin(), names.end(), "outer"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "inner_dyn"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "explicit"), names.end());
+}
+
+TEST_F(ObsTraceTest, RingIsBoundedAndCountsDropped) {
+  constexpr std::size_t kCap = 8;
+  Trace::enable(kCap);
+  for (int i = 0; i < 20; ++i) {
+    Trace::record_complete("test", "e", static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_EQ(Trace::size(), kCap);
+  EXPECT_EQ(Trace::dropped(), 20u - kCap);
+
+  const Json root = JsonParser(Trace::render_chrome_json()).parse();
+  EXPECT_EQ(root.at("traceEvents").arr.size(), kCap);
+  EXPECT_EQ(root.at("atlasDroppedEvents").num, static_cast<double>(20 - kCap));
+  // Oldest events were overwritten: the surviving ones are the last kCap.
+  EXPECT_EQ(root.at("traceEvents").arr.front().at("ts").num, 12.0);
+}
+
+TEST_F(ObsTraceTest, ConcurrentSpansFromParallelForAllLand) {
+  Trace::enable();
+  constexpr std::size_t kN = 64;
+  util::parallel_for(kN, 1, [](std::size_t) {
+    ObsSpan span("test", "worker_span");
+  });
+  // The pool may add its own "pool_batch" span, so count by name.
+  Json root;
+  ASSERT_NO_THROW(root = JsonParser(Trace::render_chrome_json()).parse());
+  std::size_t worker_spans = 0;
+  for (const Json& e : root.at("traceEvents").arr) {
+    if (e.at("name").str == "worker_span") ++worker_spans;
+  }
+  EXPECT_EQ(worker_spans, kN);
+}
+
+TEST_F(ObsTraceTest, FlushFileReturnsFalseWithoutPath) {
+  Trace::enable();
+  Trace::set_output_path("");
+  EXPECT_FALSE(Trace::flush_file());
+}
+
+// ---------------------------------------------------------------------------
+// Logger
+// ---------------------------------------------------------------------------
+
+class ObsLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lines_.clear();
+    set_log_sink([this](const std::string& line) { lines_.push_back(line); });
+    set_log_level(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kInfo);
+  }
+  std::vector<std::string> lines_;
+};
+
+TEST_F(ObsLogTest, LevelFilteringSuppressesBelowMinimum) {
+  LogLine(LogLevel::kDebug, "test").kv("event", "hidden");
+  ASSERT_TRUE(lines_.empty());
+  LogLine(LogLevel::kInfo, "test").kv("event", "shown");
+  ASSERT_EQ(lines_.size(), 1u);
+
+  set_log_level(LogLevel::kError);
+  LogLine(LogLevel::kWarn, "test").kv("event", "hidden2");
+  LogLine(LogLevel::kError, "test").kv("event", "shown2");
+  ASSERT_EQ(lines_.size(), 2u);
+
+  set_log_level(LogLevel::kOff);
+  LogLine(LogLevel::kError, "test").kv("event", "hidden3");
+  EXPECT_EQ(lines_.size(), 2u);
+}
+
+TEST_F(ObsLogTest, LineFormatAndValueTypes) {
+  LogLine(LogLevel::kInfo, "mymod")
+      .kv("str", "plain")
+      .kv("quoted", "has spaces")
+      .kv("n", 42)
+      .kv("neg", -3)
+      .kv("f", 1.5)
+      .kv("flag", true);
+  ASSERT_EQ(lines_.size(), 1u);
+  const std::string& line = lines_[0];
+  EXPECT_EQ(line.compare(0, 3, "ts="), 0);
+  EXPECT_NE(line.find(" level=info "), std::string::npos);
+  EXPECT_NE(line.find(" mod=mymod "), std::string::npos);
+  EXPECT_NE(line.find(" str=plain"), std::string::npos);
+  EXPECT_NE(line.find(" quoted=\"has spaces\""), std::string::npos);
+  EXPECT_NE(line.find(" n=42"), std::string::npos);
+  EXPECT_NE(line.find(" neg=-3"), std::string::npos);
+  EXPECT_NE(line.find(" flag=true"), std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(ObsLogTest, ParseLogLevelNames) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("bogus"), LogLevel::kInfo);
+}
+
+TEST_F(ObsLogTest, LogEnabledMatchesMinimumLevel) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace atlas::obs

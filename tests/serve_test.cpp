@@ -17,6 +17,7 @@
 #include "designgen/design_generator.h"
 #include "graph/submodule_graph.h"
 #include "netlist/verilog_io.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/feature_cache.h"
 #include "serve/server.h"
@@ -443,13 +444,46 @@ TEST_F(ServeTest, FeatureCacheEmbeddingLayerBoundsAndEviction) {
 }
 
 TEST_F(ServeTest, LatencyHistogramPercentiles) {
-  LatencyHistogram h;
-  EXPECT_EQ(h.percentile_us(50), 0u);
-  for (int i = 0; i < 90; ++i) h.record_us(100);   // bucket [64,128)
-  for (int i = 0; i < 10; ++i) h.record_us(10000);  // bucket [8192,16384)
+  // The serve-local LatencyHistogram was replaced by obs::Histogram; the
+  // stats endpoint's percentile semantics must stay unchanged.
+  obs::Histogram h;
+  EXPECT_EQ(h.percentile(50), 0u);
+  for (int i = 0; i < 90; ++i) h.record(100);   // bucket [64,128)
+  for (int i = 0; i < 10; ++i) h.record(10000);  // bucket [8192,16384)
   EXPECT_EQ(h.count(), 100u);
-  EXPECT_EQ(h.percentile_us(50), 128u);
-  EXPECT_EQ(h.percentile_us(99), 16384u);
+  EXPECT_EQ(h.percentile(50), 128u);
+  EXPECT_EQ(h.percentile(99), 16384u);
+}
+
+TEST_F(ServeTest, MetricsEndpointRoundTrip) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  client.ping();
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+
+  const std::string metrics = client.metrics_text();
+  // Request counters/histograms with endpoint labels.
+  EXPECT_NE(metrics.find("# TYPE atlas_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("atlas_serve_requests_total{endpoint=\"ping\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE atlas_serve_request_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      metrics.find("atlas_serve_request_latency_us_bucket{endpoint=\"predict\""),
+      std::string::npos);
+  EXPECT_NE(metrics.find("atlas_serve_request_latency_us_count"),
+            std::string::npos);
+  // Cache gauges (at least one design resident after the predict).
+  EXPECT_NE(metrics.find("# TYPE atlas_serve_cache_designs gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("atlas_serve_cache_design_misses"),
+            std::string::npos);
+  // Thread-pool and pipeline counters ride along on the same registry.
+  EXPECT_NE(metrics.find("atlas_parallel_tasks_total"), std::string::npos);
+  EXPECT_NE(metrics.find("atlas_sim_runs_total"), std::string::npos);
+  server.stop();
 }
 
 }  // namespace

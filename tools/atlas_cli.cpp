@@ -22,6 +22,7 @@
 #include "layout/layout_flow.h"
 #include "liberty/liberty_io.h"
 #include "netlist/verilog_io.h"
+#include "obs/trace.h"
 #include "power/power_report.h"
 #include "sim/vcd.h"
 #include "util/cli.h"
@@ -32,14 +33,25 @@ namespace {
 
 using namespace atlas;
 
-/// Every subcommand accepts --threads; call after cli.parse().
-util::Cli& add_threads_flag(util::Cli& cli) {
-  return cli.flag("threads", "0",
-                  "worker threads (0 = hardware concurrency, 1 = serial)");
+/// Flags every subcommand accepts; apply with apply_common_flags() after
+/// cli.parse().
+util::Cli& add_common_flags(util::Cli& cli) {
+  return cli
+      .flag("threads", "0",
+            "worker threads (0 = hardware concurrency, 1 = serial)")
+      .flag("trace-out", "",
+            "write a Chrome trace JSON of this run (also env ATLAS_TRACE)");
 }
 
-void apply_threads_flag(const util::Cli& cli) {
+void apply_common_flags(const util::Cli& cli) {
   util::set_global_threads(static_cast<int>(cli.integer("threads")));
+  const std::string trace_out = cli.str("trace-out");
+  if (!trace_out.empty()) {
+    obs::Trace::enable();
+    obs::Trace::set_output_path(trace_out);  // flag wins over ATLAS_TRACE
+  } else {
+    obs::init_trace_from_env();
+  }
 }
 
 sim::WorkloadSpec workload_by_name(const std::string& name) {
@@ -61,9 +73,9 @@ int cmd_gen(int argc, const char* const* argv) {
       .flag("cells", "2000", "approximate cell count")
       .flag("out", "design.v", "output Verilog path")
       .flag("lib", "", "Liberty file (default: built-in library)");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   const liberty::Library lib = load_lib(cli);
   designgen::DesignSpec spec;
   spec.name = cli.str("name");
@@ -80,9 +92,9 @@ int cmd_gen(int argc, const char* const* argv) {
 int cmd_liberty(int argc, const char* const* argv) {
   util::Cli cli;
   cli.flag("out", "atlas40lp.lib", "output Liberty path");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   const liberty::Library lib = liberty::make_default_library();
   liberty::save_liberty_file(lib, cli.str("out"));
   std::printf("wrote %s: %zu cells\n", cli.str("out").c_str(), lib.size());
@@ -95,9 +107,9 @@ int cmd_layout(int argc, const char* const* argv) {
       .flag("lib", "", "Liberty file (default: built-in library)")
       .flag("out-netlist", "design_layout.v", "post-layout Verilog output")
       .flag("out-spef", "design_layout.spef", "extracted parasitics output");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   const liberty::Library lib = load_lib(cli);
   const netlist::Netlist gate = netlist::load_verilog_file(cli.str("in"), lib);
   const layout::LayoutResult post = layout::run_layout(gate);
@@ -120,9 +132,9 @@ int cmd_sim(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("out", "trace.vcd", "VCD output");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   const liberty::Library lib = load_lib(cli);
   const netlist::Netlist nl = netlist::load_verilog_file(cli.str("in"), lib);
   sim::CycleSimulator simulator(nl);
@@ -150,9 +162,9 @@ int cmd_power(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("csv", "power.csv", "per-cycle power CSV output");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   const liberty::Library lib = load_lib(cli);
   netlist::Netlist nl = netlist::load_verilog_file(cli.str("in"), lib);
   if (!cli.str("spef").empty()) {
@@ -177,9 +189,9 @@ int cmd_train(int argc, const char* const* argv) {
       .flag("epochs", "10", "pre-training epochs")
       .flag("out", "atlas_model.bin", "trained model output")
       .flag("cache-dir", "atlas_cache", "model cache directory");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   core::ExperimentConfig cfg;
   cfg.scale = cli.real("scale");
   cfg.cycles = static_cast<int>(cli.integer("cycles"));
@@ -205,9 +217,9 @@ int cmd_predict(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
-  add_threads_flag(cli).parse(argc, argv);
+  add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
-  apply_threads_flag(cli);
+  apply_common_flags(cli);
   const liberty::Library lib = load_lib(cli);
   netlist::Netlist gate = netlist::load_verilog_file(cli.str("in"), lib);
   // Third-party netlists may arrive without sub-module attributes.
@@ -261,29 +273,44 @@ void usage() {
 
 }  // namespace
 
+int run_command(const std::string& cmd, int argc, char** argv) {
+  if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
+  if (cmd == "liberty") return cmd_liberty(argc - 1, argv + 1);
+  if (cmd == "layout") return cmd_layout(argc - 1, argv + 1);
+  if (cmd == "sim") return cmd_sim(argc - 1, argv + 1);
+  if (cmd == "power") return cmd_power(argc - 1, argv + 1);
+  if (cmd == "train") return cmd_train(argc - 1, argv + 1);
+  if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage();
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+  usage();
+  return 1;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
     return 1;
   }
   const std::string cmd = argv[1];
+  int ret = 1;
   try {
-    if (cmd == "gen") return cmd_gen(argc - 1, argv + 1);
-    if (cmd == "liberty") return cmd_liberty(argc - 1, argv + 1);
-    if (cmd == "layout") return cmd_layout(argc - 1, argv + 1);
-    if (cmd == "sim") return cmd_sim(argc - 1, argv + 1);
-    if (cmd == "power") return cmd_power(argc - 1, argv + 1);
-    if (cmd == "train") return cmd_train(argc - 1, argv + 1);
-    if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
-    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
-      usage();
-      return 0;
-    }
-    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
-    usage();
-    return 1;
+    ret = run_command(cmd, argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
   }
+  // Flush even on error: a trace of the failed run is the useful one.
+  try {
+    if (obs::Trace::flush_file()) {
+      std::fprintf(stderr, "trace written to %s\n",
+                   obs::Trace::output_path().c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace flush failed: %s\n", e.what());
+    ret = ret == 0 ? 1 : ret;
+  }
+  return ret;
 }

@@ -4,6 +4,7 @@
 //   ping      round-trip health check
 //   models    list registered models (name + encoder dim)
 //   stats     print the server's stats block
+//   metrics   print the server's Prometheus metrics exposition
 //   predict   send a gate-level Verilog netlist for per-cycle power -> CSV
 //   shutdown  ask the daemon to drain and exit
 //
@@ -64,6 +65,15 @@ int cmd_stats(int argc, const char* const* argv) {
   if (cli.help_requested()) return 0;
   serve::Client client = connect(cli);
   std::printf("%s", client.stats_text().c_str());
+  return 0;
+}
+
+int cmd_metrics(int argc, const char* const* argv) {
+  util::Cli cli;
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  std::printf("%s", client.metrics_text().c_str());
   return 0;
 }
 
@@ -131,6 +141,7 @@ void usage() {
       "  ping      round-trip health check\n"
       "  models    list models registered on the server\n"
       "  stats     print server stats (latency percentiles, cache hits)\n"
+      "  metrics   print the server's Prometheus metrics exposition\n"
       "  predict   per-cycle power for a gate-level netlist -> CSV\n"
       "  shutdown  drain and stop the server");
 }
@@ -147,6 +158,7 @@ int main(int argc, char** argv) {
     if (cmd == "ping") return cmd_ping(argc - 1, argv + 1);
     if (cmd == "models") return cmd_models(argc - 1, argv + 1);
     if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
+    if (cmd == "metrics") return cmd_metrics(argc - 1, argv + 1);
     if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
     if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {

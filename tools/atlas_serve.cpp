@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "util/cli.h"
 #include "util/parallel.h"
@@ -43,8 +45,10 @@ void load_models(serve::ModelRegistry& registry, const std::string& spec) {
     const std::string name = entry.substr(0, eq);
     const std::string path = entry.substr(eq + 1);
     registry.load(name, path);
-    std::fprintf(stderr, "atlas_serve: loaded model '%s' from %s\n",
-                 name.c_str(), path.c_str());
+    obs::LogLine(obs::LogLevel::kInfo, "serve")
+        .kv("event", "model_loaded")
+        .kv("model", name)
+        .kv("path", path);
   }
 }
 
@@ -61,11 +65,19 @@ int main(int argc, char** argv) {
       .flag("cache-embeddings", "8", "cached embedding sets per design")
       .flag("batch-max", "8", "max predict requests per dispatch batch")
       .flag("threads", "0",
-            "worker threads (0 = hardware concurrency, 1 = serial)");
+            "worker threads (0 = hardware concurrency, 1 = serial)")
+      .flag("trace-out", "",
+            "write a Chrome trace JSON at shutdown (also env ATLAS_TRACE)");
   try {
     cli.parse(argc, argv);
     if (cli.help_requested()) return 0;
     util::set_global_threads(static_cast<int>(cli.integer("threads")));
+    if (!cli.str("trace-out").empty()) {
+      obs::Trace::enable();
+      obs::Trace::set_output_path(cli.str("trace-out"));
+    } else {
+      obs::init_trace_from_env();
+    }
 
     auto registry = std::make_shared<serve::ModelRegistry>();
     load_models(*registry, cli.str("models"));
@@ -90,11 +102,18 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
 
     server.start();
-    std::fprintf(stderr, "atlas_serve: ready (port %d)\n", server.port());
+    obs::LogLine(obs::LogLevel::kInfo, "serve")
+        .kv("event", "ready")
+        .kv("port", server.port());
     server.wait_for_stop_request([] { return g_signal != 0; });
-    std::fprintf(stderr, "atlas_serve: draining...\n");
+    obs::LogLine(obs::LogLevel::kInfo, "serve").kv("event", "draining");
     server.stop();
     std::fprintf(stderr, "%s", server.stats_text().c_str());
+    if (obs::Trace::flush_file()) {
+      obs::LogLine(obs::LogLevel::kInfo, "serve")
+          .kv("event", "trace_written")
+          .kv("path", obs::Trace::output_path());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
