@@ -8,6 +8,8 @@
 //   * design-warm latency (graphs cached, new workload: sim + encoder +
 //     heads);
 //   * fully warm latency (embedding cache hit: GBDT heads only);
+//   * streamed-trace latency, cold (upload + VCD parse + encoder + heads)
+//     and warm (trace-hash embedding hit: upload + heads only);
 //   * warm requests/sec at 1, 4 and 8 concurrent client connections.
 //
 // Numbers land in EXPERIMENTS.md. The interesting ratio is cold : warm —
@@ -24,6 +26,7 @@
 #include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
 #include "netlist/verilog_io.h"
+#include "sim/vcd.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "util/cli.h"
@@ -134,6 +137,41 @@ int main(int argc, char** argv) {
                   design_warm_s * 1e3);
       std::printf("  warm  (embedding hit -> heads only)    %8.2f\n\n",
                   median(warm_s) * 1e3);
+    }
+
+    // --- latency: streamed trace upload (cold, then trace-hash warm) -------
+    {
+      const netlist::Netlist query = netlist::parse_verilog(verilog, lib);
+      sim::CycleSimulator simulator(query);
+      sim::StimulusGenerator stimulus(query, sim::make_w1());
+      const sim::ToggleTrace trace = simulator.run(stimulus, cycles);
+      const std::string vcd =
+          sim::write_vcd(query, trace, simulator.clock_net_mask());
+
+      serve::StreamBeginRequest begin;
+      begin.model = "bench";
+      begin.netlist_verilog = verilog;
+      begin.cycles = cycles;
+
+      serve::Server stream_server(scfg, registry);
+      stream_server.start();
+      serve::Client client =
+          serve::Client::connect_tcp("127.0.0.1", stream_server.port());
+      util::Timer tc;
+      client.predict_stream(begin, vcd);
+      const double stream_cold_s = tc.seconds();
+      std::vector<double> stream_warm_s;
+      for (int i = 0; i < 10; ++i) {
+        util::Timer t;
+        client.predict_stream(begin, vcd);
+        stream_warm_s.push_back(t.seconds());
+      }
+      std::printf("streamed trace (%zu KiB VCD):\n", vcd.size() >> 10);
+      std::printf("  cold  (upload+parse+encode+heads)      %8.2f\n",
+                  stream_cold_s * 1e3);
+      std::printf("  warm  (upload -> trace-hash hit)       %8.2f\n\n",
+                  median(stream_warm_s) * 1e3);
+      stream_server.stop();
     }
 
     // --- throughput: warm requests/sec at N concurrent clients -------------

@@ -39,6 +39,27 @@ PredictResponse Client::predict(const PredictRequest& request) {
   return PredictResponse::decode(resp.payload);
 }
 
+PredictResponse Client::predict_stream(StreamBeginRequest begin,
+                                       const std::string& trace_text,
+                                       std::size_t chunk_bytes) {
+  if (chunk_bytes == 0) chunk_bytes = 64 * 1024;
+  begin.trace_bytes = trace_text.size();
+  round_trip(MsgType::kStreamBegin, begin.encode(), MsgType::kStreamAck);
+  std::uint64_t seq = 0;
+  for (std::size_t off = 0; off < trace_text.size(); off += chunk_bytes) {
+    StreamChunk chunk;
+    chunk.seq = seq++;
+    chunk.data = trace_text.substr(off, chunk_bytes);
+    round_trip(MsgType::kStreamChunk, chunk.encode(), MsgType::kStreamAck);
+  }
+  StreamEndRequest end;
+  end.total_chunks = seq;
+  end.total_bytes = trace_text.size();
+  const Frame resp =
+      round_trip(MsgType::kStreamEnd, end.encode(), MsgType::kPredictOk);
+  return PredictResponse::decode(resp.payload);
+}
+
 std::vector<ModelInfo> Client::models() {
   const Frame resp =
       round_trip(MsgType::kListModels, std::string(), MsgType::kModelList);

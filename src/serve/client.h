@@ -36,6 +36,15 @@ class Client {
 
   PredictResponse predict(const PredictRequest& request);
 
+  /// Upload a client-supplied toggle trace (VCD subset) in chunks and get
+  /// the prediction for it: stream_begin / stream_chunk* / stream_end.
+  /// `begin.trace_bytes` is filled from `trace_text` automatically. Throws
+  /// ServeError on any server-side rejection (the server discards the
+  /// partial upload; this connection remains usable).
+  PredictResponse predict_stream(StreamBeginRequest begin,
+                                 const std::string& trace_text,
+                                 std::size_t chunk_bytes = 64 * 1024);
+
   std::vector<ModelInfo> models();
 
   std::string stats_text();

@@ -16,8 +16,10 @@ struct CacheGauges {
   obs::Gauge& design_evictions;
   obs::Gauge& embedding_hits;
   obs::Gauge& embedding_misses;
+  obs::Gauge& embedding_drops;
   obs::Gauge& designs;
   obs::Gauge& embedding_bytes;
+  obs::Gauge& total_bytes;
 };
 
 CacheGauges& cache_gauges() {
@@ -28,8 +30,10 @@ CacheGauges& cache_gauges() {
       reg.gauge("atlas_serve_cache_design_evictions"),
       reg.gauge("atlas_serve_cache_embedding_hits"),
       reg.gauge("atlas_serve_cache_embedding_misses"),
+      reg.gauge("atlas_serve_cache_embedding_drops"),
       reg.gauge("atlas_serve_cache_designs"),
-      reg.gauge("atlas_serve_cache_embedding_bytes")};
+      reg.gauge("atlas_serve_cache_embedding_bytes"),
+      reg.gauge("atlas_serve_cache_total_bytes")};
   return *g;
 }
 
@@ -40,11 +44,29 @@ std::size_t bytes_of(
 
 }  // namespace
 
+std::size_t approx_design_bytes(const DesignArtifacts& d) {
+  // Rough per-object footprints (names, pin vectors, adjacency); exactness
+  // doesn't matter — the budget only needs eviction weights on the right
+  // scale, and the same formula is applied to every entry.
+  std::size_t b = sizeof(DesignArtifacts);
+  b += d.gate.num_cells() * 96 + d.gate.num_nets() * 64;
+  for (const graph::SubmoduleGraph& g : d.graphs) {
+    b += sizeof(graph::SubmoduleGraph);
+    b += g.cells.size() * (sizeof(netlist::CellInstId) +
+                           sizeof(netlist::NetId) + sizeof(int));
+    b += g.edges.size() * sizeof(g.edges[0]);
+    b += g.static_features.size() * sizeof(float);
+  }
+  return b;
+}
+
 FeatureCache::FeatureCache(std::size_t max_designs,
-                           std::size_t max_embeddings_per_design)
+                           std::size_t max_embeddings_per_design,
+                           std::size_t max_bytes)
     : max_designs_(max_designs < 1 ? 1 : max_designs),
       max_embeddings_per_design_(
-          max_embeddings_per_design < 1 ? 1 : max_embeddings_per_design) {}
+          max_embeddings_per_design < 1 ? 1 : max_embeddings_per_design),
+      max_bytes_(max_bytes) {}
 
 void FeatureCache::publish_gauges() const {
   CacheGauges& g = cache_gauges();
@@ -53,8 +75,10 @@ void FeatureCache::publish_gauges() const {
   g.design_evictions.set(static_cast<std::int64_t>(stats_.design_evictions));
   g.embedding_hits.set(static_cast<std::int64_t>(stats_.embedding_hits));
   g.embedding_misses.set(static_cast<std::int64_t>(stats_.embedding_misses));
+  g.embedding_drops.set(static_cast<std::int64_t>(stats_.embedding_drops));
   g.designs.set(static_cast<std::int64_t>(entries_.size()));
   g.embedding_bytes.set(static_cast<std::int64_t>(embedding_bytes_));
+  g.total_bytes.set(static_cast<std::int64_t>(design_bytes_ + embedding_bytes_));
 }
 
 void FeatureCache::touch(std::uint64_t key, Entry& e) {
@@ -64,13 +88,19 @@ void FeatureCache::touch(std::uint64_t key, Entry& e) {
 }
 
 void FeatureCache::evict_if_needed() {
-  while (entries_.size() > max_designs_) {
+  // Count bound: strict, down to max_designs_. Byte bound: weigh each
+  // entry's design footprint plus its embeddings, but never evict the MRU
+  // entry — a single over-budget design must still be servable.
+  while (entries_.size() > max_designs_ ||
+         (max_bytes_ > 0 && design_bytes_ + embedding_bytes_ > max_bytes_ &&
+          entries_.size() > 1)) {
     const std::uint64_t victim = lru_.back();
     lru_.pop_back();
     const auto it = entries_.find(victim);
     for (const auto& [k, emb] : it->second.embeddings) {
       embedding_bytes_ -= bytes_of(emb);
     }
+    design_bytes_ -= it->second.design_bytes;
     entries_.erase(it);
     ++stats_.design_evictions;
   }
@@ -94,18 +124,25 @@ std::shared_ptr<const DesignArtifacts> FeatureCache::find_design(
 void FeatureCache::put_design(std::uint64_t key,
                               std::shared_ptr<const DesignArtifacts> d) {
   std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t weight = d ? approx_design_bytes(*d) : 0;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    design_bytes_ -= it->second.design_bytes;
     it->second.design = std::move(d);
+    it->second.design_bytes = weight;
+    design_bytes_ += weight;
     touch(key, it->second);
+    evict_if_needed();
     publish_gauges();
     return;
   }
   lru_.push_front(key);
   Entry e;
   e.design = std::move(d);
+  e.design_bytes = weight;
   e.lru_pos = lru_.begin();
   entries_.emplace(key, std::move(e));
+  design_bytes_ += weight;
   evict_if_needed();
   publish_gauges();
 }
@@ -137,15 +174,24 @@ void FeatureCache::put_embeddings(
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(design_key);
   // The design entry may have been evicted between the handler's lookup and
-  // this insert; dropping the embeddings is correct (they would be
-  // unreachable without their design anyway).
-  if (it == entries_.end()) return;
+  // this insert; the embeddings would be unreachable without their design,
+  // so they are dropped — but the lost encoder work is counted, never
+  // silent (cache effectiveness must stay observable).
+  if (it == entries_.end()) {
+    ++stats_.embedding_drops;
+    publish_gauges();
+    return;
+  }
   Entry& e = it->second;
+  // Inserting embeddings is a use: make the design MRU so the byte-budget
+  // eviction below can never evict the entry that was just extended.
+  touch(design_key, e);
   embedding_bytes_ += bytes_of(emb);
   const auto eit = e.embeddings.find(emb_key);
   if (eit != e.embeddings.end()) {
     embedding_bytes_ -= bytes_of(eit->second);
     eit->second = std::move(emb);
+    evict_if_needed();
     publish_gauges();
     return;
   }
@@ -157,6 +203,7 @@ void FeatureCache::put_embeddings(
     e.embeddings.erase(victim);
     e.embedding_order.pop_front();
   }
+  evict_if_needed();
   publish_gauges();
 }
 
@@ -173,6 +220,11 @@ std::size_t FeatureCache::num_designs() const {
 std::size_t FeatureCache::embedding_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return embedding_bytes_;
+}
+
+std::size_t FeatureCache::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return design_bytes_ + embedding_bytes_;
 }
 
 }  // namespace atlas::serve

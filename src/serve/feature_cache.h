@@ -5,10 +5,13 @@
 //   design layer      hash -> parsed netlist + sub-module graphs (the
 //                     per-design preprocessing every request would
 //                     otherwise repeat);
-//   embedding layer   (hash, model, workload, cycles) -> DesignEmbeddings
-//                     (per-cycle encoder forwards + cycle extras), nested
-//                     under the design entry so evicting a design drops
-//                     its embeddings too.
+//   embedding layer   (hash, model, workload, cycles, trace hash) ->
+//                     DesignEmbeddings (per-cycle encoder forwards + cycle
+//                     extras), nested under the design entry so evicting a
+//                     design drops its embeddings too. For streamed
+//                     workloads the trace hash pins the *content* of the
+//                     client-supplied toggle trace — two different traces
+//                     under the same workload name can never alias.
 //
 // A warm embedding hit skips netlist parsing, graph building, workload
 // simulation AND the encoder — the request goes straight to the GBDT
@@ -17,6 +20,14 @@
 // pool threads read them without further locking; the cache mutex only
 // guards the index. Concurrent misses on the same key may both compute
 // and insert — last insert wins, results are identical by determinism.
+//
+// Eviction is cost-aware, not just count-based: every entry is weighed by
+// its design footprint plus DesignEmbeddings::approx_bytes(), and the LRU
+// tail is evicted while either the design count exceeds `max_designs` or
+// the total weight exceeds `max_bytes` — so one huge design cannot pin
+// memory that many cheap hot designs would use better. The most recently
+// used entry is never evicted by the byte budget (a single over-budget
+// design must still be servable).
 #pragma once
 
 #include <cstdint>
@@ -44,14 +55,21 @@ struct DesignArtifacts {
   int structural_submodules = 0;
 };
 
+/// Approximate resident size of a design entry (netlist + graphs), used to
+/// weigh eviction victims alongside their embeddings' approx_bytes().
+std::size_t approx_design_bytes(const DesignArtifacts& d);
+
 struct EmbeddingKey {
   std::string model;
   std::string workload;
   std::int32_t cycles = 0;
+  /// Content hash of an externally supplied toggle trace; 0 for the
+  /// built-in synthetic workloads (whose name + cycles pin the stimulus).
+  std::uint64_t trace_hash = 0;
 
   bool operator<(const EmbeddingKey& o) const {
-    return std::tie(model, workload, cycles) <
-           std::tie(o.model, o.workload, o.cycles);
+    return std::tie(model, workload, cycles, trace_hash) <
+           std::tie(o.model, o.workload, o.cycles, o.trace_hash);
   }
 };
 
@@ -61,14 +79,21 @@ struct FeatureCacheStats {
   std::uint64_t embedding_hits = 0;
   std::uint64_t embedding_misses = 0;
   std::uint64_t design_evictions = 0;
+  /// Freshly computed embeddings discarded because their design entry was
+  /// evicted between the handler's lookup and the insert. Nonzero values
+  /// mean real encoder work is being thrown away — size the cache up.
+  std::uint64_t embedding_drops = 0;
 };
 
 class FeatureCache {
  public:
   /// `max_designs` bounds the design layer (LRU); `max_embeddings_per_design`
-  /// bounds each entry's embedding map (oldest-inserted evicted first).
+  /// bounds each entry's embedding map (oldest-inserted evicted first);
+  /// `max_bytes` bounds the summed approximate weight of designs +
+  /// embeddings (0 = unlimited).
   explicit FeatureCache(std::size_t max_designs = 16,
-                        std::size_t max_embeddings_per_design = 8);
+                        std::size_t max_embeddings_per_design = 8,
+                        std::size_t max_bytes = 0);
 
   std::shared_ptr<const DesignArtifacts> find_design(std::uint64_t key);
   void put_design(std::uint64_t key, std::shared_ptr<const DesignArtifacts> d);
@@ -82,10 +107,14 @@ class FeatureCache {
   std::size_t num_designs() const;
   /// Approximate bytes held by cached embeddings (all designs).
   std::size_t embedding_bytes() const;
+  /// Approximate bytes held by the whole cache (designs + embeddings) —
+  /// the quantity the `max_bytes` budget bounds.
+  std::size_t total_bytes() const;
 
  private:
   struct Entry {
     std::shared_ptr<const DesignArtifacts> design;
+    std::size_t design_bytes = 0;
     // Insertion-ordered for simple FIFO eviction within one design.
     std::map<EmbeddingKey, std::shared_ptr<const core::DesignEmbeddings>>
         embeddings;
@@ -95,6 +124,9 @@ class FeatureCache {
 
   // Caller must hold mu_. Moves `key` to the front of the LRU list.
   void touch(std::uint64_t key, Entry& e);
+  // Caller must hold mu_. Evicts the LRU tail while the design count is
+  // over max_designs_ or the byte weight is over max_bytes_ (never the
+  // MRU entry for the byte budget).
   void evict_if_needed();
   // Caller must hold mu_. Mirrors stats_/occupancy onto the global
   // atlas_serve_cache_* gauges after every mutation.
@@ -102,12 +134,14 @@ class FeatureCache {
 
   const std::size_t max_designs_;
   const std::size_t max_embeddings_per_design_;
+  const std::size_t max_bytes_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = most recently used
   FeatureCacheStats stats_;
   std::size_t embedding_bytes_ = 0;  // approx bytes across all entries
+  std::size_t design_bytes_ = 0;     // approx bytes of design artifacts
 };
 
 }  // namespace atlas::serve

@@ -124,6 +124,80 @@ PredictRequest PredictRequest::decode(const std::string& payload) {
   });
 }
 
+std::string StreamBeginRequest::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_string(os, model);
+    write_string(os, netlist_verilog);
+    write_u32(os, static_cast<std::uint32_t>(format));
+    write_u32(os, static_cast<std::uint32_t>(cycles));
+    write_u32(os, deadline_ms);
+    write_u32(os, want_submodules ? 1u : 0u);
+    write_u64(os, trace_bytes);
+  });
+}
+
+StreamBeginRequest StreamBeginRequest::decode(const std::string& payload) {
+  return decode_payload<StreamBeginRequest>(payload, [](std::istream& is) {
+    StreamBeginRequest r;
+    r.model = read_string(is);
+    r.netlist_verilog = read_string(is);
+    r.format = static_cast<TraceFormat>(read_u32(is));
+    r.cycles = static_cast<std::int32_t>(read_u32(is));
+    r.deadline_ms = read_u32(is);
+    r.want_submodules = read_u32(is) != 0;
+    r.trace_bytes = read_u64(is);
+    return r;
+  });
+}
+
+std::string StreamChunk::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u64(os, seq);
+    write_string(os, data);
+  });
+}
+
+StreamChunk StreamChunk::decode(const std::string& payload) {
+  return decode_payload<StreamChunk>(payload, [](std::istream& is) {
+    StreamChunk c;
+    c.seq = read_u64(is);
+    c.data = read_string(is);
+    return c;
+  });
+}
+
+std::string StreamEndRequest::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u64(os, total_chunks);
+    write_u64(os, total_bytes);
+  });
+}
+
+StreamEndRequest StreamEndRequest::decode(const std::string& payload) {
+  return decode_payload<StreamEndRequest>(payload, [](std::istream& is) {
+    StreamEndRequest r;
+    r.total_chunks = read_u64(is);
+    r.total_bytes = read_u64(is);
+    return r;
+  });
+}
+
+std::string StreamAck::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u64(os, seq);
+    write_u64(os, received_bytes);
+  });
+}
+
+StreamAck StreamAck::decode(const std::string& payload) {
+  return decode_payload<StreamAck>(payload, [](std::istream& is) {
+    StreamAck a;
+    a.seq = read_u64(is);
+    a.received_bytes = read_u64(is);
+    return a;
+  });
+}
+
 std::string PredictResponse::encode() const {
   return encode_payload([this](std::ostream& os) {
     write_u32(os, cache_flags);

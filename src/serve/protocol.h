@@ -15,10 +15,21 @@
 // hostile frames surface as ProtocolError / SerializeError — never as an
 // allocation bomb or a crash.
 //
-// Requests: Ping, Predict, ListModels, Stats, Shutdown, Metrics.
+// Requests: Ping, Predict, ListModels, Stats, Shutdown, Metrics,
+// StreamBegin, StreamChunk, StreamEnd.
 // Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk,
-// MetricsText, Error.
+// MetricsText, StreamAck, Error.
 // One response frame per request frame, in request order per connection.
+//
+// The stream family uploads a client-supplied per-cycle toggle trace (VCD
+// subset) too large for one frame: StreamBegin declares the model, netlist,
+// cycle count and total trace size; each StreamChunk carries the next slice
+// (sequence-numbered, acknowledged); StreamEnd closes the upload and is
+// answered with the prediction itself (PredictOk) or an Error. Assembly
+// state is per-connection, bounded by the declared size (itself capped),
+// ordered by sequence number, and subject to the request deadline from the
+// StreamBegin frame onward — a malformed, interleaved or abandoned stream
+// costs one error reply or a dropped connection, never daemon state.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +59,9 @@ enum class MsgType : std::uint32_t {
   kStats = 4,
   kShutdown = 5,
   kMetrics = 6,
+  kStreamBegin = 7,
+  kStreamChunk = 8,
+  kStreamEnd = 9,
   // Responses.
   kPong = 100,
   kPredictOk = 101,
@@ -55,6 +69,7 @@ enum class MsgType : std::uint32_t {
   kStatsText = 103,
   kShutdownOk = 104,
   kMetricsText = 105,
+  kStreamAck = 106,
   kError = 199,
 };
 
@@ -62,9 +77,10 @@ enum class ErrorCode : std::uint32_t {
   kBadRequest = 1,       // undecodable payload / bad frame
   kUnknownModel = 2,     // model name not in the registry
   kUnknownWorkload = 3,  // workload name not recognized
-  kDeadlineExceeded = 4, // request expired waiting for dispatch
+  kDeadlineExceeded = 4, // request expired (queued, streaming, or computing)
   kShuttingDown = 5,     // server is draining
   kInternal = 6,         // handler threw (bad netlist, ...)
+  kStreamProtocol = 7,   // stream state violation (order, size, no begin)
 };
 
 struct Frame {
@@ -98,7 +114,57 @@ struct PredictRequest {
   static PredictRequest decode(const std::string& payload);
 };
 
+/// Trace encodings accepted by the stream family.
+enum class TraceFormat : std::uint32_t {
+  kVcdText = 1,  // the write_vcd / parse_vcd subset
+};
+
+/// Opens a streamed-workload upload. The prediction parameters travel here;
+/// the trace bytes follow in StreamChunk frames.
+struct StreamBeginRequest {
+  std::string model;            // registry name
+  std::string netlist_verilog;  // gate-level structural Verilog text
+  TraceFormat format = TraceFormat::kVcdText;
+  /// Expected trace cycle count; 0 = accept whatever the trace contains.
+  /// Nonzero values are enforced against the parsed trace.
+  std::int32_t cycles = 0;
+  std::uint32_t deadline_ms = 0;  // 0 = none; runs from StreamBegin receipt
+  bool want_submodules = false;
+  /// Declared total trace size; chunks may not exceed it and StreamEnd
+  /// checks the sum matches. Capped server-side (max_stream_bytes).
+  std::uint64_t trace_bytes = 0;
+
+  std::string encode() const;
+  static StreamBeginRequest decode(const std::string& payload);
+};
+
+struct StreamChunk {
+  std::uint64_t seq = 0;  // 0-based, must arrive consecutively
+  std::string data;
+
+  std::string encode() const;
+  static StreamChunk decode(const std::string& payload);
+};
+
+struct StreamEndRequest {
+  std::uint64_t total_chunks = 0;
+  std::uint64_t total_bytes = 0;  // must equal the assembled size
+
+  std::string encode() const;
+  static StreamEndRequest decode(const std::string& payload);
+};
+
 // ---- Response payloads ----------------------------------------------------
+
+/// Acknowledges StreamBegin (seq = 0, received = 0) and each StreamChunk
+/// (seq = the chunk's sequence number, received = assembled bytes so far).
+struct StreamAck {
+  std::uint64_t seq = 0;
+  std::uint64_t received_bytes = 0;
+
+  std::string encode() const;
+  static StreamAck decode(const std::string& payload);
+};
 
 /// Cache-path flags reported back to the client (and asserted by tests).
 inline constexpr std::uint32_t kCacheHitDesign = 1u << 0;      // graphs reused

@@ -43,7 +43,8 @@ Server::Server(ServerConfig config, std::shared_ptr<ModelRegistry> registry)
     : config_(std::move(config)),
       registry_(std::move(registry)),
       lib_(liberty::make_default_library()),
-      cache_(config_.cache_designs, config_.cache_embeddings_per_design) {}
+      cache_(config_.cache_designs, config_.cache_embeddings_per_design,
+             config_.cache_max_bytes) {}
 
 Server::~Server() { stop(); }
 
@@ -168,6 +169,7 @@ void Server::reap_finished_connections() {
 
 void Server::connection_loop(Connection* conn) {
   util::Socket& sock = conn->sock;
+  StreamState stream;  // per-connection: dies with this loop if abandoned
   try {
     for (;;) {
       Frame frame;
@@ -211,9 +213,11 @@ void Server::connection_loop(Connection* conn) {
           stats_.record("metrics", elapsed_us(received_at), false);
           break;
         case MsgType::kShutdown:
+          // Flag before replying: once the client sees the ack, a
+          // stop_requested() poll must already observe it.
+          stop_requested_.store(true);
           write_frame(sock, MsgType::kShutdownOk, encode_string_payload("ok"));
           stats_.record("shutdown", elapsed_us(received_at), false);
-          stop_requested_.store(true);
           break;
         case MsgType::kPredict: {
           auto job = std::make_shared<PendingJob>();
@@ -227,25 +231,14 @@ void Server::connection_loop(Connection* conn) {
             break;
           }
           job->enqueued_at = received_at;
-          auto future = job->result.get_future();
-          bool rejected = false;
-          {
-            std::lock_guard<std::mutex> lock(queue_mu_);
-            if (stopping_) {
-              rejected = true;
-            } else {
-              queue_.push_back(job);
-            }
-          }
-          if (rejected) {
-            const auto [type, payload] = error_reply(
-                ErrorCode::kShuttingDown, "server is shutting down");
-            write_frame(sock, type, payload);
-            stats_.record("predict", elapsed_us(received_at), true);
-            break;
-          }
-          queue_cv_.notify_one();
-          const auto [type, payload] = future.get();
+          const auto [type, payload] = submit_and_wait(job);
+          write_frame(sock, type, payload);
+          break;
+        }
+        case MsgType::kStreamBegin:
+        case MsgType::kStreamChunk:
+        case MsgType::kStreamEnd: {
+          const auto [type, payload] = handle_stream_frame(frame, stream);
           write_frame(sock, type, payload);
           break;
         }
@@ -290,6 +283,171 @@ void Server::dispatcher_loop() {
   }
 }
 
+std::pair<MsgType, std::string> Server::submit_and_wait(
+    const std::shared_ptr<PendingJob>& job) {
+  auto future = job->result.get_future();
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      rejected = true;
+    } else {
+      queue_.push_back(job);
+    }
+  }
+  if (rejected) {
+    // Jobs that reach the dispatcher are accounted in process_job; a
+    // shutdown rejection never gets there, so account it here.
+    stats_.record(job->endpoint, elapsed_us(job->enqueued_at), true);
+    return error_reply(ErrorCode::kShuttingDown, "server is shutting down");
+  }
+  queue_cv_.notify_one();
+  return future.get();
+}
+
+std::pair<MsgType, std::string> Server::handle_stream_frame(
+    const Frame& frame, StreamState& stream) {
+  const Clock::time_point received_at = Clock::now();
+  // Any assembly-stage failure answers an error, resets the stream state
+  // (the partial upload is discarded) and is counted against the `stream`
+  // endpoint; the connection itself survives.
+  const auto fail = [&](ErrorCode code, const std::string& msg) {
+    stream.reset();
+    stats_.record("stream", elapsed_us(received_at), true);
+    return error_reply(code, msg);
+  };
+  const auto deadline_expired = [&]() -> bool {
+    if (!stream.active || stream.begin.deadline_ms == 0) return false;
+    return elapsed_us(stream.started) / 1000 > stream.begin.deadline_ms;
+  };
+
+  switch (frame.type) {
+    case MsgType::kStreamBegin: {
+      if (stream.active) {
+        return fail(ErrorCode::kStreamProtocol,
+                    "stream_begin while a stream is active (partial upload "
+                    "discarded)");
+      }
+      StreamBeginRequest begin;
+      try {
+        begin = StreamBeginRequest::decode(frame.payload);
+      } catch (const ProtocolError& e) {
+        return fail(ErrorCode::kBadRequest, e.what());
+      }
+      if (begin.format != TraceFormat::kVcdText) {
+        return fail(ErrorCode::kBadRequest,
+                    "unknown trace format " +
+                        std::to_string(static_cast<std::uint32_t>(begin.format)));
+      }
+      if (begin.trace_bytes == 0 ||
+          begin.trace_bytes > config_.max_stream_bytes) {
+        return fail(ErrorCode::kStreamProtocol,
+                    "declared trace size " + std::to_string(begin.trace_bytes) +
+                        " outside (0, " +
+                        std::to_string(config_.max_stream_bytes) + "]");
+      }
+      if (begin.cycles < 0 || begin.cycles > kMaxRequestCycles) {
+        return fail(ErrorCode::kBadRequest,
+                    "cycles out of range: " + std::to_string(begin.cycles));
+      }
+      stream.active = true;
+      stream.begin = std::move(begin);
+      stream.data.clear();
+      stream.data.reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(stream.begin.trace_bytes, 1u << 20)));
+      stream.chunks = 0;
+      stream.started = received_at;
+      StreamAck ack;
+      ack.seq = 0;
+      ack.received_bytes = 0;
+      return {MsgType::kStreamAck, ack.encode()};
+    }
+    case MsgType::kStreamChunk: {
+      if (!stream.active) {
+        return fail(ErrorCode::kStreamProtocol,
+                    "stream_chunk without stream_begin");
+      }
+      if (deadline_expired()) {
+        return fail(ErrorCode::kDeadlineExceeded,
+                    "deadline expired during stream assembly (" +
+                        std::to_string(elapsed_us(stream.started) / 1000) +
+                        "ms elapsed, deadline " +
+                        std::to_string(stream.begin.deadline_ms) + "ms)");
+      }
+      StreamChunk chunk;
+      try {
+        chunk = StreamChunk::decode(frame.payload);
+      } catch (const ProtocolError& e) {
+        return fail(ErrorCode::kBadRequest, e.what());
+      }
+      if (chunk.seq != stream.chunks) {
+        return fail(ErrorCode::kStreamProtocol,
+                    "out-of-order chunk: got seq " +
+                        std::to_string(chunk.seq) + ", expected " +
+                        std::to_string(stream.chunks));
+      }
+      if (stream.data.size() + chunk.data.size() > stream.begin.trace_bytes) {
+        return fail(ErrorCode::kStreamProtocol,
+                    "stream exceeds declared size " +
+                        std::to_string(stream.begin.trace_bytes));
+      }
+      stream.data += chunk.data;
+      ++stream.chunks;
+      StreamAck ack;
+      ack.seq = chunk.seq;
+      ack.received_bytes = stream.data.size();
+      return {MsgType::kStreamAck, ack.encode()};
+    }
+    case MsgType::kStreamEnd: {
+      if (!stream.active) {
+        return fail(ErrorCode::kStreamProtocol,
+                    "stream_end without stream_begin");
+      }
+      if (deadline_expired()) {
+        return fail(ErrorCode::kDeadlineExceeded,
+                    "deadline expired during stream assembly (" +
+                        std::to_string(elapsed_us(stream.started) / 1000) +
+                        "ms elapsed, deadline " +
+                        std::to_string(stream.begin.deadline_ms) + "ms)");
+      }
+      StreamEndRequest end;
+      try {
+        end = StreamEndRequest::decode(frame.payload);
+      } catch (const ProtocolError& e) {
+        return fail(ErrorCode::kBadRequest, e.what());
+      }
+      if (end.total_chunks != stream.chunks ||
+          end.total_bytes != stream.data.size() ||
+          stream.data.size() != stream.begin.trace_bytes) {
+        return fail(
+            ErrorCode::kStreamProtocol,
+            "stream totals mismatch: assembled " +
+                std::to_string(stream.data.size()) + " bytes / " +
+                std::to_string(stream.chunks) + " chunks, declared " +
+                std::to_string(stream.begin.trace_bytes) + " bytes, end said " +
+                std::to_string(end.total_bytes) + " bytes / " +
+                std::to_string(end.total_chunks) + " chunks");
+      }
+      auto job = std::make_shared<PendingJob>();
+      job->request.model = std::move(stream.begin.model);
+      job->request.netlist_verilog = std::move(stream.begin.netlist_verilog);
+      job->request.workload = "external";
+      job->request.cycles = stream.begin.cycles;
+      job->request.deadline_ms = stream.begin.deadline_ms;
+      job->request.want_submodules = stream.begin.want_submodules;
+      job->trace = std::make_shared<const sim::ExternalTrace>(
+          sim::ExternalTrace::from_vcd_text(std::move(stream.data)));
+      job->endpoint = "stream";
+      // The deadline spans the whole streamed request: assembly included.
+      job->enqueued_at = stream.started;
+      stream.reset();
+      return submit_and_wait(job);
+    }
+    default:
+      return fail(ErrorCode::kBadRequest, "not a stream frame");
+  }
+}
+
 void Server::process_job(PendingJob& job) {
   bool is_error = true;
   std::pair<MsgType, std::string> reply;
@@ -301,38 +459,64 @@ void Server::process_job(PendingJob& job) {
                               "ms, deadline " +
                               std::to_string(job.request.deadline_ms) + "ms");
     } else {
-      reply = handle_predict(job.request);
+      reply = handle_predict(job.request, job.trace.get());
       is_error = reply.first == MsgType::kError;
+      // Re-check after compute: a request that blew its deadline inside the
+      // handler must not get a full late success reply (and must count as
+      // an error), or clients time out while `stats` reports green.
+      const std::uint64_t total_ms = elapsed_us(job.enqueued_at) / 1000;
+      if (!is_error && job.request.deadline_ms > 0 &&
+          total_ms > job.request.deadline_ms) {
+        reply = error_reply(ErrorCode::kDeadlineExceeded,
+                            "request took " + std::to_string(total_ms) +
+                                "ms total, deadline " +
+                                std::to_string(job.request.deadline_ms) + "ms");
+        is_error = true;
+      }
     }
   } catch (const std::exception& e) {
     reply = error_reply(ErrorCode::kInternal, e.what());
   }
-  stats_.record("predict", elapsed_us(job.enqueued_at), is_error);
+  stats_.record(job.endpoint, elapsed_us(job.enqueued_at), is_error);
   job.result.set_value(std::move(reply));
 }
 
 std::pair<MsgType, std::string> Server::handle_predict(
-    const PredictRequest& req) {
+    const PredictRequest& req, const sim::ExternalTrace* trace) {
   obs::ObsSpan span("serve", "handle_predict");
   const Clock::time_point handler_start = Clock::now();
+  if (config_.handler_delay_for_test_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.handler_delay_for_test_ms));
+  }
 
   const auto model = registry_->get(req.model);
   if (!model) {
     return error_reply(ErrorCode::kUnknownModel,
                        "unknown model: " + req.model);
   }
+  const bool external = trace != nullptr;
   sim::WorkloadSpec workload;
-  if (req.workload == "w1" || req.workload == "W1") {
-    workload = sim::make_w1();
-  } else if (req.workload == "w2" || req.workload == "W2") {
-    workload = sim::make_w2();
+  if (external) {
+    // Streamed trace: cycles come from the trace itself; a nonzero request
+    // value is a cross-check, not a simulation length.
+    if (req.cycles < 0 || req.cycles > kMaxRequestCycles) {
+      return error_reply(ErrorCode::kBadRequest,
+                         "cycles out of range: " + std::to_string(req.cycles));
+    }
   } else {
-    return error_reply(ErrorCode::kUnknownWorkload,
-                       "unknown workload: " + req.workload + " (use w1|w2)");
-  }
-  if (req.cycles <= 0 || req.cycles > kMaxRequestCycles) {
-    return error_reply(ErrorCode::kBadRequest,
-                       "cycles out of range: " + std::to_string(req.cycles));
+    if (req.workload == "w1" || req.workload == "W1") {
+      workload = sim::make_w1();
+    } else if (req.workload == "w2" || req.workload == "W2") {
+      workload = sim::make_w2();
+    } else {
+      return error_reply(ErrorCode::kUnknownWorkload,
+                         "unknown workload: " + req.workload + " (use w1|w2)");
+    }
+    if (req.cycles <= 0 || req.cycles > kMaxRequestCycles) {
+      return error_reply(ErrorCode::kBadRequest,
+                         "cycles out of range: " + std::to_string(req.cycles));
+    }
   }
 
   std::uint32_t cache_flags = 0;
@@ -365,18 +549,41 @@ std::pair<MsgType, std::string> Server::handle_predict(
     cache_.put_design(design_key, design);
   }
 
-  const EmbeddingKey emb_key{req.model, req.workload,
-                             req.cycles};
+  // For streamed traces the key carries the trace's content hash, so two
+  // different uploads can never alias — and a warm hit skips even the VCD
+  // parse (the hash alone identifies the stimulus).
+  const EmbeddingKey emb_key{req.model, req.workload, req.cycles,
+                             external ? trace->content_hash() : 0};
   std::shared_ptr<const core::DesignEmbeddings> emb =
       cache_.find_embeddings(design_key, emb_key);
   if (emb) {
     cache_flags |= kCacheHitEmbeddings;
   } else {
-    sim::CycleSimulator simulator(design->gate);
-    sim::StimulusGenerator stimulus(design->gate, workload);
-    const sim::ToggleTrace trace = simulator.run(stimulus, req.cycles);
+    sim::ToggleTrace toggles;
+    if (external) {
+      try {
+        toggles = trace->resolve(design->gate, kMaxRequestCycles);
+      } catch (const std::exception& e) {
+        return error_reply(ErrorCode::kBadRequest,
+                           std::string("trace parse failed: ") + e.what());
+      }
+      if (toggles.num_cycles() <= 0) {
+        return error_reply(ErrorCode::kBadRequest,
+                           "streamed trace contains no cycles");
+      }
+      if (req.cycles > 0 && toggles.num_cycles() != req.cycles) {
+        return error_reply(
+            ErrorCode::kBadRequest,
+            "trace has " + std::to_string(toggles.num_cycles()) +
+                " cycles, stream_begin declared " + std::to_string(req.cycles));
+      }
+    } else {
+      sim::CycleSimulator simulator(design->gate);
+      sim::StimulusGenerator stimulus(design->gate, workload);
+      toggles = simulator.run(stimulus, req.cycles);
+    }
     emb = std::make_shared<const core::DesignEmbeddings>(
-        model->encode(design->gate, design->graphs, trace));
+        model->encode(design->gate, design->graphs, toggles));
     cache_.put_embeddings(design_key, emb_key, emb);
   }
 

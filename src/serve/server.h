@@ -8,7 +8,11 @@
 //   * one thread per live connection, reading frames and answering cheap
 //     requests (ping/models/stats) inline; predict requests are enqueued to
 //     the dispatcher and the connection thread blocks on the response — so
-//     responses stay in request order per connection;
+//     responses stay in request order per connection. Streamed-workload
+//     uploads (StreamBegin/Chunk/End) are assembled in per-connection state
+//     on the same thread — size caps, sequence ordering and the request
+//     deadline are enforced during assembly, and StreamEnd enqueues the
+//     finished request to the dispatcher exactly like a Predict;
 //   * one dispatcher thread that drains the queue in opportunistic batches
 //     (whatever is queued when it wakes, capped at `batch_max`) and runs
 //     each batch via util::ThreadPool::global(). Handler-internal parallel
@@ -40,6 +44,7 @@
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/stats.h"
+#include "sim/external_trace.h"
 #include "util/socket.h"
 
 namespace atlas::serve {
@@ -55,11 +60,21 @@ struct ServerConfig {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   std::size_t cache_designs = 16;
   std::size_t cache_embeddings_per_design = 8;
+  /// Byte budget for the feature cache (designs + embeddings, approximate;
+  /// 0 = unlimited). Eviction weighs entries by size, so one huge design
+  /// cannot pin memory many cheap hot designs would use better.
+  std::size_t cache_max_bytes = 512ull << 20;  // 512 MiB
+  /// Largest assembled streamed trace accepted per request; StreamBegin
+  /// frames declaring more are rejected before any chunk is read.
+  std::size_t max_stream_bytes = 256ull << 20;  // 256 MiB
   /// Max predict requests dispatched as one thread-pool batch.
   std::size_t batch_max = 8;
   /// Test hook: sleep before dispatching each batch so deadline expiry can
   /// be exercised deterministically. 0 in production.
   int dispatch_delay_for_test_ms = 0;
+  /// Test hook: sleep inside the predict handler so deadline expiry during
+  /// compute (not queue wait) can be exercised. 0 in production.
+  int handler_delay_for_test_ms = 0;
   bool verbose = false;
 };
 
@@ -103,6 +118,13 @@ class Server {
  private:
   struct PendingJob {
     PredictRequest request;
+    /// Client-supplied toggle trace (streamed uploads); null for the
+    /// built-in synthetic workloads.
+    std::shared_ptr<const sim::ExternalTrace> trace;
+    /// Stats endpoint this job is accounted under ("predict" | "stream").
+    const char* endpoint = "predict";
+    /// Predict: frame receipt. Stream: StreamBegin receipt, so the deadline
+    /// spans assembly + queue wait + compute.
     std::chrono::steady_clock::time_point enqueued_at;
     std::promise<std::pair<MsgType, std::string>> result;
   };
@@ -110,6 +132,23 @@ class Server {
     util::Socket sock;
     std::thread thread;
     std::atomic<bool> done{false};
+  };
+  /// Per-connection streamed-upload assembly state (lives on the
+  /// connection thread's stack; an abandoned stream dies with it).
+  struct StreamState {
+    bool active = false;
+    StreamBeginRequest begin;
+    std::string data;
+    std::uint64_t chunks = 0;
+    std::chrono::steady_clock::time_point started;
+
+    void reset() {
+      active = false;
+      begin = StreamBeginRequest{};
+      data.clear();
+      data.shrink_to_fit();
+      chunks = 0;
+    }
   };
 
   void accept_loop(util::Listener* listener);
@@ -119,8 +158,20 @@ class Server {
   void dispatcher_loop();
   void process_job(PendingJob& job);
 
-  /// Returns {response type, payload}; never throws.
-  std::pair<MsgType, std::string> handle_predict(const PredictRequest& req);
+  /// Enqueue a job for the dispatcher and block on its reply; returns the
+  /// shutting-down error instead when the server is draining.
+  std::pair<MsgType, std::string> submit_and_wait(
+      const std::shared_ptr<PendingJob>& job);
+
+  /// Handle one Stream* frame against `stream`; returns the reply frame.
+  std::pair<MsgType, std::string> handle_stream_frame(const Frame& frame,
+                                                      StreamState& stream);
+
+  /// Returns {response type, payload}; never throws. `trace` is the
+  /// assembled client-supplied toggle trace for streamed requests, null
+  /// for the synthetic w1/w2 workloads.
+  std::pair<MsgType, std::string> handle_predict(
+      const PredictRequest& req, const sim::ExternalTrace* trace);
 
   ServerConfig config_;
   std::shared_ptr<ModelRegistry> registry_;

@@ -56,12 +56,13 @@ std::string ServerStats::render_text(const FeatureCacheStats& cache) const {
   }
   out += util::format(
       "cache: design %llu hits / %llu misses / %llu evictions; "
-      "embeddings %llu hits / %llu misses\n",
+      "embeddings %llu hits / %llu misses / %llu drops\n",
       static_cast<unsigned long long>(cache.design_hits),
       static_cast<unsigned long long>(cache.design_misses),
       static_cast<unsigned long long>(cache.design_evictions),
       static_cast<unsigned long long>(cache.embedding_hits),
-      static_cast<unsigned long long>(cache.embedding_misses));
+      static_cast<unsigned long long>(cache.embedding_misses),
+      static_cast<unsigned long long>(cache.embedding_drops));
   return out;
 }
 

@@ -1,0 +1,63 @@
+#include "sim/external_trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace atlas::sim {
+
+ExternalTrace ExternalTrace::from_vcd_text(std::string text) {
+  ExternalTrace t;
+  t.hash_ = util::fnv1a64(text);
+  t.text_ = std::move(text);
+  return t;
+}
+
+ExternalTrace ExternalTrace::from_vcd_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+  return from_vcd_text(std::move(text).str());
+}
+
+ToggleTrace ExternalTrace::resolve(const netlist::Netlist& nl,
+                                   int max_cycles) const {
+  const VcdData vcd = parse_vcd(text_, nl, max_cycles);
+  return trace_from_vcd(vcd, nl);
+}
+
+int ExternalTrace::declared_cycles(int max_cycles) const {
+  // The writer's convention (one timestep per cycle, trailing "#N"
+  // sentinel) makes the largest timestamp the cycle count; parse_vcd's
+  // frame filling yields exactly that many cycles.
+  std::istringstream is(text_);
+  std::string line;
+  long long last = 0;
+  while (std::getline(is, line)) {
+    const auto t = util::trim(line);
+    if (t.empty() || t[0] != '#') continue;
+    const std::string digits{t.substr(1)};
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      throw std::runtime_error("vcd: bad timestamp: " + std::string(t));
+    }
+    long long stamp = 0;
+    for (const char c : digits) {
+      stamp = stamp * 10 + (c - '0');
+      if (stamp > max_cycles) {
+        throw std::runtime_error("vcd: timestamp " + digits +
+                                 " exceeds cycle limit " +
+                                 std::to_string(max_cycles));
+      }
+    }
+    if (stamp > last) last = stamp;
+  }
+  return static_cast<int>(last);
+}
+
+}  // namespace atlas::sim

@@ -1,0 +1,66 @@
+// Externally supplied per-cycle toggle traces (the "real workload" input).
+//
+// The paper's headline use case is time-based power analysis on real
+// activity, not just the built-in synthetic W1/W2 stimuli. An ExternalTrace
+// carries a client-supplied VCD-subset trace as an immutable blob plus its
+// content hash, and resolves it against a netlist into the same ToggleTrace
+// the cycle simulator produces — so the power analyzer and the ATLAS model
+// consume external activity through exactly the code path they already use.
+//
+// The blob is kept verbatim (not pre-parsed) on purpose:
+//   * the serve layer caches embeddings keyed by content_hash(), so a warm
+//     request never parses the trace at all;
+//   * resolution needs the target netlist for name binding, which arrives
+//     separately (offline: a Verilog file; online: the request's netlist
+//     text), and must be bit-identical either way — one resolve() path
+//     guarantees that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "sim/vcd.h"
+
+namespace atlas::sim {
+
+class ExternalTrace {
+ public:
+  ExternalTrace() = default;
+
+  /// Wrap VCD text (write_vcd subset). The text is validated lazily by
+  /// resolve(); construction only hashes it.
+  static ExternalTrace from_vcd_text(std::string text);
+
+  /// Read a .vcd file from disk. Throws std::runtime_error on I/O failure.
+  static ExternalTrace from_vcd_file(const std::string& path);
+
+  bool empty() const { return text_.empty(); }
+  const std::string& text() const { return text_; }
+  std::size_t size_bytes() const { return text_.size(); }
+
+  /// FNV-1a of the raw trace bytes — the serve-layer embedding-cache key
+  /// component, stable across processes and transports.
+  std::uint64_t content_hash() const { return hash_; }
+
+  /// Parse against `nl` and rebuild per-net per-cycle values + transitions
+  /// (clock-network activity reconstructed as trace_from_vcd documents).
+  /// Cycle 0 carries no data-net transitions: a VCD stores levels, so
+  /// switching relative to the pre-trace state is unknowable — replayed
+  /// power matches a live simulation exactly from cycle 1 on.
+  /// Throws std::runtime_error on malformed text, unknown net names, or a
+  /// trace longer than `max_cycles`.
+  ToggleTrace resolve(const netlist::Netlist& nl,
+                      int max_cycles = kMaxVcdCycles) const;
+
+  /// Cycle count the trace declares, without resolving against a netlist
+  /// (a cheap scan of the timestamp lines). Throws on malformed timestamps.
+  int declared_cycles(int max_cycles = kMaxVcdCycles) const;
+
+ private:
+  std::string text_;
+  std::uint64_t hash_ = 0;
+};
+
+}  // namespace atlas::sim

@@ -51,7 +51,8 @@ std::string write_vcd(const netlist::Netlist& nl, const ToggleTrace& trace,
   return os.str();
 }
 
-VcdData parse_vcd(std::string_view text, const netlist::Netlist& nl) {
+VcdData parse_vcd(std::string_view text, const netlist::Netlist& nl,
+                  int max_cycles) {
   std::unordered_map<std::string, netlist::NetId> net_by_name;
   for (netlist::NetId id = 0; id < nl.num_nets(); ++id) {
     net_by_name.emplace(nl.net(id).name, id);
@@ -91,9 +92,25 @@ VcdData parse_vcd(std::string_view text, const netlist::Netlist& nl) {
       continue;
     }
     if (t[0] == '#') {
-      const int stamp = std::stoi(std::string(t.substr(1)));
-      if (last_stamp >= 0) flush_until(stamp);
-      last_stamp = stamp;
+      // Manual digit parse: std::stoi would accept signs/whitespace and
+      // throw logic_error subclasses; timestamps must be plain decimal and
+      // stay under the cycle cap *before* any frame is allocated.
+      const std::string digits{t.substr(1)};
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::runtime_error("vcd: bad timestamp: " + std::string(t));
+      }
+      long long stamp = 0;
+      for (const char c : digits) {
+        stamp = stamp * 10 + (c - '0');
+        if (stamp > max_cycles) {
+          throw std::runtime_error("vcd: timestamp " + digits +
+                                   " exceeds cycle limit " +
+                                   std::to_string(max_cycles));
+        }
+      }
+      if (last_stamp >= 0) flush_until(static_cast<int>(stamp));
+      last_stamp = static_cast<int>(stamp);
       continue;
     }
     if (t[0] == '0' || t[0] == '1') {

@@ -35,9 +35,19 @@ struct VcdData {
   }
 };
 
+/// Hard ceiling on the cycle count a parsed VCD may declare. The parser
+/// materializes one frame per timestep, so a hostile `#<huge>` timestamp
+/// would otherwise be an allocation bomb; anything past the cap throws
+/// before the frames are allocated. Matches the serve layer's per-request
+/// cycle limit.
+inline constexpr int kMaxVcdCycles = 1 << 20;
+
 /// Parse VCD text produced by write_vcd, resolving signal names against `nl`.
-/// Throws std::runtime_error on malformed input or unknown net names.
-VcdData parse_vcd(std::string_view text, const netlist::Netlist& nl);
+/// Throws std::runtime_error on malformed input, unknown net names, or a
+/// trace longer than `max_cycles` — never crashes or over-allocates on
+/// hostile input (see the malformed-VCD corpus in sim_test).
+VcdData parse_vcd(std::string_view text, const netlist::Netlist& nl,
+                  int max_cycles = kMaxVcdCycles);
 
 void save_vcd_file(const netlist::Netlist& nl, const ToggleTrace& trace,
                    const std::vector<bool>& clock_net_mask,

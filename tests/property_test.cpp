@@ -2,6 +2,7 @@
 // configurations (TEST_P), complementing the example-based unit tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
@@ -14,6 +15,7 @@
 #include "power/vectorless.h"
 #include "sim/simulator.h"
 #include "transform/rewrite.h"
+#include "util/rng.h"
 
 namespace atlas {
 namespace {
@@ -383,6 +385,82 @@ TEST(LibraryProperty, DualGatePairsAreComplements) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// Internal-energy LUT interpolation: the library.h contract is "linear
+// interpolation, clamped extrapolation" — swept over random LUTs and loads.
+// ---------------------------------------------------------------------------
+
+class EnergyLutTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// A single-cell library whose LUT has `knots` strictly increasing index
+  /// points and random non-negative energies.
+  static liberty::Library lut_library(util::Rng& rng, int knots) {
+    liberty::Library l("lut_test");
+    liberty::Cell c;
+    c.name = "LUT_X1";
+    double x = rng.next_double(0.1, 2.0);
+    for (int i = 0; i < knots; ++i) {
+      c.energy_index_ff.push_back(x);
+      c.energy_fj.push_back(rng.next_double(0.0, 50.0));
+      x += rng.next_double(0.5, 10.0);
+    }
+    l.add_cell(std::move(c));
+    return l;
+  }
+};
+
+TEST_P(EnergyLutTest, ClampedExtrapolationAtBothEnds) {
+  util::Rng rng(GetParam());
+  for (const int knots : {1, 2, 3, 7}) {
+    const liberty::Library l = lut_library(rng, knots);
+    const auto& c = l.cell(0);
+    const double lo = c.energy_index_ff.front();
+    const double hi = c.energy_index_ff.back();
+    // Below the first knot (including 0 and negative loads): first energy.
+    EXPECT_EQ(l.internal_energy_fj(0, lo - rng.next_double(0.0, 100.0)),
+              c.energy_fj.front());
+    EXPECT_EQ(l.internal_energy_fj(0, lo), c.energy_fj.front());
+    // Above the last knot: last energy, no matter how far out.
+    EXPECT_EQ(l.internal_energy_fj(0, hi + rng.next_double(0.0, 1e6)),
+              c.energy_fj.back());
+    EXPECT_EQ(l.internal_energy_fj(0, hi), c.energy_fj.back());
+  }
+}
+
+TEST_P(EnergyLutTest, ExactAtKnotsAndBoundedBetweenThem) {
+  util::Rng rng(GetParam());
+  const liberty::Library l = lut_library(rng, 6);
+  const auto& c = l.cell(0);
+  for (std::size_t i = 0; i < c.energy_index_ff.size(); ++i) {
+    EXPECT_NEAR(l.internal_energy_fj(0, c.energy_index_ff[i]), c.energy_fj[i],
+                1e-9);
+  }
+  // Any interior load lands within [min, max] of its bracketing knots, and
+  // linearity holds: the midpoint is the average of the segment endpoints.
+  for (std::size_t i = 0; i + 1 < c.energy_index_ff.size(); ++i) {
+    const double x0 = c.energy_index_ff[i], x1 = c.energy_index_ff[i + 1];
+    const double y0 = c.energy_fj[i], y1 = c.energy_fj[i + 1];
+    const double load = rng.next_double(x0, x1);
+    const double y = l.internal_energy_fj(0, load);
+    EXPECT_GE(y, std::min(y0, y1) - 1e-9);
+    EXPECT_LE(y, std::max(y0, y1) + 1e-9);
+    EXPECT_NEAR(l.internal_energy_fj(0, 0.5 * (x0 + x1)), 0.5 * (y0 + y1),
+                1e-9);
+  }
+}
+
+TEST_P(EnergyLutTest, EmptyLutDrawsNoEnergy) {
+  liberty::Library l("lut_test");
+  liberty::Cell c;
+  c.name = "MACRO";  // macros carry no LUT (access energies instead)
+  l.add_cell(std::move(c));
+  util::Rng rng(GetParam());
+  EXPECT_EQ(l.internal_energy_fj(0, rng.next_double(0.0, 100.0)), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyLutTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
 
 }  // namespace
 }  // namespace atlas

@@ -22,8 +22,10 @@
 #include "serve/feature_cache.h"
 #include "serve/server.h"
 #include "serve/stats.h"
+#include "sim/external_trace.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
+#include "sim/vcd.h"
 #include "util/hash.h"
 
 namespace atlas::serve {
@@ -401,6 +403,225 @@ TEST_F(ServeTest, UnixDomainSocketServesPredictions) {
   server.stop();
 }
 
+TEST_F(ServeTest, DeadlineExceededDuringCompute) {
+  ServerConfig cfg = loopback_config();
+  cfg.handler_delay_for_test_ms = 60;  // compute takes ~60ms, queue wait ~0
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  obs::Counter& errors = obs::Registry::global().counter(
+      "atlas_serve_request_errors_total", "endpoint=\"predict\"");
+  const std::uint64_t errors_before = errors.value();
+
+  PredictRequest req = make_request();
+  req.deadline_ms = 30;  // survives the queue, expires inside the handler
+  try {
+    client.predict(req);
+    FAIL() << "expected deadline error";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+  }
+  // The late result counted as an error, not a slow success.
+  EXPECT_EQ(errors.value(), errors_before + 1);
+
+  // Without a deadline the same slow request succeeds.
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+// ---- Streamed toggle-trace upload -----------------------------------------
+
+TEST_F(ServeTest, StreamedTraceBitIdenticalToDiskTrace) {
+  // Record the query design's w1 workload as VCD text — exactly what
+  // `atlas_cli sim` writes to disk.
+  netlist::Netlist gate = netlist::parse_verilog(*verilog_, *lib_);
+  sim::CycleSimulator simulator(gate);
+  sim::StimulusGenerator stimulus(gate, sim::make_w1());
+  const sim::ToggleTrace sim_trace = simulator.run(stimulus, kCycles);
+  const std::string vcd =
+      sim::write_vcd(gate, sim_trace, simulator.clock_net_mask());
+
+  // Reference: the offline path (`atlas_cli predict --vcd`) — same
+  // ExternalTrace::resolve the server uses, so equality must be exact.
+  const sim::ExternalTrace ext = sim::ExternalTrace::from_vcd_text(vcd);
+  const auto graphs = graph::build_submodule_graphs(gate);
+  const core::Prediction direct =
+      (*model_)->predict(gate, graphs, ext.resolve(gate));
+
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  StreamBeginRequest begin;
+  begin.model = "tiny";
+  begin.netlist_verilog = *verilog_;
+  begin.cycles = kCycles;
+  begin.want_submodules = true;
+
+  // Tiny chunks so reassembly is genuinely multi-chunk.
+  const PredictResponse cold = client.predict_stream(begin, vcd, 512);
+  EXPECT_FALSE(cold.embedding_cache_hit());
+  expect_matches_direct(cold, direct);
+
+  // Same trace content again: its hash pins the embedding entry, so the
+  // warm path skips the VCD parse entirely and still matches exactly.
+  const PredictResponse warm = client.predict_stream(begin, vcd, 512);
+  EXPECT_TRUE(warm.design_cache_hit());
+  EXPECT_TRUE(warm.embedding_cache_hit());
+  expect_matches_direct(warm, direct);
+
+  const FeatureCacheStats cache = server.cache_stats();
+  EXPECT_EQ(cache.embedding_hits, 1u);
+  server.stop();
+}
+
+TEST_F(ServeTest, StreamProtocolViolationsAreRejectedCleanly) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+
+  const auto expect_error = [](util::Socket& raw, ErrorCode want) {
+    Frame resp;
+    ASSERT_TRUE(read_frame(raw, resp));
+    ASSERT_EQ(resp.type, MsgType::kError);
+    EXPECT_EQ(ErrorResponse::decode(resp.payload).code, want);
+  };
+  const auto expect_ack = [](util::Socket& raw) {
+    Frame resp;
+    ASSERT_TRUE(read_frame(raw, resp));
+    ASSERT_EQ(resp.type, MsgType::kStreamAck);
+  };
+  StreamBeginRequest begin;
+  begin.model = "tiny";
+  begin.netlist_verilog = *verilog_;
+  begin.trace_bytes = 64;
+
+  {
+    // Chunk and End with no Begin.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    StreamChunk chunk;
+    chunk.data = "x";
+    write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+    write_frame(raw, MsgType::kStreamEnd, StreamEndRequest{}.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+  }
+  {
+    // Begin while a stream is active discards the partial upload.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    write_frame(raw, MsgType::kStreamBegin, begin.encode());
+    expect_ack(raw);
+    write_frame(raw, MsgType::kStreamBegin, begin.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+    // The reset means a follow-up chunk has no stream either.
+    StreamChunk chunk;
+    chunk.data = "x";
+    write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+  }
+  {
+    // Out-of-order chunk, then bytes beyond the declared size.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    write_frame(raw, MsgType::kStreamBegin, begin.encode());
+    expect_ack(raw);
+    StreamChunk chunk;
+    chunk.seq = 5;
+    chunk.data = "x";
+    write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+
+    write_frame(raw, MsgType::kStreamBegin, begin.encode());
+    expect_ack(raw);
+    chunk.seq = 0;
+    chunk.data = std::string(100, 'x');  // declared 64
+    write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+  }
+  {
+    // End totals that do not match what was assembled.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    write_frame(raw, MsgType::kStreamBegin, begin.encode());
+    expect_ack(raw);
+    StreamChunk chunk;
+    chunk.data = std::string(32, 'x');
+    write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+    expect_ack(raw);
+    StreamEndRequest end;
+    end.total_chunks = 1;
+    end.total_bytes = 64;  // only 32 arrived
+    write_frame(raw, MsgType::kStreamEnd, end.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+  }
+  {
+    // Hostile declared sizes are rejected at Begin, before any chunk.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    StreamBeginRequest huge = begin;
+    huge.trace_bytes = 1ULL << 60;
+    write_frame(raw, MsgType::kStreamBegin, huge.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+    StreamBeginRequest empty = begin;
+    empty.trace_bytes = 0;
+    write_frame(raw, MsgType::kStreamBegin, empty.encode());
+    expect_error(raw, ErrorCode::kStreamProtocol);
+  }
+  {
+    // A complete, well-formed stream whose payload is not VCD: rejected at
+    // predict time, connection survives.
+    Client client = Client::connect_tcp("127.0.0.1", server.port());
+    StreamBeginRequest bad = begin;
+    try {
+      client.predict_stream(bad, "this is not a vcd file");
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+    }
+    client.ping();
+  }
+  {
+    // Abandoned mid-stream upload: its state dies with the connection.
+    util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+    write_frame(raw, MsgType::kStreamBegin, begin.encode());
+    expect_ack(raw);
+    StreamChunk chunk;
+    chunk.data = std::string(32, 'x');
+    write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+    expect_ack(raw);
+    raw.close();
+  }
+
+  // After all of that the daemon still serves a fresh client.
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+TEST_F(ServeTest, StreamDeadlineCoversAssembly) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+
+  StreamBeginRequest begin;
+  begin.model = "tiny";
+  begin.netlist_verilog = *verilog_;
+  begin.trace_bytes = 64;
+  begin.deadline_ms = 1;
+  write_frame(raw, MsgType::kStreamBegin, begin.encode());
+  Frame resp;
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kStreamAck);
+
+  // A slow client: the deadline expires between chunks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  StreamChunk chunk;
+  chunk.data = "x";
+  write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kError);
+  EXPECT_EQ(ErrorResponse::decode(resp.payload).code,
+            ErrorCode::kDeadlineExceeded);
+  server.stop();
+}
+
 // ---- FeatureCache unit tests ----------------------------------------------
 
 std::shared_ptr<const DesignArtifacts> dummy_design(
@@ -441,6 +662,73 @@ TEST_F(ServeTest, FeatureCacheEmbeddingLayerBoundsAndEviction) {
   // Embeddings for an unknown design are dropped, not crashed on.
   cache.put_embeddings(99, {"m", "w1", 10}, emb);
   EXPECT_EQ(cache.find_embeddings(99, {"m", "w1", 10}), nullptr);
+}
+
+/// DesignEmbeddings whose approx_bytes() is dominated by one matrix of
+/// `rows` x 16 floats — lets a test dial entry weights apart.
+std::shared_ptr<const core::DesignEmbeddings> embeddings_of_rows(
+    std::size_t rows) {
+  core::DesignEmbeddings emb;
+  emb.graphs.emplace_back();
+  emb.graphs.back().emb = ml::Matrix(rows, 16);
+  return std::make_shared<const core::DesignEmbeddings>(std::move(emb));
+}
+
+TEST_F(ServeTest, FeatureCacheByteBudgetEvictsBySize) {
+  auto d = dummy_design(*lib_);
+  const std::size_t design_cost = approx_design_bytes(*d);
+  ASSERT_GT(design_cost, 0u);
+  // Count-wise all three designs fit; byte-wise the budget has headroom for
+  // the designs plus a small embedding set, but not a huge one.
+  FeatureCache cache(/*max_designs=*/8, /*max_embeddings_per_design=*/8,
+                     /*max_bytes=*/3 * design_cost + (2u << 20));
+  cache.put_design(1, d);
+  cache.put_design(2, d);
+  cache.put_design(3, d);
+  EXPECT_EQ(cache.num_designs(), 3u);
+
+  // ~1 KiB embedding on design 3: still under budget, nothing evicted.
+  cache.put_embeddings(3, {"m", "w1", 10}, embeddings_of_rows(16));
+  EXPECT_EQ(cache.num_designs(), 3u);
+  EXPECT_EQ(cache.stats().design_evictions, 0u);
+
+  // ~4 MiB embedding on design 2 blows the budget: cold entries go by LRU
+  // order (1 first, then 3), the freshly used design 2 survives even though
+  // it alone is over budget — a single huge design must stay servable.
+  cache.put_embeddings(2, {"m", "w1", 10}, embeddings_of_rows(1u << 16));
+  EXPECT_EQ(cache.num_designs(), 1u);
+  EXPECT_EQ(cache.stats().design_evictions, 2u);
+  EXPECT_EQ(cache.find_design(1), nullptr);
+  EXPECT_EQ(cache.find_design(3), nullptr);
+  EXPECT_NE(cache.find_design(2), nullptr);
+  EXPECT_NE(cache.find_embeddings(2, {"m", "w1", 10}), nullptr);
+  // Evicting design 3 dropped its embeddings with it.
+  EXPECT_EQ(cache.find_embeddings(3, {"m", "w1", 10}), nullptr);
+  // The budget still accounts the surviving over-budget entry honestly.
+  EXPECT_GT(cache.total_bytes(), 3 * design_cost + (2u << 20));
+}
+
+TEST_F(ServeTest, FeatureCacheCountsDroppedEmbeddings) {
+  // The eviction race a busy server hits with a tiny cache: a handler looks
+  // up design 1, computes embeddings for it, but by insert time the design
+  // entry is gone. The work is discarded — and must be counted, because a
+  // climbing drop counter is the signal to size the cache up.
+  FeatureCache cache(/*max_designs=*/1, /*max_embeddings_per_design=*/8);
+  auto d = dummy_design(*lib_);
+  cache.put_design(1, d);
+  cache.put_design(2, d);  // evicts design 1
+  EXPECT_EQ(cache.stats().embedding_drops, 0u);
+  cache.put_embeddings(1, {"m", "w1", 10}, embeddings_of_rows(16));
+  EXPECT_EQ(cache.stats().embedding_drops, 1u);
+  EXPECT_EQ(cache.find_embeddings(1, {"m", "w1", 10}), nullptr);
+
+  // The drop surfaces in both the gauge and the stats text.
+  EXPECT_NE(obs::Registry::global().render_prometheus().find(
+                "atlas_serve_cache_embedding_drops"),
+            std::string::npos);
+  ServerStats stats;
+  EXPECT_NE(stats.render_text(cache.stats()).find("1 drops"),
+            std::string::npos);
 }
 
 TEST_F(ServeTest, LatencyHistogramPercentiles) {

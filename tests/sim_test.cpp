@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "designgen/design_generator.h"
 #include "liberty/library.h"
 #include "netlist/netlist.h"
+#include "sim/external_trace.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
 #include "sim/vcd.h"
@@ -279,6 +282,87 @@ TEST_F(SimTest, VcdRoundTrip) {
     ++checked;
   }
   EXPECT_GT(checked, 100);
+}
+
+TEST_F(SimTest, MalformedVcdThrowsInsteadOfCrashing) {
+  // The corpus the serve layer relies on: every hostile or corrupt input a
+  // streamed upload could carry must throw (and be turned into an error
+  // reply) rather than crash or over-allocate.
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const std::string good = write_vcd(nl, sim.run(stim, 4), sim.clock_net_mask());
+
+  // Truncated $var declaration.
+  EXPECT_THROW(parse_vcd("$var wire 1 ! $end\n", nl), std::exception);
+  // Net name that does not exist in the netlist.
+  EXPECT_THROW(
+      parse_vcd("$var wire 1 ! no_such_net $end\n$enddefinitions $end\n#0\n",
+                nl),
+      std::exception);
+  // Value change for an identifier never declared.
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#0\n1@@@\n", nl),
+               std::exception);
+  // Garbage line in the value-change section.
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#0\nhello world\n", nl),
+               std::exception);
+  // Non-decimal, signed, and empty timestamps.
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#12x\n", nl), std::exception);
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#-3\n", nl), std::exception);
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#\n", nl), std::exception);
+  // A timestamp past the cycle cap throws before frames are materialized —
+  // the allocation-bomb guard (this declares ~10^18 cycles).
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#999999999999999999\n", nl),
+               std::exception);
+  EXPECT_THROW(parse_vcd("$enddefinitions $end\n#0\n#10\n", nl,
+                         /*max_cycles=*/5),
+               std::exception);
+
+  // The well-formed dump still parses after all that.
+  EXPECT_EQ(parse_vcd(good, nl).num_cycles, 4);
+}
+
+TEST_F(SimTest, ExternalTraceResolvesIdenticallyToParseVcd) {
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace original = sim.run(stim, 10);
+  const std::string text = write_vcd(nl, original, sim.clock_net_mask());
+
+  const ExternalTrace trace = ExternalTrace::from_vcd_text(text);
+  EXPECT_FALSE(trace.empty());
+  EXPECT_EQ(trace.size_bytes(), text.size());
+  EXPECT_EQ(trace.declared_cycles(), 10);
+  // Content-addressed: same bytes, same hash; different bytes, different.
+  EXPECT_EQ(trace.content_hash(),
+            ExternalTrace::from_vcd_text(text).content_hash());
+  EXPECT_NE(trace.content_hash(),
+            ExternalTrace::from_vcd_text(text + "\n#11\n").content_hash());
+
+  // resolve() is the one shared decode path (disk or wire): it must equal
+  // the explicit parse + reconstruct pipeline transition-for-transition.
+  const ToggleTrace resolved = trace.resolve(nl);
+  const ToggleTrace expected = trace_from_vcd(parse_vcd(text, nl), nl);
+  ASSERT_EQ(resolved.num_cycles(), expected.num_cycles());
+  for (int c = 0; c < resolved.num_cycles(); ++c) {
+    for (NetId n = 0; n < nl.num_nets(); ++n) {
+      ASSERT_EQ(resolved.transitions(c, n), expected.transitions(c, n));
+      ASSERT_EQ(resolved.value(c, n), expected.value(c, n));
+    }
+  }
+
+  // from_vcd_file reads the same bytes back (hash proves it).
+  const std::string path = ::testing::TempDir() + "/external_trace_test.vcd";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << text;
+  }
+  EXPECT_EQ(ExternalTrace::from_vcd_file(path).content_hash(),
+            trace.content_hash());
+  EXPECT_THROW(ExternalTrace::from_vcd_file(path + ".missing"),
+               std::exception);
 }
 
 }  // namespace

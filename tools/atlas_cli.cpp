@@ -24,6 +24,7 @@
 #include "netlist/verilog_io.h"
 #include "obs/trace.h"
 #include "power/power_report.h"
+#include "sim/external_trace.h"
 #include "sim/vcd.h"
 #include "util/cli.h"
 #include "util/parallel.h"
@@ -64,6 +65,26 @@ liberty::Library load_lib(const util::Cli& cli) {
   const std::string path = cli.str("lib");
   if (path.empty()) return liberty::make_default_library();
   return liberty::load_liberty_file(path);
+}
+
+/// Toggle activity for `power`/`predict`: replay a recorded VCD when --vcd
+/// is set (the same path atlas_serve streaming requests take, so offline and
+/// online predictions from one trace are bit-identical), else simulate the
+/// named synthetic workload.
+sim::ToggleTrace workload_or_vcd_trace(const util::Cli& cli,
+                                       const netlist::Netlist& nl) {
+  const std::string vcd_path = cli.str("vcd");
+  if (!vcd_path.empty()) {
+    const sim::ExternalTrace ext = sim::ExternalTrace::from_vcd_file(vcd_path);
+    sim::ToggleTrace trace = ext.resolve(nl);
+    std::printf("replaying %s: %d cycles (hash %016llx)\n", vcd_path.c_str(),
+                trace.num_cycles(),
+                static_cast<unsigned long long>(ext.content_hash()));
+    return trace;
+  }
+  sim::CycleSimulator simulator(nl);
+  sim::StimulusGenerator stimulus(nl, workload_by_name(cli.str("workload")));
+  return simulator.run(stimulus, static_cast<int>(cli.integer("cycles")));
 }
 
 int cmd_gen(int argc, const char* const* argv) {
@@ -161,6 +182,7 @@ int cmd_power(int argc, const char* const* argv) {
       .flag("spef", "", "SPEF parasitics to annotate (optional)")
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
+      .flag("vcd", "", "replay a recorded VCD instead of simulating")
       .flag("csv", "power.csv", "per-cycle power CSV output");
   add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
@@ -170,10 +192,7 @@ int cmd_power(int argc, const char* const* argv) {
   if (!cli.str("spef").empty()) {
     layout::annotate(nl, layout::load_spef_file(cli.str("spef"), nl));
   }
-  sim::CycleSimulator simulator(nl);
-  sim::StimulusGenerator stimulus(nl, workload_by_name(cli.str("workload")));
-  const sim::ToggleTrace trace =
-      simulator.run(stimulus, static_cast<int>(cli.integer("cycles")));
+  const sim::ToggleTrace trace = workload_or_vcd_trace(cli, nl);
   const power::PowerResult result = power::analyze_power(nl, trace);
   std::ofstream csv(cli.str("csv"));
   csv << power::trace_csv(result);
@@ -216,6 +235,7 @@ int cmd_predict(int argc, const char* const* argv) {
       .flag("lib", "", "Liberty file (default: built-in library)")
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
+      .flag("vcd", "", "replay a recorded VCD instead of simulating")
       .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
   add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
@@ -233,10 +253,7 @@ int cmd_predict(int argc, const char* const* argv) {
                 "%d sub-modules\n", created);
   }
   const auto graphs = graph::build_submodule_graphs(gate);
-  sim::CycleSimulator simulator(gate);
-  sim::StimulusGenerator stimulus(gate, workload_by_name(cli.str("workload")));
-  const sim::ToggleTrace trace =
-      simulator.run(stimulus, static_cast<int>(cli.integer("cycles")));
+  const sim::ToggleTrace trace = workload_or_vcd_trace(cli, gate);
 
   const core::AtlasModel model = core::AtlasModel::load(cli.str("model"));
   const core::Prediction pred = model.predict(gate, graphs, trace);

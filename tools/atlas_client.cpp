@@ -6,11 +6,14 @@
 //   stats     print the server's stats block
 //   metrics   print the server's Prometheus metrics exposition
 //   predict   send a gate-level Verilog netlist for per-cycle power -> CSV
+//   stream    upload a real toggle trace (VCD) in chunks, predict -> CSV
 //   shutdown  ask the daemon to drain and exit
 //
 // `predict` mirrors `atlas_cli predict` but amortizes model loading and
 // per-design preprocessing across calls: the daemon reports which cache
-// layers were hit and how long the server-side handler took.
+// layers were hit and how long the server-side handler took. `stream`
+// mirrors `atlas_cli predict --vcd`: the same trace file served offline and
+// online produces bit-identical predictions.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -87,33 +90,9 @@ int cmd_shutdown(int argc, const char* const* argv) {
   return 0;
 }
 
-int cmd_predict(int argc, const char* const* argv) {
-  util::Cli cli;
-  cli.flag("model", "default", "registry name of the model to query")
-      .flag("in", "design.v", "gate-level Verilog input")
-      .flag("workload", "w1", "workload (w1 | w2)")
-      .flag("cycles", "300", "cycles to simulate")
-      .flag("deadline-ms", "0", "per-request deadline (0 = none)")
-      .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
-  add_endpoint_flags(cli).parse(argc, argv);
-  if (cli.help_requested()) return 0;
-
-  std::ifstream in(cli.str("in"));
-  if (!in) throw std::runtime_error("cannot open " + cli.str("in"));
-  std::ostringstream text;
-  text << in.rdbuf();
-
-  serve::PredictRequest req;
-  req.model = cli.str("model");
-  req.netlist_verilog = std::move(text).str();
-  req.workload = cli.str("workload");
-  req.cycles = static_cast<std::int32_t>(cli.integer("cycles"));
-  req.deadline_ms = static_cast<std::uint32_t>(cli.integer("deadline-ms"));
-
-  serve::Client client = connect(cli);
-  const serve::PredictResponse resp = client.predict(req);
-
-  std::ofstream csv(cli.str("csv"));
+void write_prediction_csv(const serve::PredictResponse& resp,
+                          const std::string& csv_path) {
+  std::ofstream csv(csv_path);
   csv << "cycle,comb_uw,clock_uw,reg_uw,total_uw\n";
   power::GroupPower avg;
   for (std::int32_t c = 0; c < resp.num_cycles; ++c) {
@@ -131,7 +110,65 @@ int cmd_predict(int argc, const char* const* argv) {
               resp.server_seconds * 1e3,
               resp.design_cache_hit() ? "design-hit" : "design-miss",
               resp.embedding_cache_hit() ? "emb-hit" : "emb-miss",
-              cli.str("csv").c_str());
+              csv_path.c_str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+int cmd_stream(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("model", "default", "registry name of the model to query")
+      .flag("in", "design.v", "gate-level Verilog input")
+      .flag("vcd", "trace.vcd", "toggle trace to upload (VCD subset)")
+      .flag("cycles", "0", "expected trace cycles (0 = accept any)")
+      .flag("deadline-ms", "0", "per-request deadline incl. upload (0 = none)")
+      .flag("chunk-bytes", "65536", "upload chunk size")
+      .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  serve::StreamBeginRequest begin;
+  begin.model = cli.str("model");
+  begin.netlist_verilog = read_file(cli.str("in"));
+  begin.cycles = static_cast<std::int32_t>(cli.integer("cycles"));
+  begin.deadline_ms = static_cast<std::uint32_t>(cli.integer("deadline-ms"));
+  const std::string trace_text = read_file(cli.str("vcd"));
+
+  serve::Client client = connect(cli);
+  const serve::PredictResponse resp = client.predict_stream(
+      begin, trace_text,
+      static_cast<std::size_t>(cli.integer("chunk-bytes")));
+  write_prediction_csv(resp, cli.str("csv"));
+  return 0;
+}
+
+int cmd_predict(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("model", "default", "registry name of the model to query")
+      .flag("in", "design.v", "gate-level Verilog input")
+      .flag("workload", "w1", "workload (w1 | w2)")
+      .flag("cycles", "300", "cycles to simulate")
+      .flag("deadline-ms", "0", "per-request deadline (0 = none)")
+      .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  serve::PredictRequest req;
+  req.model = cli.str("model");
+  req.netlist_verilog = read_file(cli.str("in"));
+  req.workload = cli.str("workload");
+  req.cycles = static_cast<std::int32_t>(cli.integer("cycles"));
+  req.deadline_ms = static_cast<std::uint32_t>(cli.integer("deadline-ms"));
+
+  serve::Client client = connect(cli);
+  const serve::PredictResponse resp = client.predict(req);
+  write_prediction_csv(resp, cli.str("csv"));
   return 0;
 }
 
@@ -143,6 +180,7 @@ void usage() {
       "  stats     print server stats (latency percentiles, cache hits)\n"
       "  metrics   print the server's Prometheus metrics exposition\n"
       "  predict   per-cycle power for a gate-level netlist -> CSV\n"
+      "  stream    upload a VCD toggle trace in chunks, predict -> CSV\n"
       "  shutdown  drain and stop the server");
 }
 
@@ -160,6 +198,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
     if (cmd == "metrics") return cmd_metrics(argc - 1, argv + 1);
     if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
+    if (cmd == "stream") return cmd_stream(argc - 1, argv + 1);
     if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();
