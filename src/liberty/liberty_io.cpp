@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace atlas::liberty {
@@ -365,6 +366,10 @@ Library load_liberty_file(const std::string& path) {
   std::ostringstream buf;
   buf << is.rdbuf();
   return parse_library(buf.str());
+}
+
+std::uint64_t content_hash(const Library& lib) {
+  return util::fnv1a64(write_liberty(lib));
 }
 
 }  // namespace atlas::liberty

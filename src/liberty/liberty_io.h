@@ -58,4 +58,13 @@ Library parse_library(std::string_view text);
 void save_liberty_file(const Library& lib, const std::string& path);
 Library load_liberty_file(const std::string& path);
 
+/// Content hash of a Library: FNV-1a over its canonical Liberty text
+/// (write_liberty). Two libraries hash equal iff they serialize to the same
+/// bytes, so a parse/write round-trip is hash-stable and any cell, LUT,
+/// voltage or period difference changes the hash. The serve layer keys
+/// cached design artifacts on (netlist hash, library hash) with this, so
+/// models fine-tuned on different standard-cell substrates can never serve
+/// each other's parsed netlists.
+std::uint64_t content_hash(const Library& lib);
+
 }  // namespace atlas::liberty

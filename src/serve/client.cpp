@@ -60,6 +60,21 @@ PredictResponse Client::predict_stream(StreamBeginRequest begin,
   return PredictResponse::decode(resp.payload);
 }
 
+void Client::load_model(const std::string& name, const std::string& path,
+                        const std::string& library_path) {
+  LoadModelRequest req;
+  req.name = name;
+  req.path = path;
+  req.library_path = library_path;
+  round_trip(MsgType::kLoadModel, req.encode(), MsgType::kAdminOk);
+}
+
+void Client::unload_model(const std::string& name) {
+  UnloadModelRequest req;
+  req.name = name;
+  round_trip(MsgType::kUnloadModel, req.encode(), MsgType::kAdminOk);
+}
+
 std::vector<ModelInfo> Client::models() {
   const Frame resp =
       round_trip(MsgType::kListModels, std::string(), MsgType::kModelList);

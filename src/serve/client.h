@@ -47,6 +47,17 @@ class Client {
 
   std::vector<ModelInfo> models();
 
+  /// Admin: load (or replace) a model artifact on the server. Paths name
+  /// files on the *server's* filesystem; an empty `library_path` binds the
+  /// server's default library. Requires the daemon to run with
+  /// --allow-admin (else ServeError with kAdminDisabled).
+  void load_model(const std::string& name, const std::string& path,
+                  const std::string& library_path = std::string());
+
+  /// Admin: retire a registry name. In-flight requests on the old model
+  /// still complete; new requests answer kUnknownModel.
+  void unload_model(const std::string& name);
+
   std::string stats_text();
 
   /// Prometheus text exposition of the server's metrics registry.

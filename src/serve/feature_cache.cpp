@@ -1,6 +1,7 @@
 #include "serve/feature_cache.h"
 
 #include "obs/metrics.h"
+#include "util/hash.h"
 
 namespace atlas::serve {
 
@@ -43,6 +44,11 @@ std::size_t bytes_of(
 }
 
 }  // namespace
+
+std::uint64_t design_cache_key(std::uint64_t netlist_hash,
+                               std::uint64_t library_hash) {
+  return util::hash_mix(netlist_hash, library_hash);
+}
 
 std::size_t approx_design_bytes(const DesignArtifacts& d) {
   // Rough per-object footprints (names, pin vectors, adjacency); exactness

@@ -1,17 +1,24 @@
 // LRU cache for the expensive per-design prediction artifacts.
 //
-// Two layers, keyed off the FNV-1a hash of the request's Verilog text:
+// Two layers, keyed off the FNV-1a hash of the request's Verilog text mixed
+// with the content hash of the Liberty library it was parsed against (see
+// design_cache_key) — parsed netlists and graph features depend on the
+// library's cell ids, capacitances and energy LUTs, so two models bound to
+// different substrates must never share a design entry even for identical
+// Verilog text:
 //
-//   design layer      hash -> parsed netlist + sub-module graphs (the
-//                     per-design preprocessing every request would
-//                     otherwise repeat);
-//   embedding layer   (hash, model, workload, cycles, trace hash) ->
+//   design layer      (netlist hash, library hash) -> parsed netlist +
+//                     sub-module graphs (the per-design preprocessing every
+//                     request would otherwise repeat);
+//   embedding layer   (model, generation, workload, cycles, trace hash) ->
 //                     DesignEmbeddings (per-cycle encoder forwards + cycle
 //                     extras), nested under the design entry so evicting a
 //                     design drops its embeddings too. For streamed
 //                     workloads the trace hash pins the *content* of the
 //                     client-supplied toggle trace — two different traces
-//                     under the same workload name can never alias.
+//                     under the same workload name can never alias. The
+//                     registry generation invalidates embeddings across a
+//                     model reload under the same name.
 //
 // A warm embedding hit skips netlist parsing, graph building, workload
 // simulation AND the encoder — the request goes straight to the GBDT
@@ -53,7 +60,18 @@ struct DesignArtifacts {
   /// Sub-modules created by the structural fallback splitter (0 when the
   /// netlist arrived with sub-module attributes).
   int structural_submodules = 0;
+  /// The library `gate` was parsed against. Netlist keeps a raw reference
+  /// to its library, so the cache entry must co-own it: a cached design may
+  /// outlive the model (and library) binding that created it once models
+  /// are unloadable at runtime.
+  std::shared_ptr<const liberty::Library> library;
 };
+
+/// Key for the design-artifact layer: netlist text hash mixed with the
+/// library content hash, so identical Verilog parsed against different
+/// substrates occupies distinct entries.
+std::uint64_t design_cache_key(std::uint64_t netlist_hash,
+                               std::uint64_t library_hash);
 
 /// Approximate resident size of a design entry (netlist + graphs), used to
 /// weigh eviction victims alongside their embeddings' approx_bytes().
@@ -66,10 +84,14 @@ struct EmbeddingKey {
   /// Content hash of an externally supplied toggle trace; 0 for the
   /// built-in synthetic workloads (whose name + cycles pin the stimulus).
   std::uint64_t trace_hash = 0;
+  /// ModelEntry::generation of the artifact that computed the embeddings.
+  /// A reload under the same name bumps it, so stale embeddings from the
+  /// replaced artifact can never satisfy a lookup for the new one.
+  std::uint64_t generation = 0;
 
   bool operator<(const EmbeddingKey& o) const {
-    return std::tie(model, workload, cycles, trace_hash) <
-           std::tie(o.model, o.workload, o.cycles, o.trace_hash);
+    return std::tie(model, workload, cycles, trace_hash, generation) <
+           std::tie(o.model, o.workload, o.cycles, o.trace_hash, o.generation);
   }
 };
 

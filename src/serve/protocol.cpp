@@ -182,6 +182,37 @@ StreamEndRequest StreamEndRequest::decode(const std::string& payload) {
   });
 }
 
+std::string LoadModelRequest::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_string(os, name);
+    write_string(os, path);
+    write_string(os, library_path);
+  });
+}
+
+LoadModelRequest LoadModelRequest::decode(const std::string& payload) {
+  return decode_payload<LoadModelRequest>(payload, [](std::istream& is) {
+    LoadModelRequest r;
+    r.name = read_string(is);
+    r.path = read_string(is);
+    r.library_path = read_string(is);
+    return r;
+  });
+}
+
+std::string UnloadModelRequest::encode() const {
+  return encode_payload(
+      [this](std::ostream& os) { write_string(os, name); });
+}
+
+UnloadModelRequest UnloadModelRequest::decode(const std::string& payload) {
+  return decode_payload<UnloadModelRequest>(payload, [](std::istream& is) {
+    UnloadModelRequest r;
+    r.name = read_string(is);
+    return r;
+  });
+}
+
 std::string StreamAck::encode() const {
   return encode_payload([this](std::ostream& os) {
     write_u64(os, seq);
@@ -228,6 +259,8 @@ std::string ModelListResponse::encode() const {
     for (const ModelInfo& m : models) {
       write_string(os, m.name);
       write_u64(os, m.encoder_dim);
+      write_string(os, m.library);
+      write_u64(os, m.generation);
     }
   });
 }
@@ -239,6 +272,8 @@ ModelListResponse ModelListResponse::decode(const std::string& payload) {
       ModelInfo m;
       m.name = read_string(s);
       m.encoder_dim = read_u64(s);
+      m.library = read_string(s);
+      m.generation = read_u64(s);
       return m;
     });
     return r;

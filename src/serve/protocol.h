@@ -16,10 +16,17 @@
 // allocation bomb or a crash.
 //
 // Requests: Ping, Predict, ListModels, Stats, Shutdown, Metrics,
-// StreamBegin, StreamChunk, StreamEnd.
+// StreamBegin, StreamChunk, StreamEnd, LoadModel, UnloadModel.
 // Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk,
-// MetricsText, StreamAck, Error.
+// MetricsText, StreamAck, AdminOk, Error.
 // One response frame per request frame, in request order per connection.
+//
+// LoadModel / UnloadModel mutate the daemon's model registry at runtime
+// (pick up a freshly fine-tuned artifact, retire an old one) and are only
+// honored when the daemon was started with --allow-admin — otherwise they
+// answer kAdminDisabled. Load failures (unreadable path, corrupt artifact,
+// bad Liberty file) answer kBadRequest and leave the registry untouched;
+// the connection survives either way.
 //
 // The stream family uploads a client-supplied per-cycle toggle trace (VCD
 // subset) too large for one frame: StreamBegin declares the model, netlist,
@@ -62,6 +69,8 @@ enum class MsgType : std::uint32_t {
   kStreamBegin = 7,
   kStreamChunk = 8,
   kStreamEnd = 9,
+  kLoadModel = 10,
+  kUnloadModel = 11,
   // Responses.
   kPong = 100,
   kPredictOk = 101,
@@ -70,6 +79,7 @@ enum class MsgType : std::uint32_t {
   kShutdownOk = 104,
   kMetricsText = 105,
   kStreamAck = 106,
+  kAdminOk = 107,
   kError = 199,
 };
 
@@ -81,6 +91,7 @@ enum class ErrorCode : std::uint32_t {
   kShuttingDown = 5,     // server is draining
   kInternal = 6,         // handler threw (bad netlist, ...)
   kStreamProtocol = 7,   // stream state violation (order, size, no begin)
+  kAdminDisabled = 8,    // load/unload without --allow-admin
 };
 
 struct Frame {
@@ -154,6 +165,26 @@ struct StreamEndRequest {
   static StreamEndRequest decode(const std::string& payload);
 };
 
+/// Load (or replace) a model artifact on the server at runtime. Paths are
+/// resolved on the *server's* filesystem. Answered with AdminOk or Error.
+struct LoadModelRequest {
+  std::string name;          // registry name to publish under
+  std::string path;          // AtlasModel artifact on the server
+  std::string library_path;  // Liberty file; empty = server default library
+
+  std::string encode() const;
+  static LoadModelRequest decode(const std::string& payload);
+};
+
+/// Retire a registry name. In-flight requests pinned to the old entry still
+/// complete; new requests answer kUnknownModel. Answered with AdminOk.
+struct UnloadModelRequest {
+  std::string name;
+
+  std::string encode() const;
+  static UnloadModelRequest decode(const std::string& payload);
+};
+
 // ---- Response payloads ----------------------------------------------------
 
 /// Acknowledges StreamBegin (seq = 0, received = 0) and each StreamChunk
@@ -188,6 +219,10 @@ struct PredictResponse {
 struct ModelInfo {
   std::string name;
   std::uint64_t encoder_dim = 0;
+  /// Name of the Liberty library the model is bound to.
+  std::string library;
+  /// Registry generation of the current binding (bumped by every reload).
+  std::uint64_t generation = 0;
 };
 
 struct ModelListResponse {

@@ -1,13 +1,25 @@
-// Named registry of loaded AtlasModel artifacts.
+// Named registry of loaded AtlasModel artifacts and their substrates.
 //
-// The daemon deserializes each model once at startup (AtlasModel::load is
-// the expensive part an `atlas_cli predict` invocation pays per call) and
-// hands out shared const references, so concurrent predict handlers share
-// one immutable model instance. AtlasModel is read-only after construction
-// — predict/encode touch no mutable state — which is what makes the
-// lock-free concurrent use of one instance sound.
+// Each entry binds a deserialized model to the liberty::Library it was
+// fine-tuned against — models trained on different standard-cell substrates
+// coexist in one daemon, and request netlists are parsed against the model's
+// own library, never a server-wide default. Entries are immutable once
+// published (`shared_ptr<const ModelEntry>`): AtlasModel and Library are
+// read-only after construction, which is what makes lock-free concurrent use
+// of one entry sound.
+//
+// Lifecycle: load/add/unload may run at any time (the daemon's admin
+// requests), concurrently with predict handlers. A handler pins the entry it
+// resolved (`get()` hands out the shared_ptr) for the whole request, so
+// unloading or replacing a name never invalidates in-flight work — the old
+// artifact is destroyed when the last pinned reference drains. Every
+// (re)load under a name is stamped with a fresh generation from a
+// registry-wide counter; the serve feature cache folds the generation into
+// its embedding keys, so embeddings computed by a previous artifact under
+// the same name can never be served after a reload.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,28 +27,65 @@
 #include <vector>
 
 #include "atlas/model.h"
+#include "liberty/library.h"
 
 namespace atlas::serve {
 
+/// One published (model, library) binding. Immutable after registration.
+struct ModelEntry {
+  std::shared_ptr<const core::AtlasModel> model;
+  std::shared_ptr<const liberty::Library> library;
+  /// liberty::content_hash(*library) — folded into design cache keys so two
+  /// substrates never share parsed netlists.
+  std::uint64_t library_hash = 0;
+  /// Registry-unique stamp, bumped on every load/add; invalidates cached
+  /// embeddings across a reload under the same name.
+  std::uint64_t generation = 0;
+};
+
+/// Name + metadata row for ListModels.
+struct ModelSummary {
+  std::string name;
+  std::size_t encoder_dim = 0;
+  std::string library;
+  std::uint64_t generation = 0;
+};
+
 class ModelRegistry {
  public:
-  /// Load a model file under `name`, replacing any previous binding.
-  void load(const std::string& name, const std::string& path);
+  /// Deserialize the artifact at `path` (and, when `library_path` is
+  /// non-empty, the Liberty file backing it) and publish it under `name`,
+  /// replacing any previous binding with a fresh generation. Throws on an
+  /// unreadable/corrupt artifact or library; the registry is unchanged then.
+  void load(const std::string& name, const std::string& path,
+            const std::string& library_path = std::string());
 
   /// Register an already-constructed model (in-process tests, benches).
-  void add(const std::string& name, std::shared_ptr<const core::AtlasModel> m);
+  /// A null `library` binds the shared default library.
+  void add(const std::string& name, std::shared_ptr<const core::AtlasModel> m,
+           std::shared_ptr<const liberty::Library> library = nullptr);
 
-  /// nullptr when the name is unknown.
-  std::shared_ptr<const core::AtlasModel> get(const std::string& name) const;
+  /// Remove the binding; in-flight requests that already pinned the entry
+  /// are unaffected. Returns false when the name is unknown.
+  bool unload(const std::string& name);
 
-  /// {name, encoder_dim} for every registered model, name-sorted.
-  std::vector<std::pair<std::string, std::size_t>> list() const;
+  /// Pin the entry for a request; nullptr when the name is unknown.
+  std::shared_ptr<const ModelEntry> get(const std::string& name) const;
+
+  /// One row per registered model, name-sorted.
+  std::vector<ModelSummary> list() const;
 
   std::size_t size() const;
 
+  /// The process-shared default library entry backing models registered
+  /// without an explicit substrate (also used by tools/tests that need the
+  /// exact library instance a default-bound model will parse against).
+  static std::shared_ptr<const liberty::Library> default_library();
+
  private:
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const core::AtlasModel>> models_;
+  std::map<std::string, std::shared_ptr<const ModelEntry>> models_;
+  std::uint64_t next_generation_ = 0;
 };
 
 }  // namespace atlas::serve

@@ -42,7 +42,6 @@ constexpr std::int32_t kMaxRequestCycles = 1 << 20;
 Server::Server(ServerConfig config, std::shared_ptr<ModelRegistry> registry)
     : config_(std::move(config)),
       registry_(std::move(registry)),
-      lib_(liberty::make_default_library()),
       cache_(config_.cache_designs, config_.cache_embeddings_per_design,
              config_.cache_max_bytes) {}
 
@@ -71,8 +70,13 @@ void Server::start() {
   }
   if (config_.verbose) {
     obs::LogLine line(obs::LogLevel::kInfo, "serve");
-    line.kv("event", "listening").kv("host", config_.host);
-    line.kv("port", resolved_port_);
+    line.kv("event", "listening");
+    // In UDS-only mode there is no TCP endpoint: resolved_port_ stays at
+    // its -1 sentinel, so the host/port kvs would only mislead an operator
+    // grepping the log for the listen address.
+    if (resolved_port_ >= 0) {
+      line.kv("host", config_.host).kv("port", resolved_port_);
+    }
     if (!config_.unix_path.empty()) line.kv("uds", config_.unix_path);
   }
 }
@@ -114,9 +118,19 @@ void Server::stop() {
 }
 
 void Server::wait_for_stop_request(const std::function<bool()>& poll) {
-  while (!stop_requested_.load()) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  for (;;) {
+    if (stop_requested_.load()) return;
     if (poll && poll()) return;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (poll) {
+      // An async-signal handler cannot notify a condition variable, so the
+      // poll hook still needs a periodic check — but a client Shutdown
+      // request notifies stop_cv_ and is observed immediately, not after
+      // the poll period.
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      stop_cv_.wait(lock);
+    }
   }
 }
 
@@ -195,8 +209,9 @@ void Server::connection_loop(Connection* conn) {
           break;
         case MsgType::kListModels: {
           ModelListResponse resp;
-          for (const auto& [name, dim] : registry_->list()) {
-            resp.models.push_back({name, dim});
+          for (const ModelSummary& m : registry_->list()) {
+            resp.models.push_back(
+                {m.name, m.encoder_dim, m.library, m.generation});
           }
           write_frame(sock, MsgType::kModelList, resp.encode());
           stats_.record("models", elapsed_us(received_at), false);
@@ -214,11 +229,31 @@ void Server::connection_loop(Connection* conn) {
           break;
         case MsgType::kShutdown:
           // Flag before replying: once the client sees the ack, a
-          // stop_requested() poll must already observe it.
-          stop_requested_.store(true);
+          // stop_requested() poll must already observe it. The flag is set
+          // under stop_mu_ so a wait_for_stop_request between the store and
+          // the notify cannot sleep through the wakeup.
+          {
+            std::lock_guard<std::mutex> stop_lock(stop_mu_);
+            stop_requested_.store(true);
+          }
+          stop_cv_.notify_all();
           write_frame(sock, MsgType::kShutdownOk, encode_string_payload("ok"));
           stats_.record("shutdown", elapsed_us(received_at), false);
           break;
+        case MsgType::kLoadModel: {
+          const auto [type, payload] = handle_load_model(frame.payload);
+          write_frame(sock, type, payload);
+          stats_.record("admin", elapsed_us(received_at),
+                        type == MsgType::kError);
+          break;
+        }
+        case MsgType::kUnloadModel: {
+          const auto [type, payload] = handle_unload_model(frame.payload);
+          write_frame(sock, type, payload);
+          stats_.record("admin", elapsed_us(received_at),
+                        type == MsgType::kError);
+          break;
+        }
         case MsgType::kPredict: {
           auto job = std::make_shared<PendingJob>();
           try {
@@ -448,36 +483,124 @@ std::pair<MsgType, std::string> Server::handle_stream_frame(
   }
 }
 
-void Server::process_job(PendingJob& job) {
+std::pair<MsgType, std::string> Server::handle_load_model(
+    const std::string& payload) {
+  if (!config_.allow_admin) {
+    return error_reply(ErrorCode::kAdminDisabled,
+                       "model administration is disabled "
+                       "(start the server with --allow-admin)");
+  }
+  LoadModelRequest req;
+  try {
+    req = LoadModelRequest::decode(payload);
+  } catch (const ProtocolError& e) {
+    return error_reply(ErrorCode::kBadRequest, e.what());
+  }
+  if (req.name.empty() || req.path.empty()) {
+    return error_reply(ErrorCode::kBadRequest,
+                       "load_model requires a name and a path");
+  }
+  try {
+    registry_->load(req.name, req.path, req.library_path);
+  } catch (const std::exception& e) {
+    // Unreadable path, corrupt artifact, or a bad Liberty file: the
+    // registry is untouched and the connection survives.
+    return error_reply(ErrorCode::kBadRequest,
+                       std::string("load_model failed: ") + e.what());
+  }
+  const auto entry = registry_->get(req.name);
+  if (config_.verbose) {
+    obs::LogLine(obs::LogLevel::kInfo, "serve")
+        .kv("event", "model_loaded")
+        .kv("model", req.name)
+        .kv("library", entry ? entry->library->name() : "?")
+        .kv("generation",
+            entry ? static_cast<std::int64_t>(entry->generation) : -1);
+  }
+  return {MsgType::kAdminOk, encode_string_payload("loaded " + req.name)};
+}
+
+std::pair<MsgType, std::string> Server::handle_unload_model(
+    const std::string& payload) {
+  if (!config_.allow_admin) {
+    return error_reply(ErrorCode::kAdminDisabled,
+                       "model administration is disabled "
+                       "(start the server with --allow-admin)");
+  }
+  UnloadModelRequest req;
+  try {
+    req = UnloadModelRequest::decode(payload);
+  } catch (const ProtocolError& e) {
+    return error_reply(ErrorCode::kBadRequest, e.what());
+  }
+  if (!registry_->unload(req.name)) {
+    return error_reply(ErrorCode::kUnknownModel,
+                       "unknown model: " + req.name);
+  }
+  if (config_.verbose) {
+    obs::LogLine(obs::LogLevel::kInfo, "serve")
+        .kv("event", "model_unloaded")
+        .kv("model", req.name);
+  }
+  return {MsgType::kAdminOk, encode_string_payload("unloaded " + req.name)};
+}
+
+std::pair<MsgType, std::string> Server::compute_job_reply(PendingJob& job,
+                                                          bool& is_error) {
+  is_error = true;
+  const std::uint64_t waited_ms = elapsed_us(job.enqueued_at) / 1000;
+  if (job.request.deadline_ms > 0 && waited_ms > job.request.deadline_ms) {
+    return error_reply(ErrorCode::kDeadlineExceeded,
+                       "request waited " + std::to_string(waited_ms) +
+                           "ms, deadline " +
+                           std::to_string(job.request.deadline_ms) + "ms");
+  }
+  std::pair<MsgType, std::string> reply =
+      handle_predict(job.request, job.trace.get());
+  is_error = reply.first == MsgType::kError;
+  // Re-check after compute: a request that blew its deadline inside the
+  // handler must not get a full late success reply (and must count as
+  // an error), or clients time out while `stats` reports green.
+  const std::uint64_t total_ms = elapsed_us(job.enqueued_at) / 1000;
+  if (!is_error && job.request.deadline_ms > 0 &&
+      total_ms > job.request.deadline_ms) {
+    reply = error_reply(ErrorCode::kDeadlineExceeded,
+                        "request took " + std::to_string(total_ms) +
+                            "ms total, deadline " +
+                            std::to_string(job.request.deadline_ms) + "ms");
+    is_error = true;
+  }
+  return reply;
+}
+
+void Server::process_job(PendingJob& job) noexcept {
+  // Contract: the promise is fulfilled exactly once on EVERY path. A
+  // connection thread is blocked on it in submit_and_wait — an escaped
+  // exception here would either hang that thread forever (the job it
+  // co-owns keeps the promise alive) or unwind the dispatcher's pool batch;
+  // either way the connection dies without an answer instead of getting
+  // kInternal. So: catch everything, including non-std exceptions, and
+  // never let stats accounting stand between an exception and set_value.
   bool is_error = true;
   std::pair<MsgType, std::string> reply;
   try {
-    const std::uint64_t waited_ms = elapsed_us(job.enqueued_at) / 1000;
-    if (job.request.deadline_ms > 0 && waited_ms > job.request.deadline_ms) {
-      reply = error_reply(ErrorCode::kDeadlineExceeded,
-                          "request waited " + std::to_string(waited_ms) +
-                              "ms, deadline " +
-                              std::to_string(job.request.deadline_ms) + "ms");
-    } else {
-      reply = handle_predict(job.request, job.trace.get());
-      is_error = reply.first == MsgType::kError;
-      // Re-check after compute: a request that blew its deadline inside the
-      // handler must not get a full late success reply (and must count as
-      // an error), or clients time out while `stats` reports green.
-      const std::uint64_t total_ms = elapsed_us(job.enqueued_at) / 1000;
-      if (!is_error && job.request.deadline_ms > 0 &&
-          total_ms > job.request.deadline_ms) {
-        reply = error_reply(ErrorCode::kDeadlineExceeded,
-                            "request took " + std::to_string(total_ms) +
-                                "ms total, deadline " +
-                                std::to_string(job.request.deadline_ms) + "ms");
-        is_error = true;
-      }
+    reply = compute_job_reply(job, is_error);
+    if (config_.fault_inject_for_test) {
+      throw "injected non-std fault after handler";  // NOLINT
     }
   } catch (const std::exception& e) {
     reply = error_reply(ErrorCode::kInternal, e.what());
+    is_error = true;
+  } catch (...) {
+    reply = error_reply(ErrorCode::kInternal,
+                        "handler raised a non-standard exception");
+    is_error = true;
   }
-  stats_.record(job.endpoint, elapsed_us(job.enqueued_at), is_error);
+  try {
+    stats_.record(job.endpoint, elapsed_us(job.enqueued_at), is_error);
+  } catch (...) {
+    // Accounting must never cost the client its reply.
+  }
   job.result.set_value(std::move(reply));
 }
 
@@ -490,11 +613,16 @@ std::pair<MsgType, std::string> Server::handle_predict(
         std::chrono::milliseconds(config_.handler_delay_for_test_ms));
   }
 
-  const auto model = registry_->get(req.model);
-  if (!model) {
+  // Pin the registry entry for the whole request: `entry` co-owns the model
+  // AND its library, so a concurrent unload/replace cannot free anything
+  // this handler still touches — the retired artifact is destroyed when the
+  // last in-flight request drains.
+  const std::shared_ptr<const ModelEntry> entry = registry_->get(req.model);
+  if (!entry) {
     return error_reply(ErrorCode::kUnknownModel,
                        "unknown model: " + req.model);
   }
+  const core::AtlasModel& model = *entry->model;
   const bool external = trace != nullptr;
   sim::WorkloadSpec workload;
   if (external) {
@@ -520,7 +648,13 @@ std::pair<MsgType, std::string> Server::handle_predict(
   }
 
   std::uint32_t cache_flags = 0;
-  const std::uint64_t design_key = util::fnv1a64(req.netlist_verilog);
+  // Design artifacts depend on the library the netlist is parsed against
+  // (cell ids, pin caps, energy LUTs feed the graph features), so the key
+  // mixes in the library's content hash: two models on different substrates
+  // can never serve each other's parsed graphs, while models sharing a
+  // substrate (equal hash) still share the entry.
+  const std::uint64_t design_key = design_cache_key(
+      util::fnv1a64(req.netlist_verilog), entry->library_hash);
 
   std::shared_ptr<const DesignArtifacts> design =
       cache_.find_design(design_key);
@@ -530,7 +664,7 @@ std::pair<MsgType, std::string> Server::handle_predict(
     obs::ObsSpan prep_span("serve", "parse_and_graphs");
     std::optional<netlist::Netlist> parsed;
     try {
-      parsed = netlist::parse_verilog(req.netlist_verilog, lib_);
+      parsed = netlist::parse_verilog(req.netlist_verilog, *entry->library);
     } catch (const std::exception& e) {
       return error_reply(ErrorCode::kBadRequest,
                          std::string("netlist parse failed: ") + e.what());
@@ -544,16 +678,23 @@ std::pair<MsgType, std::string> Server::handle_predict(
       structural = core::assign_submodules_by_structure(*parsed);
     }
     auto graphs = graph::build_submodule_graphs(*parsed);
+    // The cached netlist holds a raw reference to its library, so the entry
+    // co-owns the library too — it may outlive the model binding that
+    // created it (unload, or replace with a different substrate).
     design = std::make_shared<const DesignArtifacts>(DesignArtifacts{
-        std::move(*parsed), std::move(graphs), structural});
+        std::move(*parsed), std::move(graphs), structural, entry->library});
     cache_.put_design(design_key, design);
   }
 
   // For streamed traces the key carries the trace's content hash, so two
   // different uploads can never alias — and a warm hit skips even the VCD
-  // parse (the hash alone identifies the stimulus).
+  // parse (the hash alone identifies the stimulus). The registry generation
+  // makes a reload under the same name a guaranteed miss: embeddings from
+  // the replaced artifact are stale (different encoder weights), never
+  // merely cold.
   const EmbeddingKey emb_key{req.model, req.workload, req.cycles,
-                             external ? trace->content_hash() : 0};
+                             external ? trace->content_hash() : 0,
+                             entry->generation};
   std::shared_ptr<const core::DesignEmbeddings> emb =
       cache_.find_embeddings(design_key, emb_key);
   if (emb) {
@@ -583,12 +724,12 @@ std::pair<MsgType, std::string> Server::handle_predict(
       toggles = simulator.run(stimulus, req.cycles);
     }
     emb = std::make_shared<const core::DesignEmbeddings>(
-        model->encode(design->gate, design->graphs, toggles));
+        model.encode(design->gate, design->graphs, toggles));
     cache_.put_embeddings(design_key, emb_key, emb);
   }
 
   const core::Prediction pred =
-      model->predict_from_embeddings(design->gate, design->graphs, *emb);
+      model.predict_from_embeddings(design->gate, design->graphs, *emb);
 
   PredictResponse resp;
   resp.cache_flags = cache_flags;

@@ -6,7 +6,8 @@
 //   * one accept thread per listener (TCP and/or Unix-domain), polling with
 //     a short timeout so a stop flag is observed without fd teardown races;
 //   * one thread per live connection, reading frames and answering cheap
-//     requests (ping/models/stats) inline; predict requests are enqueued to
+//     requests (ping/models/stats, and the admin load/unload registry
+//     mutations) inline; predict requests are enqueued to
 //     the dispatcher and the connection thread blocks on the response — so
 //     responses stay in request order per connection. Streamed-workload
 //     uploads (StreamBegin/Chunk/End) are assembled in per-connection state
@@ -75,6 +76,15 @@ struct ServerConfig {
   /// Test hook: sleep inside the predict handler so deadline expiry during
   /// compute (not queue wait) can be exercised. 0 in production.
   int handler_delay_for_test_ms = 0;
+  /// Test hook: process_job raises a non-std exception after the handler
+  /// ran, exercising the promise-fulfillment guarantee (a connection thread
+  /// blocked on the job must get kInternal, never hang or see a broken
+  /// promise). false in production.
+  bool fault_inject_for_test = false;
+  /// Honor LoadModel/UnloadModel requests. Off by default: runtime registry
+  /// mutation is an operator capability, not something any client on the
+  /// wire should have.
+  bool allow_admin = false;
   bool verbose = false;
 };
 
@@ -100,11 +110,14 @@ class Server {
   /// loop turns this into stop()).
   bool stop_requested() const { return stop_requested_.load(); }
 
-  /// Block until stop_requested() or `poll` returns true (checked every
-  /// ~50ms; `poll` lets the daemon also watch a signal flag).
+  /// Block until stop_requested(). A client Shutdown request notifies the
+  /// internal condition variable, so wakeup latency is bounded by the
+  /// notification, not a poll period. `poll` lets the daemon also watch an
+  /// async-signal flag (which cannot notify); it is checked every ~50ms.
   void wait_for_stop_request(const std::function<bool()>& poll = {});
 
-  /// Resolved TCP port (after an ephemeral bind); -1 when TCP is disabled.
+  /// Resolved TCP port after an ephemeral bind. Sentinel -1 = TCP is
+  /// disabled (UDS-only server); never a valid port value.
   int port() const { return resolved_port_; }
 
   const ServerConfig& config() const { return config_; }
@@ -156,7 +169,14 @@ class Server {
   void reap_finished_connections();
 
   void dispatcher_loop();
-  void process_job(PendingJob& job);
+  /// Run one job and fulfill its promise. Never throws and never leaves the
+  /// promise unfulfilled: the connection thread blocked in submit_and_wait
+  /// must always get a reply (kInternal at worst), or it would hang /
+  /// rethrow broken_promise and drop the whole connection.
+  void process_job(PendingJob& job) noexcept;
+  /// The computation behind process_job; may throw.
+  std::pair<MsgType, std::string> compute_job_reply(PendingJob& job,
+                                                    bool& is_error);
 
   /// Enqueue a job for the dispatcher and block on its reply; returns the
   /// shutting-down error instead when the server is draining.
@@ -169,13 +189,20 @@ class Server {
 
   /// Returns {response type, payload}; never throws. `trace` is the
   /// assembled client-supplied toggle trace for streamed requests, null
-  /// for the synthetic w1/w2 workloads.
+  /// for the synthetic w1/w2 workloads. Pins the registry entry (model +
+  /// library) for the whole request, so a concurrent unload/replace never
+  /// invalidates running work.
   std::pair<MsgType, std::string> handle_predict(
       const PredictRequest& req, const sim::ExternalTrace* trace);
 
+  /// LoadModel / UnloadModel handlers (connection-thread inline; gated by
+  /// config_.allow_admin). Never throw; failures become Error replies.
+  std::pair<MsgType, std::string> handle_load_model(const std::string& payload);
+  std::pair<MsgType, std::string> handle_unload_model(
+      const std::string& payload);
+
   ServerConfig config_;
   std::shared_ptr<ModelRegistry> registry_;
-  liberty::Library lib_;
   FeatureCache cache_;
   ServerStats stats_;
 
@@ -195,6 +222,9 @@ class Server {
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stop_requested_{false};
+  /// Wakes wait_for_stop_request the moment a Shutdown request lands.
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
   bool started_ = false;
   bool stopped_ = false;
 };

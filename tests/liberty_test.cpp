@@ -291,5 +291,33 @@ TEST(LibertyIo, FileRoundTrip) {
   EXPECT_EQ(back.size(), lib.size());
 }
 
+TEST(LibertyIo, ContentHashIsDeterministicAndRoundTripStable) {
+  // Two independently built copies hash equal; and because the hash is
+  // defined over the canonical serialization, a write/parse round trip
+  // (which quantizes values through %.9g) keeps the hash stable — so a
+  // library loaded from disk keys the same cache entries as its source.
+  const Library a = make_default_library();
+  const Library b = make_default_library();
+  EXPECT_NE(content_hash(a), 0u);
+  EXPECT_EQ(content_hash(a), content_hash(b));
+  EXPECT_EQ(content_hash(parse_library(write_liberty(a))), content_hash(a));
+}
+
+TEST(LibertyIo, ContentHashSeparatesDifferentLibraries) {
+  const Library base = make_default_library();
+  Library scaled("scaled", base.voltage(), base.clock_period_ns());
+  for (Cell c : base.cells()) {
+    for (double& e : c.energy_fj) e *= 2.0;
+    c.leakage_uw *= 2.0;
+    scaled.add_cell(std::move(c));
+  }
+  EXPECT_NE(content_hash(base), content_hash(scaled));
+
+  // The name alone also separates: same cells, different header.
+  Library renamed("renamed", base.voltage(), base.clock_period_ns());
+  for (Cell c : base.cells()) renamed.add_cell(std::move(c));
+  EXPECT_NE(content_hash(base), content_hash(renamed));
+}
+
 }  // namespace
 }  // namespace atlas::liberty

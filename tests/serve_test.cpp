@@ -7,7 +7,10 @@
 // is exercised exactly as the daemon runs it.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "atlas/finetune.h"
@@ -16,6 +19,7 @@
 #include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
 #include "graph/submodule_graph.h"
+#include "liberty/liberty_io.h"
 #include "netlist/verilog_io.h"
 #include "obs/metrics.h"
 #include "serve/client.h"
@@ -79,15 +83,36 @@ class ServeTest : public ::testing::Test {
   }
 
   /// The exact computation the server performs, done inline: parse the
-  /// request text, build graphs, simulate, predict.
-  static core::Prediction direct_predict(const std::string& workload) {
-    netlist::Netlist gate = netlist::parse_verilog(*verilog_, *lib_);
+  /// request text against `lib`, build graphs, simulate, predict with
+  /// `model`.
+  static core::Prediction direct_predict_with(const core::AtlasModel& model,
+                                              const liberty::Library& lib,
+                                              const std::string& workload) {
+    netlist::Netlist gate = netlist::parse_verilog(*verilog_, lib);
     const auto graphs = graph::build_submodule_graphs(gate);
     sim::CycleSimulator simulator(gate);
     sim::WorkloadSpec spec = workload == "w2" ? sim::make_w2() : sim::make_w1();
     sim::StimulusGenerator stimulus(gate, spec);
     const sim::ToggleTrace trace = simulator.run(stimulus, kCycles);
-    return (*model_)->predict(gate, graphs, trace);
+    return model.predict(gate, graphs, trace);
+  }
+
+  static core::Prediction direct_predict(const std::string& workload) {
+    return direct_predict_with(**model_, *lib_, workload);
+  }
+
+  /// A second standard-cell substrate: same cell names (so the query
+  /// Verilog parses), internal-energy LUTs and leakage scaled 2x — a
+  /// different library content hash and different graph features.
+  static liberty::Library scaled_library() {
+    liberty::Library out("atlas40lp_x2", lib_->voltage(),
+                         lib_->clock_period_ns());
+    for (liberty::Cell c : lib_->cells()) {
+      for (double& e : c.energy_fj) e *= 2.0;
+      c.leakage_uw *= 2.0;
+      out.add_cell(std::move(c));
+    }
+    return out;
   }
 
   static std::shared_ptr<ModelRegistry> make_registry() {
@@ -96,9 +121,10 @@ class ServeTest : public ::testing::Test {
     return registry;
   }
 
-  static PredictRequest make_request(const std::string& workload = "w1") {
+  static PredictRequest make_request(const std::string& workload = "w1",
+                                     const std::string& model = "tiny") {
     PredictRequest req;
-    req.model = "tiny";
+    req.model = model;
     req.netlist_verilog = *verilog_;
     req.workload = workload;
     req.cycles = kCycles;
@@ -125,6 +151,20 @@ class ServeTest : public ::testing::Test {
       EXPECT_EQ(resp.submodule[i].reg, expected.submodule[i].reg);
       EXPECT_EQ(resp.submodule[i].clock, expected.submodule[i].clock);
     }
+  }
+
+  /// Bit-exact comparison of per-cycle group power (no operator== on
+  /// GroupPower: approximate comparison is the norm everywhere else).
+  static bool same_bits(const std::vector<power::GroupPower>& a,
+                        const std::vector<power::GroupPower>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].comb != b[i].comb || a[i].reg != b[i].reg ||
+          a[i].clock != b[i].clock) {
+        return false;
+      }
+    }
+    return true;
   }
 
   static liberty::Library* lib_;
@@ -397,6 +437,9 @@ TEST_F(ServeTest, UnixDomainSocketServesPredictions) {
   cfg.unix_path = ::testing::TempDir() + "/atlas_serve_test.sock";
   Server server(cfg, make_registry());
   server.start();
+  // UDS-only: the TCP port stays at its documented -1 sentinel (and the
+  // startup log omits the port kv rather than printing port=-1).
+  EXPECT_EQ(server.port(), -1);
   Client client = Client::connect_unix(cfg.unix_path);
   client.ping();
   expect_matches_direct(client.predict(make_request()), *expected_w1_);
@@ -622,6 +665,277 @@ TEST_F(ServeTest, StreamDeadlineCoversAssembly) {
   server.stop();
 }
 
+// ---- Dynamic model management ---------------------------------------------
+
+TEST_F(ServeTest, AdminRequestsRejectedWithoutAllowAdmin) {
+  Server server(loopback_config(), make_registry());  // allow_admin = false
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  try {
+    client.load_model("x", "/nonexistent.bin");
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAdminDisabled);
+  }
+  try {
+    client.unload_model("tiny");
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAdminDisabled);
+  }
+  // The gate rejected the requests without touching the registry or the
+  // connection.
+  ASSERT_EQ(client.models().size(), 1u);
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+TEST_F(ServeTest, AdminLoadUnloadLifecycle) {
+  const std::string model_path = ::testing::TempDir() + "atlas_admin_model.bin";
+  const std::string lib_path = ::testing::TempDir() + "atlas_admin_x2.lib";
+  (*model_)->save(model_path);
+  liberty::save_liberty_file(scaled_library(), lib_path);
+
+  ServerConfig cfg = loopback_config();
+  cfg.allow_admin = true;
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  client.load_model("second", model_path, lib_path);
+  const auto models = client.models();
+  ASSERT_EQ(models.size(), 2u);
+  ASSERT_EQ(models[0].name, "second");
+  EXPECT_EQ(models[0].library, "atlas40lp_x2");
+  EXPECT_EQ(models[1].name, "tiny");
+  EXPECT_GT(models[0].generation, models[1].generation);
+
+  // The server computes with the artifacts as loaded from disk; the Liberty
+  // writer is lossy (%.9g), so the bit-identity reference must use the
+  // round-tripped library, not the in-memory original.
+  const core::AtlasModel loaded = core::AtlasModel::load(model_path);
+  const liberty::Library round_tripped = liberty::load_liberty_file(lib_path);
+  const PredictResponse resp = client.predict(make_request("w1", "second"));
+  expect_matches_direct(resp, direct_predict_with(loaded, round_tripped, "w1"));
+
+  // Unload: the name disappears and new predicts are rejected.
+  client.unload_model("second");
+  ASSERT_EQ(client.models().size(), 1u);
+  try {
+    client.predict(make_request("w1", "second"));
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownModel);
+  }
+
+  // Unloading a name that was never registered is kUnknownModel, not a
+  // connection error.
+  try {
+    client.unload_model("never_registered");
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownModel);
+  }
+
+  // A corrupt artifact is kBadRequest; the registry and connection survive.
+  const std::string corrupt_path = ::testing::TempDir() + "atlas_corrupt.bin";
+  {
+    std::ofstream corrupt(corrupt_path, std::ios::binary);
+    corrupt << "this is not an AtlasModel artifact";
+  }
+  try {
+    client.load_model("broken", corrupt_path);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  ASSERT_EQ(client.models().size(), 1u);
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
+TEST_F(ServeTest, PerModelLibraryKeysDesignCache) {
+  // Two models over the same model weights but different Liberty libraries:
+  // the same netlist text must occupy two design-cache entries (the library
+  // shapes graph features), and each predict must be bit-identical to the
+  // direct computation against its own library.
+  const auto x2 =
+      std::make_shared<const liberty::Library>(scaled_library());
+  auto registry = make_registry();
+  registry->add("tiny_x2", *model_, x2);
+
+  Server server(loopback_config(), registry);
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  const PredictResponse a = client.predict(make_request());
+  EXPECT_FALSE(a.design_cache_hit());
+  expect_matches_direct(a, *expected_w1_);
+
+  // Same Verilog text, different library hash: a design-cache miss, and a
+  // different prediction substrate.
+  const PredictResponse b = client.predict(make_request("w1", "tiny_x2"));
+  EXPECT_FALSE(b.design_cache_hit());
+  expect_matches_direct(b, direct_predict_with(**model_, *x2, "w1"));
+
+  // Both entries stay warm independently.
+  EXPECT_TRUE(client.predict(make_request()).design_cache_hit());
+  EXPECT_TRUE(
+      client.predict(make_request("w1", "tiny_x2")).design_cache_hit());
+  EXPECT_EQ(server.cache_stats().design_misses, 2u);
+  server.stop();
+}
+
+TEST_F(ServeTest, ReloadUnderSameNameInvalidatesEmbeddings) {
+  auto registry = make_registry();
+  Server server(loopback_config(), registry);
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  const PredictResponse warm = client.predict(make_request());
+  EXPECT_TRUE(warm.design_cache_hit());
+  EXPECT_TRUE(warm.embedding_cache_hit());
+
+  // Republish the same weights under the same name: the design entry (keyed
+  // by netlist + library) survives, but the registry generation bump makes
+  // cached embeddings stale — the encoder must re-run against the new entry.
+  registry->add("tiny", *model_);
+  const PredictResponse reloaded = client.predict(make_request());
+  EXPECT_TRUE(reloaded.design_cache_hit());
+  EXPECT_FALSE(reloaded.embedding_cache_hit());
+  expect_matches_direct(reloaded, *expected_w1_);
+
+  const PredictResponse rewarmed = client.predict(make_request());
+  EXPECT_TRUE(rewarmed.embedding_cache_hit());
+  server.stop();
+}
+
+TEST_F(ServeTest, ProcessJobFaultStillAnswers) {
+  // Fault injection throws a non-std exception after the handler computed
+  // its reply; the promise must still be fulfilled (an error response, not
+  // a hung connection or a torn-down dispatcher).
+  ServerConfig cfg = loopback_config();
+  cfg.fault_inject_for_test = true;
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  for (int i = 0; i < 2; ++i) {
+    try {
+      client.predict(make_request());
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kInternal);
+    }
+  }
+  client.ping();  // the connection thread survived both faults
+  server.stop();
+}
+
+TEST_F(ServeTest, ShutdownWakeupIsPromptNotPolled) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    server.wait_for_stop_request();
+    woke.store(true);
+  });
+  // Give the waiter time to block in the condition-variable wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(woke.load());
+
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  const auto t0 = std::chrono::steady_clock::now();
+  client.shutdown_server();
+  waiter.join();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(woke.load());
+  // The old implementation polled every 50ms (mean wakeup ~25ms); the
+  // condition variable wakes in microseconds. Generous margin for CI.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  server.stop();
+}
+
+TEST_F(ServeTest, RegistryLifecycleRacesWithInFlightPredicts) {
+  const std::string model_path = ::testing::TempDir() + "atlas_race_model.bin";
+  const std::string lib_path = ::testing::TempDir() + "atlas_race_x2.lib";
+  (*model_)->save(model_path);
+  liberty::save_liberty_file(scaled_library(), lib_path);
+  const core::AtlasModel hot_model = core::AtlasModel::load(model_path);
+  const liberty::Library hot_lib = liberty::load_liberty_file(lib_path);
+  const core::Prediction hot_ref =
+      direct_predict_with(hot_model, hot_lib, "w1");
+
+  ServerConfig cfg = loopback_config();
+  cfg.allow_admin = true;
+  cfg.batch_max = 4;
+  auto registry = make_registry();
+  Server server(cfg, registry);
+  server.start();
+
+  // Admin thread churns the registry: "hot" appears, is replaced, vanishes;
+  // "tiny" is republished (replace-under-same-name) every cycle.
+  constexpr int kChurns = 6;
+  std::thread admin([&] {
+    Client client = Client::connect_tcp("127.0.0.1", server.port());
+    for (int i = 0; i < kChurns; ++i) {
+      client.load_model("hot", model_path, lib_path);
+      registry->add("tiny", *model_);  // replace in place
+      client.load_model("hot", model_path, lib_path);  // replace in place
+      client.unload_model("hot");
+    }
+  });
+
+  // Predict threads race the churn. "tiny" must always answer and always
+  // bit-identically; "hot" either answers bit-identically (pinned entry,
+  // even if unloaded mid-flight) or is cleanly rejected as unknown.
+  constexpr int kThreads = 3;
+  constexpr int kIters = 6;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client = Client::connect_tcp("127.0.0.1", server.port());
+      for (int i = 0; i < kIters; ++i) {
+        const PredictResponse tiny = client.predict(make_request());
+        if (!same_bits(tiny.design, expected_w1_->design)) {
+          failures[static_cast<std::size_t>(t)] = "tiny prediction diverged";
+          return;
+        }
+        try {
+          const PredictResponse hot =
+              client.predict(make_request("w1", "hot"));
+          if (!same_bits(hot.design, hot_ref.design)) {
+            failures[static_cast<std::size_t>(t)] = "hot prediction diverged";
+            return;
+          }
+        } catch (const ServeError& e) {
+          if (e.code() != ErrorCode::kUnknownModel) {
+            failures[static_cast<std::size_t>(t)] =
+                "hot predict failed with unexpected code";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  admin.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  // The final churn cycle unloaded "hot"; "tiny" survived every replace.
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  const auto models = client.models();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].name, "tiny");
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+}
+
 // ---- FeatureCache unit tests ----------------------------------------------
 
 std::shared_ptr<const DesignArtifacts> dummy_design(
@@ -631,7 +945,7 @@ std::shared_ptr<const DesignArtifacts> dummy_design(
   netlist::Netlist nl = designgen::generate_design(spec, lib);
   auto graphs = graph::build_submodule_graphs(nl);
   return std::make_shared<const DesignArtifacts>(
-      DesignArtifacts{std::move(nl), std::move(graphs), 0});
+      DesignArtifacts{std::move(nl), std::move(graphs), 0, nullptr});
 }
 
 TEST_F(ServeTest, FeatureCacheLruEvictsOldestDesign) {

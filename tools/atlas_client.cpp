@@ -7,6 +7,8 @@
 //   metrics   print the server's Prometheus metrics exposition
 //   predict   send a gate-level Verilog netlist for per-cycle power -> CSV
 //   stream    upload a real toggle trace (VCD) in chunks, predict -> CSV
+//   load      admin: load/replace a model (+ optional Liberty library)
+//   unload    admin: retire a model name (in-flight requests still finish)
 //   shutdown  ask the daemon to drain and exit
 //
 // `predict` mirrors `atlas_cli predict` but amortizes model loading and
@@ -56,9 +58,45 @@ int cmd_models(int argc, const char* const* argv) {
   if (cli.help_requested()) return 0;
   serve::Client client = connect(cli);
   for (const serve::ModelInfo& m : client.models()) {
-    std::printf("%s  (encoder dim %llu)\n", m.name.c_str(),
-                static_cast<unsigned long long>(m.encoder_dim));
+    std::printf("%s  (encoder dim %llu, library %s, generation %llu)\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.encoder_dim),
+                m.library.c_str(),
+                static_cast<unsigned long long>(m.generation));
   }
+  return 0;
+}
+
+int cmd_load(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("name", "", "registry name to publish the model under")
+      .flag("path", "", "AtlasModel artifact path (on the server)")
+      .flag("library", "",
+            "Liberty library path on the server (empty = server default)");
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  if (cli.str("name").empty() || cli.str("path").empty()) {
+    std::fprintf(stderr, "load requires --name and --path\n");
+    return 1;
+  }
+  serve::Client client = connect(cli);
+  client.load_model(cli.str("name"), cli.str("path"), cli.str("library"));
+  std::printf("loaded %s\n", cli.str("name").c_str());
+  return 0;
+}
+
+int cmd_unload(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("name", "", "registry name to retire");
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  if (cli.str("name").empty()) {
+    std::fprintf(stderr, "unload requires --name\n");
+    return 1;
+  }
+  serve::Client client = connect(cli);
+  client.unload_model(cli.str("name"));
+  std::printf("unloaded %s\n", cli.str("name").c_str());
   return 0;
 }
 
@@ -181,6 +219,8 @@ void usage() {
       "  metrics   print the server's Prometheus metrics exposition\n"
       "  predict   per-cycle power for a gate-level netlist -> CSV\n"
       "  stream    upload a VCD toggle trace in chunks, predict -> CSV\n"
+      "  load      admin: load/replace a model (needs server --allow-admin)\n"
+      "  unload    admin: retire a model name\n"
       "  shutdown  drain and stop the server");
 }
 
@@ -199,6 +239,8 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(argc - 1, argv + 1);
     if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
     if (cmd == "stream") return cmd_stream(argc - 1, argv + 1);
+    if (cmd == "load") return cmd_load(argc - 1, argv + 1);
+    if (cmd == "unload") return cmd_unload(argc - 1, argv + 1);
     if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();

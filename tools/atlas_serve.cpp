@@ -7,8 +7,16 @@
 // build and, per (model, workload, cycles), the encoder embeddings are
 // computed once and reused, so warm requests go straight to the GBDT heads.
 //
+// Each model may carry its own Liberty library (`name=model.bin@cells.lib`)
+// so artifacts fine-tuned on different standard-cell substrates coexist in
+// one daemon; models without a library use the built-in default. With
+// --allow-admin, `atlas_client load/unload` swaps models at runtime without
+// a restart — in-flight requests finish on the artifact they started with.
+//
 //   atlas_serve --models default=atlas_model.bin --port 7433
-//   atlas_serve --models "a=a.bin,b=b.bin" --unix /tmp/atlas.sock --port -1
+//   atlas_serve --models "a=a.bin,b=b.bin@tsmc40.lib" --port -1
+//               --unix /tmp/atlas.sock --allow-admin
+// (second example continues on one line: UDS-only with admin enabled)
 //
 // SIGTERM / SIGINT (or a client `shutdown` request) drains in-flight
 // requests, dumps the stats block to stderr, and exits 0.
@@ -33,22 +41,33 @@ volatile std::sig_atomic_t g_signal = 0;
 
 void on_signal(int) { g_signal = 1; }
 
-/// Parse "name=path,name2=path2" into the registry.
+/// Parse "name=path[@liberty],name2=path2" into the registry. The optional
+/// @liberty suffix binds a per-model Liberty library; without it the model
+/// parses request netlists against the built-in default library.
 void load_models(serve::ModelRegistry& registry, const std::string& spec) {
   for (const std::string& item : util::split(spec, ',')) {
     const std::string entry(util::trim(item));
     if (entry.empty()) continue;
     const auto eq = entry.find('=');
     if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
-      throw std::runtime_error("bad --models entry (want name=path): " + entry);
+      throw std::runtime_error(
+          "bad --models entry (want name=path[@liberty]): " + entry);
     }
     const std::string name = entry.substr(0, eq);
-    const std::string path = entry.substr(eq + 1);
-    registry.load(name, path);
-    obs::LogLine(obs::LogLevel::kInfo, "serve")
-        .kv("event", "model_loaded")
-        .kv("model", name)
-        .kv("path", path);
+    std::string path = entry.substr(eq + 1);
+    std::string library_path;
+    if (const auto at = path.find('@'); at != std::string::npos) {
+      library_path = path.substr(at + 1);
+      path = path.substr(0, at);
+      if (path.empty() || library_path.empty()) {
+        throw std::runtime_error(
+            "bad --models entry (want name=path[@liberty]): " + entry);
+      }
+    }
+    registry.load(name, path, library_path);
+    obs::LogLine line(obs::LogLevel::kInfo, "serve");
+    line.kv("event", "model_loaded").kv("model", name).kv("path", path);
+    if (!library_path.empty()) line.kv("library", library_path);
   }
 }
 
@@ -64,6 +83,8 @@ int main(int argc, char** argv) {
       .flag("cache-designs", "16", "feature-cache capacity (designs)")
       .flag("cache-embeddings", "8", "cached embedding sets per design")
       .flag("batch-max", "8", "max predict requests per dispatch batch")
+      .flag("allow-admin", "false",
+            "honor client load_model/unload_model requests")
       .flag("threads", "0",
             "worker threads (0 = hardware concurrency, 1 = serial)")
       .flag("trace-out", "",
@@ -94,6 +115,7 @@ int main(int argc, char** argv) {
     cfg.cache_embeddings_per_design =
         static_cast<std::size_t>(cli.integer("cache-embeddings"));
     cfg.batch_max = static_cast<std::size_t>(cli.integer("batch-max"));
+    cfg.allow_admin = cli.boolean("allow-admin");
     cfg.verbose = true;
 
     serve::Server server(cfg, registry);
@@ -102,9 +124,13 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
 
     server.start();
-    obs::LogLine(obs::LogLevel::kInfo, "serve")
-        .kv("event", "ready")
-        .kv("port", server.port());
+    {
+      obs::LogLine line(obs::LogLevel::kInfo, "serve");
+      line.kv("event", "ready");
+      // server.port() is the -1 sentinel in UDS-only mode — not a port.
+      if (server.port() >= 0) line.kv("port", server.port());
+      if (!cfg.unix_path.empty()) line.kv("uds", cfg.unix_path);
+    }
     server.wait_for_stop_request([] { return g_signal != 0; });
     obs::LogLine(obs::LogLevel::kInfo, "serve").kv("event", "draining");
     server.stop();
