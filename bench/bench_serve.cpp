@@ -10,6 +10,9 @@
 //   * fully warm latency (embedding cache hit: GBDT heads only);
 //   * streamed-trace latency, cold (upload + VCD parse + encoder + heads)
 //     and warm (trace-hash embedding hit: upload + heads only);
+//   * the same streamed predict over the binary ATDT delta encoding —
+//     wire bytes vs the VCD text and warm latency — plus design-by-hash
+//     (netlist referenced by FNV-1a hash instead of re-uploaded);
 //   * warm requests/sec at 1, 4 and 8 concurrent client connections.
 //
 // Numbers land in EXPERIMENTS.md. The interesting ratio is cold : warm —
@@ -26,6 +29,7 @@
 #include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
 #include "netlist/verilog_io.h"
+#include "sim/delta_trace.h"
 #include "sim/vcd.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -171,6 +175,48 @@ int main(int argc, char** argv) {
                   stream_cold_s * 1e3);
       std::printf("  warm  (upload -> trace-hash hit)       %8.2f\n\n",
                   median(stream_warm_s) * 1e3);
+
+      // Same trace, binary delta encoding: the wire-byte ratio is the
+      // headline (VCD re-states every net name; the delta ships bit-packed
+      // toggles against the netlist the server already has).
+      const std::string delta =
+          sim::write_delta(query, trace, simulator.clock_net_mask());
+      serve::StreamBeginRequest dbegin = begin;
+      dbegin.format = serve::TraceFormat::kToggleDelta;
+      util::Timer tdc;
+      client.predict_stream(dbegin, delta);
+      const double delta_cold_s = tdc.seconds();
+      std::vector<double> delta_warm_s;
+      for (int i = 0; i < 10; ++i) {
+        util::Timer t;
+        client.predict_stream(dbegin, delta);
+        delta_warm_s.push_back(t.seconds());
+      }
+      std::printf("streamed trace, ATDT delta (%zu bytes, %.1fx smaller "
+                  "than VCD):\n",
+                  delta.size(),
+                  static_cast<double>(vcd.size()) /
+                      static_cast<double>(delta.size()));
+      std::printf("  cold  (upload+decode+encode+heads)     %8.2f\n",
+                  delta_cold_s * 1e3);
+      std::printf("  warm  (upload -> trace-hash hit)       %8.2f\n\n",
+                  median(delta_warm_s) * 1e3);
+
+      // Design-by-hash on top of the delta encoding: the netlist text
+      // (usually the biggest request component) stays off the wire too.
+      std::vector<double> hash_warm_s;
+      bool used_hash = false;
+      for (int i = 0; i < 10; ++i) {
+        util::Timer t;
+        client.predict_stream_cached(dbegin, delta, 64 * 1024, &used_hash);
+        hash_warm_s.push_back(t.seconds());
+      }
+      std::printf("streamed delta + design-by-hash (%s; %zu vs %zu request "
+                  "bytes):\n",
+                  used_hash ? "hash accepted" : "fell back to full upload",
+                  delta.size() + 8, delta.size() + verilog.size());
+      std::printf("  warm  (hash ref -> trace-hash hit)     %8.2f\n\n",
+                  median(hash_warm_s) * 1e3);
       stream_server.stop();
     }
 

@@ -1,5 +1,7 @@
 #include "serve/client.h"
 
+#include "util/hash.h"
+
 namespace atlas::serve {
 
 Client Client::connect_tcp(const std::string& host, int port) {
@@ -40,24 +42,47 @@ PredictResponse Client::predict(const PredictRequest& request) {
 }
 
 PredictResponse Client::predict_stream(StreamBeginRequest begin,
-                                       const std::string& trace_text,
+                                       const std::string& trace_bytes,
                                        std::size_t chunk_bytes) {
   if (chunk_bytes == 0) chunk_bytes = 64 * 1024;
-  begin.trace_bytes = trace_text.size();
+  begin.trace_bytes = trace_bytes.size();
   round_trip(MsgType::kStreamBegin, begin.encode(), MsgType::kStreamAck);
   std::uint64_t seq = 0;
-  for (std::size_t off = 0; off < trace_text.size(); off += chunk_bytes) {
+  for (std::size_t off = 0; off < trace_bytes.size(); off += chunk_bytes) {
     StreamChunk chunk;
     chunk.seq = seq++;
-    chunk.data = trace_text.substr(off, chunk_bytes);
+    chunk.data = trace_bytes.substr(off, chunk_bytes);
     round_trip(MsgType::kStreamChunk, chunk.encode(), MsgType::kStreamAck);
   }
   StreamEndRequest end;
   end.total_chunks = seq;
-  end.total_bytes = trace_text.size();
+  end.total_bytes = trace_bytes.size();
   const Frame resp =
       round_trip(MsgType::kStreamEnd, end.encode(), MsgType::kPredictOk);
   return PredictResponse::decode(resp.payload);
+}
+
+PredictResponse Client::predict_stream_cached(const StreamBeginRequest& begin,
+                                              const std::string& trace_bytes,
+                                              std::size_t chunk_bytes,
+                                              bool* used_hash) {
+  StreamBeginRequest by_hash = begin;
+  by_hash.design_hash = util::fnv1a64(begin.netlist_verilog);
+  by_hash.netlist_verilog.clear();
+  try {
+    PredictResponse resp = predict_stream(by_hash, trace_bytes, chunk_bytes);
+    if (used_hash != nullptr) *used_hash = true;
+    return resp;
+  } catch (const ServeError& e) {
+    // A server that rejects the hash (at StreamBegin, or at predict time
+    // after losing the race with eviction) has discarded any partial
+    // upload and left the connection usable for the full retry.
+    if (e.code() != ErrorCode::kUnknownDesign) throw;
+  }
+  if (used_hash != nullptr) *used_hash = false;
+  StreamBeginRequest full = begin;
+  full.design_hash = 0;
+  return predict_stream(full, trace_bytes, chunk_bytes);
 }
 
 void Client::load_model(const std::string& name, const std::string& path,

@@ -36,14 +36,27 @@ class Client {
 
   PredictResponse predict(const PredictRequest& request);
 
-  /// Upload a client-supplied toggle trace (VCD subset) in chunks and get
-  /// the prediction for it: stream_begin / stream_chunk* / stream_end.
-  /// `begin.trace_bytes` is filled from `trace_text` automatically. Throws
-  /// ServeError on any server-side rejection (the server discards the
-  /// partial upload; this connection remains usable).
+  /// Upload a client-supplied toggle trace in chunks and get the prediction
+  /// for it: stream_begin / stream_chunk* / stream_end. `trace_bytes` is
+  /// VCD text or binary ATDT delta bytes, matching `begin.format`;
+  /// `begin.trace_bytes` is filled from it automatically. Throws ServeError
+  /// on any server-side rejection (the server discards the partial upload;
+  /// this connection remains usable).
   PredictResponse predict_stream(StreamBeginRequest begin,
-                                 const std::string& trace_text,
+                                 const std::string& trace_bytes,
                                  std::size_t chunk_bytes = 64 * 1024);
+
+  /// predict_stream with design-by-hash negotiation: first try referencing
+  /// the design by the FNV-1a hash of `begin.netlist_verilog` (no netlist
+  /// bytes on the wire); if the server answers kUnknownDesign — cold cache,
+  /// or an eviction racing the upload — fall back to one full upload, which
+  /// re-warms the server for the next call. Other errors propagate. When
+  /// `used_hash` is non-null it reports whether the hash path served the
+  /// prediction.
+  PredictResponse predict_stream_cached(const StreamBeginRequest& begin,
+                                        const std::string& trace_bytes,
+                                        std::size_t chunk_bytes = 64 * 1024,
+                                        bool* used_hash = nullptr);
 
   std::vector<ModelInfo> models();
 

@@ -133,6 +133,7 @@ std::string StreamBeginRequest::encode() const {
     write_u32(os, deadline_ms);
     write_u32(os, want_submodules ? 1u : 0u);
     write_u64(os, trace_bytes);
+    write_u64(os, design_hash);
   });
 }
 
@@ -141,11 +142,17 @@ StreamBeginRequest StreamBeginRequest::decode(const std::string& payload) {
     StreamBeginRequest r;
     r.model = read_string(is);
     r.netlist_verilog = read_string(is);
-    r.format = static_cast<TraceFormat>(read_u32(is));
+    const std::uint32_t fmt = read_u32(is);
+    if (fmt != static_cast<std::uint32_t>(TraceFormat::kVcdText) &&
+        fmt != static_cast<std::uint32_t>(TraceFormat::kToggleDelta)) {
+      throw ProtocolError("unknown trace format " + std::to_string(fmt));
+    }
+    r.format = static_cast<TraceFormat>(fmt);
     r.cycles = static_cast<std::int32_t>(read_u32(is));
     r.deadline_ms = read_u32(is);
     r.want_submodules = read_u32(is) != 0;
     r.trace_bytes = read_u64(is);
+    r.design_hash = read_u64(is);
     return r;
   });
 }

@@ -92,6 +92,7 @@ enum class ErrorCode : std::uint32_t {
   kInternal = 6,         // handler threw (bad netlist, ...)
   kStreamProtocol = 7,   // stream state violation (order, size, no begin)
   kAdminDisabled = 8,    // load/unload without --allow-admin
+  kUnknownDesign = 9,    // design_hash not in the cache; re-send the netlist
 };
 
 struct Frame {
@@ -125,9 +126,12 @@ struct PredictRequest {
   static PredictRequest decode(const std::string& payload);
 };
 
-/// Trace encodings accepted by the stream family.
+/// Trace encodings accepted by the stream family. decode() rejects any
+/// other value with ProtocolError (answered as kBadRequest) so an unknown
+/// format can never misparse chunk bytes later.
 enum class TraceFormat : std::uint32_t {
-  kVcdText = 1,  // the write_vcd / parse_vcd subset
+  kVcdText = 1,      // the write_vcd / parse_vcd subset
+  kToggleDelta = 2,  // binary ATDT toggle-delta (sim/delta_trace.h)
 };
 
 /// Opens a streamed-workload upload. The prediction parameters travel here;
@@ -144,6 +148,13 @@ struct StreamBeginRequest {
   /// Declared total trace size; chunks may not exceed it and StreamEnd
   /// checks the sum matches. Capped server-side (max_stream_bytes).
   std::uint64_t trace_bytes = 0;
+  /// Design-by-hash: nonzero = reference an already-cached design by the
+  /// FNV-1a hash of its Verilog text instead of re-sending it (leave
+  /// netlist_verilog empty). A hash the server's cache doesn't hold answers
+  /// kUnknownDesign — at StreamBegin when possible, or at predict time if
+  /// the entry was evicted mid-upload — and the client falls back to a full
+  /// upload. 0 = not used.
+  std::uint64_t design_hash = 0;
 
   std::string encode() const;
   static StreamBeginRequest decode(const std::string& payload);

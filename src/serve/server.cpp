@@ -9,6 +9,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/delta_trace.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
 #include "util/hash.h"
@@ -369,10 +370,28 @@ std::pair<MsgType, std::string> Server::handle_stream_frame(
       } catch (const ProtocolError& e) {
         return fail(ErrorCode::kBadRequest, e.what());
       }
-      if (begin.format != TraceFormat::kVcdText) {
+      if (begin.design_hash != 0 && !begin.netlist_verilog.empty()) {
         return fail(ErrorCode::kBadRequest,
-                    "unknown trace format " +
-                        std::to_string(static_cast<std::uint32_t>(begin.format)));
+                    "stream_begin carries both a design_hash and netlist "
+                    "text; send exactly one");
+      }
+      if (begin.design_hash != 0) {
+        // Early check so the client learns about a cold hash before paying
+        // for the upload; the cache can still evict between here and the
+        // predict, so handle_predict re-checks and answers kUnknownDesign
+        // again rather than trusting this one.
+        const std::shared_ptr<const ModelEntry> entry =
+            registry_->get(begin.model);
+        if (!entry) {
+          return fail(ErrorCode::kUnknownModel,
+                      "unknown model: " + begin.model);
+        }
+        if (!cache_.find_design(
+                design_cache_key(begin.design_hash, entry->library_hash))) {
+          return fail(ErrorCode::kUnknownDesign,
+                      "design " + util::hash_hex(begin.design_hash) +
+                          " is not cached; re-send the netlist");
+        }
       }
       if (begin.trace_bytes == 0 ||
           begin.trace_bytes > config_.max_stream_bytes) {
@@ -463,6 +482,26 @@ std::pair<MsgType, std::string> Server::handle_stream_frame(
                 std::to_string(end.total_bytes) + " bytes / " +
                 std::to_string(end.total_chunks) + " chunks");
       }
+      const bool is_delta = stream.begin.format == TraceFormat::kToggleDelta;
+      if (is_delta) {
+        // Structural walk on the connection thread so a malformed delta
+        // upload is a stream-protocol error here — mirroring the size /
+        // ordering violations above — and never reaches the dispatcher.
+        // (Netlist-dependent mismatches still surface at predict time.)
+        try {
+          sim::validate_delta(stream.data);
+          const int declared = sim::delta_declared_cycles(stream.data);
+          if (stream.begin.cycles > 0 && declared != stream.begin.cycles) {
+            return fail(ErrorCode::kStreamProtocol,
+                        "delta trace declares " + std::to_string(declared) +
+                            " cycles, stream_begin declared " +
+                            std::to_string(stream.begin.cycles));
+          }
+        } catch (const sim::DeltaError& e) {
+          return fail(ErrorCode::kStreamProtocol,
+                      std::string("malformed delta trace: ") + e.what());
+        }
+      }
       auto job = std::make_shared<PendingJob>();
       job->request.model = std::move(stream.begin.model);
       job->request.netlist_verilog = std::move(stream.begin.netlist_verilog);
@@ -471,7 +510,9 @@ std::pair<MsgType, std::string> Server::handle_stream_frame(
       job->request.deadline_ms = stream.begin.deadline_ms;
       job->request.want_submodules = stream.begin.want_submodules;
       job->trace = std::make_shared<const sim::ExternalTrace>(
-          sim::ExternalTrace::from_vcd_text(std::move(stream.data)));
+          is_delta ? sim::ExternalTrace::from_delta_bytes(std::move(stream.data))
+                   : sim::ExternalTrace::from_vcd_text(std::move(stream.data)));
+      job->design_hash = stream.begin.design_hash;
       job->endpoint = "stream";
       // The deadline spans the whole streamed request: assembly included.
       job->enqueued_at = stream.started;
@@ -556,7 +597,7 @@ std::pair<MsgType, std::string> Server::compute_job_reply(PendingJob& job,
                            std::to_string(job.request.deadline_ms) + "ms");
   }
   std::pair<MsgType, std::string> reply =
-      handle_predict(job.request, job.trace.get());
+      handle_predict(job.request, job.trace.get(), job.design_hash);
   is_error = reply.first == MsgType::kError;
   // Re-check after compute: a request that blew its deadline inside the
   // handler must not get a full late success reply (and must count as
@@ -605,7 +646,8 @@ void Server::process_job(PendingJob& job) noexcept {
 }
 
 std::pair<MsgType, std::string> Server::handle_predict(
-    const PredictRequest& req, const sim::ExternalTrace* trace) {
+    const PredictRequest& req, const sim::ExternalTrace* trace,
+    std::uint64_t design_hash) {
   obs::ObsSpan span("serve", "handle_predict");
   const Clock::time_point handler_start = Clock::now();
   if (config_.handler_delay_for_test_ms > 0) {
@@ -653,13 +695,23 @@ std::pair<MsgType, std::string> Server::handle_predict(
   // mixes in the library's content hash: two models on different substrates
   // can never serve each other's parsed graphs, while models sharing a
   // substrate (equal hash) still share the entry.
+  // Design-by-hash requests supply that netlist hash directly (the client
+  // computed the same FNV-1a over the text it uploaded earlier), so the key
+  // resolves without the text ever crossing the wire again.
   const std::uint64_t design_key = design_cache_key(
-      util::fnv1a64(req.netlist_verilog), entry->library_hash);
+      design_hash != 0 ? design_hash : util::fnv1a64(req.netlist_verilog),
+      entry->library_hash);
 
   std::shared_ptr<const DesignArtifacts> design =
       cache_.find_design(design_key);
   if (design) {
     cache_flags |= kCacheHitDesign;
+  } else if (design_hash != 0) {
+    // A hash reference cannot rebuild the artifacts (there is no text to
+    // parse); this is the StreamBegin check losing a race with eviction.
+    return error_reply(ErrorCode::kUnknownDesign,
+                       "design " + util::hash_hex(design_hash) +
+                           " is no longer cached; re-send the netlist");
   } else {
     obs::ObsSpan prep_span("serve", "parse_and_graphs");
     std::optional<netlist::Netlist> parsed;

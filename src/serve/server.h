@@ -136,6 +136,9 @@ class Server {
     std::shared_ptr<const sim::ExternalTrace> trace;
     /// Stats endpoint this job is accounted under ("predict" | "stream").
     const char* endpoint = "predict";
+    /// Design-by-hash streamed requests: the client-supplied FNV-1a hash of
+    /// the netlist text (0 = netlist travels in the request).
+    std::uint64_t design_hash = 0;
     /// Predict: frame receipt. Stream: StreamBegin receipt, so the deadline
     /// spans assembly + queue wait + compute.
     std::chrono::steady_clock::time_point enqueued_at;
@@ -189,11 +192,15 @@ class Server {
 
   /// Returns {response type, payload}; never throws. `trace` is the
   /// assembled client-supplied toggle trace for streamed requests, null
-  /// for the synthetic w1/w2 workloads. Pins the registry entry (model +
+  /// for the synthetic w1/w2 workloads. A nonzero `design_hash` replaces
+  /// the netlist text as the design-cache key component; a miss answers
+  /// kUnknownDesign (the StreamBegin-time check can race eviction, so it is
+  /// re-checked here) instead of parsing. Pins the registry entry (model +
   /// library) for the whole request, so a concurrent unload/replace never
   /// invalidates running work.
   std::pair<MsgType, std::string> handle_predict(
-      const PredictRequest& req, const sim::ExternalTrace* trace);
+      const PredictRequest& req, const sim::ExternalTrace* trace,
+      std::uint64_t design_hash);
 
   /// LoadModel / UnloadModel handlers (connection-thread inline; gated by
   /// config_.allow_admin). Never throw; failures become Error replies.

@@ -4,38 +4,66 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/delta_trace.h"
 #include "util/hash.h"
 #include "util/strings.h"
 
 namespace atlas::sim {
+namespace {
 
-ExternalTrace ExternalTrace::from_vcd_text(std::string text) {
-  ExternalTrace t;
-  t.hash_ = util::fnv1a64(text);
-  t.text_ = std::move(text);
-  return t;
-}
-
-ExternalTrace ExternalTrace::from_vcd_file(const std::string& path) {
+std::string slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open trace file: " + path);
   std::ostringstream text;
   text << in.rdbuf();
   if (in.bad()) throw std::runtime_error("read failed: " + path);
-  return from_vcd_text(std::move(text).str());
+  return std::move(text).str();
+}
+
+}  // namespace
+
+ExternalTrace ExternalTrace::from_vcd_text(std::string text) {
+  ExternalTrace t;
+  t.hash_ = util::fnv1a64(text);
+  t.bytes_ = std::move(text);
+  t.encoding_ = TraceEncoding::kVcdText;
+  return t;
+}
+
+ExternalTrace ExternalTrace::from_delta_bytes(std::string bytes) {
+  ExternalTrace t;
+  t.hash_ = util::fnv1a64(bytes);
+  t.bytes_ = std::move(bytes);
+  t.encoding_ = TraceEncoding::kDelta;
+  return t;
+}
+
+ExternalTrace ExternalTrace::from_vcd_file(const std::string& path) {
+  return from_vcd_text(slurp(path));
+}
+
+ExternalTrace ExternalTrace::from_file(const std::string& path) {
+  std::string bytes = slurp(path);
+  if (looks_like_delta(bytes)) return from_delta_bytes(std::move(bytes));
+  return from_vcd_text(std::move(bytes));
 }
 
 ToggleTrace ExternalTrace::resolve(const netlist::Netlist& nl,
                                    int max_cycles) const {
-  const VcdData vcd = parse_vcd(text_, nl, max_cycles);
+  const VcdData vcd = encoding_ == TraceEncoding::kDelta
+                          ? parse_delta(bytes_, nl, max_cycles)
+                          : parse_vcd(bytes_, nl, max_cycles);
   return trace_from_vcd(vcd, nl);
 }
 
 int ExternalTrace::declared_cycles(int max_cycles) const {
+  if (encoding_ == TraceEncoding::kDelta) {
+    return delta_declared_cycles(bytes_, max_cycles);
+  }
   // The writer's convention (one timestep per cycle, trailing "#N"
   // sentinel) makes the largest timestamp the cycle count; parse_vcd's
   // frame filling yields exactly that many cycles.
-  std::istringstream is(text_);
+  std::istringstream is(bytes_);
   std::string line;
   long long last = 0;
   while (std::getline(is, line)) {

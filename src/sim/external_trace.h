@@ -2,18 +2,25 @@
 //
 // The paper's headline use case is time-based power analysis on real
 // activity, not just the built-in synthetic W1/W2 stimuli. An ExternalTrace
-// carries a client-supplied VCD-subset trace as an immutable blob plus its
-// content hash, and resolves it against a netlist into the same ToggleTrace
-// the cycle simulator produces — so the power analyzer and the ATLAS model
+// carries a client-supplied trace as an immutable blob plus its content
+// hash, and resolves it against a netlist into the same ToggleTrace the
+// cycle simulator produces — so the power analyzer and the ATLAS model
 // consume external activity through exactly the code path they already use.
+//
+// Two encodings are carried behind the one resolve() path: the VCD text
+// subset write_vcd emits, and the binary ATDT toggle-delta format
+// (sim/delta_trace.h) that the streamed-predict wire path uses to avoid
+// multi-megabyte VCD uploads. Both decode to the same VcdData and flow
+// through trace_from_vcd, so offline `atlas_cli --vcd` and both wire
+// formats stay bit-identical on the same underlying trace.
 //
 // The blob is kept verbatim (not pre-parsed) on purpose:
 //   * the serve layer caches embeddings keyed by content_hash(), so a warm
 //     request never parses the trace at all;
-//   * resolution needs the target netlist for name binding, which arrives
-//     separately (offline: a Verilog file; online: the request's netlist
-//     text), and must be bit-identical either way — one resolve() path
-//     guarantees that.
+//   * resolution needs the target netlist for name/index binding, which
+//     arrives separately (offline: a Verilog file; online: the request's
+//     netlist text or design hash), and must be bit-identical either way —
+//     one resolve() path guarantees that.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,12 @@
 
 namespace atlas::sim {
 
+/// On-wire / on-disk encoding of an ExternalTrace blob.
+enum class TraceEncoding {
+  kVcdText,  ///< write_vcd text subset
+  kDelta,    ///< binary ATDT toggle-delta (sim/delta_trace.h)
+};
+
 class ExternalTrace {
  public:
   ExternalTrace() = default;
@@ -33,34 +46,50 @@ class ExternalTrace {
   /// resolve(); construction only hashes it.
   static ExternalTrace from_vcd_text(std::string text);
 
+  /// Wrap binary ATDT delta bytes. Validated lazily by resolve(), same as
+  /// the VCD constructor (use validate_delta for an eager structural check).
+  static ExternalTrace from_delta_bytes(std::string bytes);
+
   /// Read a .vcd file from disk. Throws std::runtime_error on I/O failure.
   static ExternalTrace from_vcd_file(const std::string& path);
 
-  bool empty() const { return text_.empty(); }
-  const std::string& text() const { return text_; }
-  std::size_t size_bytes() const { return text_.size(); }
+  /// Read a trace file of either encoding, sniffing the ATDT magic to pick
+  /// between delta and VCD text. Throws std::runtime_error on I/O failure.
+  static ExternalTrace from_file(const std::string& path);
+
+  bool empty() const { return bytes_.empty(); }
+  TraceEncoding encoding() const { return encoding_; }
+  /// The raw trace blob (VCD text or ATDT bytes, per encoding()).
+  const std::string& bytes() const { return bytes_; }
+  /// Deprecated spelling of bytes() from when VCD text was the only
+  /// encoding; kept for existing callers.
+  const std::string& text() const { return bytes_; }
+  std::size_t size_bytes() const { return bytes_.size(); }
 
   /// FNV-1a of the raw trace bytes — the serve-layer embedding-cache key
-  /// component, stable across processes and transports.
+  /// component, stable across processes and transports. (The same trace in
+  /// the two encodings hashes differently; the cache just warms per form.)
   std::uint64_t content_hash() const { return hash_; }
 
   /// Parse against `nl` and rebuild per-net per-cycle values + transitions
   /// (clock-network activity reconstructed as trace_from_vcd documents).
-  /// Cycle 0 carries no data-net transitions: a VCD stores levels, so
-  /// switching relative to the pre-trace state is unknowable — replayed
+  /// Cycle 0 carries no data-net transitions: both encodings store levels,
+  /// so switching relative to the pre-trace state is unknowable — replayed
   /// power matches a live simulation exactly from cycle 1 on.
-  /// Throws std::runtime_error on malformed text, unknown net names, or a
-  /// trace longer than `max_cycles`.
+  /// Throws std::runtime_error (DeltaError for delta blobs) on malformed
+  /// bytes, a netlist mismatch, or a trace longer than `max_cycles`.
   ToggleTrace resolve(const netlist::Netlist& nl,
                       int max_cycles = kMaxVcdCycles) const;
 
   /// Cycle count the trace declares, without resolving against a netlist
-  /// (a cheap scan of the timestamp lines). Throws on malformed timestamps.
+  /// (VCD: a cheap scan of the timestamp lines; delta: a header peek).
+  /// Throws on malformed input.
   int declared_cycles(int max_cycles = kMaxVcdCycles) const;
 
  private:
-  std::string text_;
+  std::string bytes_;
   std::uint64_t hash_ = 0;
+  TraceEncoding encoding_ = TraceEncoding::kVcdText;
 };
 
 }  // namespace atlas::sim

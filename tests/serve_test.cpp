@@ -26,6 +26,7 @@
 #include "serve/feature_cache.h"
 #include "serve/server.h"
 #include "serve/stats.h"
+#include "sim/delta_trace.h"
 #include "sim/external_trace.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
@@ -663,6 +664,406 @@ TEST_F(ServeTest, StreamDeadlineCoversAssembly) {
   EXPECT_EQ(ErrorResponse::decode(resp.payload).code,
             ErrorCode::kDeadlineExceeded);
   server.stop();
+}
+
+// ---- Binary delta streams and design-by-hash --------------------------------
+
+/// The query design's w1 trace in both wire encodings, plus the reference
+/// prediction through the one ExternalTrace::resolve path they share.
+struct DeltaFixture {
+  netlist::Netlist gate;
+  std::string vcd;
+  std::string delta;
+  core::Prediction direct;
+};
+
+DeltaFixture make_delta_fixture(const std::string& verilog,
+                                const liberty::Library& lib,
+                                const core::AtlasModel& model) {
+  DeltaFixture f{netlist::parse_verilog(verilog, lib), {}, {}, {}};
+  sim::CycleSimulator simulator(f.gate);
+  sim::StimulusGenerator stimulus(f.gate, sim::make_w1());
+  const sim::ToggleTrace trace = simulator.run(stimulus, kCycles);
+  f.vcd = sim::write_vcd(f.gate, trace, simulator.clock_net_mask());
+  f.delta = sim::write_delta(f.gate, trace, simulator.clock_net_mask());
+  const auto graphs = graph::build_submodule_graphs(f.gate);
+  f.direct = model.predict(
+      f.gate, graphs,
+      sim::ExternalTrace::from_delta_bytes(f.delta).resolve(f.gate));
+  return f;
+}
+
+StreamBeginRequest make_stream_begin(const std::string& verilog,
+                                     TraceFormat format) {
+  StreamBeginRequest begin;
+  begin.model = "tiny";
+  begin.netlist_verilog = verilog;
+  begin.cycles = kCycles;
+  begin.want_submodules = true;
+  begin.format = format;
+  return begin;
+}
+
+TEST_F(ServeTest, DeltaStreamBitIdenticalToVcdStreamAndDirect) {
+  const DeltaFixture f = make_delta_fixture(*verilog_, *lib_, **model_);
+
+  // The acceptance bar for the encoding: on a representative sparse-toggle
+  // workload the delta must beat the VCD text by >= 10x on the wire.
+  EXPECT_GE(static_cast<double>(f.vcd.size()),
+            10.0 * static_cast<double>(f.delta.size()))
+      << "vcd=" << f.vcd.size() << "B delta=" << f.delta.size() << "B";
+
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  // VCD text stream first: it both checks cross-format identity and primes
+  // the design cache for the delta stream.
+  const PredictResponse via_vcd = client.predict_stream(
+      make_stream_begin(*verilog_, TraceFormat::kVcdText), f.vcd, 512);
+  expect_matches_direct(via_vcd, f.direct);
+
+  // Same trace as a delta: same design entry, but the embedding cache keys
+  // on the raw bytes' hash, so the first delta upload re-encodes...
+  const StreamBeginRequest dbegin =
+      make_stream_begin(*verilog_, TraceFormat::kToggleDelta);
+  const PredictResponse cold = client.predict_stream(dbegin, f.delta, 512);
+  EXPECT_TRUE(cold.design_cache_hit());
+  EXPECT_FALSE(cold.embedding_cache_hit());
+  expect_matches_direct(cold, f.direct);
+
+  // ...and the repeat skips straight to the heads, still bit-identical.
+  const PredictResponse warm = client.predict_stream(dbegin, f.delta, 512);
+  EXPECT_TRUE(warm.embedding_cache_hit());
+  expect_matches_direct(warm, f.direct);
+  server.stop();
+}
+
+namespace {
+
+std::string wire_varint(std::uint64_t v) {
+  std::string s;
+  while (v >= 0x80) {
+    s.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+    v >>= 7;
+  }
+  s.push_back(static_cast<char>(v));
+  return s;
+}
+
+/// Hand-built ATDT header for hostile-payload construction.
+std::string wire_delta_header(std::uint64_t nets, std::uint64_t cycles,
+                              std::uint64_t order) {
+  std::string s("ATDT\x01", 5);
+  s += wire_varint(nets);
+  s += wire_varint(cycles);
+  for (int i = 0; i < 8; ++i) {
+    s.push_back(static_cast<char>((order >> (8 * i)) & 0xff));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST_F(ServeTest, MalformedDeltaStreamsRejectedWithoutKillingConnection) {
+  const DeltaFixture f = make_delta_fixture(*verilog_, *lib_, **model_);
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  const StreamBeginRequest dbegin =
+      make_stream_begin(*verilog_, TraceFormat::kToggleDelta);
+
+  // Every hostile payload is a complete, protocol-correct stream whose
+  // *bytes* are wrong: the structural walk at StreamEnd must answer
+  // kStreamProtocol and the connection must keep serving.
+  const auto rejected_at_stream_end = [&](const std::string& bytes) {
+    try {
+      client.predict_stream(dbegin, bytes);
+      FAIL() << "expected ServeError for " << bytes.size() << "-byte payload";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kStreamProtocol);
+    }
+    client.ping();
+  };
+
+  const std::uint64_t nets = f.gate.num_nets();
+  const std::uint64_t order = sim::net_order_hash(f.gate);
+  // Quiet cycle-0 bitmap for the real net count.
+  const std::string base =
+      wire_delta_header(nets, kCycles, order) + std::string((nets + 7) / 8, '\0');
+
+  rejected_at_stream_end("ATXX this is not a delta");
+  rejected_at_stream_end(std::string("ATDT\x07", 5) + f.delta.substr(5));
+  rejected_at_stream_end(f.delta.substr(0, f.delta.size() / 2));  // truncated
+  // A varint that never terminates within its 10-byte budget.
+  rejected_at_stream_end(std::string("ATDT\x01", 5) + std::string(11, '\x80'));
+  // Declared cycle count past the server's allocation cap.
+  rejected_at_stream_end(
+      wire_delta_header(nets, (1u << 20) + 1, order));
+  // Cycle record past the trace's own declared cycle count.
+  rejected_at_stream_end(base + wire_varint(kCycles) + '\0' + wire_varint(1) +
+                         wire_varint(0) + wire_varint(1));
+  // RLE run addressing nets past the declared net count.
+  rejected_at_stream_end(base + wire_varint(0) + '\0' + wire_varint(1) +
+                         wire_varint(0) + wire_varint(nets + 5));
+  // Truncated mid-run: two runs declared, one sent.
+  rejected_at_stream_end(base + wire_varint(0) + '\0' + wire_varint(2) +
+                         wire_varint(0) + wire_varint(1));
+  // Well-formed delta whose cycle count contradicts stream_begin.
+  {
+    StreamBeginRequest off_by_one = dbegin;
+    off_by_one.cycles = kCycles - 1;
+    try {
+      client.predict_stream(off_by_one, f.delta);
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kStreamProtocol);
+    }
+    client.ping();
+  }
+
+  // Structurally valid but bound to a different netlist: passes StreamEnd,
+  // rejected at predict time like any unparseable trace.
+  {
+    std::string wrong_order = f.delta;
+    wrong_order[5 + wire_varint(nets).size() + wire_varint(kCycles).size()] ^=
+        0x5a;
+    try {
+      client.predict_stream(dbegin, wrong_order);
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+    }
+    client.ping();
+  }
+  // Delta bytes mislabeled as VCD text: predict-time parse rejection.
+  {
+    try {
+      client.predict_stream(make_stream_begin(*verilog_, TraceFormat::kVcdText),
+                            f.delta);
+      FAIL() << "expected ServeError";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+    }
+    client.ping();
+  }
+
+  // After the whole corpus the same connection still does real work.
+  expect_matches_direct(client.predict_stream(dbegin, f.delta), f.direct);
+  server.stop();
+}
+
+TEST_F(ServeTest, DesignByHashStreamedPredict) {
+  const DeltaFixture f = make_delta_fixture(*verilog_, *lib_, **model_);
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  const StreamBeginRequest dbegin =
+      make_stream_begin(*verilog_, TraceFormat::kToggleDelta);
+
+  // Cold server: the hash reference is refused at StreamBegin (before any
+  // trace bytes move) and the wrapper falls back to a full upload.
+  bool used_hash = true;
+  const PredictResponse cold =
+      client.predict_stream_cached(dbegin, f.delta, 4096, &used_hash);
+  EXPECT_FALSE(used_hash);
+  expect_matches_direct(cold, f.direct);
+
+  // Warm: the netlist text never crosses the wire, and the answer is
+  // bit-identical to the full-upload one.
+  const PredictResponse warm =
+      client.predict_stream_cached(dbegin, f.delta, 4096, &used_hash);
+  EXPECT_TRUE(used_hash);
+  EXPECT_TRUE(warm.design_cache_hit());
+  EXPECT_TRUE(warm.embedding_cache_hit());
+  expect_matches_direct(warm, f.direct);
+
+  // The hash is orthogonal to the trace encoding: a VCD-text stream can
+  // reference the same cached design.
+  const PredictResponse vcd_by_hash = client.predict_stream_cached(
+      make_stream_begin(*verilog_, TraceFormat::kVcdText), f.vcd, 4096,
+      &used_hash);
+  EXPECT_TRUE(used_hash);
+  expect_matches_direct(vcd_by_hash, f.direct);
+
+  // A hash the server has never seen is kUnknownDesign, not a parse error.
+  StreamBeginRequest unknown = dbegin;
+  unknown.netlist_verilog.clear();
+  unknown.design_hash = 0xdeadbeefdeadbeefull;
+  try {
+    client.predict_stream(unknown, f.delta);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownDesign);
+  }
+
+  // Sending both the hash and the text is ambiguous -> kBadRequest.
+  StreamBeginRequest both = dbegin;
+  both.design_hash = util::fnv1a64(*verilog_);
+  try {
+    client.predict_stream(both, f.delta);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+
+  // A hash reference against an unknown model is the model error, not a
+  // misleading kUnknownDesign.
+  StreamBeginRequest bad_model = unknown;
+  bad_model.model = "no_such_model";
+  bad_model.design_hash = util::fnv1a64(*verilog_);
+  try {
+    client.predict_stream(bad_model, f.delta);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnknownModel);
+  }
+
+  // The connection survived every rejection.
+  client.ping();
+  expect_matches_direct(client.predict_stream(dbegin, f.delta), f.direct);
+  server.stop();
+}
+
+TEST_F(ServeTest, DesignByHashEvictionRaceFallsBackCleanly) {
+  // The race the StreamBegin fast-path check cannot rule out: the design is
+  // cached when the hash is accepted, and evicted before the predict runs.
+  // The server must answer kUnknownDesign (not recompute, not crash) and the
+  // client wrapper must recover with a full upload.
+  const DeltaFixture f = make_delta_fixture(*verilog_, *lib_, **model_);
+  ServerConfig cfg = loopback_config();
+  cfg.cache_designs = 1;  // any other design evicts ours
+  Server server(cfg, make_registry());
+  server.start();
+
+  Client primer = Client::connect_tcp("127.0.0.1", server.port());
+  const StreamBeginRequest dbegin =
+      make_stream_begin(*verilog_, TraceFormat::kToggleDelta);
+  expect_matches_direct(primer.predict_stream(dbegin, f.delta), f.direct);
+
+  // Open a hash-referenced stream by hand: StreamBegin is accepted (the
+  // design is cached right now)...
+  util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+  StreamBeginRequest by_hash = dbegin;
+  by_hash.design_hash = util::fnv1a64(*verilog_);
+  by_hash.netlist_verilog.clear();
+  by_hash.trace_bytes = f.delta.size();
+  write_frame(raw, MsgType::kStreamBegin, by_hash.encode());
+  Frame resp;
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kStreamAck);
+
+  // ...then another client's predict on a different design evicts it while
+  // the upload is still in flight...
+  {
+    const std::string other_verilog = netlist::write_verilog(
+        designgen::generate_design(designgen::paper_design_spec(3, 0.0025),
+                                   *lib_));
+    PredictRequest other = make_request();
+    other.netlist_verilog = other_verilog;
+    Client evictor = Client::connect_tcp("127.0.0.1", server.port());
+    evictor.predict(other);
+  }
+
+  // ...so the finished stream's predict finds no artifacts to use.
+  StreamChunk chunk;
+  chunk.seq = 0;
+  chunk.data = f.delta;
+  write_frame(raw, MsgType::kStreamChunk, chunk.encode());
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kStreamAck);
+  StreamEndRequest end;
+  end.total_chunks = 1;
+  end.total_bytes = f.delta.size();
+  write_frame(raw, MsgType::kStreamEnd, end.encode());
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kError);
+  EXPECT_EQ(ErrorResponse::decode(resp.payload).code,
+            ErrorCode::kUnknownDesign);
+
+  // The client wrapper sees the same rejection and re-sends the netlist.
+  bool used_hash = true;
+  const PredictResponse recovered =
+      primer.predict_stream_cached(dbegin, f.delta, 4096, &used_hash);
+  EXPECT_FALSE(used_hash);
+  expect_matches_direct(recovered, f.direct);
+  server.stop();
+}
+
+TEST_F(ServeTest, ConcurrentDeltaStreamsAllBitIdentical) {
+  // Delta-stream assembly, validation, hash fallback and cache insertion
+  // racing across connections (the TSan target for this subsystem): every
+  // client must get the bit-identical answer whichever interleaving wins.
+  const DeltaFixture f = make_delta_fixture(*verilog_, *lib_, **model_);
+  ServerConfig cfg = loopback_config();
+  cfg.batch_max = 4;
+  Server server(cfg, make_registry());
+  server.start();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 3;
+  std::vector<std::vector<PredictResponse>> results(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      Client client = Client::connect_tcp("127.0.0.1", server.port());
+      const StreamBeginRequest dbegin =
+          make_stream_begin(*verilog_, TraceFormat::kToggleDelta);
+      for (int r = 0; r < kRequestsEach; ++r) {
+        // Odd requests go through the by-hash wrapper so cold-hash fallback
+        // races warm-hash acceptance.
+        results[static_cast<std::size_t>(t)].push_back(
+            r % 2 == 1 ? client.predict_stream_cached(dbegin, f.delta, 2048)
+                       : client.predict_stream(dbegin, f.delta, 2048));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (const auto& per_client : results) {
+    ASSERT_EQ(per_client.size(), static_cast<std::size_t>(kRequestsEach));
+    for (const PredictResponse& resp : per_client) {
+      expect_matches_direct(resp, f.direct);
+    }
+  }
+  server.stop();
+}
+
+TEST_F(ServeTest, StreamBeginFormatAndHashOnTheWire) {
+  StreamBeginRequest r;
+  r.model = "m";
+  r.netlist_verilog = "module m; endmodule";
+  r.format = TraceFormat::kToggleDelta;
+  r.cycles = 7;
+  r.deadline_ms = 9;
+  r.want_submodules = true;
+  r.trace_bytes = 123;
+  r.design_hash = 0x1122334455667788ull;
+  const StreamBeginRequest back = StreamBeginRequest::decode(r.encode());
+  EXPECT_EQ(back.model, r.model);
+  EXPECT_EQ(back.netlist_verilog, r.netlist_verilog);
+  EXPECT_EQ(back.format, TraceFormat::kToggleDelta);
+  EXPECT_EQ(back.cycles, r.cycles);
+  EXPECT_EQ(back.deadline_ms, r.deadline_ms);
+  EXPECT_EQ(back.want_submodules, r.want_submodules);
+  EXPECT_EQ(back.trace_bytes, r.trace_bytes);
+  EXPECT_EQ(back.design_hash, r.design_hash);
+
+  // An unknown format value is refused by decode itself (kBadRequest on the
+  // wire), never smuggled into dispatch as a dangling enum. Locate the
+  // format field by differencing two encodings, then patch it.
+  StreamBeginRequest v = r;
+  v.format = TraceFormat::kVcdText;
+  const std::string delta_bytes = r.encode();
+  const std::string vcd_bytes = v.encode();
+  ASSERT_EQ(delta_bytes.size(), vcd_bytes.size());
+  std::size_t off = 0;
+  while (off < delta_bytes.size() && delta_bytes[off] == vcd_bytes[off]) ++off;
+  ASSERT_LT(off, delta_bytes.size());
+  std::string patched = delta_bytes;
+  patched[off] = 99;
+  EXPECT_THROW(StreamBeginRequest::decode(patched), ProtocolError);
 }
 
 // ---- Dynamic model management ---------------------------------------------

@@ -5,10 +5,12 @@
 #include "designgen/design_generator.h"
 #include "liberty/library.h"
 #include "netlist/netlist.h"
+#include "sim/delta_trace.h"
 #include "sim/external_trace.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
 #include "sim/vcd.h"
+#include "util/rng.h"
 
 namespace atlas::sim {
 namespace {
@@ -363,6 +365,270 @@ TEST_F(SimTest, ExternalTraceResolvesIdenticallyToParseVcd) {
             trace.content_hash());
   EXPECT_THROW(ExternalTrace::from_vcd_file(path + ".missing"),
                std::exception);
+}
+
+// ---- ATDT delta codec (sim/delta_trace.h) ----------------------------------
+
+namespace {
+
+/// Assert two parsed traces carry identical per-cycle levels for every net.
+void expect_same_vcd_data(const VcdData& a, const VcdData& b) {
+  ASSERT_EQ(a.num_cycles, b.num_cycles);
+  ASSERT_EQ(a.num_nets, b.num_nets);
+  ASSERT_EQ(a.values, b.values);
+}
+
+/// Assert two resolved traces are bit-identical (values AND transitions).
+void expect_same_toggle_trace(const ToggleTrace& a, const ToggleTrace& b) {
+  ASSERT_EQ(a.num_cycles(), b.num_cycles());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (int c = 0; c < a.num_cycles(); ++c) {
+    for (NetId n = 0; n < a.num_nets(); ++n) {
+      ASSERT_EQ(a.value(c, n), b.value(c, n)) << "net " << n << " cycle " << c;
+      ASSERT_EQ(a.transitions(c, n), b.transitions(c, n))
+          << "net " << n << " cycle " << c;
+    }
+  }
+}
+
+std::string varint(std::uint64_t v) {
+  std::string s;
+  while (v >= 0x80) {
+    s.push_back(static_cast<char>(0x80 | (v & 0x7f)));
+    v >>= 7;
+  }
+  s.push_back(static_cast<char>(v));
+  return s;
+}
+
+std::string le64(std::uint64_t v) {
+  std::string s;
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  return s;
+}
+
+/// Hand-build an ATDT header (magic, version, nets, cycles, order hash).
+std::string delta_header(std::uint64_t nets, std::uint64_t cycles,
+                         std::uint64_t order) {
+  std::string s("ATDT\x01", 5);
+  s += varint(nets);
+  s += varint(cycles);
+  s += le64(order);
+  return s;
+}
+
+}  // namespace
+
+TEST_F(SimTest, DeltaRoundTripMatchesVcdResolve) {
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace original = sim.run(stim, 10);
+  const std::string text = write_vcd(nl, original, sim.clock_net_mask());
+  const std::string delta = write_delta(nl, original, sim.clock_net_mask());
+
+  // The VcdData transcode overload emits the same bytes as encoding the
+  // ToggleTrace directly — the offline converter and the simulator dump
+  // agree byte-for-byte.
+  EXPECT_EQ(write_delta(nl, parse_vcd(text, nl)), delta);
+
+  EXPECT_TRUE(looks_like_delta(delta));
+  EXPECT_FALSE(looks_like_delta(text));
+  EXPECT_LT(delta.size(), text.size());
+
+  // Decoded levels equal the VCD parse exactly; the resolved traces (the
+  // single path the server and atlas_cli --vcd both take) are bit-identical
+  // including the reconstructed clock activity.
+  expect_same_vcd_data(parse_delta(delta, nl), parse_vcd(text, nl));
+  expect_same_toggle_trace(
+      ExternalTrace::from_delta_bytes(delta).resolve(nl),
+      ExternalTrace::from_vcd_text(text).resolve(nl));
+
+  const ExternalTrace ext = ExternalTrace::from_delta_bytes(delta);
+  EXPECT_EQ(ext.encoding(), TraceEncoding::kDelta);
+  EXPECT_EQ(ext.declared_cycles(), 10);
+  EXPECT_NE(ext.content_hash(),
+            ExternalTrace::from_vcd_text(text).content_hash());
+
+  // from_file sniffs the ATDT magic and picks the delta decoder.
+  const std::string path = ::testing::TempDir() + "/delta_trace_test.atdt";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << delta;
+  }
+  const ExternalTrace sniffed = ExternalTrace::from_file(path);
+  EXPECT_EQ(sniffed.encoding(), TraceEncoding::kDelta);
+  EXPECT_EQ(sniffed.content_hash(), ext.content_hash());
+  // (Not compared against `original` directly: resolve() documents that
+  // cycle 0 carries no data-net transitions, unlike a live simulation.)
+  expect_same_toggle_trace(sniffed.resolve(nl),
+                           ExternalTrace::from_vcd_text(text).resolve(nl));
+}
+
+TEST_F(SimTest, DeltaPropertyRandomizedRoundTrip) {
+  // Property: for ANY per-cycle level assignment, VCD text and delta bytes
+  // decode to identical VcdData. Sweep toggle densities from all-quiet to
+  // every-net-toggles-every-cycle across several seeds.
+  const auto spec = designgen::paper_design_spec(3, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  const std::vector<bool>& mask = sim.clock_net_mask();
+  const int cycles = 17;
+
+  for (const double density : {0.0, 0.01, 0.3, 1.0}) {
+    for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+      util::Rng rng(seed);
+      ToggleTrace t(nl.num_nets(), cycles);
+      std::vector<std::uint8_t> level(nl.num_nets(), 0);
+      for (NetId n = 0; n < nl.num_nets(); ++n) level[n] = rng.next_bool(0.5);
+      for (int c = 0; c < cycles; ++c) {
+        for (NetId n = 0; n < nl.num_nets(); ++n) {
+          if (c > 0 && (density >= 1.0 || rng.next_bool(density))) {
+            level[n] ^= 1u;
+          }
+          t.set(c, n, level[n] != 0, 0);
+        }
+      }
+      const std::string text = write_vcd(nl, t, mask);
+      const std::string delta = write_delta(nl, t, mask);
+      expect_same_vcd_data(parse_delta(delta, nl), parse_vcd(text, nl));
+      validate_delta(delta);  // every encoder output passes the server check
+      if (density == 0.0) {
+        // All-quiet: header + initial bitmap only, no cycle records.
+        const std::size_t header = 4 + 1 + varint(nl.num_nets()).size() +
+                                   varint(cycles).size() + 8;
+        EXPECT_EQ(delta.size(), header + (nl.num_nets() + 7) / 8);
+      }
+    }
+  }
+}
+
+TEST_F(SimTest, DeltaSingleNetDesign) {
+  // Degenerate shape: one data net (plus the clock root).
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const NetId hi = nl.add_net("hi");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const ToggleTrace t = sim.run(stim, 5);
+  const std::string text = write_vcd(nl, t, sim.clock_net_mask());
+  const std::string delta = write_delta(nl, t, sim.clock_net_mask());
+  expect_same_vcd_data(parse_delta(delta, nl), parse_vcd(text, nl));
+  expect_same_toggle_trace(ExternalTrace::from_delta_bytes(delta).resolve(nl),
+                           ExternalTrace::from_vcd_text(text).resolve(nl));
+}
+
+TEST_F(SimTest, DeltaAtExactlyMaxVcdCycles) {
+  // An all-quiet trace at exactly the cycle cap encodes to a few bytes and
+  // decodes fine; one cycle more is rejected up front (allocation-bomb
+  // guard), as is a smaller explicit max_cycles.
+  Netlist nl("t", lib_);
+  const NetId clk = nl.add_net("clk");
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+  const NetId hi = nl.add_net("hi");
+  nl.add_cell("th", lib_.must("TIEHI_X1"), {hi});
+  const std::vector<bool> mask = {true, false};
+
+  const ToggleTrace at_cap(nl.num_nets(), kMaxVcdCycles);
+  const std::string delta = write_delta(nl, at_cap, mask);
+  EXPECT_LT(delta.size(), 32u);
+  const VcdData back = parse_delta(delta, nl);
+  EXPECT_EQ(back.num_cycles, kMaxVcdCycles);
+  EXPECT_EQ(ExternalTrace::from_delta_bytes(delta).declared_cycles(),
+            kMaxVcdCycles);
+  validate_delta(delta);
+
+  const ToggleTrace past_cap(nl.num_nets(), kMaxVcdCycles + 1);
+  const std::string too_long = write_delta(nl, past_cap, mask);
+  EXPECT_THROW(parse_delta(too_long, nl), DeltaError);
+  EXPECT_THROW(validate_delta(too_long), DeltaError);
+  EXPECT_THROW(parse_delta(delta, nl, /*max_cycles=*/16), DeltaError);
+}
+
+TEST_F(SimTest, MalformedDeltaThrowsInsteadOfCrashing) {
+  // The wire-facing corpus: every hostile shape throws DeltaError from both
+  // parse_delta (netlist-bound) and validate_delta (the server's nl-free
+  // pre-dispatch walk) — never a crash or an allocation bomb.
+  const auto spec = designgen::paper_design_spec(1, 0.002);
+  const Netlist nl = designgen::generate_design(spec, lib_);
+  CycleSimulator sim(nl);
+  StimulusGenerator stim(nl, make_w1());
+  const std::string good = write_delta(nl, sim.run(stim, 4),
+                                       sim.clock_net_mask());
+  const std::uint64_t order = net_order_hash(nl);
+
+  int case_index = 0;
+  const auto throws_everywhere = [&](const std::string& bytes) {
+    SCOPED_TRACE("corpus case " + std::to_string(case_index++));
+    EXPECT_THROW(parse_delta(bytes, nl), DeltaError);
+    EXPECT_THROW(validate_delta(bytes), DeltaError);
+  };
+
+  // Framing: empty, wrong magic, unknown version, truncated header.
+  throws_everywhere("");
+  throws_everywhere("ATXX");
+  throws_everywhere(std::string("ATDT\x02", 5) + varint(2) + varint(1));
+  throws_everywhere(std::string("ATDT\x01", 5));
+  // A varint that never terminates within its 10-byte budget.
+  throws_everywhere(std::string("ATDT\x01", 5) +
+                    std::string(11, '\x80'));
+  // Truncated net-order hash.
+  throws_everywhere(std::string("ATDT\x01", 5) + varint(2) + varint(1) +
+                    "\x01\x02\x03");
+  // Truncated initial level bitmap (2 nets declare 1 byte; none provided).
+  throws_everywhere(delta_header(2, 3, order));
+  // Padding bits set in the initial bitmap (3 nets -> top 5 bits must be 0).
+  throws_everywhere(delta_header(3, 1, order) + "\xF8");
+  // Trailing record in a zero-cycle trace.
+  throws_everywhere(delta_header(2, 0, order) + std::string(1, '\0'));
+
+  // Cycle records. Base: 2 nets, 4 cycles, quiet initial bitmap.
+  const std::string base = delta_header(2, 4, order) + std::string(1, '\0');
+  // Record skipped past the declared cycle count.
+  throws_everywhere(base + varint(3) + '\0' + varint(1) + varint(0) +
+                    varint(1));
+  // Varint-encoded skip of ~2^63 (overflow probe).
+  throws_everywhere(base + std::string(9, '\x80') + '\x7f');
+  // Unknown record kind.
+  throws_everywhere(base + varint(0) + '\x02');
+  // RLE: zero runs / zero-length run / unmerged adjacent runs / run past
+  // the net count / more runs than nets / truncated mid-run.
+  throws_everywhere(base + varint(0) + '\0' + varint(0));
+  throws_everywhere(base + varint(0) + '\0' + varint(1) + varint(0) +
+                    varint(0));
+  throws_everywhere(base + varint(0) + '\0' + varint(2) + varint(0) +
+                    varint(1) + varint(0) + varint(1));
+  throws_everywhere(base + varint(0) + '\0' + varint(1) + varint(0) +
+                    varint(3));
+  throws_everywhere(base + varint(0) + '\0' + varint(5));
+  throws_everywhere(base + varint(0) + '\0' + varint(2) + varint(0) +
+                    varint(1));
+  // Bitmap records: truncated / all-zero (quiet cycles must be skipped,
+  // not sent) / padding bits set.
+  throws_everywhere(base + varint(0) + '\x01');
+  throws_everywhere(base + varint(0) + '\x01' + std::string(1, '\0'));
+  throws_everywhere(base + varint(0) + '\x01' + "\xFF");
+
+  // Netlist binding: net-count and net-order mismatches fail parse_delta
+  // but pass the structural walk (the server defers them to predict time,
+  // where the netlist is known).
+  const std::string wrong_count =
+      delta_header(nl.num_nets() + 1, 0, order);
+  EXPECT_THROW(parse_delta(wrong_count, nl), DeltaError);
+  validate_delta(wrong_count);
+  std::string wrong_order = good;
+  wrong_order[5 + varint(nl.num_nets()).size() + varint(4).size()] ^= 0x5a;
+  EXPECT_THROW(parse_delta(wrong_order, nl), DeltaError);
+  validate_delta(wrong_order);
+
+  // The well-formed encoding still decodes after all that.
+  EXPECT_EQ(parse_delta(good, nl).num_cycles, 4);
+  validate_delta(good);
 }
 
 }  // namespace

@@ -67,17 +67,20 @@ liberty::Library load_lib(const util::Cli& cli) {
   return liberty::load_liberty_file(path);
 }
 
-/// Toggle activity for `power`/`predict`: replay a recorded VCD when --vcd
-/// is set (the same path atlas_serve streaming requests take, so offline and
-/// online predictions from one trace are bit-identical), else simulate the
-/// named synthetic workload.
+/// Toggle activity for `power`/`predict`: replay a recorded trace when
+/// --vcd is set — VCD text or a binary ATDT delta file, sniffed by magic
+/// (the same resolve() path atlas_serve streaming requests take, so offline
+/// and online predictions from one trace are bit-identical in either
+/// encoding) — else simulate the named synthetic workload.
 sim::ToggleTrace workload_or_vcd_trace(const util::Cli& cli,
                                        const netlist::Netlist& nl) {
   const std::string vcd_path = cli.str("vcd");
   if (!vcd_path.empty()) {
-    const sim::ExternalTrace ext = sim::ExternalTrace::from_vcd_file(vcd_path);
+    const sim::ExternalTrace ext = sim::ExternalTrace::from_file(vcd_path);
     sim::ToggleTrace trace = ext.resolve(nl);
-    std::printf("replaying %s: %d cycles (hash %016llx)\n", vcd_path.c_str(),
+    std::printf("replaying %s (%s): %d cycles (hash %016llx)\n",
+                vcd_path.c_str(),
+                ext.encoding() == sim::TraceEncoding::kDelta ? "delta" : "vcd",
                 trace.num_cycles(),
                 static_cast<unsigned long long>(ext.content_hash()));
     return trace;
@@ -182,7 +185,8 @@ int cmd_power(int argc, const char* const* argv) {
       .flag("spef", "", "SPEF parasitics to annotate (optional)")
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
-      .flag("vcd", "", "replay a recorded VCD instead of simulating")
+      .flag("vcd", "", "replay a recorded trace (VCD text or ATDT delta) "
+                       "instead of simulating")
       .flag("csv", "power.csv", "per-cycle power CSV output");
   add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
@@ -235,7 +239,8 @@ int cmd_predict(int argc, const char* const* argv) {
       .flag("lib", "", "Liberty file (default: built-in library)")
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
-      .flag("vcd", "", "replay a recorded VCD instead of simulating")
+      .flag("vcd", "", "replay a recorded trace (VCD text or ATDT delta) "
+                       "instead of simulating")
       .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
   add_common_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;

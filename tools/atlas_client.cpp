@@ -6,22 +6,33 @@
 //   stats     print the server's stats block
 //   metrics   print the server's Prometheus metrics exposition
 //   predict   send a gate-level Verilog netlist for per-cycle power -> CSV
-//   stream    upload a real toggle trace (VCD) in chunks, predict -> CSV
+//   stream    upload a real toggle trace (VCD or ATDT delta), predict -> CSV
 //   load      admin: load/replace a model (+ optional Liberty library)
 //   unload    admin: retire a model name (in-flight requests still finish)
 //   shutdown  ask the daemon to drain and exit
+//
+// Offline (no server needed):
+//   encode-trace  transcode a VCD toggle trace into the binary ATDT delta
+//                 format the streamed-predict path ships (sim/delta_trace.h)
 //
 // `predict` mirrors `atlas_cli predict` but amortizes model loading and
 // per-design preprocessing across calls: the daemon reports which cache
 // layers were hit and how long the server-side handler took. `stream`
 // mirrors `atlas_cli predict --vcd`: the same trace file served offline and
-// online produces bit-identical predictions.
+// online produces bit-identical predictions in either trace encoding, and
+// --by-hash references an already-cached design by its netlist hash instead
+// of re-uploading the Verilog (falling back to a full upload when the
+// server answers kUnknownDesign).
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "liberty/liberty_io.h"
+#include "netlist/verilog_io.h"
 #include "serve/client.h"
+#include "sim/delta_trace.h"
+#include "sim/vcd.h"
 #include "util/cli.h"
 #include "util/strings.h"
 
@@ -163,7 +174,13 @@ int cmd_stream(int argc, const char* const* argv) {
   util::Cli cli;
   cli.flag("model", "default", "registry name of the model to query")
       .flag("in", "design.v", "gate-level Verilog input")
-      .flag("vcd", "trace.vcd", "toggle trace to upload (VCD subset)")
+      .flag("trace", "trace.vcd",
+            "toggle trace to upload (VCD text or ATDT delta file)")
+      .flag("format", "auto",
+            "wire trace format: auto (sniff the file) | vcd | delta")
+      .flag("by-hash", "false",
+            "reference the design by netlist hash; falls back to a full "
+            "upload when the server's cache is cold")
       .flag("cycles", "0", "expected trace cycles (0 = accept any)")
       .flag("deadline-ms", "0", "per-request deadline incl. upload (0 = none)")
       .flag("chunk-bytes", "65536", "upload chunk size")
@@ -171,18 +188,79 @@ int cmd_stream(int argc, const char* const* argv) {
   add_endpoint_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
 
+  const std::string trace_bytes = read_file(cli.str("trace"));
+  const bool file_is_delta = atlas::sim::looks_like_delta(trace_bytes);
+  const std::string format = cli.str("format");
+  if (format == "vcd" && file_is_delta) {
+    std::fprintf(stderr, "%s is an ATDT delta file; use --format auto|delta\n",
+                 cli.str("trace").c_str());
+    return 1;
+  }
+  if (format == "delta" && !file_is_delta) {
+    std::fprintf(stderr,
+                 "%s is not an ATDT delta file; convert it first with "
+                 "`atlas_client encode-trace`\n",
+                 cli.str("trace").c_str());
+    return 1;
+  }
+  if (format != "auto" && format != "vcd" && format != "delta") {
+    std::fprintf(stderr, "unknown --format %s (use auto|vcd|delta)\n",
+                 format.c_str());
+    return 1;
+  }
+
   serve::StreamBeginRequest begin;
   begin.model = cli.str("model");
   begin.netlist_verilog = read_file(cli.str("in"));
+  begin.format = file_is_delta ? serve::TraceFormat::kToggleDelta
+                               : serve::TraceFormat::kVcdText;
   begin.cycles = static_cast<std::int32_t>(cli.integer("cycles"));
   begin.deadline_ms = static_cast<std::uint32_t>(cli.integer("deadline-ms"));
-  const std::string trace_text = read_file(cli.str("vcd"));
 
   serve::Client client = connect(cli);
-  const serve::PredictResponse resp = client.predict_stream(
-      begin, trace_text,
-      static_cast<std::size_t>(cli.integer("chunk-bytes")));
+  const std::size_t chunk =
+      static_cast<std::size_t>(cli.integer("chunk-bytes"));
+  serve::PredictResponse resp;
+  if (cli.boolean("by-hash")) {
+    bool used_hash = false;
+    resp = client.predict_stream_cached(begin, trace_bytes, chunk, &used_hash);
+    std::printf("design reference: %s\n",
+                used_hash ? "by-hash (netlist not re-sent)"
+                          : "full upload (server cache was cold)");
+  } else {
+    resp = client.predict_stream(begin, trace_bytes, chunk);
+  }
   write_prediction_csv(resp, cli.str("csv"));
+  return 0;
+}
+
+int cmd_encode_trace(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("in", "design.v", "gate-level Verilog the trace was dumped from")
+      .flag("lib", "", "Liberty file (default: built-in library)")
+      .flag("vcd", "trace.vcd", "VCD toggle trace to transcode")
+      .flag("out", "trace.atdt", "ATDT delta output path")
+      .parse(argc, argv);
+  if (cli.help_requested()) return 0;
+
+  const liberty::Library lib =
+      cli.str("lib").empty() ? liberty::make_default_library()
+                             : liberty::load_liberty_file(cli.str("lib"));
+  const netlist::Netlist nl = netlist::load_verilog_file(cli.str("in"), lib);
+  const std::string vcd_text = read_file(cli.str("vcd"));
+  const sim::VcdData vcd = sim::parse_vcd(vcd_text, nl);
+  const std::string delta = sim::write_delta(nl, vcd);
+
+  std::ofstream out(cli.str("out"), std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + cli.str("out"));
+  out.write(delta.data(), static_cast<std::streamsize>(delta.size()));
+  if (!out) throw std::runtime_error("write failed: " + cli.str("out"));
+  std::printf("wrote %s: %d cycles, %zu nets; %zu -> %zu bytes (%.1fx)\n",
+              cli.str("out").c_str(), vcd.num_cycles, vcd.num_nets,
+              vcd_text.size(), delta.size(),
+              delta.empty() ? 0.0
+                            : static_cast<double>(vcd_text.size()) /
+                                  static_cast<double>(delta.size()));
   return 0;
 }
 
@@ -218,7 +296,8 @@ void usage() {
       "  stats     print server stats (latency percentiles, cache hits)\n"
       "  metrics   print the server's Prometheus metrics exposition\n"
       "  predict   per-cycle power for a gate-level netlist -> CSV\n"
-      "  stream    upload a VCD toggle trace in chunks, predict -> CSV\n"
+      "  stream    upload a toggle trace (VCD or ATDT delta), predict -> CSV\n"
+      "  encode-trace  offline: transcode a VCD trace to ATDT delta bytes\n"
       "  load      admin: load/replace a model (needs server --allow-admin)\n"
       "  unload    admin: retire a model name\n"
       "  shutdown  drain and stop the server");
@@ -239,6 +318,7 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") return cmd_metrics(argc - 1, argv + 1);
     if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
     if (cmd == "stream") return cmd_stream(argc - 1, argv + 1);
+    if (cmd == "encode-trace") return cmd_encode_trace(argc - 1, argv + 1);
     if (cmd == "load") return cmd_load(argc - 1, argv + 1);
     if (cmd == "unload") return cmd_unload(argc - 1, argv + 1);
     if (cmd == "shutdown") return cmd_shutdown(argc - 1, argv + 1);
