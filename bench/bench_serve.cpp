@@ -13,7 +13,10 @@
 //   * the same streamed predict over the binary ATDT delta encoding —
 //     wire bytes vs the VCD text and warm latency — plus design-by-hash
 //     (netlist referenced by FNV-1a hash instead of re-uploaded);
-//   * warm requests/sec at 1, 4 and 8 concurrent client connections.
+//   * warm requests/sec at 1, 4 and 8 concurrent client connections;
+//   * with --router, the same warm latency and throughput through an
+//     atlas_router fronting a 2-backend fleet — the interesting number is
+//     the per-hop routing overhead against the direct warm latency.
 //
 // Numbers land in EXPERIMENTS.md. The interesting ratio is cold : warm —
 // the feature cache exists to delete the per-design preprocessing and
@@ -29,6 +32,7 @@
 #include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
 #include "netlist/verilog_io.h"
+#include "router/router.h"
 #include "sim/delta_trace.h"
 #include "sim/vcd.h"
 #include "serve/client.h"
@@ -66,7 +70,9 @@ int main(int argc, char** argv) {
       .flag("trees", "20", "GBDT estimators per group model")
       .flag("cold-samples", "3", "fresh-server samples for cold latency")
       .flag("warm-requests", "50", "warm requests per throughput client")
-      .flag("threads", "0", "worker threads (0 = hardware concurrency)");
+      .flag("threads", "0", "worker threads (0 = hardware concurrency)")
+      .flag("router", "false",
+            "also bench through atlas_router over a 2-backend fleet");
   try {
     cli.parse(argc, argv);
     if (cli.help_requested()) return 0;
@@ -118,6 +124,7 @@ int main(int argc, char** argv) {
     }
 
     // --- latency: design-warm (new workload) and fully warm ----------------
+    double direct_warm_ms = 0.0;
     serve::Server server(scfg, registry);
     server.start();
     {
@@ -139,8 +146,9 @@ int main(int argc, char** argv) {
                   median(cold_s) * 1e3);
       std::printf("  design-warm (sim+encode+heads, w2)     %8.2f\n",
                   design_warm_s * 1e3);
+      direct_warm_ms = median(warm_s) * 1e3;
       std::printf("  warm  (embedding hit -> heads only)    %8.2f\n\n",
-                  median(warm_s) * 1e3);
+                  direct_warm_ms);
     }
 
     // --- latency: streamed trace upload (cold, then trace-hash warm) -------
@@ -243,6 +251,64 @@ int main(int argc, char** argv) {
                   nclients, nclients == 1 ? " " : "s", total / secs,
                   secs * 1e3 * nclients / total);
     }
+    // --- router tier: the same warm path through a 2-backend fleet ---------
+    if (cli.boolean("router")) {
+      serve::Server shard_a(scfg, registry);
+      serve::Server shard_b(scfg, registry);
+      shard_a.start();
+      shard_b.start();
+      std::vector<atlas::router::BackendAddress> backends;
+      backends.push_back(atlas::router::parse_backend(
+          "127.0.0.1:" + std::to_string(shard_a.port())));
+      backends.push_back(atlas::router::parse_backend(
+          "127.0.0.1:" + std::to_string(shard_b.port())));
+      atlas::router::RouterConfig rcfg;
+      rcfg.port = 0;
+      atlas::router::Router rtr(rcfg, std::move(backends));
+      rtr.start();
+      serve::Client client =
+          serve::Client::connect_tcp("127.0.0.1", rtr.port());
+      client.predict(make_request(verilog, cycles, "w1"));  // warm the owner
+      std::vector<double> routed_warm_s;
+      for (int i = 0; i < 10; ++i) {
+        util::Timer t;
+        client.predict(make_request(verilog, cycles, "w1"));
+        routed_warm_s.push_back(t.seconds());
+      }
+      const double routed_warm_ms = median(routed_warm_s) * 1e3;
+      std::printf("\nrouter tier (2 backends, consistent-hash sharding):\n");
+      std::printf("  warm via router                        %8.2f\n",
+                  routed_warm_ms);
+      std::printf("  routing overhead vs direct warm        %8.2f\n",
+                  routed_warm_ms - direct_warm_ms);
+      std::printf("  warm throughput via router (%d requests/client):\n",
+                  per_client);
+      for (int nclients : {1, 4, 8}) {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(nclients));
+        util::Timer t;
+        for (int c = 0; c < nclients; ++c) {
+          threads.emplace_back([&] {
+            serve::Client rc =
+                serve::Client::connect_tcp("127.0.0.1", rtr.port());
+            for (int r = 0; r < per_client; ++r) {
+              rc.predict(make_request(verilog, cycles, "w1"));
+            }
+          });
+        }
+        for (std::thread& th : threads) th.join();
+        const double secs = t.seconds();
+        const double total = static_cast<double>(nclients) * per_client;
+        std::printf(
+            "    %d client%s  %8.1f req/s  (%.2f ms/req at the client)\n",
+            nclients, nclients == 1 ? " " : "s", total / secs,
+            secs * 1e3 * nclients / total);
+      }
+      rtr.stop();
+      shard_a.stop();
+      shard_b.stop();
+    }
+
     std::printf("\n%s", server.stats_text().c_str());
     server.stop();
     return 0;

@@ -1,0 +1,385 @@
+#include "router/backend_pool.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "util/strings.h"
+
+namespace atlas::router {
+namespace {
+
+std::string quoted_backend_label(const std::string& id) {
+  return "backend=\"" + id + "\"";
+}
+
+obs::Histogram& probe_latency_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("atlas_router_probe_latency_us");
+  return h;
+}
+
+}  // namespace
+
+BackendAddress parse_backend(const std::string& spec) {
+  BackendAddress addr;
+  if (spec.rfind("unix:", 0) == 0) {
+    addr.unix_path = spec.substr(5);
+    if (addr.unix_path.empty()) {
+      throw std::runtime_error("backend spec '" + spec + "': empty unix path");
+    }
+    addr.id = "unix:" + addr.unix_path;
+    return addr;
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw std::runtime_error("backend spec '" + spec +
+                             "': expected host:port or unix:/path");
+  }
+  addr.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  std::size_t consumed = 0;
+  int port = 0;
+  try {
+    port = std::stoi(port_text, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("backend spec '" + spec + "': bad port '" +
+                             port_text + "'");
+  }
+  if (consumed != port_text.size() || port <= 0 || port > 65535) {
+    throw std::runtime_error("backend spec '" + spec + "': bad port '" +
+                             port_text + "'");
+  }
+  addr.port = port;
+  addr.id = addr.host + ":" + port_text;
+  return addr;
+}
+
+std::vector<BackendAddress> parse_backend_list(const std::string& csv) {
+  std::vector<BackendAddress> out;
+  std::set<std::string> seen;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string spec(util::trim(csv.substr(start, comma - start)));
+    start = comma + 1;
+    if (spec.empty()) continue;
+    BackendAddress addr = parse_backend(spec);
+    if (!seen.insert(addr.id).second) {
+      throw std::runtime_error("duplicate backend '" + addr.id + "'");
+    }
+    out.push_back(std::move(addr));
+  }
+  if (out.empty()) throw std::runtime_error("no backends configured");
+  return out;
+}
+
+const char* backend_state_name(BackendState state) {
+  switch (state) {
+    case BackendState::kUp:
+      return "up";
+    case BackendState::kDown:
+      return "down";
+    case BackendState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+BackendPool::BackendPool(std::vector<BackendAddress> backends,
+                         ProbeConfig config)
+    : config_(config), ring_(config.vnodes) {
+  const auto now = std::chrono::steady_clock::now();
+  entries_.reserve(backends.size());
+  for (BackendAddress& addr : backends) {
+    Entry e;
+    e.address = std::move(addr);
+    e.next_probe_at = now;
+    entries_.push_back(std::move(e));
+  }
+  publish_gauges();
+}
+
+BackendPool::~BackendPool() { stop(); }
+
+void BackendPool::start() {
+  probe_all_now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return;
+    started_ = true;
+    stopping_ = false;
+  }
+  prober_ = std::thread([this] { prober_loop(); });
+}
+
+void BackendPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+std::vector<std::string> BackendPool::route(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.preference(key, ring_.size());
+}
+
+std::optional<BackendAddress> BackendPool::address(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.address.id == id) return e.address;
+  }
+  return std::nullopt;
+}
+
+std::vector<BackendAddress> BackendPool::all_backends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BackendAddress> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.address);
+  return out;
+}
+
+void BackendPool::report_failure(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.address.id != id) continue;
+    e.state = BackendState::kDown;
+    e.consecutive_failures = std::max(e.consecutive_failures,
+                                      config_.fail_threshold);
+    // Probe promptly: a data-path blip should not serve out a full backoff
+    // ladder before the backend can rejoin.
+    e.backoff_ms = config_.interval_ms;
+    e.next_probe_at = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config_.interval_ms);
+    set_in_ring(e, false);
+    obs::Registry::global()
+        .counter("atlas_router_backend_evictions_total",
+                 quoted_backend_label(id))
+        .inc();
+    return;
+  }
+}
+
+void BackendPool::report_draining(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.address.id != id) continue;
+    e.state = BackendState::kDraining;
+    set_in_ring(e, false);
+    return;
+  }
+}
+
+std::vector<BackendStatus> BackendPool::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BackendStatus> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    BackendStatus s;
+    s.address = e.address;
+    s.state = e.state;
+    s.health = e.health;
+    s.probes_ok = e.probes_ok;
+    s.probes_failed = e.probes_failed;
+    s.consecutive_failures = e.consecutive_failures;
+    s.in_ring = ring_.contains(e.address.id);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::size_t BackendPool::ring_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t BackendPool::ring_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_generation_;
+}
+
+std::uint64_t BackendPool::library_hash_for(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = model_library_hash_.find(model);
+  return it == model_library_hash_.end() ? 0 : it->second;
+}
+
+serve::HealthResponse BackendPool::aggregate_health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  serve::HealthResponse agg;
+  std::uint64_t max_models = 0;
+  for (const Entry& e : entries_) {
+    if (e.state != BackendState::kUp) continue;
+    agg.registry_generation =
+        std::max(agg.registry_generation, e.health.registry_generation);
+    max_models = std::max(max_models, e.health.num_models);
+    agg.cache_designs += e.health.cache_designs;
+    agg.cache_total_bytes += e.health.cache_total_bytes;
+    agg.cache_embedding_bytes += e.health.cache_embedding_bytes;
+    agg.queue_depth += e.health.queue_depth;
+  }
+  // Models are replicated fleet-wide by admin fan-out, not sharded: report
+  // the largest shard's count rather than a meaningless sum.
+  agg.num_models = max_models;
+  return agg;
+}
+
+void BackendPool::probe_all_now() {
+  std::vector<BackendAddress> targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    targets.reserve(entries_.size());
+    for (const Entry& e : entries_) targets.push_back(e.address);
+  }
+  for (const BackendAddress& addr : targets) {
+    ProbeResult result = probe_backend(addr);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.address.id == addr.id) {
+        apply_probe_result(e, result);
+        break;
+      }
+    }
+  }
+}
+
+void BackendPool::prober_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    const auto now = std::chrono::steady_clock::now();
+    // Probe whatever is due; earliest-deadline sleep otherwise.
+    std::string due_id;
+    for (Entry& e : entries_) {
+      if (e.next_probe_at <= now) {
+        due_id = e.address.id;
+        // Push the schedule before the unlocked probe so a slow probe does
+        // not cause a same-backend re-probe storm.
+        e.next_probe_at = now + std::chrono::milliseconds(config_.interval_ms);
+        break;
+      }
+    }
+    if (due_id.empty()) {
+      auto wake = now + std::chrono::milliseconds(config_.interval_ms);
+      for (const Entry& e : entries_) wake = std::min(wake, e.next_probe_at);
+      cv_.wait_until(lock, wake, [this] { return stopping_; });
+      continue;
+    }
+    BackendAddress addr;
+    for (const Entry& e : entries_) {
+      if (e.address.id == due_id) addr = e.address;
+    }
+    lock.unlock();
+    ProbeResult result = probe_backend(addr);
+    lock.lock();
+    if (stopping_) break;
+    for (Entry& e : entries_) {
+      if (e.address.id == due_id) {
+        apply_probe_result(e, result);
+        break;
+      }
+    }
+  }
+}
+
+BackendPool::ProbeResult BackendPool::probe_backend(
+    const BackendAddress& address) const {
+  ProbeResult result;
+  serve::ClientOptions options;
+  options.connect_timeout_ms = config_.timeout_ms;
+  options.io_timeout_ms = config_.timeout_ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    serve::Client client =
+        address.is_unix()
+            ? serve::Client::connect_unix(address.unix_path, options)
+            : serve::Client::connect_tcp(address.host, address.port, options);
+    result.health = client.health();
+    result.models = client.models();
+    result.ok = true;
+  } catch (const std::exception&) {
+    result.ok = false;
+  }
+  result.latency_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  return result;
+}
+
+void BackendPool::apply_probe_result(Entry& e, const ProbeResult& result) {
+  auto& registry = obs::Registry::global();
+  probe_latency_histogram().record(result.latency_us);
+  const auto now = std::chrono::steady_clock::now();
+  if (result.ok) {
+    registry
+        .counter("atlas_router_probes_total",
+                 quoted_backend_label(e.address.id) + ",result=\"ok\"")
+        .inc();
+    ++e.probes_ok;
+    e.consecutive_failures = 0;
+    e.backoff_ms = 0;
+    e.health = result.health;
+    e.next_probe_at = now + std::chrono::milliseconds(config_.interval_ms);
+    for (const serve::ModelInfo& m : result.models) {
+      if (m.library_hash != 0) model_library_hash_[m.name] = m.library_hash;
+    }
+    if (result.health.draining) {
+      e.state = BackendState::kDraining;
+      set_in_ring(e, false);
+    } else {
+      e.state = BackendState::kUp;
+      set_in_ring(e, true);
+    }
+    return;
+  }
+  registry
+      .counter("atlas_router_probes_total",
+               quoted_backend_label(e.address.id) + ",result=\"error\"")
+      .inc();
+  ++e.probes_failed;
+  ++e.consecutive_failures;
+  e.backoff_ms = e.backoff_ms == 0
+                     ? config_.interval_ms
+                     : std::min(e.backoff_ms * 2, config_.max_backoff_ms);
+  e.next_probe_at = now + std::chrono::milliseconds(e.backoff_ms);
+  if (e.consecutive_failures >= config_.fail_threshold) {
+    e.state = BackendState::kDown;
+    set_in_ring(e, false);
+  }
+}
+
+void BackendPool::set_in_ring(Entry& e, bool in_ring) {
+  bool changed = false;
+  if (in_ring && !ring_.contains(e.address.id)) {
+    ring_.add(e.address.id);
+    changed = true;
+  } else if (!in_ring && ring_.contains(e.address.id)) {
+    ring_.remove(e.address.id);
+    changed = true;
+  }
+  if (changed) {
+    ++ring_generation_;
+    publish_gauges();
+  }
+}
+
+void BackendPool::publish_gauges() const {
+  auto& registry = obs::Registry::global();
+  registry.gauge("atlas_router_ring_backends")
+      .set(static_cast<std::int64_t>(ring_.size()));
+  registry.gauge("atlas_router_backends_configured")
+      .set(static_cast<std::int64_t>(entries_.size()));
+}
+
+}  // namespace atlas::router

@@ -1,0 +1,186 @@
+// Backend membership, liveness and placement state for atlas_router.
+//
+// The pool owns the hash ring plus one status entry per configured backend
+// and keeps both current from two signals:
+//
+//   * a **background prober** that round-trips the rich `health` request
+//     (bounded by connect/IO timeouts) on a per-backend schedule —
+//     `interval_ms` while healthy, exponential backoff up to
+//     `max_backoff_ms` while failing. `fail_threshold` consecutive probe
+//     failures take a backend out of the ring; the next successful probe
+//     puts it back (re-join is instant, not thresholded — a freshly
+//     restarted backend should start taking its arcs again immediately). A
+//     backend whose health report says `draining` leaves the ring too but
+//     keeps its state distinct from dead, so operators can tell a rolling
+//     restart from an outage.
+//   * **data-path reports**: a connection thread that hits a transport
+//     error forwarding to a backend calls report_failure, which removes it
+//     from the ring immediately — in-flight requests fail over to the ring
+//     successor without waiting out a probe cycle — and the prober brings
+//     it back when it answers again.
+//
+// The prober also ingests each backend's model list, maintaining the
+// model -> Liberty-content-hash map the router mixes into placement keys:
+// routing by (netlist hash, library hash) — the backends' own design-cache
+// key — means two model names sharing a substrate share one shard's parsed
+// designs instead of duplicating them.
+//
+// All state is guarded by one mutex; probe I/O runs unlocked.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/hash_ring.h"
+#include "serve/protocol.h"
+
+namespace atlas::router {
+
+/// One backend endpoint: TCP ("host:port") or Unix-domain ("unix:<path>").
+/// `id` is the canonical spelling used on the ring, in metrics labels and
+/// in admin fan-out replies.
+struct BackendAddress {
+  std::string id;
+  std::string host;
+  int port = -1;
+  std::string unix_path;
+
+  bool is_unix() const { return !unix_path.empty(); }
+};
+
+/// Parse "host:port" or "unix:/path/to.sock"; throws std::runtime_error on
+/// anything else.
+BackendAddress parse_backend(const std::string& spec);
+
+/// Parse a comma-separated backend list, rejecting duplicates.
+std::vector<BackendAddress> parse_backend_list(const std::string& csv);
+
+struct ProbeConfig {
+  /// Steady-state probe period per healthy backend.
+  int interval_ms = 500;
+  /// Connect + per-IO bound for one probe round-trip.
+  int timeout_ms = 1000;
+  /// Consecutive probe failures before a backend leaves the ring (data-path
+  /// failures bypass this and evict immediately).
+  int fail_threshold = 2;
+  /// Probe backoff ceiling while a backend stays dead.
+  int max_backoff_ms = 5000;
+  /// Virtual nodes per backend on the ring.
+  std::size_t vnodes = 64;
+};
+
+enum class BackendState { kUp, kDown, kDraining };
+const char* backend_state_name(BackendState state);
+
+/// Point-in-time per-backend view (for stats text and tests).
+struct BackendStatus {
+  BackendAddress address;
+  BackendState state = BackendState::kDown;
+  /// Last successful probe's report (zeroed until one succeeds).
+  serve::HealthResponse health;
+  std::uint64_t probes_ok = 0;
+  std::uint64_t probes_failed = 0;
+  int consecutive_failures = 0;
+  bool in_ring = false;
+};
+
+class BackendPool {
+ public:
+  BackendPool(std::vector<BackendAddress> backends, ProbeConfig config);
+  ~BackendPool();
+
+  BackendPool(const BackendPool&) = delete;
+  BackendPool& operator=(const BackendPool&) = delete;
+
+  /// Run one synchronous probe sweep (so the ring and model map are
+  /// populated before the first request routes), then start the prober.
+  void start();
+  void stop();
+
+  /// Failover preference chain for `key`: the owner shard first, then ring
+  /// successors, live backends only. Empty when every backend is out.
+  std::vector<std::string> route(std::uint64_t key) const;
+
+  std::optional<BackendAddress> address(const std::string& id) const;
+
+  /// Every configured backend in configuration order — the admin fan-out
+  /// target set, regardless of liveness (a dead shard is reported
+  /// unreachable, not silently skipped).
+  std::vector<BackendAddress> all_backends() const;
+
+  /// Data-path transport failure: evict from the ring now.
+  void report_failure(const std::string& id);
+  /// Backend answered kShuttingDown: it is draining — stop routing new
+  /// keys there but keep it distinct from dead.
+  void report_draining(const std::string& id);
+
+  std::vector<BackendStatus> snapshot() const;
+  std::size_t ring_size() const;
+  /// Bumps on every ring membership change (join/leave/death).
+  std::uint64_t ring_generation() const;
+
+  /// Liberty content hash bound to `model` (learned from backend model
+  /// lists); 0 when unknown — the router falls back to hashing the model
+  /// name, which partitions correctly but cannot share designs across
+  /// model names on one substrate.
+  std::uint64_t library_hash_for(const std::string& model) const;
+
+  /// Tier-wide health: sums of cache occupancy and queue depth over live
+  /// backends, max of registry generations. `draining` is left false (the
+  /// router overlays its own drain state).
+  serve::HealthResponse aggregate_health() const;
+
+  /// Probe every backend once, synchronously (start() prelude; admin
+  /// fan-out calls it to refresh the model map after a load/unload).
+  void probe_all_now();
+
+ private:
+  struct Entry {
+    BackendAddress address;
+    BackendState state = BackendState::kDown;
+    serve::HealthResponse health;
+    std::uint64_t probes_ok = 0;
+    std::uint64_t probes_failed = 0;
+    int consecutive_failures = 0;
+    int backoff_ms = 0;
+    std::chrono::steady_clock::time_point next_probe_at;
+  };
+  /// Outcome of one unlocked probe round-trip.
+  struct ProbeResult {
+    bool ok = false;
+    serve::HealthResponse health;
+    std::vector<serve::ModelInfo> models;
+    std::uint64_t latency_us = 0;
+  };
+
+  void prober_loop();
+  ProbeResult probe_backend(const BackendAddress& address) const;
+  /// Caller must hold mu_. Applies a probe outcome to `e`, updating the
+  /// ring and gauges on state transitions.
+  void apply_probe_result(Entry& e, const ProbeResult& result);
+  /// Caller must hold mu_.
+  void set_in_ring(Entry& e, bool in_ring);
+  /// Caller must hold mu_.
+  void publish_gauges() const;
+
+  const ProbeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::vector<Entry> entries_;
+  HashRing ring_;
+  std::uint64_t ring_generation_ = 0;
+  std::map<std::string, std::uint64_t> model_library_hash_;
+  std::thread prober_;
+};
+
+}  // namespace atlas::router

@@ -1,0 +1,634 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "util/hash.h"
+
+namespace atlas::router {
+namespace {
+
+using serve::ErrorCode;
+using serve::ErrorResponse;
+using serve::Frame;
+using serve::MsgType;
+
+std::pair<MsgType, std::string> error_reply(ErrorCode code,
+                                            const std::string& message) {
+  ErrorResponse err;
+  err.code = code;
+  err.message = message;
+  return {MsgType::kError, err.encode()};
+}
+
+obs::Counter& backend_counter(const char* name, const std::string& backend) {
+  return obs::Registry::global().counter(name,
+                                         "backend=\"" + backend + "\"");
+}
+
+void count_request(const std::string& backend) {
+  backend_counter("atlas_router_requests_total", backend).inc();
+}
+void count_error(const std::string& backend) {
+  backend_counter("atlas_router_errors_total", backend).inc();
+}
+void count_failover(const std::string& backend) {
+  backend_counter("atlas_router_failovers_total", backend).inc();
+}
+
+}  // namespace
+
+Router::Router(RouterConfig config, std::vector<BackendAddress> backends)
+    : config_(std::move(config)),
+      pool_(std::make_unique<BackendPool>(std::move(backends),
+                                          config_.probe)) {}
+
+Router::~Router() { stop(); }
+
+void Router::start() {
+  if (started_) throw std::logic_error("Router::start called twice");
+  if (config_.port < 0 && config_.unix_path.empty()) {
+    throw util::SocketError("router has no endpoint (TCP and UDS disabled)");
+  }
+  pool_->start();
+  // Register the per-backend counter families up front so they render at
+  // zero before the first request/error/failover — scrapers see the series
+  // exist rather than inferring absence-of-incident from absence-of-metric.
+  for (const BackendAddress& b : pool_->all_backends()) {
+    backend_counter("atlas_router_requests_total", b.id);
+    backend_counter("atlas_router_errors_total", b.id);
+    backend_counter("atlas_router_failovers_total", b.id);
+  }
+  if (config_.port >= 0) {
+    int port = config_.port;
+    tcp_listener_ = util::Listener::tcp(config_.host, port);
+    resolved_port_ = port;
+  }
+  if (!config_.unix_path.empty()) {
+    unix_listener_ = util::Listener::unix_domain(config_.unix_path);
+  }
+  started_ = true;
+  if (tcp_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&tcp_listener_); });
+  }
+  if (unix_listener_.valid()) {
+    accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
+  }
+  if (config_.verbose) {
+    obs::LogLine line(obs::LogLevel::kInfo, "router");
+    line.kv("event", "listening")
+        .kv("backends", static_cast<std::int64_t>(pool_->all_backends().size()))
+        .kv("ring", static_cast<std::int64_t>(pool_->ring_size()));
+    if (resolved_port_ >= 0) {
+      line.kv("host", config_.host).kv("port", resolved_port_);
+    }
+    if (!config_.unix_path.empty()) line.kv("uds", config_.unix_path);
+  }
+}
+
+void Router::stop() {
+  if (!started_ || stopped_) return;
+  stopping_.store(true);
+  for (std::thread& t : accept_threads_) t.join();
+  accept_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& c : conns_) c->sock.shutdown_read();
+  }
+  for (;;) {
+    std::unique_ptr<Connection> conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conns_.empty()) break;
+      conn = std::move(conns_.back());
+      conns_.pop_back();
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  tcp_listener_.close();
+  unix_listener_.close();
+  pool_->stop();
+  stopped_ = true;
+  if (config_.verbose) {
+    obs::LogLine(obs::LogLevel::kInfo, "router").kv("event", "stopped");
+  }
+}
+
+void Router::wait_for_stop_request(const std::function<bool()>& poll) {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  for (;;) {
+    if (stop_requested_.load()) return;
+    if (poll && poll()) return;
+    if (poll) {
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    } else {
+      stop_cv_.wait(lock);
+    }
+  }
+}
+
+std::string Router::stats_text() const {
+  std::ostringstream os;
+  const std::vector<BackendStatus> statuses = pool_->snapshot();
+  std::size_t up = 0;
+  for (const BackendStatus& s : statuses) {
+    if (s.state == BackendState::kUp) ++up;
+  }
+  os << "atlas_router: " << up << "/" << statuses.size()
+     << " backends up, ring size " << pool_->ring_size() << ", generation "
+     << pool_->ring_generation() << "\n";
+  for (const BackendStatus& s : statuses) {
+    os << "  " << s.address.id << ": " << backend_state_name(s.state)
+       << (s.in_ring ? " (in ring)" : " (out of ring)") << ", probes "
+       << s.probes_ok << " ok / " << s.probes_failed << " failed";
+    if (s.probes_ok > 0) {
+      os << ", models " << s.health.num_models << ", cache "
+         << s.health.cache_designs << " designs / "
+         << s.health.cache_total_bytes << " bytes, queue "
+         << s.health.queue_depth << ", registry gen "
+         << s.health.registry_generation;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+serve::HealthResponse Router::health_snapshot() const {
+  // Health is rare monitoring traffic: refresh every shard synchronously so
+  // the aggregate reflects the fleet as of this request, not the last
+  // background probe tick.
+  pool_->probe_all_now();
+  serve::HealthResponse h = pool_->aggregate_health();
+  h.draining = stopping_.load() || stop_requested_.load();
+  return h;
+}
+
+void Router::accept_loop(util::Listener* listener) {
+  while (!stopping_.load()) {
+    std::optional<util::Socket> sock;
+    try {
+      sock = listener->accept(/*timeout_ms=*/100);
+    } catch (const util::SocketError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    reap_finished_connections();
+    if (!sock) continue;
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(*sock);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void Router::reap_finished_connections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    auto it = std::partition(conns_.begin(), conns_.end(),
+                             [](const auto& c) { return !c->done.load(); });
+    for (auto move_it = it; move_it != conns_.end(); ++move_it) {
+      finished.push_back(std::move(*move_it));
+    }
+    conns_.erase(it, conns_.end());
+  }
+  for (auto& c : finished) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+void Router::connection_loop(Connection* conn) {
+  util::Socket& sock = conn->sock;
+  UpstreamMap upstreams;  // owned by this thread; dies with the connection
+  StreamRelay relay;
+  try {
+    for (;;) {
+      Frame frame;
+      try {
+        if (!serve::read_frame(sock, frame, config_.max_frame_bytes)) break;
+      } catch (const serve::ProtocolError& e) {
+        const auto [type, payload] =
+            error_reply(ErrorCode::kBadRequest, e.what());
+        try {
+          serve::write_frame(sock, type, payload);
+        } catch (const util::SocketError&) {
+        }
+        break;
+      }
+
+      switch (frame.type) {
+        case MsgType::kPing:
+          serve::write_frame(sock, MsgType::kPong,
+                             serve::encode_string_payload("pong"));
+          break;
+        case MsgType::kHealth:
+          serve::write_frame(sock, MsgType::kHealthReport,
+                             health_snapshot().encode());
+          break;
+        case MsgType::kStats:
+          serve::write_frame(sock, MsgType::kStatsText,
+                             serve::encode_string_payload(stats_text()));
+          break;
+        case MsgType::kMetrics:
+          serve::write_frame(
+              sock, MsgType::kMetricsText,
+              serve::encode_string_payload(
+                  obs::Registry::global().render_prometheus()));
+          break;
+        case MsgType::kShutdown:
+          // Shut the router down; the backends are someone else's lifecycle
+          // (an operator draining the tier does not want the fleet dead).
+          {
+            std::lock_guard<std::mutex> stop_lock(stop_mu_);
+            stop_requested_.store(true);
+          }
+          stop_cv_.notify_all();
+          serve::write_frame(sock, MsgType::kShutdownOk,
+                             serve::encode_string_payload("ok"));
+          break;
+        case MsgType::kListModels: {
+          // Models are replicated fleet-wide: any live shard's list is the
+          // tier's list. Routed like a predict (with failover) so a dead
+          // backend never blanks the answer.
+          const auto [type, payload] = route_predict(upstreams, frame);
+          serve::write_frame(sock, type, payload);
+          break;
+        }
+        case MsgType::kLoadModel:
+        case MsgType::kUnloadModel: {
+          const auto [type, payload] = admin_fanout(frame);
+          serve::write_frame(sock, type, payload);
+          break;
+        }
+        case MsgType::kPredict: {
+          const auto [type, payload] = route_predict(upstreams, frame);
+          serve::write_frame(sock, type, payload);
+          break;
+        }
+        case MsgType::kStreamBegin:
+        case MsgType::kStreamChunk:
+        case MsgType::kStreamEnd: {
+          const auto [type, payload] = handle_stream(upstreams, frame, relay);
+          serve::write_frame(sock, type, payload);
+          break;
+        }
+        default: {
+          const auto [type, payload] = error_reply(
+              ErrorCode::kBadRequest,
+              "unknown message type " +
+                  std::to_string(static_cast<std::uint32_t>(frame.type)));
+          serve::write_frame(sock, type, payload);
+          break;
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Client vanished mid-write: drop this connection only.
+  }
+  sock.shutdown_both();
+  conn->done.store(true);
+}
+
+util::Socket* Router::upstream(UpstreamMap& upstreams, const std::string& id) {
+  auto it = upstreams.find(id);
+  if (it != upstreams.end() && it->second.valid()) return &it->second;
+  const std::optional<BackendAddress> addr = pool_->address(id);
+  if (!addr) return nullptr;
+  try {
+    util::Socket sock =
+        addr->is_unix()
+            ? util::connect_unix(addr->unix_path,
+                                 config_.backend_connect_timeout_ms)
+            : util::connect_tcp(addr->host, addr->port,
+                                config_.backend_connect_timeout_ms);
+    if (config_.backend_io_timeout_ms > 0) {
+      sock.set_io_timeout_ms(config_.backend_io_timeout_ms);
+    }
+    auto [pos, inserted] = upstreams.insert_or_assign(id, std::move(sock));
+    return &pos->second;
+  } catch (const util::SocketError&) {
+    return nullptr;
+  }
+}
+
+bool Router::forward(UpstreamMap& upstreams, const std::string& id,
+                     const Frame& request, Frame& response) {
+  util::Socket* sock = upstream(upstreams, id);
+  if (sock == nullptr) {
+    pool_->report_failure(id);
+    return false;
+  }
+  try {
+    serve::write_frame(*sock, request.type, request.payload);
+    if (!serve::read_frame(*sock, response, config_.max_frame_bytes)) {
+      throw serve::ProtocolError("backend closed the connection");
+    }
+  } catch (const std::exception&) {
+    // SocketError, ProtocolError or EOF: the upstream byte stream is gone
+    // or unsynchronizable either way. Drop the socket, evict the shard.
+    upstreams.erase(id);
+    pool_->report_failure(id);
+    return false;
+  }
+  count_request(id);
+  return true;
+}
+
+std::uint64_t Router::placement_key(std::uint64_t netlist_hash,
+                                    const std::string& model) const {
+  std::uint64_t lib_hash = pool_->library_hash_for(model);
+  if (lib_hash == 0) lib_hash = util::fnv1a64(model);
+  return util::hash_mix(netlist_hash, lib_hash);
+}
+
+std::pair<MsgType, std::string> Router::route_predict(UpstreamMap& upstreams,
+                                                      const Frame& frame) {
+  std::vector<std::string> chain;
+  if (frame.type == MsgType::kPredict) {
+    serve::PredictRequest req;
+    try {
+      req = serve::PredictRequest::decode(frame.payload);
+    } catch (const serve::ProtocolError& e) {
+      return error_reply(ErrorCode::kBadRequest, e.what());
+    }
+    chain = pool_->route(
+        placement_key(util::fnv1a64(req.netlist_verilog), req.model));
+  } else {
+    // Unkeyed requests (ListModels): any live shard will do; use the chain
+    // for a fixed key so the answer is deterministic while the ring is.
+    chain = pool_->route(0);
+  }
+  if (chain.empty()) {
+    return error_reply(ErrorCode::kInternal,
+                       "no live backends (ring is empty)");
+  }
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const std::string& id = chain[i];
+    Frame response;
+    if (!forward(upstreams, id, frame, response)) {
+      count_failover(id);
+      continue;
+    }
+    if (response.type == MsgType::kError) {
+      ErrorResponse err;
+      try {
+        err = ErrorResponse::decode(response.payload);
+      } catch (const serve::ProtocolError&) {
+        err.code = ErrorCode::kInternal;
+      }
+      if (err.code == ErrorCode::kShuttingDown) {
+        // The shard is draining, not broken: take it out of new placements
+        // and let the successor serve this request.
+        pool_->report_draining(id);
+        count_failover(id);
+        continue;
+      }
+      // Authoritative: the backend looked at the request and said no
+      // (unknown model, bad request, unknown design, ...). Relay it.
+      count_error(id);
+    }
+    return {response.type, response.payload};
+  }
+  return error_reply(ErrorCode::kInternal,
+                     "all " + std::to_string(chain.size()) +
+                         " candidate backends failed");
+}
+
+bool Router::replay_stream(UpstreamMap& upstreams, const std::string& id,
+                           const StreamRelay& relay, Frame& error,
+                           bool& authoritative) {
+  authoritative = false;
+  Frame request;
+  request.type = MsgType::kStreamBegin;
+  request.payload = relay.begin_payload;
+  Frame response;
+  if (!forward(upstreams, id, request, response)) return false;
+  if (response.type == MsgType::kError) {
+    // e.g. kUnknownDesign: the successor's cache is cold for a design-by-
+    // hash stream. That is the client's fallback protocol, not ours.
+    error = std::move(response);
+    authoritative = true;
+    return false;
+  }
+  request.type = MsgType::kStreamChunk;
+  for (const std::string& chunk : relay.chunk_payloads) {
+    request.payload = chunk;
+    if (!forward(upstreams, id, request, response)) return false;
+    if (response.type == MsgType::kError) {
+      error = std::move(response);
+      authoritative = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Router::failover_stream(UpstreamMap& upstreams, StreamRelay& relay,
+                             std::pair<MsgType, std::string>& reply) {
+  count_failover(relay.backend);
+  while (++relay.chain_pos < relay.chain.size()) {
+    const std::string& candidate = relay.chain[relay.chain_pos];
+    Frame error;
+    bool authoritative = false;
+    if (replay_stream(upstreams, candidate, relay, error, authoritative)) {
+      relay.backend = candidate;
+      return true;
+    }
+    if (authoritative) {
+      count_error(candidate);
+      reply = {error.type, error.payload};
+      relay.reset();
+      return false;
+    }
+    count_failover(candidate);
+  }
+  reply = error_reply(ErrorCode::kInternal,
+                      "stream failover exhausted all candidate backends");
+  relay.reset();
+  return false;
+}
+
+std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
+                                                      const Frame& frame,
+                                                      StreamRelay& relay) {
+  if (frame.type == MsgType::kStreamBegin) {
+    if (relay.active) {
+      // Mirror the backend contract (stream_begin while active is a
+      // protocol error that discards the upload) — and close the pinned
+      // upstream so the backend's per-connection stream state dies too,
+      // keeping router and shard in sync for the client's retry.
+      upstreams.erase(relay.backend);
+      relay.reset();
+      return error_reply(ErrorCode::kStreamProtocol,
+                         "stream_begin while a stream is active (partial "
+                         "upload discarded)");
+    }
+    serve::StreamBeginRequest begin;
+    try {
+      begin = serve::StreamBeginRequest::decode(frame.payload);
+    } catch (const serve::ProtocolError& e) {
+      return error_reply(ErrorCode::kBadRequest, e.what());
+    }
+    if (begin.trace_bytes == 0 ||
+        begin.trace_bytes > config_.max_stream_bytes) {
+      // Enforced here because the declared size bounds the replay buffer.
+      return error_reply(
+          ErrorCode::kStreamProtocol,
+          "declared trace size " + std::to_string(begin.trace_bytes) +
+              " outside (0, " + std::to_string(config_.max_stream_bytes) +
+              "]");
+    }
+    const std::uint64_t netlist_hash = begin.design_hash != 0
+                                           ? begin.design_hash
+                                           : util::fnv1a64(begin.netlist_verilog);
+    std::vector<std::string> chain =
+        pool_->route(placement_key(netlist_hash, begin.model));
+    if (chain.empty()) {
+      return error_reply(ErrorCode::kInternal,
+                         "no live backends (ring is empty)");
+    }
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      Frame response;
+      if (!forward(upstreams, chain[i], frame, response)) {
+        count_failover(chain[i]);
+        continue;
+      }
+      if (response.type == MsgType::kError) {
+        ErrorResponse err;
+        try {
+          err = ErrorResponse::decode(response.payload);
+        } catch (const serve::ProtocolError&) {
+          err.code = ErrorCode::kInternal;
+        }
+        if (err.code == ErrorCode::kShuttingDown) {
+          pool_->report_draining(chain[i]);
+          count_failover(chain[i]);
+          continue;
+        }
+        count_error(chain[i]);
+        return {response.type, response.payload};
+      }
+      relay.active = true;
+      relay.backend = chain[i];
+      relay.chain = std::move(chain);
+      relay.chain_pos = i;
+      relay.begin_payload = frame.payload;
+      return {response.type, response.payload};
+    }
+    return error_reply(ErrorCode::kInternal,
+                       "all " + std::to_string(chain.size()) +
+                           " candidate backends failed");
+  }
+
+  // Chunk / End.
+  if (!relay.active) {
+    return error_reply(ErrorCode::kStreamProtocol,
+                       frame.type == MsgType::kStreamChunk
+                           ? "stream_chunk without stream_begin"
+                           : "stream_end without stream_begin");
+  }
+  for (;;) {
+    Frame response;
+    if (!forward(upstreams, relay.backend, frame, response)) {
+      std::pair<MsgType, std::string> reply;
+      if (!failover_stream(upstreams, relay, reply)) return reply;
+      continue;  // stream replayed onto the successor; re-send this frame
+    }
+    if (response.type == MsgType::kError) {
+      ErrorResponse err;
+      try {
+        err = ErrorResponse::decode(response.payload);
+      } catch (const serve::ProtocolError&) {
+        err.code = ErrorCode::kInternal;
+      }
+      if (err.code == ErrorCode::kShuttingDown) {
+        // Only StreamEnd's predict dispatch answers this; the upload is
+        // fully buffered, so replaying it to the successor turns a drain
+        // into a transparent retry.
+        pool_->report_draining(relay.backend);
+        std::pair<MsgType, std::string> reply;
+        if (!failover_stream(upstreams, relay, reply)) return reply;
+        continue;
+      }
+      // Authoritative rejection: the backend discarded the upload; drop
+      // our copy and relay.
+      count_error(relay.backend);
+      relay.reset();
+      return {response.type, response.payload};
+    }
+    if (frame.type == MsgType::kStreamChunk) {
+      relay.chunk_payloads.push_back(frame.payload);
+      return {response.type, response.payload};
+    }
+    // StreamEnd answered with the prediction: the stream is done.
+    relay.reset();
+    return {response.type, response.payload};
+  }
+}
+
+std::pair<MsgType, std::string> Router::admin_fanout(const Frame& frame) {
+  if (!config_.allow_admin) {
+    return error_reply(ErrorCode::kAdminDisabled,
+                       "model administration is disabled "
+                       "(start the router with --allow-admin)");
+  }
+  const std::vector<BackendAddress> backends = pool_->all_backends();
+  std::ostringstream report;
+  std::size_t ok = 0;
+  // Fresh bounded connections rather than the data-path upstreams: admin
+  // must reach *every* configured shard, including ones currently out of
+  // the ring, and a wedged shard must cost a bounded wait, not a hang.
+  serve::ClientOptions options;
+  options.connect_timeout_ms = config_.backend_connect_timeout_ms;
+  options.io_timeout_ms = std::max(config_.probe.timeout_ms * 10, 10000);
+  for (const BackendAddress& addr : backends) {
+    report << addr.id << ": ";
+    try {
+      util::Socket sock =
+          addr.is_unix()
+              ? util::connect_unix(addr.unix_path, options.connect_timeout_ms)
+              : util::connect_tcp(addr.host, addr.port,
+                                  options.connect_timeout_ms);
+      sock.set_io_timeout_ms(options.io_timeout_ms);
+      serve::write_frame(sock, frame.type, frame.payload);
+      Frame response;
+      if (!serve::read_frame(sock, response, config_.max_frame_bytes)) {
+        throw serve::ProtocolError("backend closed the connection");
+      }
+      if (response.type == MsgType::kAdminOk) {
+        report << serve::decode_string_payload(response.payload);
+        ++ok;
+      } else if (response.type == MsgType::kError) {
+        const ErrorResponse err = ErrorResponse::decode(response.payload);
+        report << "error " << serve::error_code_name(err.code) << ": "
+               << err.message;
+      } else {
+        report << "unexpected response type "
+               << static_cast<std::uint32_t>(response.type);
+      }
+    } catch (const std::exception& e) {
+      report << "unreachable: " << e.what();
+    }
+    report << "\n";
+  }
+  // A load/unload changes the model -> library binding the placement key
+  // depends on; refresh it now instead of waiting out a probe interval.
+  pool_->probe_all_now();
+  const std::string text = std::to_string(ok) + "/" +
+                           std::to_string(backends.size()) + " backends ok\n" +
+                           report.str();
+  if (ok == backends.size()) {
+    return {MsgType::kAdminOk, serve::encode_string_payload(text)};
+  }
+  return error_reply(ErrorCode::kInternal,
+                     "admin fan-out incomplete: " + text);
+}
+
+}  // namespace atlas::router

@@ -1,0 +1,203 @@
+// atlas_router: a sharding front tier speaking the same ATSP protocol as
+// atlas_serve, so every existing client (atlas_client, serve::Client,
+// bench_serve) points at a router unchanged.
+//
+// Request handling splits three ways:
+//
+//   * **Routed data path** (Predict, StreamBegin/Chunk/End): the router
+//     computes the backends' own design-cache key — hash_mix(netlist
+//     content hash, Liberty content hash of the request's model, learned
+//     from backend model lists) — and forwards the raw frames to the shard
+//     the hash ring owns that key to. One (design, substrate) pair lands on
+//     exactly one shard, so N backends hold N disjoint warm feature caches
+//     instead of N copies of the same one. Transport failures and
+//     kShuttingDown replies evict the shard from the ring and fail the
+//     request over to the ring successor — the shard that inherits the
+//     key's arc — transparently to the client; every other backend Error
+//     is authoritative and relayed (kUnknownDesign in particular drives
+//     the client's documented full-upload fallback).
+//   * **Streamed uploads** are pinned: the whole Begin/Chunk*/End exchange
+//     goes to one shard over one upstream connection (backend stream state
+//     is per-connection). The router buffers the acked frames — bounded by
+//     the declared trace size, which is validated against max_stream_bytes
+//     at Begin — so a backend dying mid-upload is survivable: the buffered
+//     prefix is replayed to the successor and the stream continues.
+//   * **Local + fan-out control plane**: Ping, Health (aggregated over
+//     live shards), Stats (per-backend table), Metrics (the router
+//     process's Prometheus registry) and Shutdown are answered by the
+//     router itself; LoadModel/UnloadModel fan out to every configured
+//     backend — models are replicated fleet-wide, designs are sharded —
+//     and the reply aggregates per-shard status (any shard failing turns
+//     the aggregate into an Error naming exactly which shards diverged).
+//
+// Threading mirrors serve::Server: one accept thread per listener, one
+// thread per client connection. Each connection thread owns its upstream
+// sockets (one per backend, lazily connected, reused across requests), so
+// the data path shares no mutable state across connections — only the
+// BackendPool (internally locked) and the obs metrics registry (atomics).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "router/backend_pool.h"
+#include "serve/protocol.h"
+#include "util/socket.h"
+
+namespace atlas::router {
+
+struct RouterConfig {
+  /// TCP endpoint; port 0 binds an ephemeral port (see Router::port()),
+  /// port < 0 disables TCP.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Unix-domain socket path; empty disables.
+  std::string unix_path;
+
+  std::size_t max_frame_bytes = serve::kDefaultMaxFrameBytes;
+  /// Bound on the per-stream replay buffer (and thus on what StreamBegin
+  /// may declare). Should not exceed the backends' own max_stream_bytes —
+  /// they would reject the upload anyway.
+  std::size_t max_stream_bytes = 256ull << 20;  // 256 MiB
+
+  ProbeConfig probe;
+
+  /// Data-path upstream connect bound. IO on an established upstream is
+  /// deliberately unbounded by default: a predict may legitimately compute
+  /// for a long time, and a dead backend surfaces as a socket error, not
+  /// a silent stall (the kernel detects the close).
+  int backend_connect_timeout_ms = 2000;
+  int backend_io_timeout_ms = 0;
+
+  /// Honor LoadModel/UnloadModel fan-out. Off by default, mirroring
+  /// atlas_serve: admin is an operator capability. The backends enforce
+  /// their own flag too — this gate just fails fast at the tier edge.
+  bool allow_admin = false;
+  bool verbose = false;
+};
+
+class Router {
+ public:
+  Router(RouterConfig config, std::vector<BackendAddress> backends);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Probe the fleet once (so the ring is populated), start the prober,
+  /// bind listeners, launch accept threads.
+  void start();
+  void stop();
+
+  /// Resolved TCP port after an ephemeral bind; -1 when TCP is disabled.
+  int port() const { return resolved_port_; }
+
+  bool stop_requested() const { return stop_requested_.load(); }
+  void wait_for_stop_request(const std::function<bool()>& poll = {});
+
+  /// Membership/liveness state (tests assert on it directly).
+  BackendPool& pool() { return *pool_; }
+
+  /// The per-backend table the Stats wire request answers with.
+  std::string stats_text() const;
+
+ private:
+  struct Connection {
+    util::Socket sock;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  /// Lazily-connected upstream sockets, one per backend id, owned by a
+  /// single connection thread.
+  using UpstreamMap = std::map<std::string, util::Socket>;
+  /// Streamed-upload relay state (per client connection).
+  struct StreamRelay {
+    bool active = false;
+    std::string backend;             // pinned shard
+    std::vector<std::string> chain;  // failover order captured at Begin
+    std::size_t chain_pos = 0;
+    std::string begin_payload;              // raw Begin payload, for replay
+    std::vector<std::string> chunk_payloads;  // acked chunks, in order
+
+    void reset() {
+      active = false;
+      backend.clear();
+      chain.clear();
+      chain_pos = 0;
+      begin_payload.clear();
+      chunk_payloads.clear();
+      chunk_payloads.shrink_to_fit();
+    }
+  };
+
+  void accept_loop(util::Listener* listener);
+  void connection_loop(Connection* conn);
+  void reap_finished_connections();
+
+  /// Borrow (connecting if needed) the upstream socket for `id`; nullptr
+  /// when the backend is unknown or unreachable.
+  util::Socket* upstream(UpstreamMap& upstreams, const std::string& id);
+  /// One raw round-trip to `id`. Returns false on transport failure
+  /// (connect/send/recv error, framing corruption, EOF) — the upstream
+  /// socket is dropped and the pool told — after which the caller fails
+  /// over. A reply frame of any type (including Error) returns true.
+  bool forward(UpstreamMap& upstreams, const std::string& id,
+               const serve::Frame& request, serve::Frame& response);
+
+  /// The placement key for (netlist hash, model): mixes in the model's
+  /// Liberty content hash when the prober has learned it, else a hash of
+  /// the model name (correct partitioning, no cross-model design sharing).
+  std::uint64_t placement_key(std::uint64_t netlist_hash,
+                              const std::string& model) const;
+
+  std::pair<serve::MsgType, std::string> route_predict(UpstreamMap& upstreams,
+                                                       const serve::Frame& frame);
+  std::pair<serve::MsgType, std::string> handle_stream(UpstreamMap& upstreams,
+                                                       const serve::Frame& frame,
+                                                       StreamRelay& relay);
+  /// Replay the buffered stream prefix (Begin + acked chunks) to `id`.
+  /// Returns true when every frame was acked; an authoritative error reply
+  /// lands in `error` with `authoritative` = true (relay it, the stream is
+  /// dead); transport failure returns false with `authoritative` = false
+  /// (try the next candidate).
+  bool replay_stream(UpstreamMap& upstreams, const std::string& id,
+                     const StreamRelay& relay, serve::Frame& error,
+                     bool& authoritative);
+  /// Fail the active stream over to the next candidate in its chain,
+  /// replaying the buffered prefix. Returns true and repoints
+  /// relay.backend on success; on authoritative rejection or chain
+  /// exhaustion returns false with the reply to send in `reply`.
+  bool failover_stream(UpstreamMap& upstreams, StreamRelay& relay,
+                       std::pair<serve::MsgType, std::string>& reply);
+
+  std::pair<serve::MsgType, std::string> admin_fanout(const serve::Frame& frame);
+  serve::HealthResponse health_snapshot() const;
+
+  RouterConfig config_;
+  std::unique_ptr<BackendPool> pool_;
+
+  util::Listener tcp_listener_;
+  util::Listener unix_listener_;
+  int resolved_port_ = -1;
+
+  std::vector<std::thread> accept_threads_;
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace atlas::router

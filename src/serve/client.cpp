@@ -4,12 +4,22 @@
 
 namespace atlas::serve {
 
-Client Client::connect_tcp(const std::string& host, int port) {
-  return Client(util::connect_tcp(host, port));
+Client Client::connect_tcp(const std::string& host, int port,
+                           const ClientOptions& options) {
+  Client c(util::connect_tcp(host, port, options.connect_timeout_ms));
+  if (options.io_timeout_ms > 0) c.set_io_timeout_ms(options.io_timeout_ms);
+  return c;
 }
 
-Client Client::connect_unix(const std::string& path) {
-  return Client(util::connect_unix(path));
+Client Client::connect_unix(const std::string& path,
+                            const ClientOptions& options) {
+  Client c(util::connect_unix(path, options.connect_timeout_ms));
+  if (options.io_timeout_ms > 0) c.set_io_timeout_ms(options.io_timeout_ms);
+  return c;
+}
+
+void Client::set_io_timeout_ms(int timeout_ms) {
+  sock_.set_io_timeout_ms(timeout_ms);
 }
 
 Frame Client::round_trip(MsgType type, const std::string& payload,
@@ -33,6 +43,12 @@ Frame Client::round_trip(MsgType type, const std::string& payload,
 
 void Client::ping() {
   round_trip(MsgType::kPing, std::string(), MsgType::kPong);
+}
+
+HealthResponse Client::health() {
+  const Frame resp =
+      round_trip(MsgType::kHealth, std::string(), MsgType::kHealthReport);
+  return HealthResponse::decode(resp.payload);
 }
 
 PredictResponse Client::predict(const PredictRequest& request) {

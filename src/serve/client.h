@@ -26,13 +26,36 @@ class ServeError : public std::runtime_error {
   ErrorCode code_;
 };
 
+/// Connection-time knobs. Both default to 0 = block indefinitely, the
+/// historical behavior; anything talking to peers it does not control (the
+/// router's prober and failover paths, scripts against remote daemons)
+/// should set both so a dead or wedged peer costs a bounded wait.
+struct ClientOptions {
+  /// TCP/UDS handshake bound (ms); expiry throws util::SocketError.
+  int connect_timeout_ms = 0;
+  /// Per-recv/send bound (ms) on the connected socket. A peer that accepts
+  /// but never answers surfaces as util::SocketError("recv timed out").
+  int io_timeout_ms = 0;
+};
+
 class Client {
  public:
-  static Client connect_tcp(const std::string& host, int port);
-  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port,
+                            const ClientOptions& options = {});
+  static Client connect_unix(const std::string& path,
+                             const ClientOptions& options = {});
+
+  /// Re-bound (or clear, with 0) the per-recv/send timeout mid-session —
+  /// e.g. a prober that connects with a tight bound but allows a longer
+  /// window for an admin fan-out reply.
+  void set_io_timeout_ms(int timeout_ms);
 
   /// Round-trip a ping; throws on any failure.
   void ping();
+
+  /// Rich readiness probe: registry generation, cache occupancy, queue
+  /// depth, drain state (see HealthResponse).
+  HealthResponse health();
 
   PredictResponse predict(const PredictRequest& request);
 

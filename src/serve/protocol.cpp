@@ -59,6 +59,21 @@ T decode_payload(const std::string& payload, Fn&& fn) {
 
 }  // namespace
 
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "kBadRequest";
+    case ErrorCode::kUnknownModel: return "kUnknownModel";
+    case ErrorCode::kUnknownWorkload: return "kUnknownWorkload";
+    case ErrorCode::kDeadlineExceeded: return "kDeadlineExceeded";
+    case ErrorCode::kShuttingDown: return "kShuttingDown";
+    case ErrorCode::kInternal: return "kInternal";
+    case ErrorCode::kStreamProtocol: return "kStreamProtocol";
+    case ErrorCode::kAdminDisabled: return "kAdminDisabled";
+    case ErrorCode::kUnknownDesign: return "kUnknownDesign";
+  }
+  return "kUnknownErrorCode";
+}
+
 std::string encode_frame(MsgType type, const std::string& payload) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
@@ -268,6 +283,7 @@ std::string ModelListResponse::encode() const {
       write_u64(os, m.encoder_dim);
       write_string(os, m.library);
       write_u64(os, m.generation);
+      write_u64(os, m.library_hash);
     }
   });
 }
@@ -281,9 +297,36 @@ ModelListResponse ModelListResponse::decode(const std::string& payload) {
       m.encoder_dim = read_u64(s);
       m.library = read_string(s);
       m.generation = read_u64(s);
+      m.library_hash = read_u64(s);
       return m;
     });
     return r;
+  });
+}
+
+std::string HealthResponse::encode() const {
+  return encode_payload([this](std::ostream& os) {
+    write_u64(os, registry_generation);
+    write_u64(os, num_models);
+    write_u64(os, cache_designs);
+    write_u64(os, cache_total_bytes);
+    write_u64(os, cache_embedding_bytes);
+    write_u64(os, queue_depth);
+    write_u32(os, draining ? 1u : 0u);
+  });
+}
+
+HealthResponse HealthResponse::decode(const std::string& payload) {
+  return decode_payload<HealthResponse>(payload, [](std::istream& is) {
+    HealthResponse h;
+    h.registry_generation = read_u64(is);
+    h.num_models = read_u64(is);
+    h.cache_designs = read_u64(is);
+    h.cache_total_bytes = read_u64(is);
+    h.cache_embedding_bytes = read_u64(is);
+    h.queue_depth = read_u64(is);
+    h.draining = read_u32(is) != 0;
+    return h;
   });
 }
 

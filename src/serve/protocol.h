@@ -16,10 +16,16 @@
 // allocation bomb or a crash.
 //
 // Requests: Ping, Predict, ListModels, Stats, Shutdown, Metrics,
-// StreamBegin, StreamChunk, StreamEnd, LoadModel, UnloadModel.
+// StreamBegin, StreamChunk, StreamEnd, LoadModel, UnloadModel, Health.
 // Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk,
-// MetricsText, StreamAck, AdminOk, Error.
+// MetricsText, StreamAck, AdminOk, HealthReport, Error.
 // One response frame per request frame, in request order per connection.
+//
+// Health is the readiness probe a routing tier keys decisions off: unlike
+// ping (which only proves the accept loop is alive) it reports registry
+// generation, feature-cache occupancy, dispatcher queue depth and drain
+// state, so a prober can tell "up", "up but draining" and "up but
+// overloaded" apart without scraping the full metrics text.
 //
 // LoadModel / UnloadModel mutate the daemon's model registry at runtime
 // (pick up a freshly fine-tuned artifact, retire an old one) and are only
@@ -71,6 +77,7 @@ enum class MsgType : std::uint32_t {
   kStreamEnd = 9,
   kLoadModel = 10,
   kUnloadModel = 11,
+  kHealth = 12,
   // Responses.
   kPong = 100,
   kPredictOk = 101,
@@ -80,6 +87,7 @@ enum class MsgType : std::uint32_t {
   kMetricsText = 105,
   kStreamAck = 106,
   kAdminOk = 107,
+  kHealthReport = 108,
   kError = 199,
 };
 
@@ -94,6 +102,11 @@ enum class ErrorCode : std::uint32_t {
   kAdminDisabled = 8,    // load/unload without --allow-admin
   kUnknownDesign = 9,    // design_hash not in the cache; re-send the netlist
 };
+
+/// Stable enum-style name ("kUnknownModel", ...) for diagnostics and smoke
+/// scripts that assert on error classes; values outside the enum render as
+/// "kUnknownErrorCode".
+const char* error_code_name(ErrorCode code);
 
 struct Frame {
   MsgType type = MsgType::kPing;
@@ -234,6 +247,11 @@ struct ModelInfo {
   std::string library;
   /// Registry generation of the current binding (bumped by every reload).
   std::uint64_t generation = 0;
+  /// liberty::content_hash of that library — the second component of the
+  /// design-cache key. A routing tier mixes this with the netlist content
+  /// hash so one (design, substrate) pair lives on exactly one shard, and
+  /// model names sharing a substrate share that shard's parsed designs.
+  std::uint64_t library_hash = 0;
 };
 
 struct ModelListResponse {
@@ -241,6 +259,28 @@ struct ModelListResponse {
 
   std::string encode() const;
   static ModelListResponse decode(const std::string& payload);
+};
+
+/// Rich readiness report (kHealth -> kHealthReport). Every field is a value
+/// the server already tracks (registry counter, feature-cache occupancy,
+/// dispatcher queue) — this request just snapshots them in one frame.
+struct HealthResponse {
+  /// Registry-wide load counter: bumps on every model (re)load, so a
+  /// routing tier can detect "this shard saw an admin change".
+  std::uint64_t registry_generation = 0;
+  std::uint64_t num_models = 0;
+  /// Feature-cache occupancy: design entries and approximate bytes held.
+  std::uint64_t cache_designs = 0;
+  std::uint64_t cache_total_bytes = 0;
+  std::uint64_t cache_embedding_bytes = 0;
+  /// Predict jobs waiting for the dispatcher (not yet running).
+  std::uint64_t queue_depth = 0;
+  /// True once the server started draining (stop requested or stopping):
+  /// answer what's in flight, send no new work here.
+  bool draining = false;
+
+  std::string encode() const;
+  static HealthResponse decode(const std::string& payload);
 };
 
 struct ErrorResponse {

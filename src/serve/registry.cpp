@@ -66,7 +66,8 @@ std::vector<ModelSummary> ModelRegistry::list() const {
   out.reserve(models_.size());
   for (const auto& [name, entry] : models_) {
     out.push_back({name, entry->model->encoder().dim(),
-                   entry->library->name(), entry->generation});
+                   entry->library->name(), entry->generation,
+                   entry->library_hash});
   }
   return out;
 }
@@ -74,6 +75,11 @@ std::vector<ModelSummary> ModelRegistry::list() const {
 std::size_t ModelRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return models_.size();
+}
+
+std::uint64_t ModelRegistry::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_generation_;
 }
 
 }  // namespace atlas::serve

@@ -49,6 +49,9 @@ struct ModelSummary {
   std::size_t encoder_dim = 0;
   std::string library;
   std::uint64_t generation = 0;
+  /// Content hash of the bound library (ModelEntry::library_hash) — lets a
+  /// routing tier compute this server's design-cache keys remotely.
+  std::uint64_t library_hash = 0;
 };
 
 class ModelRegistry {
@@ -76,6 +79,11 @@ class ModelRegistry {
   std::vector<ModelSummary> list() const;
 
   std::size_t size() const;
+
+  /// Value of the registry-wide generation counter: the number of loads
+  /// this registry ever performed. A health probe exposes it so a routing
+  /// tier can detect admin churn on a shard without diffing model lists.
+  std::uint64_t generation() const;
 
   /// The process-shared default library entry backing models registered
   /// without an explicit substrate (also used by tools/tests that need the

@@ -139,6 +139,23 @@ std::string Server::stats_text() const {
   return stats_.render_text(cache_.stats());
 }
 
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+HealthResponse Server::health_snapshot() const {
+  HealthResponse h;
+  h.registry_generation = registry_->generation();
+  h.num_models = registry_->size();
+  h.cache_designs = cache_.num_designs();
+  h.cache_total_bytes = cache_.total_bytes();
+  h.cache_embedding_bytes = cache_.embedding_bytes();
+  h.queue_depth = queue_depth();
+  h.draining = stopping_.load() || stop_requested_.load();
+  return h;
+}
+
 std::string Server::metrics_text() {
   return obs::Registry::global().render_prometheus();
 }
@@ -211,13 +228,18 @@ void Server::connection_loop(Connection* conn) {
         case MsgType::kListModels: {
           ModelListResponse resp;
           for (const ModelSummary& m : registry_->list()) {
-            resp.models.push_back(
-                {m.name, m.encoder_dim, m.library, m.generation});
+            resp.models.push_back({m.name, m.encoder_dim, m.library,
+                                   m.generation, m.library_hash});
           }
           write_frame(sock, MsgType::kModelList, resp.encode());
           stats_.record("models", elapsed_us(received_at), false);
           break;
         }
+        case MsgType::kHealth:
+          write_frame(sock, MsgType::kHealthReport,
+                      health_snapshot().encode());
+          stats_.record("health", elapsed_us(received_at), false);
+          break;
         case MsgType::kStats:
           write_frame(sock, MsgType::kStatsText,
                       encode_string_payload(stats_text()));

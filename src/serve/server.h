@@ -123,6 +123,11 @@ class Server {
   const ServerConfig& config() const { return config_; }
   const ModelRegistry& registry() const { return *registry_; }
   FeatureCacheStats cache_stats() const { return cache_.stats(); }
+  /// Predict jobs waiting for the dispatcher right now.
+  std::size_t queue_depth() const;
+  /// The snapshot a kHealth wire request answers with (also used by
+  /// in-process tests and benches).
+  HealthResponse health_snapshot() const;
   std::string stats_text() const;
   /// Prometheus text exposition of the process-wide metrics registry
   /// (request histograms, cache gauges, thread-pool counters, ...).
@@ -223,7 +228,7 @@ class Server {
   std::mutex conns_mu_;
   std::vector<std::unique_ptr<Connection>> conns_;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<PendingJob>> queue_;
 

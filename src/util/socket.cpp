@@ -3,10 +3,12 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -56,6 +58,9 @@ void Socket::send_all(const void* data, std::size_t n) {
     const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketError("send timed out");
+      }
       raise_errno("send");
     }
     p += w;
@@ -70,6 +75,9 @@ bool Socket::recv_exact(void* data, std::size_t n) {
     const ssize_t r = ::recv(fd_, p + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw SocketError("recv timed out");
+      }
       raise_errno("recv");
     }
     if (r == 0) {
@@ -79,6 +87,20 @@ bool Socket::recv_exact(void* data, std::size_t n) {
     got += static_cast<std::size_t>(r);
   }
   return true;
+}
+
+void Socket::set_io_timeout_ms(int timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    raise_errno("setsockopt SO_RCVTIMEO");
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    raise_errno("setsockopt SO_SNDTIMEO");
+  }
 }
 
 void Socket::shutdown_read() {
@@ -176,30 +198,72 @@ void Listener::close() {
   }
 }
 
-Socket connect_tcp(const std::string& host, int port) {
+namespace {
+
+/// Connect `fd` to `addr`, optionally bounded by a timeout. A bounded
+/// connect runs non-blocking (connect + poll for writability + SO_ERROR
+/// check) and restores the blocking flag before returning, so callers see
+/// an ordinary blocking socket either way.
+void connect_fd(int fd, const sockaddr* addr, socklen_t len,
+                const std::string& what, int timeout_ms) {
+  if (timeout_ms <= 0) {
+    while (::connect(fd, addr, len) != 0) {
+      if (errno == EINTR) continue;
+      raise_errno("connect " + what);
+    }
+    return;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) raise_errno("fcntl F_GETFL");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    raise_errno("fcntl F_SETFL O_NONBLOCK");
+  }
+  int rc = ::connect(fd, addr, len);
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    raise_errno("connect " + what);
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) raise_errno("poll");
+    if (n == 0) {
+      throw SocketError("connect " + what + " timed out after " +
+                        std::to_string(timeout_ms) + "ms");
+    }
+    int err = 0;
+    socklen_t errlen = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) != 0) {
+      raise_errno("getsockopt SO_ERROR");
+    }
+    if (err != 0) {
+      throw SocketError("connect " + what + ": " + std::strerror(err));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) raise_errno("fcntl F_SETFL restore");
+}
+
+}  // namespace
+
+Socket connect_tcp(const std::string& host, int port, int connect_timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) raise_errno("socket");
   Socket s(fd);
   sockaddr_in addr = make_inet_addr(host, port);
-  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (errno == EINTR) continue;
-    raise_errno("connect " + host + ":" + std::to_string(port));
-  }
+  connect_fd(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+             host + ":" + std::to_string(port), connect_timeout_ms);
   const int one = 1;
   // Request/response framing: flush small frames immediately.
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return s;
 }
 
-Socket connect_unix(const std::string& path) {
+Socket connect_unix(const std::string& path, int connect_timeout_ms) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) raise_errno("socket");
   Socket s(fd);
   sockaddr_un addr = make_unix_addr(path);
-  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (errno == EINTR) continue;
-    raise_errno("connect " + path);
-  }
+  connect_fd(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr), path,
+             connect_timeout_ms);
   return s;
 }
 

@@ -42,6 +42,13 @@ class Socket {
   /// byte; throws SocketError on mid-buffer EOF or errors.
   bool recv_exact(void* data, std::size_t n);
 
+  /// Bound every subsequent recv/send (SO_RCVTIMEO / SO_SNDTIMEO): a peer
+  /// that stops reading or never answers surfaces as SocketError("... timed
+  /// out") instead of blocking the caller forever. 0 restores blocking
+  /// forever. Routing-tier probers and failover paths depend on this — a
+  /// wedged backend must cost a bounded wait, not a stuck thread.
+  void set_io_timeout_ms(int timeout_ms);
+
   /// Half-close the read side: a peer (or another thread) blocked in
   /// recv_exact observes EOF while pending writes still flush.
   void shutdown_read();
@@ -83,7 +90,11 @@ class Listener {
   std::string unlink_path_;  // UDS file removed on close
 };
 
-Socket connect_tcp(const std::string& host, int port);
-Socket connect_unix(const std::string& path);
+/// Connect to host:port. `connect_timeout_ms > 0` bounds the handshake
+/// (non-blocking connect + poll) and throws SocketError on expiry; 0 blocks
+/// until the kernel gives up. The returned socket is blocking either way.
+Socket connect_tcp(const std::string& host, int port,
+                   int connect_timeout_ms = 0);
+Socket connect_unix(const std::string& path, int connect_timeout_ms = 0);
 
 }  // namespace atlas::util

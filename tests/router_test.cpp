@@ -1,0 +1,662 @@
+// Tests for the atlas_router sharding tier: hash-ring placement properties
+// (balance, minimal movement, determinism), backend pool liveness, and
+// end-to-end 2-backend topologies — sharded cache warmth, bit-identity with
+// a direct atlas_serve, mid-workload backend death with failover (predict
+// and mid-stream), admin fan-out, and the router's metrics surface.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "atlas/finetune.h"
+#include "atlas/model.h"
+#include "atlas/preprocess.h"
+#include "atlas/pretrain.h"
+#include "designgen/design_generator.h"
+#include "graph/submodule_graph.h"
+#include "liberty/liberty_io.h"
+#include "netlist/verilog_io.h"
+#include "router/backend_pool.h"
+#include "router/hash_ring.h"
+#include "router/router.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "sim/external_trace.h"
+#include "sim/simulator.h"
+#include "sim/stimulus.h"
+#include "sim/vcd.h"
+#include "util/hash.h"
+
+namespace atlas::router {
+namespace {
+
+using serve::Client;
+using serve::ErrorCode;
+using serve::HealthResponse;
+using serve::PredictRequest;
+using serve::PredictResponse;
+using serve::ServeError;
+
+// ---- Hash ring properties -------------------------------------------------
+
+std::vector<std::string> make_backend_ids(std::size_t n) {
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back("10.0.0." + std::to_string(i + 1) + ":7433");
+  }
+  return ids;
+}
+
+TEST(HashRing, DistributionIsBalancedAcrossVirtualNodes) {
+  constexpr std::size_t kBackends = 8;
+  constexpr std::size_t kKeys = 20000;
+  HashRing ring(64);
+  for (const std::string& id : make_backend_ids(kBackends)) ring.add(id);
+
+  std::map<std::string, std::size_t> load;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    load[ring.lookup(util::hash_mix(0x9e3779b97f4a7c15ull, k))]++;
+  }
+  ASSERT_EQ(load.size(), kBackends) << "some backend owns no keys";
+  const double mean = static_cast<double>(kKeys) / kBackends;
+  for (const auto& [id, n] : load) {
+    // 64 vnodes keeps the spread well inside 2x of fair share; a ring bug
+    // (bad mixing, vnode collisions) blows far past this.
+    EXPECT_GT(static_cast<double>(n), 0.45 * mean) << id;
+    EXPECT_LT(static_cast<double>(n), 1.8 * mean) << id;
+  }
+}
+
+TEST(HashRing, RemovalMovesOnlyTheRemovedBackendsKeys) {
+  constexpr std::size_t kBackends = 6;
+  constexpr std::size_t kKeys = 10000;
+  const std::vector<std::string> ids = make_backend_ids(kBackends);
+  HashRing ring(64);
+  for (const std::string& id : ids) ring.add(id);
+
+  std::vector<std::uint64_t> keys;
+  std::vector<std::string> before;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    keys.push_back(util::hash_mix(0x517cc1b727220a95ull, k));
+    before.push_back(ring.lookup(keys.back()));
+  }
+
+  const std::string& victim = ids[2];
+  ASSERT_TRUE(ring.remove(victim));
+  std::size_t moved = 0;
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    const std::string after = ring.lookup(keys[k]);
+    if (before[k] == victim) {
+      EXPECT_NE(after, victim);
+      ++moved;
+    } else {
+      // The consistent-hashing contract: keys not owned by the removed
+      // backend do not move at all.
+      EXPECT_EQ(after, before[k]) << "key " << k << " moved gratuitously";
+    }
+  }
+  // The victim owned roughly 1/6 of the keyspace; all of it (and only it)
+  // was reassigned.
+  EXPECT_GT(moved, kKeys / 12);
+  EXPECT_LT(moved, kKeys / 3);
+
+  // Re-adding restores the original placement exactly (pure content
+  // hashing: membership determines placement, history does not).
+  ring.add(victim);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(ring.lookup(keys[k]), before[k]);
+  }
+}
+
+TEST(HashRing, PlacementIsDeterministicAcrossInstancesAndInsertionOrder) {
+  const std::vector<std::string> ids = make_backend_ids(5);
+  HashRing forward(64);
+  for (auto it = ids.begin(); it != ids.end(); ++it) forward.add(*it);
+  HashRing reverse(64);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) reverse.add(*it);
+  // A third instance that saw churn before converging on the same members —
+  // the "router restart mid-outage" case.
+  HashRing churned(64);
+  for (const std::string& id : ids) churned.add(id);
+  churned.remove(ids[0]);
+  churned.remove(ids[3]);
+  churned.add(ids[3]);
+  churned.add(ids[0]);
+
+  for (std::size_t k = 0; k < 5000; ++k) {
+    const std::uint64_t key = util::hash_mix(0x2545f4914f6cdd1dull, k);
+    const std::string owner = forward.lookup(key);
+    EXPECT_EQ(reverse.lookup(key), owner);
+    EXPECT_EQ(churned.lookup(key), owner);
+  }
+}
+
+TEST(HashRing, PreferenceChainIsTheFailoverOrder) {
+  const std::vector<std::string> ids = make_backend_ids(4);
+  HashRing ring(64);
+  for (const std::string& id : ids) ring.add(id);
+
+  for (std::size_t k = 0; k < 500; ++k) {
+    const std::uint64_t key = util::hash_mix(0xd6e8feb86659fd93ull, k);
+    const std::vector<std::string> chain = ring.preference(key, ids.size());
+    ASSERT_EQ(chain.size(), ids.size());
+    EXPECT_EQ(chain[0], ring.lookup(key));
+    EXPECT_EQ(std::set<std::string>(chain.begin(), chain.end()).size(),
+              chain.size())
+        << "preference chain has duplicates";
+    // The first successor is exactly where the key re-homes after the owner
+    // leaves — a failed-over request warms the shard that keeps the key.
+    HashRing without = ring;
+    without.remove(chain[0]);
+    EXPECT_EQ(without.lookup(key), chain[1]);
+  }
+}
+
+TEST(HashRing, EmptyAndSingleMemberEdges) {
+  HashRing ring(8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.lookup(42), "");
+  EXPECT_TRUE(ring.preference(42, 3).empty());
+  EXPECT_FALSE(ring.remove("ghost"));
+
+  ring.add("only:1");
+  ring.add("only:1");  // idempotent
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.lookup(0), "only:1");
+  EXPECT_EQ(ring.lookup(~0ull), "only:1");
+  EXPECT_EQ(ring.preference(7, 5), std::vector<std::string>{"only:1"});
+}
+
+// ---- Backend spec parsing -------------------------------------------------
+
+TEST(BackendSpec, ParsesTcpAndUnixForms) {
+  const BackendAddress tcp = parse_backend("127.0.0.1:7433");
+  EXPECT_FALSE(tcp.is_unix());
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7433);
+  EXPECT_EQ(tcp.id, "127.0.0.1:7433");
+
+  const BackendAddress uds = parse_backend("unix:/tmp/a.sock");
+  EXPECT_TRUE(uds.is_unix());
+  EXPECT_EQ(uds.unix_path, "/tmp/a.sock");
+  EXPECT_EQ(uds.id, "unix:/tmp/a.sock");
+
+  const auto list = parse_backend_list("127.0.0.1:1,unix:/tmp/b.sock, ");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].id, "127.0.0.1:1");
+  EXPECT_EQ(list[1].id, "unix:/tmp/b.sock");
+}
+
+TEST(BackendSpec, RejectsMalformedAndDuplicateSpecs) {
+  EXPECT_THROW(parse_backend("no-port"), std::runtime_error);
+  EXPECT_THROW(parse_backend("host:"), std::runtime_error);
+  EXPECT_THROW(parse_backend(":7433"), std::runtime_error);
+  EXPECT_THROW(parse_backend("host:notaport"), std::runtime_error);
+  EXPECT_THROW(parse_backend("host:70000"), std::runtime_error);
+  EXPECT_THROW(parse_backend("host:-1"), std::runtime_error);
+  EXPECT_THROW(parse_backend("unix:"), std::runtime_error);
+  EXPECT_THROW(parse_backend_list(""), std::runtime_error);
+  EXPECT_THROW(parse_backend_list("a:1,a:1"), std::runtime_error);
+}
+
+TEST(BackendPoolTest, UnreachableBackendNeverJoinsTheRing) {
+  // Port 1 on loopback: nothing listens there, connects fail fast.
+  ProbeConfig probe;
+  probe.interval_ms = 50;
+  probe.timeout_ms = 200;
+  BackendPool pool({parse_backend("127.0.0.1:1")}, probe);
+  pool.start();
+  EXPECT_EQ(pool.ring_size(), 0u);
+  EXPECT_TRUE(pool.route(123).empty());
+  const auto statuses = pool.snapshot();
+  ASSERT_EQ(statuses.size(), 1u);
+  EXPECT_EQ(statuses[0].state, BackendState::kDown);
+  EXPECT_FALSE(statuses[0].in_ring);
+  EXPECT_GE(statuses[0].probes_failed, 1u);
+  pool.stop();
+}
+
+// ---- End-to-end 2-backend topologies --------------------------------------
+
+constexpr int kCycles = 20;
+
+/// Expensive shared state (mirrors ServeTest): one tiny trained model, a
+/// query design, and its direct (serverless) w1 prediction.
+class RouterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new liberty::Library(liberty::make_default_library());
+
+    core::PreprocessConfig pcfg;
+    pcfg.cycles = 40;
+    const core::DesignData train = core::prepare_design(
+        designgen::paper_design_spec(1, 0.0025), *lib_, pcfg);
+
+    core::PretrainConfig pre_cfg;
+    pre_cfg.epochs = 1;
+    pre_cfg.cycles_per_graph = 1;
+    pre_cfg.dim = 16;
+    core::PretrainResult pre = core::pretrain_encoder({&train}, pre_cfg);
+    core::FinetuneConfig fcfg;
+    fcfg.gbdt.n_trees = 20;
+    fcfg.cycle_stride = 4;
+    core::GroupModels models =
+        core::finetune_models({&train}, pre.encoder, fcfg);
+    model_ = new std::shared_ptr<const core::AtlasModel>(
+        std::make_shared<const core::AtlasModel>(std::move(pre.encoder),
+                                                 std::move(models)));
+
+    const netlist::Netlist query = designgen::generate_design(
+        designgen::paper_design_spec(2, 0.0025), *lib_);
+    verilog_ = new std::string(netlist::write_verilog(query));
+    expected_w1_ = new core::Prediction(direct_predict(*verilog_));
+  }
+
+  static void TearDownTestSuite() {
+    delete expected_w1_;
+    delete verilog_;
+    delete model_;
+    delete lib_;
+    expected_w1_ = nullptr;
+    verilog_ = nullptr;
+    model_ = nullptr;
+    lib_ = nullptr;
+  }
+
+  static core::Prediction direct_predict(const std::string& verilog) {
+    netlist::Netlist gate = netlist::parse_verilog(verilog, *lib_);
+    const auto graphs = graph::build_submodule_graphs(gate);
+    sim::CycleSimulator simulator(gate);
+    sim::StimulusGenerator stimulus(gate, sim::make_w1());
+    const sim::ToggleTrace trace = simulator.run(stimulus, kCycles);
+    return (*model_)->predict(gate, graphs, trace);
+  }
+
+  /// Distinct netlist *text* (distinct content hash, so distinct placement
+  /// and cache identity) that parses to the identical design — comments are
+  /// stripped — so every variant's prediction is bit-identical to
+  /// expected_w1_. This is how the sharding tests get N designs without
+  /// training N references.
+  static std::string design_variant(int i) {
+    return *verilog_ + "\n// shard-variant " + std::to_string(i) + "\n";
+  }
+
+  static std::shared_ptr<serve::ModelRegistry> make_registry() {
+    auto registry = std::make_shared<serve::ModelRegistry>();
+    registry->add("tiny", *model_);
+    return registry;
+  }
+
+  static PredictRequest make_request(const std::string& verilog) {
+    PredictRequest req;
+    req.model = "tiny";
+    req.netlist_verilog = verilog;
+    req.workload = "w1";
+    req.cycles = kCycles;
+    req.want_submodules = true;
+    return req;
+  }
+
+  static void expect_matches(const PredictResponse& resp,
+                             const core::Prediction& expected) {
+    ASSERT_EQ(resp.num_cycles, expected.num_cycles);
+    ASSERT_EQ(resp.design.size(), expected.design.size());
+    for (std::size_t c = 0; c < expected.design.size(); ++c) {
+      // Bit-identical: routing through the tier must not perturb a single
+      // bit relative to a direct atlas_serve (it relays raw frames).
+      EXPECT_EQ(resp.design[c].comb, expected.design[c].comb) << "cycle " << c;
+      EXPECT_EQ(resp.design[c].reg, expected.design[c].reg) << "cycle " << c;
+      EXPECT_EQ(resp.design[c].clock, expected.design[c].clock)
+          << "cycle " << c;
+    }
+  }
+
+  /// Two in-process backends plus a router in front, all on ephemeral
+  /// loopback ports, probing fast enough that membership tests stay quick.
+  struct Fleet {
+    std::unique_ptr<serve::Server> a;
+    std::unique_ptr<serve::Server> b;
+    std::unique_ptr<Router> router;
+    std::string id_a;
+    std::string id_b;
+
+    Fleet() = default;
+    Fleet(Fleet&&) = default;
+    Fleet& operator=(Fleet&&) = default;
+
+    ~Fleet() {
+      if (router) router->stop();
+      if (a) a->stop();
+      if (b) b->stop();
+    }
+  };
+
+  static std::unique_ptr<serve::Server> start_backend(bool allow_admin) {
+    serve::ServerConfig cfg;
+    cfg.host = "127.0.0.1";
+    cfg.port = 0;
+    cfg.allow_admin = allow_admin;
+    auto server = std::make_unique<serve::Server>(cfg, make_registry());
+    server->start();
+    return server;
+  }
+
+  static Fleet start_fleet(bool allow_admin = false) {
+    Fleet fleet;
+    fleet.a = start_backend(allow_admin);
+    fleet.b = start_backend(allow_admin);
+    fleet.id_a = "127.0.0.1:" + std::to_string(fleet.a->port());
+    fleet.id_b = "127.0.0.1:" + std::to_string(fleet.b->port());
+
+    RouterConfig cfg;
+    cfg.host = "127.0.0.1";
+    cfg.port = 0;
+    cfg.probe.interval_ms = 100;
+    cfg.probe.timeout_ms = 1000;
+    cfg.probe.fail_threshold = 2;
+    cfg.allow_admin = allow_admin;
+    fleet.router = std::make_unique<Router>(
+        cfg, parse_backend_list(fleet.id_a + "," + fleet.id_b));
+    fleet.router->start();
+    return fleet;
+  }
+
+  static Client connect(const Fleet& fleet) {
+    return Client::connect_tcp("127.0.0.1", fleet.router->port());
+  }
+
+  /// The shard the router must route `verilog` to: the same ring the
+  /// BackendPool builds (same vnode default), keyed exactly as the router
+  /// keys placements.
+  static std::string expected_owner(const Fleet& fleet,
+                                    const std::string& verilog) {
+    HashRing ring(ProbeConfig{}.vnodes);
+    ring.add(fleet.id_a);
+    ring.add(fleet.id_b);
+    return ring.lookup(util::hash_mix(util::fnv1a64(verilog),
+                                      liberty::content_hash(*lib_)));
+  }
+
+  static bool wait_for(const std::function<bool()>& pred, int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return pred();
+  }
+
+  static liberty::Library* lib_;
+  static std::shared_ptr<const core::AtlasModel>* model_;
+  static std::string* verilog_;
+  static core::Prediction* expected_w1_;
+};
+
+liberty::Library* RouterTest::lib_ = nullptr;
+std::shared_ptr<const core::AtlasModel>* RouterTest::model_ = nullptr;
+std::string* RouterTest::verilog_ = nullptr;
+core::Prediction* RouterTest::expected_w1_ = nullptr;
+
+TEST_F(RouterTest, ShardsDesignsAcrossBackendsBitIdentically) {
+  Fleet fleet = start_fleet();
+  Client client = connect(fleet);
+  ASSERT_EQ(fleet.router->pool().ring_size(), 2u);
+
+  constexpr int kDesigns = 8;
+  std::map<std::string, std::uint64_t> expected_per_shard;
+  for (int i = 0; i < kDesigns; ++i) {
+    const std::string verilog = design_variant(i);
+    expected_per_shard[expected_owner(fleet, verilog)]++;
+    const PredictResponse cold = client.predict(make_request(verilog));
+    EXPECT_FALSE(cold.design_cache_hit()) << "design " << i;
+    expect_matches(cold, *expected_w1_);
+  }
+  // Second pass: every repeat hits the same shard's warm cache — the
+  // sharded-warmth contract (round-robin or re-keyed routing would miss).
+  for (int i = 0; i < kDesigns; ++i) {
+    const PredictResponse warm =
+        client.predict(make_request(design_variant(i)));
+    EXPECT_TRUE(warm.design_cache_hit()) << "design " << i;
+    EXPECT_TRUE(warm.embedding_cache_hit()) << "design " << i;
+    expect_matches(warm, *expected_w1_);
+  }
+
+  // Per-shard occupancy matches the ring's placement exactly, and the
+  // fleet holds each design exactly once (disjoint caches, no duplication).
+  const HealthResponse ha = fleet.a->health_snapshot();
+  const HealthResponse hb = fleet.b->health_snapshot();
+  EXPECT_EQ(ha.cache_designs, expected_per_shard[fleet.id_a]);
+  EXPECT_EQ(hb.cache_designs, expected_per_shard[fleet.id_b]);
+  EXPECT_EQ(ha.cache_designs + hb.cache_designs,
+            static_cast<std::uint64_t>(kDesigns));
+
+  // The router's aggregated health sees the union of both caches.
+  const HealthResponse agg = client.health();
+  EXPECT_EQ(agg.cache_designs, static_cast<std::uint64_t>(kDesigns));
+  EXPECT_EQ(agg.num_models, 1u);
+  EXPECT_FALSE(agg.draining);
+}
+
+TEST_F(RouterTest, FailsOverWhenABackendDiesMidWorkloadAndRebalancesOnJoin) {
+  Fleet fleet = start_fleet();
+  Client client = connect(fleet);
+
+  const std::string verilog = design_variant(100);
+  const std::string owner = expected_owner(fleet, verilog);
+  serve::Server& owner_server =
+      owner == fleet.id_a ? *fleet.a : *fleet.b;
+  serve::Server& survivor_server =
+      owner == fleet.id_a ? *fleet.b : *fleet.a;
+  const int owner_port = owner_server.port();
+
+  // Warm the owner, then kill it mid-workload.
+  expect_matches(client.predict(make_request(verilog)), *expected_w1_);
+  EXPECT_EQ(owner_server.health_snapshot().cache_designs, 1u);
+  owner_server.stop();
+
+  // Same connection, same design: the router fails over to the ring
+  // successor transparently — cold there, but bit-identical.
+  const PredictResponse failed_over = client.predict(make_request(verilog));
+  EXPECT_FALSE(failed_over.design_cache_hit());
+  expect_matches(failed_over, *expected_w1_);
+  EXPECT_EQ(fleet.router->pool().ring_size(), 1u);
+  EXPECT_EQ(survivor_server.health_snapshot().cache_designs, 1u);
+
+  // And the repeat is warm on the survivor (the key's new steady-state
+  // home, by the minimal-movement property).
+  EXPECT_TRUE(client.predict(make_request(verilog)).design_cache_hit());
+
+  // The failover left a per-backend trail in the router's metrics.
+  const std::string metrics = client.metrics_text();
+  EXPECT_NE(metrics.find("atlas_router_failovers_total"), std::string::npos);
+  EXPECT_NE(metrics.find("atlas_router_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("atlas_router_ring_backends"), std::string::npos);
+
+  // A backend coming back on the same endpoint rejoins via the prober and
+  // the ring rebalances to both shards.
+  serve::ServerConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = owner_port;
+  serve::Server reborn(cfg, make_registry());
+  reborn.start();
+  EXPECT_TRUE(wait_for(
+      [&] { return fleet.router->pool().ring_size() == 2; }, 5000))
+      << "prober never re-added the restarted backend";
+  reborn.stop();
+}
+
+TEST_F(RouterTest, StreamsArePinnedAndSurviveMidStreamBackendDeath) {
+  // Record the query design's w1 trace as VCD text and compute the direct
+  // streamed reference (same path serve_test pins).
+  netlist::Netlist gate = netlist::parse_verilog(*verilog_, *lib_);
+  sim::CycleSimulator simulator(gate);
+  sim::StimulusGenerator stimulus(gate, sim::make_w1());
+  const sim::ToggleTrace sim_trace = simulator.run(stimulus, kCycles);
+  const std::string vcd =
+      sim::write_vcd(gate, sim_trace, simulator.clock_net_mask());
+  const sim::ExternalTrace ext = sim::ExternalTrace::from_vcd_text(vcd);
+  const auto graphs = graph::build_submodule_graphs(gate);
+  const core::Prediction direct =
+      (*model_)->predict(gate, graphs, ext.resolve(gate));
+
+  Fleet fleet = start_fleet();
+
+  // Whole-stream relay through the router is bit-identical, and the upload
+  // landed on the ring owner only.
+  {
+    Client client = connect(fleet);
+    serve::StreamBeginRequest begin;
+    begin.model = "tiny";
+    begin.netlist_verilog = *verilog_;
+    begin.cycles = kCycles;
+    const PredictResponse resp = client.predict_stream(begin, vcd, 512);
+    expect_matches(resp, direct);
+    const std::string owner = expected_owner(fleet, *verilog_);
+    const serve::Server& owner_server =
+        owner == fleet.id_a ? *fleet.a : *fleet.b;
+    const serve::Server& other_server =
+        owner == fleet.id_a ? *fleet.b : *fleet.a;
+    EXPECT_EQ(owner_server.health_snapshot().cache_designs, 1u);
+    EXPECT_EQ(other_server.health_snapshot().cache_designs, 0u);
+
+    // Design-by-hash through the router: first call falls back (relayed
+    // kUnknownDesign is part of the client protocol)... except the full
+    // upload above already warmed the owner, so the hash path hits.
+    bool used_hash = false;
+    const PredictResponse by_hash =
+        client.predict_stream_cached(begin, vcd, 512, &used_hash);
+    EXPECT_TRUE(used_hash);
+    expect_matches(by_hash, direct);
+  }
+
+  // Mid-stream kill: drive the stream frame-by-frame on a raw socket, stop
+  // the pinned backend after the first chunk, and expect the router to
+  // replay the buffered prefix onto the survivor and finish the stream.
+  {
+    const std::string verilog = design_variant(200);
+    const std::string owner = expected_owner(fleet, verilog);
+    serve::Server& owner_server = owner == fleet.id_a ? *fleet.a : *fleet.b;
+
+    util::Socket raw =
+        util::connect_tcp("127.0.0.1", fleet.router->port());
+    serve::StreamBeginRequest begin;
+    begin.model = "tiny";
+    begin.netlist_verilog = verilog;
+    begin.cycles = kCycles;
+    begin.trace_bytes = vcd.size();
+    serve::write_frame(raw, serve::MsgType::kStreamBegin, begin.encode());
+    serve::Frame resp;
+    ASSERT_TRUE(serve::read_frame(raw, resp));
+    ASSERT_EQ(resp.type, serve::MsgType::kStreamAck);
+
+    const std::size_t kChunk = 512;
+    std::uint64_t seq = 0;
+    std::size_t off = 0;
+    // First chunk lands on the owner...
+    serve::StreamChunk chunk;
+    chunk.seq = seq++;
+    chunk.data = vcd.substr(off, kChunk);
+    off += chunk.data.size();
+    serve::write_frame(raw, serve::MsgType::kStreamChunk, chunk.encode());
+    ASSERT_TRUE(serve::read_frame(raw, resp));
+    ASSERT_EQ(resp.type, serve::MsgType::kStreamAck);
+
+    // ...which dies mid-upload.
+    owner_server.stop();
+
+    // The remaining chunks must keep streaming: the router replays the
+    // acked prefix onto the ring successor and continues there.
+    while (off < vcd.size()) {
+      chunk.seq = seq++;
+      chunk.data = vcd.substr(off, kChunk);
+      off += chunk.data.size();
+      serve::write_frame(raw, serve::MsgType::kStreamChunk, chunk.encode());
+      ASSERT_TRUE(serve::read_frame(raw, resp));
+      ASSERT_EQ(resp.type, serve::MsgType::kStreamAck)
+          << serve::ErrorResponse::decode(resp.payload).message;
+    }
+    serve::StreamEndRequest end;
+    end.total_chunks = seq;
+    end.total_bytes = vcd.size();
+    serve::write_frame(raw, serve::MsgType::kStreamEnd, end.encode());
+    ASSERT_TRUE(serve::read_frame(raw, resp));
+    ASSERT_EQ(resp.type, serve::MsgType::kPredictOk)
+        << serve::ErrorResponse::decode(resp.payload).message;
+    expect_matches(serve::PredictResponse::decode(resp.payload), direct);
+    EXPECT_EQ(fleet.router->pool().ring_size(), 1u);
+  }
+}
+
+TEST_F(RouterTest, AdminFanOutReachesEveryShard) {
+  Fleet fleet = start_fleet(/*allow_admin=*/true);
+  Client client = connect(fleet);
+
+  const std::string model_path =
+      ::testing::TempDir() + "atlas_router_fanout_model.bin";
+  (*model_)->save(model_path);
+
+  // Load lands on *both* shards (models are replicated, designs sharded).
+  client.load_model("second", model_path);
+  EXPECT_EQ(fleet.a->registry().size(), 2u);
+  EXPECT_EQ(fleet.b->registry().size(), 2u);
+  ASSERT_EQ(client.models().size(), 2u);
+
+  // Unload retires the name fleet-wide.
+  client.unload_model("second");
+  EXPECT_EQ(fleet.a->registry().size(), 1u);
+  EXPECT_EQ(fleet.b->registry().size(), 1u);
+
+  // With one shard dead the fan-out reports partial application as an
+  // error naming the unreachable shard — never a silent half-applied load.
+  fleet.b->stop();
+  try {
+    client.load_model("third", model_path);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+    EXPECT_NE(std::string(e.what()).find(fleet.id_b), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("unreachable"), std::string::npos);
+  }
+  // The live shard did apply it — the report said so, and the registry
+  // agrees.
+  EXPECT_EQ(fleet.a->registry().size(), 2u);
+}
+
+TEST_F(RouterTest, AdminGateAndControlPlane) {
+  Fleet fleet = start_fleet(/*allow_admin=*/false);
+  Client client = connect(fleet);
+
+  client.ping();
+  try {
+    client.unload_model("tiny");
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAdminDisabled);
+  }
+  // The gate rejected at the tier edge; backends untouched.
+  EXPECT_EQ(fleet.a->registry().size(), 1u);
+
+  // models routes to a live shard like any request.
+  const auto models = client.models();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].name, "tiny");
+  EXPECT_EQ(models[0].library_hash, liberty::content_hash(*lib_));
+
+  // stats is the router's own per-backend table...
+  const std::string stats = client.stats_text();
+  EXPECT_NE(stats.find("atlas_router:"), std::string::npos);
+  EXPECT_NE(stats.find(fleet.id_a), std::string::npos);
+  EXPECT_NE(stats.find(fleet.id_b), std::string::npos);
+  EXPECT_NE(stats.find("2/2 backends up"), std::string::npos);
+
+  // ...and metrics expose the probe/ring series.
+  const std::string metrics = client.metrics_text();
+  EXPECT_NE(metrics.find("atlas_router_probe_latency_us"), std::string::npos);
+  EXPECT_NE(metrics.find("atlas_router_ring_backends 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atlas::router

@@ -201,6 +201,97 @@ TEST_F(ServeTest, PingModelsAndStats) {
   server.stop();
 }
 
+TEST_F(ServeTest, HealthReportsRegistryCacheQueueAndDrainState) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  const HealthResponse cold = client.health();
+  EXPECT_EQ(cold.num_models, 1u);
+  EXPECT_GE(cold.registry_generation, 1u);
+  EXPECT_EQ(cold.cache_designs, 0u);
+  EXPECT_EQ(cold.cache_total_bytes, 0u);
+  EXPECT_EQ(cold.queue_depth, 0u);
+  EXPECT_FALSE(cold.draining);
+
+  // A predict leaves its footprint in the occupancy fields — the signal a
+  // routing tier reads as "this shard is warm".
+  client.predict(make_request());
+  const HealthResponse warm = client.health();
+  EXPECT_EQ(warm.cache_designs, 1u);
+  EXPECT_GT(warm.cache_total_bytes, 0u);
+  EXPECT_GT(warm.cache_embedding_bytes, 0u);
+  EXPECT_LT(warm.cache_embedding_bytes, warm.cache_total_bytes);
+
+  // After a Shutdown request the report flips to draining — richer than
+  // ping, which keeps answering pong right up to the close.
+  client.shutdown_server();
+  EXPECT_TRUE(client.health().draining);
+  client.ping();
+  server.stop();
+}
+
+TEST_F(ServeTest, ModelListCarriesTheLibraryContentHash) {
+  // The library content hash is the second component of the design-cache
+  // key; a routing tier mixes it into placement, so it must travel on the
+  // wire and match liberty::content_hash exactly.
+  const auto x2 = std::make_shared<const liberty::Library>(scaled_library());
+  auto registry = make_registry();
+  registry->add("tiny_x2", *model_, x2);
+
+  Server server(loopback_config(), registry);
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  const auto models = client.models();
+  ASSERT_EQ(models.size(), 2u);
+  for (const ModelInfo& m : models) {
+    const liberty::Library& lib = m.name == "tiny_x2" ? *x2 : *lib_;
+    EXPECT_EQ(m.library_hash, liberty::content_hash(lib)) << m.name;
+    EXPECT_NE(m.library_hash, 0u) << m.name;
+  }
+  EXPECT_NE(models[0].library_hash, models[1].library_hash);
+  server.stop();
+}
+
+TEST_F(ServeTest, ClientTimeoutsBoundANeverAnsweringPeer) {
+  // A listener nobody ever accepts from: the TCP handshake completes into
+  // the kernel backlog, so connect succeeds — and then the reply never
+  // comes. Without an IO timeout this hangs forever; with one it is a
+  // deterministic bounded failure (this is the regression test for the
+  // serve::Client timeout plumbing the router's prober depends on).
+  int port = 0;
+  util::Listener trap = util::Listener::tcp("127.0.0.1", port);
+
+  ClientOptions options;
+  options.connect_timeout_ms = 2000;
+  options.io_timeout_ms = 250;
+  const auto t0 = std::chrono::steady_clock::now();
+  Client client = Client::connect_tcp("127.0.0.1", port, options);
+  try {
+    client.ping();
+    FAIL() << "expected SocketError";
+  } catch (const util::SocketError& e) {
+    EXPECT_NE(std::string(e.what()).find("timed out"), std::string::npos)
+        << e.what();
+  }
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed_ms, 200);
+  EXPECT_LT(elapsed_ms, 5000) << "timeout did not bound the wait";
+}
+
+TEST_F(ServeTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kBadRequest), "kBadRequest");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownModel), "kUnknownModel");
+  EXPECT_STREQ(error_code_name(ErrorCode::kAdminDisabled), "kAdminDisabled");
+  EXPECT_STREQ(error_code_name(ErrorCode::kStreamProtocol), "kStreamProtocol");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnknownDesign), "kUnknownDesign");
+  EXPECT_STREQ(error_code_name(static_cast<ErrorCode>(999)),
+               "kUnknownErrorCode");
+}
+
 TEST_F(ServeTest, PredictBitIdenticalAndCachePath) {
   Server server(loopback_config(), make_registry());
   server.start();

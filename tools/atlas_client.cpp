@@ -2,6 +2,8 @@
 //
 // Subcommands (all take --host/--port or --unix to pick the endpoint):
 //   ping      round-trip health check
+//   health    rich readiness report (registry generation, cache occupancy,
+//             queue depth, drain state); exit 3 when the server is draining
 //   models    list registered models (name + encoder dim)
 //   stats     print the server's stats block
 //   metrics   print the server's Prometheus metrics exposition
@@ -34,6 +36,7 @@
 #include "sim/delta_trace.h"
 #include "sim/vcd.h"
 #include "util/cli.h"
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace {
@@ -43,14 +46,22 @@ using namespace atlas;
 util::Cli& add_endpoint_flags(util::Cli& cli) {
   return cli.flag("host", "127.0.0.1", "server TCP address")
       .flag("port", "7433", "server TCP port")
-      .flag("unix", "", "Unix-domain socket path (overrides TCP when set)");
+      .flag("unix", "", "Unix-domain socket path (overrides TCP when set)")
+      .flag("timeout-ms", "0",
+            "connect + per-IO bound; a dead or wedged server costs a bounded "
+            "wait instead of hanging (0 = wait forever)");
 }
 
 serve::Client connect(const util::Cli& cli) {
+  serve::ClientOptions options;
+  options.connect_timeout_ms = static_cast<int>(cli.integer("timeout-ms"));
+  options.io_timeout_ms = options.connect_timeout_ms;
   const std::string unix_path = cli.str("unix");
-  if (!unix_path.empty()) return serve::Client::connect_unix(unix_path);
-  return serve::Client::connect_tcp(cli.str("host"),
-                                    static_cast<int>(cli.integer("port")));
+  if (!unix_path.empty()) {
+    return serve::Client::connect_unix(unix_path, options);
+  }
+  return serve::Client::connect_tcp(
+      cli.str("host"), static_cast<int>(cli.integer("port")), options);
 }
 
 int cmd_ping(int argc, const char* const* argv) {
@@ -69,13 +80,32 @@ int cmd_models(int argc, const char* const* argv) {
   if (cli.help_requested()) return 0;
   serve::Client client = connect(cli);
   for (const serve::ModelInfo& m : client.models()) {
-    std::printf("%s  (encoder dim %llu, library %s, generation %llu)\n",
-                m.name.c_str(),
-                static_cast<unsigned long long>(m.encoder_dim),
-                m.library.c_str(),
-                static_cast<unsigned long long>(m.generation));
+    std::printf(
+        "%s  (encoder dim %llu, library %s [%s], generation %llu)\n",
+        m.name.c_str(), static_cast<unsigned long long>(m.encoder_dim),
+        m.library.c_str(), util::hash_hex(m.library_hash).c_str(),
+        static_cast<unsigned long long>(m.generation));
   }
   return 0;
+}
+
+int cmd_health(int argc, const char* const* argv) {
+  util::Cli cli;
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  const serve::HealthResponse h = client.health();
+  std::printf("status: %s\n", h.draining ? "draining" : "ok");
+  std::printf("models: %llu (registry generation %llu)\n",
+              static_cast<unsigned long long>(h.num_models),
+              static_cast<unsigned long long>(h.registry_generation));
+  std::printf("cache: %llu designs, %llu bytes (%llu embedding bytes)\n",
+              static_cast<unsigned long long>(h.cache_designs),
+              static_cast<unsigned long long>(h.cache_total_bytes),
+              static_cast<unsigned long long>(h.cache_embedding_bytes));
+  std::printf("queue depth: %llu\n",
+              static_cast<unsigned long long>(h.queue_depth));
+  return h.draining ? 3 : 0;
 }
 
 int cmd_load(int argc, const char* const* argv) {
@@ -292,6 +322,7 @@ void usage() {
   std::puts(
       "usage: atlas_client <command> [flags]   (--help per command)\n"
       "  ping      round-trip health check\n"
+      "  health    rich readiness report (cache occupancy, queue, drain)\n"
       "  models    list models registered on the server\n"
       "  stats     print server stats (latency percentiles, cache hits)\n"
       "  metrics   print the server's Prometheus metrics exposition\n"
@@ -313,6 +344,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "ping") return cmd_ping(argc - 1, argv + 1);
+    if (cmd == "health") return cmd_health(argc - 1, argv + 1);
     if (cmd == "models") return cmd_models(argc - 1, argv + 1);
     if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
     if (cmd == "metrics") return cmd_metrics(argc - 1, argv + 1);
@@ -330,8 +362,11 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   } catch (const serve::ServeError& e) {
-    std::fprintf(stderr, "server error (code %u): %s\n",
-                 static_cast<unsigned>(e.code()), e.what());
+    // One greppable line per server-side rejection, uniform exit code: a
+    // script wrapping atlas_client can branch on "error: kUnknownModel:"
+    // (or kAdminDisabled, kStreamProtocol, ...) without parsing numbers.
+    std::fprintf(stderr, "error: %s: %s\n", serve::error_code_name(e.code()),
+                 e.what());
     return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
