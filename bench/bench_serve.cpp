@@ -14,6 +14,9 @@
 //     wire bytes vs the VCD text and warm latency — plus design-by-hash
 //     (netlist referenced by FNV-1a hash instead of re-uploaded);
 //   * warm requests/sec at 1, 4 and 8 concurrent client connections;
+//   * distributed-tracing overhead: ObsSpan cost and warm predict latency
+//     with tracing disabled / context-but-unsampled / fully sampled (the
+//     disabled span site must cost nanoseconds);
 //   * with --router, the same warm latency and throughput through an
 //     atlas_router fronting a 2-backend fleet — the interesting number is
 //     the per-hop routing overhead against the direct warm latency.
@@ -32,6 +35,7 @@
 #include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
 #include "netlist/verilog_io.h"
+#include "obs/trace.h"
 #include "router/router.h"
 #include "sim/delta_trace.h"
 #include "sim/vcd.h"
@@ -251,6 +255,73 @@ int main(int argc, char** argv) {
                   nclients, nclients == 1 ? " " : "s", total / secs,
                   secs * 1e3 * nclients / total);
     }
+    // --- tracing overhead: disabled vs unsampled vs sampled ----------------
+    {
+      // Micro: raw ObsSpan cost per tier. Disabled must be nanoseconds —
+      // one relaxed atomic load, a thread-local read and a branch — since
+      // every span site in the serving path pays it on every request.
+      auto spin = [](int n) {
+        util::Timer t;
+        for (int i = 0; i < n; ++i) {
+          obs::ObsSpan span("bench", "noop");
+        }
+        return t.seconds() / n * 1e9;
+      };
+      const double off_ns = spin(2'000'000);
+      obs::Trace::enable();
+      double unsampled_ns = 0.0;
+      {
+        obs::TraceContextScope scope(obs::make_root_context(false));
+        unsampled_ns = spin(2'000'000);
+      }
+      double sampled_ns = 0.0;
+      {
+        obs::TraceContextScope scope(obs::make_root_context(true));
+        sampled_ns = spin(200'000);
+      }
+      obs::Trace::disable();
+      obs::Trace::clear();
+      std::printf("tracing overhead, ObsSpan (ns/span):\n");
+      std::printf("  disabled (no ambient context)          %8.1f\n", off_ns);
+      std::printf("  context present, unsampled (id chain)  %8.1f\n",
+                  unsampled_ns);
+      std::printf("  sampled (clock reads + ring push)      %8.1f\n",
+                  sampled_ns);
+
+      // End-to-end: the same warm predict with the tracer enabled (client
+      // originates a sampled root, context rides the wire, every server
+      // span records) vs an unsampled context vs fully disabled
+      // (direct warm above). The deltas should vanish into run-to-run
+      // noise.
+      serve::Client client =
+          serve::Client::connect_tcp("127.0.0.1", server.port());
+      client.predict(make_request(verilog, cycles, "w1"));  // re-prime
+      obs::Trace::enable();
+      std::vector<double> traced_s;
+      for (int i = 0; i < 10; ++i) {
+        util::Timer t;
+        client.predict(make_request(verilog, cycles, "w1"));
+        traced_s.push_back(t.seconds());
+      }
+      std::vector<double> unsampled_s;
+      for (int i = 0; i < 10; ++i) {
+        serve::PredictRequest req = make_request(verilog, cycles, "w1");
+        req.ext.trace = obs::make_root_context(false);
+        util::Timer t;
+        client.predict(req);
+        unsampled_s.push_back(t.seconds());
+      }
+      obs::Trace::disable();
+      obs::Trace::clear();
+      std::printf("tracing overhead, warm predict (ms):\n");
+      std::printf("  disabled (direct warm above)           %8.2f\n",
+                  direct_warm_ms);
+      std::printf("  unsampled context on the wire          %8.2f\n",
+                  median(unsampled_s) * 1e3);
+      std::printf("  sampled end-to-end                     %8.2f\n\n",
+                  median(traced_s) * 1e3);
+    }
+
     // --- router tier: the same warm path through a 2-backend fleet ---------
     if (cli.boolean("router")) {
       serve::Server shard_a(scfg, registry);

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Fleet-tracing smoke test: a real multi-process topology (2 atlas_serve
+# shards behind an atlas_router), one traced client predict through the
+# router, then `atlas_client trace` pulling every process's span ring into
+# one merged Chrome trace. Validates the PR-8 acceptance contract: at least
+# one trace_id whose spans come from >= 2 distinct processes (pids) with a
+# cross-process parent link (a span in one pid parented under a span id
+# recorded by another pid).
+#
+# Usage: scripts/trace_topology_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+BIN=$(cd "$BUILD_DIR/tools" && pwd)
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/atlas_trace_smoke.XXXXXX")
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Ports: a randomized base keeps parallel CI runs off each other's toes.
+BASE=$(( (RANDOM % 2000) + 17000 ))
+PORT_A=$BASE
+PORT_B=$((BASE + 1))
+PORT_R=$((BASE + 2))
+
+echo "== train a tiny model"
+"$BIN/atlas_cli" train --scale 0.0025 --cycles 20 --epochs 1 \
+  --out "$WORK/tiny.bin" --cache-dir "$WORK/cache" >/dev/null
+
+echo "== generate a query design"
+"$BIN/atlas_cli" gen --seed 2 --cells 300 --out "$WORK/query.v" >/dev/null
+
+echo "== launch 2 shards + router (tracing enabled, admin gate open)"
+"$BIN/atlas_serve" --models "tiny=$WORK/tiny.bin" --port "$PORT_A" \
+  --allow-admin true --slow-ms 1 --trace-out "$WORK/shard_a.json" \
+  2>"$WORK/shard_a.log" &
+PIDS+=($!)
+"$BIN/atlas_serve" --models "tiny=$WORK/tiny.bin" --port "$PORT_B" \
+  --allow-admin true --slow-ms 1 --trace-out "$WORK/shard_b.json" \
+  2>"$WORK/shard_b.log" &
+PIDS+=($!)
+
+for _ in $(seq 1 50); do
+  if "$BIN/atlas_client" ping --port "$PORT_A" >/dev/null 2>&1 &&
+     "$BIN/atlas_client" ping --port "$PORT_B" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+
+"$BIN/atlas_router" --backends "127.0.0.1:$PORT_A,127.0.0.1:$PORT_B" \
+  --port "$PORT_R" --allow-admin true --trace-out "$WORK/router.json" \
+  2>"$WORK/router.log" &
+PIDS+=($!)
+
+for _ in $(seq 1 50); do
+  if "$BIN/atlas_client" ping --port "$PORT_R" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+
+echo "== traced predict through the router"
+"$BIN/atlas_client" predict --port "$PORT_R" --model tiny \
+  --in "$WORK/query.v" --cycles 20 --csv "$WORK/power.csv" \
+  --trace-out "$WORK/client.json" >/dev/null
+test -s "$WORK/power.csv"
+test -s "$WORK/client.json"
+
+echo "== fleet health and metrics surfaces answer"
+"$BIN/atlas_client" health --port "$PORT_R" --json >/dev/null
+"$BIN/atlas_client" metrics --port "$PORT_R" --fleet \
+  | grep -q 'shard="router"'
+"$BIN/atlas_client" metrics --port "$PORT_R" --fleet \
+  | grep -q "shard=\"127.0.0.1:$PORT_A\""
+
+echo "== pull the merged fleet trace"
+"$BIN/atlas_client" trace --port "$PORT_R" --out "$WORK/merged.json" \
+  --merge "$WORK/client.json"
+
+echo "== validate cross-process linkage"
+python3 - "$WORK/merged.json" <<'PY'
+import json
+import sys
+from collections import defaultdict
+
+doc = json.load(open(sys.argv[1]))
+events = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+procs = {e["pid"]: e["args"]["name"]
+         for e in doc["traceEvents"]
+         if e.get("ph") == "M" and e.get("name") == "process_name"}
+
+by_trace = defaultdict(list)
+for e in events:
+    tid = e.get("args", {}).get("trace_id")
+    if tid:
+        by_trace[tid].append(e)
+
+ok = False
+for trace_id, spans in by_trace.items():
+    pids = {e["pid"] for e in spans}
+    if len(pids) < 2:
+        continue
+    span_pid = {e["args"]["span_id"]: e["pid"] for e in spans}
+    for e in spans:
+        parent = e["args"].get("parent_span_id")
+        if parent in span_pid and span_pid[parent] != e["pid"]:
+            names = sorted(procs.get(p, str(p)) for p in pids)
+            print(f"  trace {trace_id}: {len(spans)} spans across "
+                  f"{len(pids)} processes ({', '.join(names)}); "
+                  f"cross-process link {e['name']} <- pid {span_pid[parent]}")
+            ok = True
+            break
+    if ok:
+        break
+
+if not ok:
+    sys.exit("FAIL: no trace spans >= 2 processes with a cross-pid "
+             "parent link")
+print("OK: merged fleet trace links client/router/shard spans")
+PY
+
+echo "== drained rings stay drained"
+"$BIN/atlas_client" trace --port "$PORT_R" --out "$WORK/second.json"
+python3 - "$WORK/second.json" <<'PY'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+names = [e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"]
+if "handle_predict" in names:
+    sys.exit("FAIL: second trace pull still holds the drained predict spans")
+print("OK: second pull is empty of the drained request")
+PY
+
+echo "PASS: trace topology smoke"

@@ -8,6 +8,12 @@
 #include <stdexcept>
 #include <vector>
 
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace atlas::obs {
 
 namespace detail {
@@ -22,6 +28,7 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
+  SpanIds ids;
 };
 
 /// Ring state behind one mutex. Spans are coarse (phases, batches,
@@ -35,6 +42,7 @@ struct Ring {
   std::size_t write = 0;     // next slot to write
   std::uint64_t total = 0;   // events ever recorded
   std::string output_path;
+  std::string process_name = "atlas";
 };
 
 Ring& ring() {
@@ -52,6 +60,37 @@ std::uint32_t this_thread_id() {
   static std::atomic<std::uint32_t> next{1};
   thread_local std::uint32_t tid = next.fetch_add(1);
   return tid;
+}
+
+std::uint64_t os_pid() {
+#if defined(_WIN32)
+  return static_cast<std::uint64_t>(_getpid());
+#else
+  return static_cast<std::uint64_t>(::getpid());
+#endif
+}
+
+// obs sits below util in the dependency order, so the splitmix64
+// finalizer lives here too (same constants as util/hash).
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-process id seed: ids must differ across the processes of a fleet
+/// even when they start in the same microsecond, so mix pid, wall clock,
+/// and an address (ASLR) into the counter base.
+std::uint64_t process_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t s = splitmix64(os_pid());
+    s ^= splitmix64(static_cast<std::uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count()));
+    s ^= splitmix64(reinterpret_cast<std::uintptr_t>(&ring));
+    return s;
+  }();
+  return seed;
 }
 
 void append_json_escaped(std::string& out, const char* s) {
@@ -81,6 +120,61 @@ void append_u64(std::string& out, std::uint64_t v) {
   out += buf;
 }
 
+void append_hex(std::string& out, std::uint64_t v, int digits) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%0*llx", digits,
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+/// Body of render_chrome_json; caller holds r.mu.
+std::string render_locked(Ring& r) {
+  const std::uint64_t pid = os_pid();
+  std::string out = "{\"traceEvents\":[";
+  // Process-name metadata event so merged multi-process traces label
+  // each lane.
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  append_u64(out, pid);
+  out += ",\"tid\":0,\"args\":{\"name\":\"";
+  append_json_escaped(out, r.process_name.c_str());
+  out += "\"}}";
+  const std::size_t n = r.events.size();
+  // Oldest-first: once wrapped, the oldest surviving event sits at the
+  // write cursor.
+  const std::size_t first = n < r.capacity ? 0 : r.write;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TraceEvent& ev = r.events[(first + i) % n];
+    out += ',';
+    out += "{\"name\":\"";
+    append_json_escaped(out, ev.name.c_str());
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, ev.category);
+    out += "\",\"ph\":\"X\",\"ts\":";
+    append_u64(out, ev.start_us);
+    out += ",\"dur\":";
+    append_u64(out, ev.dur_us);
+    out += ",\"pid\":";
+    append_u64(out, pid);
+    out += ",\"tid\":";
+    append_u64(out, ev.tid);
+    if ((ev.ids.trace_hi | ev.ids.trace_lo) != 0) {
+      out += ",\"args\":{\"trace_id\":\"";
+      append_hex(out, ev.ids.trace_hi, 16);
+      append_hex(out, ev.ids.trace_lo, 16);
+      out += "\",\"span_id\":\"";
+      append_hex(out, ev.ids.span_id, 16);
+      out += "\",\"parent_span_id\":\"";
+      append_hex(out, ev.ids.parent_span_id, 16);
+      out += "\"}";
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"atlasDroppedEvents\":";
+  append_u64(out, r.total > n ? r.total - n : 0);
+  out += '}';
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t trace_now_us() {
@@ -88,6 +182,93 @@ std::uint64_t trace_now_us() {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - trace_epoch())
           .count());
+}
+
+TraceContext current_trace_context() {
+  const detail::AmbientContext& a = detail::g_ambient;
+  TraceContext ctx;
+  ctx.trace_hi = a.trace_hi;
+  ctx.trace_lo = a.trace_lo;
+  ctx.span_id = a.span_id;
+  ctx.sampled = a.sampled;
+  return ctx;
+}
+
+std::uint64_t next_span_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t raw =
+      counter.fetch_add(1, std::memory_order_relaxed) ^ process_seed();
+  const std::uint64_t id = splitmix64(raw);
+  return id != 0 ? id : 1;
+}
+
+TraceContext make_root_context(bool sampled) {
+  TraceContext ctx;
+  ctx.trace_hi = next_span_id();
+  ctx.trace_lo = next_span_id();
+  ctx.span_id = 0;
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+TraceContextScope::TraceContextScope(const TraceContext& ctx) {
+  detail::AmbientContext& a = detail::g_ambient;
+  prev_.trace_hi = a.trace_hi;
+  prev_.trace_lo = a.trace_lo;
+  prev_.span_id = a.span_id;
+  prev_.sampled = a.sampled;
+  a.trace_hi = ctx.trace_hi;
+  a.trace_lo = ctx.trace_lo;
+  a.span_id = ctx.span_id;
+  a.sampled = ctx.sampled;
+}
+
+TraceContextScope::~TraceContextScope() {
+  detail::AmbientContext& a = detail::g_ambient;
+  a.trace_hi = prev_.trace_hi;
+  a.trace_lo = prev_.trace_lo;
+  a.span_id = prev_.span_id;
+  a.sampled = prev_.sampled;
+}
+
+void ObsSpan::init_slow() {
+  detail::AmbientContext& a = detail::g_ambient;
+  if ((a.trace_hi | a.trace_lo) != 0) {
+    ids_.trace_hi = a.trace_hi;
+    ids_.trace_lo = a.trace_lo;
+    ids_.parent_span_id = a.span_id;
+    ids_.span_id = next_span_id();
+    saved_span_id_ = a.span_id;
+    a.span_id = ids_.span_id;
+    restore_ = true;
+    sampled_ = a.sampled;
+    active_ = sampled_ && trace_enabled();
+  } else {
+    sampled_ = true;
+    active_ = trace_enabled();
+  }
+  if (active_) start_us_ = trace_now_us();
+}
+
+void ObsSpan::finish() {
+  if (restore_) detail::g_ambient.span_id = saved_span_id_;
+  if (!active_) return;
+  const std::uint64_t end_us = trace_now_us();
+  const std::uint64_t dur = end_us > start_us_ ? end_us - start_us_ : 0;
+  if (name_ != nullptr) {
+    Trace::record_complete(category_, name_, start_us_, dur, ids_);
+  } else {
+    Trace::record_complete(category_, dynamic_name_, start_us_, dur, ids_);
+  }
+}
+
+TraceContext ObsSpan::context() const {
+  TraceContext ctx;
+  ctx.trace_hi = ids_.trace_hi;
+  ctx.trace_lo = ids_.trace_lo;
+  ctx.span_id = ids_.span_id;
+  ctx.sampled = sampled_;
+  return ctx;
 }
 
 void Trace::enable(std::size_t capacity) {
@@ -131,8 +312,21 @@ std::string Trace::output_path() {
   return r.output_path;
 }
 
+void Trace::set_process_name(const std::string& name) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.process_name = name.empty() ? "atlas" : name;
+}
+
+std::string Trace::process_name() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.process_name;
+}
+
 void Trace::record_complete(const char* category, const std::string& name,
-                            std::uint64_t start_us, std::uint64_t dur_us) {
+                            std::uint64_t start_us, std::uint64_t dur_us,
+                            const SpanIds& ids) {
   if (!trace_enabled()) return;
   const std::uint32_t tid = this_thread_id();
   Ring& r = ring();
@@ -143,6 +337,7 @@ void Trace::record_complete(const char* category, const std::string& name,
   ev.tid = tid;
   ev.start_us = start_us;
   ev.dur_us = dur_us;
+  ev.ids = ids;
   if (r.events.size() < r.capacity) {
     r.events.push_back(std::move(ev));
   } else {
@@ -153,9 +348,10 @@ void Trace::record_complete(const char* category, const std::string& name,
 }
 
 void Trace::record_complete(const char* category, const char* name,
-                            std::uint64_t start_us, std::uint64_t dur_us) {
+                            std::uint64_t start_us, std::uint64_t dur_us,
+                            const SpanIds& ids) {
   if (!trace_enabled()) return;
-  record_complete(category, std::string(name), start_us, dur_us);
+  record_complete(category, std::string(name), start_us, dur_us, ids);
 }
 
 std::size_t Trace::size() {
@@ -170,32 +366,40 @@ std::uint64_t Trace::dropped() {
   return r.total > r.events.size() ? r.total - r.events.size() : 0;
 }
 
-std::string Trace::render_chrome_json() {
+std::vector<TraceEventView> Trace::snapshot() {
   Ring& r = ring();
   std::lock_guard<std::mutex> lock(r.mu);
-  std::string out = "{\"traceEvents\":[";
+  std::vector<TraceEventView> out;
   const std::size_t n = r.events.size();
-  // Oldest-first: once wrapped, the oldest surviving event sits at the
-  // write cursor.
+  out.reserve(n);
   const std::size_t first = n < r.capacity ? 0 : r.write;
   for (std::size_t i = 0; i < n; ++i) {
     const TraceEvent& ev = r.events[(first + i) % n];
-    if (i > 0) out += ',';
-    out += "{\"name\":\"";
-    append_json_escaped(out, ev.name.c_str());
-    out += "\",\"cat\":\"";
-    append_json_escaped(out, ev.category);
-    out += "\",\"ph\":\"X\",\"ts\":";
-    append_u64(out, ev.start_us);
-    out += ",\"dur\":";
-    append_u64(out, ev.dur_us);
-    out += ",\"pid\":1,\"tid\":";
-    append_u64(out, ev.tid);
-    out += '}';
+    TraceEventView v;
+    v.name = ev.name;
+    v.category = ev.category;
+    v.tid = ev.tid;
+    v.start_us = ev.start_us;
+    v.dur_us = ev.dur_us;
+    v.ids = ev.ids;
+    out.push_back(std::move(v));
   }
-  out += "],\"displayTimeUnit\":\"ms\",\"atlasDroppedEvents\":";
-  append_u64(out, r.total > n ? r.total - n : 0);
-  out += '}';
+  return out;
+}
+
+std::string Trace::render_chrome_json() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return render_locked(r);
+}
+
+std::string Trace::drain_chrome_json() {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::string out = render_locked(r);
+  r.events.clear();
+  r.write = 0;
+  r.total = 0;
   return out;
 }
 
@@ -208,6 +412,34 @@ bool Trace::flush_file() {
   os << json;
   if (!os) throw std::runtime_error("obs::Trace: write failed: " + path);
   return true;
+}
+
+std::string merge_chrome_json(const std::vector<std::string>& traces) {
+  static const std::string kHead = "{\"traceEvents\":[";
+  static const std::string kTail = "],\"displayTimeUnit\":\"ms\"";
+  static const std::string kDropped = "\"atlasDroppedEvents\":";
+  std::string out = kHead;
+  std::uint64_t dropped = 0;
+  bool any = false;
+  for (const std::string& t : traces) {
+    if (t.compare(0, kHead.size(), kHead) != 0) continue;
+    const std::size_t tail = t.rfind(kTail);
+    if (tail == std::string::npos || tail < kHead.size()) continue;
+    const std::size_t body_len = tail - kHead.size();
+    if (body_len > 0) {
+      if (any) out += ',';
+      out.append(t, kHead.size(), body_len);
+      any = true;
+    }
+    const std::size_t dp = t.find(kDropped, tail);
+    if (dp != std::string::npos) {
+      dropped += std::strtoull(t.c_str() + dp + kDropped.size(), nullptr, 10);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"atlasDroppedEvents\":";
+  append_u64(out, dropped);
+  out += '}';
+  return out;
 }
 
 bool init_trace_from_env() {

@@ -341,6 +341,7 @@ void BackendPool::apply_probe_result(Entry& e, const ProbeResult& result) {
       e.state = BackendState::kUp;
       set_in_ring(e, true);
     }
+    publish_gauges();
     return;
   }
   registry
@@ -357,6 +358,9 @@ void BackendPool::apply_probe_result(Entry& e, const ProbeResult& result) {
     e.state = BackendState::kDown;
     set_in_ring(e, false);
   }
+  // set_in_ring only republishes on membership *changes*; a probe can update
+  // health (queue depth) without one, so refresh unconditionally.
+  publish_gauges();
 }
 
 void BackendPool::set_in_ring(Entry& e, bool in_ring) {
@@ -380,6 +384,18 @@ void BackendPool::publish_gauges() const {
       .set(static_cast<std::int64_t>(ring_.size()));
   registry.gauge("atlas_router_backends_configured")
       .set(static_cast<std::int64_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    const std::string label = quoted_backend_label(e.address.id);
+    registry.gauge("atlas_router_backend_up", label)
+        .set(e.state == BackendState::kUp ? 1 : 0);
+    // The dispatcher queue depth the shard reported on its last successful
+    // probe; forced to 0 while the shard is not up so a stale depth never
+    // outlives the backend it described.
+    registry.gauge("atlas_router_backend_queue_depth", label)
+        .set(e.state == BackendState::kUp
+                 ? static_cast<std::int64_t>(e.health.queue_depth)
+                 : 0);
+  }
 }
 
 }  // namespace atlas::router

@@ -1,0 +1,92 @@
+#include "router/fleet_obs.h"
+
+#include <map>
+#include <sstream>
+
+namespace atlas::router {
+namespace {
+
+/// Inject shard="<id>" into one sample line (`name{labels} value` or
+/// `name value`). Uses the last '}' as the label-set close so label values
+/// containing '{' cannot fool it; a line with neither braces nor a value
+/// separator is passed through untouched.
+std::string inject_shard(const std::string& line, const std::string& shard) {
+  const std::string label = "shard=\"" + shard + "\"";
+  const std::size_t open = line.find('{');
+  const std::size_t space = line.find(' ');
+  if (open != std::string::npos &&
+      (space == std::string::npos || open < space)) {
+    const std::size_t close = line.rfind('}');
+    if (close == std::string::npos || close < open) return line;
+    std::string out = line.substr(0, close);
+    if (close > open + 1) out += ',';
+    out += label;
+    out += line.substr(close);
+    return out;
+  }
+  if (space == std::string::npos) return line;
+  return line.substr(0, space) + "{" + label + "}" + line.substr(space);
+}
+
+/// True when `sample` belongs to histogram family `family`: the exact name
+/// or one of the _bucket/_sum/_count sub-series.
+bool in_family(const std::string& sample, const std::string& family) {
+  if (sample.compare(0, family.size(), family) != 0) return false;
+  const std::string rest = sample.substr(family.size());
+  return rest.empty() || rest == "_bucket" || rest == "_sum" ||
+         rest == "_count";
+}
+
+}  // namespace
+
+std::string merge_prometheus(
+    const std::vector<std::pair<std::string, std::string>>& shards) {
+  struct Family {
+    std::string type_line;  // "# TYPE <name> <kind>"; first seen wins
+    std::vector<std::string> samples;
+  };
+  std::map<std::string, Family> families;
+  for (const auto& [shard, text] : shards) {
+    // Each input is a well-formed exposition: a family's # TYPE header
+    // precedes its samples, so the current family tracks sub-series
+    // (histogram _bucket/_sum/_count) without a suffix-stripping heuristic.
+    std::string current;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream header(line.substr(7));
+        std::string name;
+        header >> name;
+        if (name.empty()) continue;
+        current = name;
+        Family& fam = families[name];
+        if (fam.type_line.empty()) fam.type_line = line;
+        continue;
+      }
+      if (line[0] == '#') continue;  // HELP and other comments: dropped
+      const std::size_t name_end = line.find_first_of("{ ");
+      if (name_end == std::string::npos) continue;
+      const std::string name = line.substr(0, name_end);
+      const std::string family =
+          !current.empty() && in_family(name, current) ? current : name;
+      families[family].samples.push_back(inject_shard(line, shard));
+    }
+  }
+  std::string out;
+  for (const auto& [name, fam] : families) {
+    if (!fam.type_line.empty()) {
+      out += fam.type_line;
+      out += '\n';
+    }
+    for (const std::string& sample : fam.samples) {
+      out += sample;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace atlas::router

@@ -1,0 +1,22 @@
+// Fleet-wide metrics aggregation for the router tier: merge the Prometheus
+// text expositions of N shards into one document a single scrape can read.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace atlas::router {
+
+/// Merge per-shard Prometheus expositions into one. Every sample line gets a
+/// shard="<id>" label injected (appended to an existing label set, or added
+/// as the sole label), so identically-named series from different shards stay
+/// distinct instead of colliding. Series are regrouped by metric family —
+/// one # TYPE header per family (first-seen kind wins), all shards' samples
+/// under it — because Prometheus parsers reject a family declared twice.
+/// Histogram sub-series (_bucket/_sum/_count) follow their base family.
+/// Input order is preserved within a family; families are emitted sorted.
+std::string merge_prometheus(
+    const std::vector<std::pair<std::string, std::string>>& shards);
+
+}  // namespace atlas::router

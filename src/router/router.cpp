@@ -1,10 +1,13 @@
 #include "router/router.h"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "router/fleet_obs.h"
 #include "serve/client.h"
 #include "util/hash.h"
 
@@ -37,6 +40,26 @@ void count_error(const std::string& backend) {
 }
 void count_failover(const std::string& backend) {
   backend_counter("atlas_router_failovers_total", backend).inc();
+}
+
+/// Decode an optional selector payload ("fleet", ...); empty or undecodable
+/// payloads — every pre-v2 client — mean "no selector".
+std::string optional_string_payload(const std::string& payload) {
+  if (payload.empty()) return std::string();
+  try {
+    return serve::decode_string_payload(payload);
+  } catch (const serve::ProtocolError&) {
+    return std::string();
+  }
+}
+
+/// The trace context a routed request runs under: the client's when it sent
+/// one, a fresh sampled root when tracing is on (so v1 clients still get a
+/// fleet-linked trace), invalid otherwise (fully untraced fast path).
+obs::TraceContext adopt_context(const obs::TraceContext& from_request) {
+  if (from_request.valid()) return from_request;
+  if (obs::trace_enabled()) return obs::make_root_context(/*sampled=*/true);
+  return obs::TraceContext{};
 }
 
 }  // namespace
@@ -240,8 +263,15 @@ void Router::connection_loop(Connection* conn) {
           serve::write_frame(
               sock, MsgType::kMetricsText,
               serve::encode_string_payload(
-                  obs::Registry::global().render_prometheus()));
+                  optional_string_payload(frame.payload) == "fleet"
+                      ? fleet_metrics()
+                      : obs::Registry::global().render_prometheus()));
           break;
+        case MsgType::kTraceDump: {
+          const auto [type, payload] = trace_dump_fanout();
+          serve::write_frame(sock, type, payload);
+          break;
+        }
         case MsgType::kShutdown:
           // Shut the router down; the backends are someone else's lifecycle
           // (an operator draining the tier does not want the fleet dead).
@@ -351,8 +381,13 @@ std::uint64_t Router::placement_key(std::uint64_t netlist_hash,
 std::pair<MsgType, std::string> Router::route_predict(UpstreamMap& upstreams,
                                                       const Frame& frame) {
   std::vector<std::string> chain;
+  serve::PredictRequest req;
+  // Traced predicts run under a router span and re-encode the forwarded
+  // payload per attempt (fresh child span as the backend's parent);
+  // untraced ones keep forwarding the client's raw frame untouched.
+  std::optional<obs::TraceContextScope> scope;
+  std::optional<obs::ObsSpan> span;
   if (frame.type == MsgType::kPredict) {
-    serve::PredictRequest req;
     try {
       req = serve::PredictRequest::decode(frame.payload);
     } catch (const serve::ProtocolError& e) {
@@ -360,6 +395,11 @@ std::pair<MsgType, std::string> Router::route_predict(UpstreamMap& upstreams,
     }
     chain = pool_->route(
         placement_key(util::fnv1a64(req.netlist_verilog), req.model));
+    const obs::TraceContext ctx = adopt_context(req.ext.trace);
+    if (ctx.valid()) {
+      scope.emplace(ctx);
+      span.emplace("router", "predict");
+    }
   } else {
     // Unkeyed requests (ListModels): any live shard will do; use the chain
     // for a fixed key so the answer is deterministic while the ring is.
@@ -372,7 +412,21 @@ std::pair<MsgType, std::string> Router::route_predict(UpstreamMap& upstreams,
   for (std::size_t i = 0; i < chain.size(); ++i) {
     const std::string& id = chain[i];
     Frame response;
-    if (!forward(upstreams, id, frame, response)) {
+    bool forwarded;
+    if (span) {
+      // The attempt span covers exactly this round trip, so a failover
+      // shows up in the merged timeline as one short failed attempt
+      // followed by a sibling against the successor.
+      obs::ObsSpan attempt("router", "forward:" + id);
+      req.ext.trace = attempt.context();
+      Frame traced;
+      traced.type = frame.type;
+      traced.payload = req.encode();
+      forwarded = forward(upstreams, id, traced, response);
+    } else {
+      forwarded = forward(upstreams, id, frame, response);
+    }
+    if (!forwarded) {
       count_failover(id);
       continue;
     }
@@ -433,8 +487,26 @@ bool Router::replay_stream(UpstreamMap& upstreams, const std::string& id,
 bool Router::failover_stream(UpstreamMap& upstreams, StreamRelay& relay,
                              std::pair<MsgType, std::string>& reply) {
   count_failover(relay.backend);
+  // Traced streams: each failover attempt gets its own child span under the
+  // context adopted at Begin, and the buffered Begin is re-parented under it
+  // before replay so the successor's spans link through this attempt.
+  std::optional<obs::TraceContextScope> scope;
+  if (relay.ctx.valid()) scope.emplace(relay.ctx);
   while (++relay.chain_pos < relay.chain.size()) {
     const std::string& candidate = relay.chain[relay.chain_pos];
+    std::optional<obs::ObsSpan> attempt;
+    if (relay.ctx.valid()) {
+      attempt.emplace("router", "stream_failover:" + candidate);
+      try {
+        serve::StreamBeginRequest begin =
+            serve::StreamBeginRequest::decode(relay.begin_payload);
+        begin.ext.trace = attempt->context();
+        relay.begin_payload = begin.encode();
+      } catch (const serve::ProtocolError&) {
+        // The buffered payload came from our own encoder; replay it as-is
+        // (losing only the re-parenting) rather than killing the stream.
+      }
+    }
     Frame error;
     bool authoritative = false;
     if (replay_stream(upstreams, candidate, relay, error, authoritative)) {
@@ -494,9 +566,28 @@ std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
       return error_reply(ErrorCode::kInternal,
                          "no live backends (ring is empty)");
     }
+    const obs::TraceContext ctx = adopt_context(begin.ext.trace);
+    std::optional<obs::TraceContextScope> scope;
+    std::optional<obs::ObsSpan> span;
+    if (ctx.valid()) {
+      scope.emplace(ctx);
+      span.emplace("router", "stream_begin");
+    }
     for (std::size_t i = 0; i < chain.size(); ++i) {
       Frame response;
-      if (!forward(upstreams, chain[i], frame, response)) {
+      const Frame* fwd = &frame;
+      Frame traced;
+      if (span) {
+        obs::ObsSpan attempt("router", "forward:" + chain[i]);
+        begin.ext.trace = attempt.context();
+        traced.type = frame.type;
+        traced.payload = begin.encode();
+        fwd = &traced;
+        if (!forward(upstreams, chain[i], traced, response)) {
+          count_failover(chain[i]);
+          continue;
+        }
+      } else if (!forward(upstreams, chain[i], frame, response)) {
         count_failover(chain[i]);
         continue;
       }
@@ -519,7 +610,8 @@ std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
       relay.backend = chain[i];
       relay.chain = std::move(chain);
       relay.chain_pos = i;
-      relay.begin_payload = frame.payload;
+      relay.begin_payload = fwd->payload;
+      relay.ctx = ctx;
       return {response.type, response.payload};
     }
     return error_reply(ErrorCode::kInternal,
@@ -629,6 +721,61 @@ std::pair<MsgType, std::string> Router::admin_fanout(const Frame& frame) {
   }
   return error_reply(ErrorCode::kInternal,
                      "admin fan-out incomplete: " + text);
+}
+
+std::pair<MsgType, std::string> Router::trace_dump_fanout() {
+  if (!config_.allow_admin) {
+    return error_reply(ErrorCode::kAdminDisabled,
+                       "trace dump is disabled "
+                       "(start the router with --allow-admin)");
+  }
+  serve::ClientOptions options;
+  options.connect_timeout_ms = config_.backend_connect_timeout_ms;
+  options.io_timeout_ms = std::max(config_.probe.timeout_ms * 10, 10000);
+  std::vector<std::string> parts;
+  parts.push_back(obs::Trace::drain_chrome_json());
+  for (const BackendAddress& addr : pool_->all_backends()) {
+    try {
+      serve::Client client =
+          addr.is_unix()
+              ? serve::Client::connect_unix(addr.unix_path, options)
+              : serve::Client::connect_tcp(addr.host, addr.port, options);
+      parts.push_back(client.trace_dump_text());
+    } catch (const std::exception& e) {
+      // Unreachable (or admin-disabled) shard: a forensic pull should
+      // return what the rest of the fleet has, not fail on the sickest
+      // member. The gap is visible — that shard's pid is absent.
+      if (config_.verbose) {
+        obs::LogLine(obs::LogLevel::kWarn, "router")
+            .kv("event", "trace_dump_skip")
+            .kv("backend", addr.id)
+            .kv("error", e.what());
+      }
+    }
+  }
+  return {MsgType::kTraceJson,
+          serve::encode_string_payload(obs::merge_chrome_json(parts))};
+}
+
+std::string Router::fleet_metrics() {
+  serve::ClientOptions options;
+  options.connect_timeout_ms = config_.backend_connect_timeout_ms;
+  options.io_timeout_ms = std::max(config_.probe.timeout_ms * 10, 10000);
+  std::vector<std::pair<std::string, std::string>> shards;
+  shards.emplace_back("router", obs::Registry::global().render_prometheus());
+  for (const BackendAddress& addr : pool_->all_backends()) {
+    try {
+      serve::Client client =
+          addr.is_unix()
+              ? serve::Client::connect_unix(addr.unix_path, options)
+              : serve::Client::connect_tcp(addr.host, addr.port, options);
+      shards.emplace_back(addr.id, client.metrics_text());
+    } catch (const std::exception&) {
+      // A dead shard contributes no series; atlas_router_backend_up{...} 0
+      // (in the router's own exposition) is the signal scrapers alert on.
+    }
+  }
+  return merge_prometheus(shards);
 }
 
 }  // namespace atlas::router

@@ -24,11 +24,23 @@
 //     prefix is replayed to the successor and the stream continues.
 //   * **Local + fan-out control plane**: Ping, Health (aggregated over
 //     live shards), Stats (per-backend table), Metrics (the router
-//     process's Prometheus registry) and Shutdown are answered by the
-//     router itself; LoadModel/UnloadModel fan out to every configured
+//     process's Prometheus registry; payload selector "fleet" instead
+//     fans out to every backend and merges the expositions under
+//     per-shard shard="host:port" labels) and Shutdown are answered by
+//     the router itself; LoadModel/UnloadModel fan out to every configured
 //     backend — models are replicated fleet-wide, designs are sharded —
 //     and the reply aggregates per-shard status (any shard failing turns
 //     the aggregate into an Error naming exactly which shards diverged).
+//     TraceDump (admin-gated) drains the router's own span ring plus every
+//     reachable backend's and answers one merged Chrome trace document.
+//
+// Distributed tracing: a traced Predict/StreamBegin carries its context in
+// the request's ext tail. The router adopts it (or — tracing enabled — mints
+// a root for untraced v1 clients), runs the request under a "router" span,
+// and re-encodes the forwarded payload with a fresh per-attempt child span
+// ("forward:<backend>" / "stream_failover:<backend>") as the backend's
+// parent, so failovers appear in the merged timeline as sibling attempts.
+// Untraced requests keep the raw zero-copy forwarding path.
 //
 // Threading mirrors serve::Server: one accept thread per listener, one
 // thread per client connection. Each connection thread owns its upstream
@@ -48,6 +60,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "router/backend_pool.h"
 #include "serve/protocol.h"
 #include "util/socket.h"
@@ -124,8 +137,12 @@ class Router {
     std::string backend;             // pinned shard
     std::vector<std::string> chain;  // failover order captured at Begin
     std::size_t chain_pos = 0;
-    std::string begin_payload;              // raw Begin payload, for replay
+    std::string begin_payload;              // Begin payload, for replay
     std::vector<std::string> chunk_payloads;  // acked chunks, in order
+    /// Trace context adopted at Begin (zero when the stream is untraced);
+    /// failover attempts parent their spans — and the re-encoded Begin
+    /// replayed to the successor — under it.
+    obs::TraceContext ctx;
 
     void reset() {
       active = false;
@@ -135,6 +152,7 @@ class Router {
       begin_payload.clear();
       chunk_payloads.clear();
       chunk_payloads.shrink_to_fit();
+      ctx = obs::TraceContext{};
     }
   };
 
@@ -179,6 +197,15 @@ class Router {
                        std::pair<serve::MsgType, std::string>& reply);
 
   std::pair<serve::MsgType, std::string> admin_fanout(const serve::Frame& frame);
+  /// Admin-gated TraceDump: drain the local span ring and every reachable
+  /// backend's, answer one merged Chrome trace (kTraceJson). Unreachable or
+  /// admin-disabled shards are skipped — a forensic pull should return what
+  /// the rest of the fleet has, not fail on the sickest member.
+  std::pair<serve::MsgType, std::string> trace_dump_fanout();
+  /// Metrics "fleet" selector: every backend's Prometheus exposition merged
+  /// with per-shard shard="<id>" labels, the router's own registry included
+  /// as shard="router".
+  std::string fleet_metrics();
   serve::HealthResponse health_snapshot() const;
 
   RouterConfig config_;

@@ -1,8 +1,27 @@
 #include "serve/client.h"
 
+#include <optional>
+
+#include "obs/trace.h"
 #include "util/hash.h"
 
 namespace atlas::serve {
+namespace {
+
+/// Decide the trace context a client call should attach: an explicit
+/// caller-supplied context wins, else the thread's ambient one, else —
+/// only when tracing is on — a fresh sampled root. Returns nullopt when
+/// the request should travel context-free (the v1-identical path).
+std::optional<obs::TraceContext> originate_context(
+    const obs::TraceContext& explicit_ctx) {
+  if (explicit_ctx.valid()) return explicit_ctx;
+  const obs::TraceContext ambient = obs::current_trace_context();
+  if (ambient.valid()) return ambient;
+  if (obs::trace_enabled()) return obs::make_root_context(/*sampled=*/true);
+  return std::nullopt;
+}
+
+}  // namespace
 
 Client Client::connect_tcp(const std::string& host, int port,
                            const ClientOptions& options) {
@@ -52,8 +71,22 @@ HealthResponse Client::health() {
 }
 
 PredictResponse Client::predict(const PredictRequest& request) {
+  const std::optional<obs::TraceContext> ctx =
+      originate_context(request.ext.trace);
+  if (!ctx) {
+    const Frame resp =
+        round_trip(MsgType::kPredict, request.encode(), MsgType::kPredictOk);
+    return PredictResponse::decode(resp.payload);
+  }
+  // Traced path: run the round trip under a client span and send that
+  // span as the server side's parent. The request copy only happens here,
+  // so the untraced path stays allocation-identical to v1.
+  obs::TraceContextScope scope(*ctx);
+  obs::ObsSpan span("client", "predict");
+  PredictRequest req = request;
+  req.ext.trace = span.context();
   const Frame resp =
-      round_trip(MsgType::kPredict, request.encode(), MsgType::kPredictOk);
+      round_trip(MsgType::kPredict, req.encode(), MsgType::kPredictOk);
   return PredictResponse::decode(resp.payload);
 }
 
@@ -62,6 +95,15 @@ PredictResponse Client::predict_stream(StreamBeginRequest begin,
                                        std::size_t chunk_bytes) {
   if (chunk_bytes == 0) chunk_bytes = 64 * 1024;
   begin.trace_bytes = trace_bytes.size();
+  const std::optional<obs::TraceContext> ctx =
+      originate_context(begin.ext.trace);
+  std::optional<obs::TraceContextScope> scope;
+  std::optional<obs::ObsSpan> span;
+  if (ctx) {
+    scope.emplace(*ctx);
+    span.emplace("client", "stream");
+    begin.ext.trace = span->context();
+  }
   round_trip(MsgType::kStreamBegin, begin.encode(), MsgType::kStreamAck);
   std::uint64_t seq = 0;
   for (std::size_t off = 0; off < trace_bytes.size(); off += chunk_bytes) {
@@ -122,15 +164,25 @@ std::vector<ModelInfo> Client::models() {
   return ModelListResponse::decode(resp.payload).models;
 }
 
-std::string Client::stats_text() {
+std::string Client::stats_text(bool json) {
   const Frame resp =
-      round_trip(MsgType::kStats, std::string(), MsgType::kStatsText);
+      round_trip(MsgType::kStats,
+                 json ? encode_string_payload("json") : std::string(),
+                 MsgType::kStatsText);
   return decode_string_payload(resp.payload);
 }
 
-std::string Client::metrics_text() {
+std::string Client::metrics_text(bool fleet) {
   const Frame resp =
-      round_trip(MsgType::kMetrics, std::string(), MsgType::kMetricsText);
+      round_trip(MsgType::kMetrics,
+                 fleet ? encode_string_payload("fleet") : std::string(),
+                 MsgType::kMetricsText);
+  return decode_string_payload(resp.payload);
+}
+
+std::string Client::trace_dump_text() {
+  const Frame resp =
+      round_trip(MsgType::kTraceDump, std::string(), MsgType::kTraceJson);
   return decode_string_payload(resp.payload);
 }
 

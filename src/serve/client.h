@@ -57,6 +57,12 @@ class Client {
   /// depth, drain state (see HealthResponse).
   HealthResponse health();
 
+  /// Predict and stream calls originate the distributed trace context:
+  /// when the request carries none, the ambient thread context (if any) or
+  /// — with tracing enabled — a fresh sampled root is attached, and the
+  /// call runs under a "client" span whose id becomes the server side's
+  /// parent. With tracing off and no ambient context, the request encodes
+  /// byte-identically to protocol v1.
   PredictResponse predict(const PredictRequest& request);
 
   /// Upload a client-supplied toggle trace in chunks and get the prediction
@@ -94,10 +100,19 @@ class Client {
   /// still complete; new requests answer kUnknownModel.
   void unload_model(const std::string& name);
 
-  std::string stats_text();
+  /// Human stats table, or (json = true) the same snapshot as one JSON
+  /// object. Old servers ignore the selector and always answer the table.
+  std::string stats_text(bool json = false);
 
-  /// Prometheus text exposition of the server's metrics registry.
-  std::string metrics_text();
+  /// Prometheus text exposition of the server's metrics registry. With
+  /// fleet = true against a router, every backend's metrics merged with a
+  /// per-shard shard="host:port" label (a plain serve daemon — or an old
+  /// router — ignores the selector and answers its local registry).
+  std::string metrics_text(bool fleet = false);
+
+  /// Admin: drain the peer's span ring as Chrome trace JSON (a router
+  /// answers the merged fleet trace). Requires --allow-admin on the peer.
+  std::string trace_dump_text();
 
   /// Ask the daemon to shut down (it drains in-flight work first).
   void shutdown_server();

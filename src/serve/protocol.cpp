@@ -1,6 +1,7 @@
 #include "serve/protocol.h"
 
 #include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "util/serialize.h"
@@ -55,6 +56,46 @@ T decode_payload(const std::string& payload, Fn&& fn) {
   } catch (const util::SerializeError& e) {
     throw ProtocolError(std::string("bad payload: ") + e.what());
   }
+}
+
+/// True when the stream still has bytes — i.e. a v2+ extension tail
+/// follows the base fields just read.
+bool has_ext_tail(std::istream& is) {
+  return is.peek() != std::istream::traits_type::eof();
+}
+
+constexpr std::uint32_t kExtFlagSampled = 1u << 0;
+constexpr std::uint32_t kExtFlagWantTiming = 1u << 1;
+
+void write_request_ext(std::ostream& os, const RequestTraceExt& ext) {
+  write_u32(os, kTraceExtVersion);
+  write_u64(os, ext.trace.trace_hi);
+  write_u64(os, ext.trace.trace_lo);
+  write_u64(os, ext.trace.span_id);
+  std::uint32_t flags = 0;
+  if (ext.trace.sampled) flags |= kExtFlagSampled;
+  if (ext.want_timing) flags |= kExtFlagWantTiming;
+  write_u32(os, flags);
+}
+
+/// Reads the optional request tail. A tail from a future protocol version
+/// is skipped wholesale (its layout is unknown) rather than rejected, so
+/// a newer client degrades to v1 behavior against this server.
+RequestTraceExt read_request_ext(std::istream& is) {
+  RequestTraceExt ext;
+  if (!has_ext_tail(is)) return ext;
+  const std::uint32_t version = read_u32(is);
+  if (version != kTraceExtVersion) {
+    is.ignore(std::numeric_limits<std::streamsize>::max());
+    return ext;
+  }
+  ext.trace.trace_hi = read_u64(is);
+  ext.trace.trace_lo = read_u64(is);
+  ext.trace.span_id = read_u64(is);
+  const std::uint32_t flags = read_u32(is);
+  ext.trace.sampled = (flags & kExtFlagSampled) != 0;
+  ext.want_timing = (flags & kExtFlagWantTiming) != 0;
+  return ext;
 }
 
 }  // namespace
@@ -123,6 +164,7 @@ std::string PredictRequest::encode() const {
     write_u32(os, static_cast<std::uint32_t>(cycles));
     write_u32(os, deadline_ms);
     write_u32(os, want_submodules ? 1u : 0u);
+    if (ext.should_encode()) write_request_ext(os, ext);
   });
 }
 
@@ -135,6 +177,7 @@ PredictRequest PredictRequest::decode(const std::string& payload) {
     r.cycles = static_cast<std::int32_t>(read_u32(is));
     r.deadline_ms = read_u32(is);
     r.want_submodules = read_u32(is) != 0;
+    r.ext = read_request_ext(is);
     return r;
   });
 }
@@ -149,6 +192,7 @@ std::string StreamBeginRequest::encode() const {
     write_u32(os, want_submodules ? 1u : 0u);
     write_u64(os, trace_bytes);
     write_u64(os, design_hash);
+    if (ext.should_encode()) write_request_ext(os, ext);
   });
 }
 
@@ -168,6 +212,7 @@ StreamBeginRequest StreamBeginRequest::decode(const std::string& payload) {
     r.want_submodules = read_u32(is) != 0;
     r.trace_bytes = read_u64(is);
     r.design_hash = read_u64(is);
+    r.ext = read_request_ext(is);
     return r;
   });
 }
@@ -252,7 +297,7 @@ StreamAck StreamAck::decode(const std::string& payload) {
 }
 
 std::string PredictResponse::encode() const {
-  return encode_payload([this](std::ostream& os) {
+  std::string out = encode_payload([this](std::ostream& os) {
     write_u32(os, cache_flags);
     write_f64(os, server_seconds);
     write_u32(os, static_cast<std::uint32_t>(num_cycles));
@@ -260,6 +305,8 @@ std::string PredictResponse::encode() const {
     write_group_power_rows(os, design);
     write_group_power_rows(os, submodule);
   });
+  if (has_timing) append_timing_ext(out, timing);
+  return out;
 }
 
 PredictResponse PredictResponse::decode(const std::string& payload) {
@@ -271,8 +318,32 @@ PredictResponse PredictResponse::decode(const std::string& payload) {
     r.num_submodules = read_u64(is);
     r.design = read_group_power_rows(is);
     r.submodule = read_group_power_rows(is);
+    if (has_ext_tail(is)) {
+      const std::uint32_t version = read_u32(is);
+      if (version == kTraceExtVersion) {
+        r.timing.queue_us = read_u64(is);
+        r.timing.cache_us = read_u64(is);
+        r.timing.encode_us = read_u64(is);
+        r.timing.predict_us = read_u64(is);
+        r.timing.serialize_us = read_u64(is);
+        r.timing.total_us = read_u64(is);
+        r.has_timing = true;
+      }
+    }
     return r;
   });
+}
+
+void append_timing_ext(std::string& payload, const ServerTiming& timing) {
+  std::ostringstream os(std::ios::binary);
+  write_u32(os, kTraceExtVersion);
+  write_u64(os, timing.queue_us);
+  write_u64(os, timing.cache_us);
+  write_u64(os, timing.encode_us);
+  write_u64(os, timing.predict_us);
+  write_u64(os, timing.serialize_us);
+  write_u64(os, timing.total_us);
+  payload += std::move(os).str();
 }
 
 std::string ModelListResponse::encode() const {

@@ -16,10 +16,20 @@
 // allocation bomb or a crash.
 //
 // Requests: Ping, Predict, ListModels, Stats, Shutdown, Metrics,
-// StreamBegin, StreamChunk, StreamEnd, LoadModel, UnloadModel, Health.
+// StreamBegin, StreamChunk, StreamEnd, LoadModel, UnloadModel, Health,
+// TraceDump.
 // Responses: Pong, PredictOk, ModelList, StatsText, ShutdownOk,
-// MetricsText, StreamAck, AdminOk, HealthReport, Error.
+// MetricsText, StreamAck, AdminOk, HealthReport, TraceJson, Error.
 // One response frame per request frame, in request order per connection.
+//
+// Protocol v2 (kProtocolVersion) adds optional extension *tails*: extra
+// fields appended after a payload's base fields, carrying the distributed
+// trace context on requests (RequestTraceExt) and the per-phase server
+// timing breakdown on PredictOk (ServerTiming). Tails are
+// backward/forward compatible by construction — see kProtocolVersion.
+// Metrics and Stats requests additionally accept an optional string
+// payload ("fleet" / "json") selecting an alternate rendering; servers
+// that predate it ignore request payloads on those types entirely.
 //
 // Health is the readiness probe a routing tier keys decisions off: unlike
 // ping (which only proves the accept loop is alive) it reports registry
@@ -50,6 +60,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "power/power_analyzer.h"
 #include "util/socket.h"
 
@@ -63,6 +74,23 @@ class ProtocolError : public std::runtime_error {
 inline constexpr char kFrameMagic[4] = {'A', 'T', 'S', 'P'};
 inline constexpr std::size_t kFrameHeaderBytes = 16;
 inline constexpr std::size_t kDefaultMaxFrameBytes = 64ull << 20;  // 64 MiB
+
+/// ATSP protocol version. v1: PRs 2–7 (no trace context). v2: optional
+/// trace-context / server-timing extension tails on Predict and
+/// StreamBegin requests and the PredictOk response, plus the TraceDump
+/// admin request. The version is *not* negotiated on the wire — v2 relies
+/// on v1 decoders ignoring trailing payload bytes, so every pairing of
+/// old/new client/server interoperates:
+///
+///   * v2 -> v1: the extension tail rides after the base fields; a v1
+///     decoder reads exactly the base fields and never looks further.
+///   * v1 -> v2: no tail present; the v2 decoder detects end-of-payload
+///     and proceeds with an absent context (the server then generates a
+///     root context, so old clients still get coherent server-side spans).
+///   * future vN -> v2: the tail leads with its own version tag; a v2
+///     decoder skips tails it does not understand.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kTraceExtVersion = 2;
 
 enum class MsgType : std::uint32_t {
   // Requests.
@@ -78,6 +106,11 @@ enum class MsgType : std::uint32_t {
   kLoadModel = 10,
   kUnloadModel = 11,
   kHealth = 12,
+  /// Admin-gated: drain the process's span ring and answer kTraceJson with
+  /// the Chrome trace JSON (each recorded event is returned exactly once
+  /// across successive dumps). The router additionally fans this out to
+  /// every backend and answers with the merged fleet trace.
+  kTraceDump = 13,
   // Responses.
   kPong = 100,
   kPredictOk = 101,
@@ -88,6 +121,7 @@ enum class MsgType : std::uint32_t {
   kStreamAck = 106,
   kAdminOk = 107,
   kHealthReport = 108,
+  kTraceJson = 109,
   kError = 199,
 };
 
@@ -127,6 +161,22 @@ bool read_frame(util::Socket& sock, Frame& out,
 
 // ---- Request payloads -----------------------------------------------------
 
+/// v2 extension tail shared by Predict and StreamBegin requests: the
+/// distributed trace context plus per-request flags. Encoded only when it
+/// carries information (context valid or want_timing set), so v2 clients
+/// with tracing off emit byte-identical v1 payloads.
+///
+/// `trace.span_id` on the wire is the *sender's* current span — the
+/// receiver installs the context as-is and its spans parent under it.
+struct RequestTraceExt {
+  obs::TraceContext trace;
+  /// Ask the server to attach the per-phase ServerTiming breakdown to the
+  /// PredictOk response (independent of tracing/sampling).
+  bool want_timing = false;
+
+  bool should_encode() const { return trace.valid() || want_timing; }
+};
+
 struct PredictRequest {
   std::string model;            // registry name
   std::string netlist_verilog;  // gate-level structural Verilog text
@@ -134,6 +184,7 @@ struct PredictRequest {
   std::int32_t cycles = 300;
   std::uint32_t deadline_ms = 0;     // 0 = no deadline
   bool want_submodules = false;      // include per-sub-module rows
+  RequestTraceExt ext;               // v2 optional tail
 
   std::string encode() const;
   static PredictRequest decode(const std::string& payload);
@@ -168,6 +219,7 @@ struct StreamBeginRequest {
   /// the entry was evicted mid-upload — and the client falls back to a full
   /// upload. 0 = not used.
   std::uint64_t design_hash = 0;
+  RequestTraceExt ext;  // v2 optional tail
 
   std::string encode() const;
   static StreamBeginRequest decode(const std::string& payload);
@@ -225,6 +277,20 @@ struct StreamAck {
 inline constexpr std::uint32_t kCacheHitDesign = 1u << 0;      // graphs reused
 inline constexpr std::uint32_t kCacheHitEmbeddings = 1u << 1;  // encoder skipped
 
+/// Per-phase server-side breakdown of one predict request, in
+/// microseconds. Carried on the PredictOk response when the request asked
+/// for it (want_timing), and logged by the server's slow-request log.
+/// Phases are disjoint; total_us additionally covers glue between them, so
+/// the sum of phases is <= total_us.
+struct ServerTiming {
+  std::uint64_t queue_us = 0;      // enqueue -> dispatcher pickup
+  std::uint64_t cache_us = 0;      // feature-cache lookups
+  std::uint64_t encode_us = 0;     // parse/sim/feature/encoder work
+  std::uint64_t predict_us = 0;    // GBDT head evaluation
+  std::uint64_t serialize_us = 0;  // response payload encode
+  std::uint64_t total_us = 0;      // enqueue -> response encoded
+};
+
 struct PredictResponse {
   std::uint32_t cache_flags = 0;
   double server_seconds = 0.0;  // handler wall-clock on the server
@@ -232,6 +298,10 @@ struct PredictResponse {
   std::uint64_t num_submodules = 0;
   std::vector<power::GroupPower> design;     // [cycle]
   std::vector<power::GroupPower> submodule;  // [cycle*nsm + sm], optional
+  /// v2 optional tail: set only when the request carried want_timing and
+  /// the server understands v2.
+  bool has_timing = false;
+  ServerTiming timing;
 
   bool design_cache_hit() const { return cache_flags & kCacheHitDesign; }
   bool embedding_cache_hit() const { return cache_flags & kCacheHitEmbeddings; }
@@ -239,6 +309,12 @@ struct PredictResponse {
   std::string encode() const;
   static PredictResponse decode(const std::string& payload);
 };
+
+/// Append the v2 timing tail to an already-encoded PredictResponse base
+/// payload. The server uses this to measure serialize_us over the base
+/// encode itself and then attach the finished numbers without re-encoding;
+/// PredictResponse::encode() with has_timing produces identical bytes.
+void append_timing_ext(std::string& payload, const ServerTiming& timing);
 
 struct ModelInfo {
   std::string name;

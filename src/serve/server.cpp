@@ -38,6 +38,27 @@ std::pair<MsgType, std::string> error_reply(ErrorCode code,
 /// Largest cycle count a single request may ask the server to simulate.
 constexpr std::int32_t kMaxRequestCycles = 1 << 20;
 
+/// Live dispatcher queue depth, exported so the fleet view and a future
+/// queue-depth router read the same signal the health probe reports.
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("atlas_serve_queue_depth");
+  return g;
+}
+
+/// Decode an optional bare-string request payload ("json", "fleet", ...).
+/// Old clients send an empty payload on these request types; anything
+/// undecodable is treated the same way rather than rejected, so the
+/// request degrades to its default rendering.
+std::string optional_string_payload(const std::string& payload) {
+  if (payload.empty()) return {};
+  try {
+    return decode_string_payload(payload);
+  } catch (const ProtocolError&) {
+    return {};
+  }
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config, std::shared_ptr<ModelRegistry> registry)
@@ -240,11 +261,15 @@ void Server::connection_loop(Connection* conn) {
                       health_snapshot().encode());
           stats_.record("health", elapsed_us(received_at), false);
           break;
-        case MsgType::kStats:
-          write_frame(sock, MsgType::kStatsText,
-                      encode_string_payload(stats_text()));
+        case MsgType::kStats: {
+          const std::string mode = optional_string_payload(frame.payload);
+          const std::string text = mode == "json"
+                                       ? stats_.render_json(cache_.stats())
+                                       : stats_text();
+          write_frame(sock, MsgType::kStatsText, encode_string_payload(text));
           stats_.record("stats", elapsed_us(received_at), false);
           break;
+        }
         case MsgType::kMetrics:
           write_frame(sock, MsgType::kMetricsText,
                       encode_string_payload(metrics_text()));
@@ -275,6 +300,24 @@ void Server::connection_loop(Connection* conn) {
           write_frame(sock, type, payload);
           stats_.record("admin", elapsed_us(received_at),
                         type == MsgType::kError);
+          break;
+        }
+        case MsgType::kTraceDump: {
+          // Draining the ring is destructive and its contents describe
+          // server internals, so it rides the same operator gate as the
+          // registry mutations.
+          if (!config_.allow_admin) {
+            const auto [type, payload] = error_reply(
+                ErrorCode::kAdminDisabled,
+                "trace_dump is disabled (start the server with "
+                "--allow-admin)");
+            write_frame(sock, type, payload);
+            stats_.record("admin", elapsed_us(received_at), true);
+          } else {
+            write_frame(sock, MsgType::kTraceJson,
+                        encode_string_payload(obs::Trace::drain_chrome_json()));
+            stats_.record("admin", elapsed_us(received_at), false);
+          }
           break;
         }
         case MsgType::kPredict: {
@@ -331,6 +374,7 @@ void Server::dispatcher_loop() {
       batch.assign(queue_.begin(),
                    queue_.begin() + static_cast<std::ptrdiff_t>(n));
       queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
+      queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     }
     if (config_.dispatch_delay_for_test_ms > 0) {
       std::this_thread::sleep_for(
@@ -351,6 +395,7 @@ std::pair<MsgType, std::string> Server::submit_and_wait(
       rejected = true;
     } else {
       queue_.push_back(job);
+      queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     }
   }
   if (rejected) {
@@ -531,6 +576,7 @@ std::pair<MsgType, std::string> Server::handle_stream_frame(
       job->request.cycles = stream.begin.cycles;
       job->request.deadline_ms = stream.begin.deadline_ms;
       job->request.want_submodules = stream.begin.want_submodules;
+      job->request.ext = stream.begin.ext;
       job->trace = std::make_shared<const sim::ExternalTrace>(
           is_delta ? sim::ExternalTrace::from_delta_bytes(std::move(stream.data))
                    : sim::ExternalTrace::from_vcd_text(std::move(stream.data)));
@@ -618,8 +664,7 @@ std::pair<MsgType, std::string> Server::compute_job_reply(PendingJob& job,
                            "ms, deadline " +
                            std::to_string(job.request.deadline_ms) + "ms");
   }
-  std::pair<MsgType, std::string> reply =
-      handle_predict(job.request, job.trace.get(), job.design_hash);
+  std::pair<MsgType, std::string> reply = handle_predict(job);
   is_error = reply.first == MsgType::kError;
   // Re-check after compute: a request that blew its deadline inside the
   // handler must not get a full late success reply (and must count as
@@ -647,7 +692,19 @@ void Server::process_job(PendingJob& job) noexcept {
   bool is_error = true;
   std::pair<MsgType, std::string> reply;
   try {
+    // Install the request's trace context for the whole compute scope so
+    // every span below (handler, cache, encoder, pool batches it runs
+    // inline) chains onto the client/router span that sent it. Requests
+    // from pre-v2 clients carry no context; when tracing is on, mint a
+    // root so their server-side spans still group per-request (when
+    // tracing is off, stay id-free — the zero-cost path).
+    obs::TraceContext ctx = job.request.ext.trace;
+    if (!ctx.valid() && obs::trace_enabled()) {
+      ctx = obs::make_root_context(/*sampled=*/true);
+    }
+    obs::TraceContextScope scope(ctx);
     reply = compute_job_reply(job, is_error);
+    maybe_log_slow(job, is_error);
     if (config_.fault_inject_for_test) {
       throw "injected non-std fault after handler";  // NOLINT
     }
@@ -667,9 +724,52 @@ void Server::process_job(PendingJob& job) noexcept {
   job.result.set_value(std::move(reply));
 }
 
-std::pair<MsgType, std::string> Server::handle_predict(
-    const PredictRequest& req, const sim::ExternalTrace* trace,
-    std::uint64_t design_hash) {
+void Server::maybe_log_slow(const PendingJob& job, bool is_error) {
+  if (config_.slow_ms <= 0) return;
+  // Error replies return before handle_predict stamps total_us; measure
+  // from the enqueue time so a slow *failure* is still forensic material.
+  const std::uint64_t total_us =
+      std::max(job.timing.total_us, elapsed_us(job.enqueued_at));
+  const std::uint64_t total_ms = total_us / 1000;
+  if (total_ms <= static_cast<std::uint64_t>(config_.slow_ms)) return;
+  obs::Registry::global().counter("atlas_serve_slow_requests_total").inc();
+  // Sampled: at most ~1 line/second. A systemic slowdown makes every
+  // request slow; the counter carries the rate, the log carries one
+  // representative per-phase breakdown.
+  const std::uint64_t now = obs::trace_now_us();
+  std::uint64_t last = last_slow_log_us_.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < 1'000'000) return;
+  if (!last_slow_log_us_.compare_exchange_strong(last, now,
+                                                 std::memory_order_relaxed)) {
+    return;  // another slow request just logged
+  }
+  obs::LogLine line(obs::LogLevel::kWarn, "serve");
+  line.kv("event", "slow_request")
+      .kv("endpoint", job.endpoint)
+      .kv("model", job.request.model)
+      .kv("error", is_error ? 1 : 0)
+      .kv("slow_ms_threshold", config_.slow_ms)
+      .kv("total_ms", static_cast<std::int64_t>(total_ms))
+      .kv("queue_us", static_cast<std::int64_t>(job.timing.queue_us))
+      .kv("cache_us", static_cast<std::int64_t>(job.timing.cache_us))
+      .kv("encode_us", static_cast<std::int64_t>(job.timing.encode_us))
+      .kv("predict_us", static_cast<std::int64_t>(job.timing.predict_us))
+      .kv("serialize_us", static_cast<std::int64_t>(job.timing.serialize_us));
+  const obs::TraceContext ctx = obs::current_trace_context();
+  if (ctx.valid()) {
+    line.kv("trace_id",
+            util::hash_hex(ctx.trace_hi) + util::hash_hex(ctx.trace_lo));
+  }
+}
+
+std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
+  const PredictRequest& req = job.request;
+  const sim::ExternalTrace* trace = job.trace.get();
+  const std::uint64_t design_hash = job.design_hash;
+  // Queue phase: everything between enqueue and this handler starting
+  // (for streams that includes chunk assembly — the phase an operator
+  // reads as "time not spent computing").
+  job.timing.queue_us = elapsed_us(job.enqueued_at);
   obs::ObsSpan span("serve", "handle_predict");
   const Clock::time_point handler_start = Clock::now();
   if (config_.handler_delay_for_test_ms > 0) {
@@ -724,8 +824,10 @@ std::pair<MsgType, std::string> Server::handle_predict(
       design_hash != 0 ? design_hash : util::fnv1a64(req.netlist_verilog),
       entry->library_hash);
 
+  Clock::time_point phase_start = Clock::now();
   std::shared_ptr<const DesignArtifacts> design =
       cache_.find_design(design_key);
+  job.timing.cache_us += elapsed_us(phase_start);
   if (design) {
     cache_flags |= kCacheHitDesign;
   } else if (design_hash != 0) {
@@ -735,6 +837,7 @@ std::pair<MsgType, std::string> Server::handle_predict(
                        "design " + util::hash_hex(design_hash) +
                            " is no longer cached; re-send the netlist");
   } else {
+    phase_start = Clock::now();
     obs::ObsSpan prep_span("serve", "parse_and_graphs");
     std::optional<netlist::Netlist> parsed;
     try {
@@ -758,6 +861,7 @@ std::pair<MsgType, std::string> Server::handle_predict(
     design = std::make_shared<const DesignArtifacts>(DesignArtifacts{
         std::move(*parsed), std::move(graphs), structural, entry->library});
     cache_.put_design(design_key, design);
+    job.timing.encode_us += elapsed_us(phase_start);
   }
 
   // For streamed traces the key carries the trace's content hash, so two
@@ -769,11 +873,14 @@ std::pair<MsgType, std::string> Server::handle_predict(
   const EmbeddingKey emb_key{req.model, req.workload, req.cycles,
                              external ? trace->content_hash() : 0,
                              entry->generation};
+  phase_start = Clock::now();
   std::shared_ptr<const core::DesignEmbeddings> emb =
       cache_.find_embeddings(design_key, emb_key);
+  job.timing.cache_us += elapsed_us(phase_start);
   if (emb) {
     cache_flags |= kCacheHitEmbeddings;
   } else {
+    phase_start = Clock::now();
     sim::ToggleTrace toggles;
     if (external) {
       try {
@@ -800,10 +907,13 @@ std::pair<MsgType, std::string> Server::handle_predict(
     emb = std::make_shared<const core::DesignEmbeddings>(
         model.encode(design->gate, design->graphs, toggles));
     cache_.put_embeddings(design_key, emb_key, emb);
+    job.timing.encode_us += elapsed_us(phase_start);
   }
 
+  phase_start = Clock::now();
   const core::Prediction pred =
       model.predict_from_embeddings(design->gate, design->graphs, *emb);
+  job.timing.predict_us = elapsed_us(phase_start);
 
   PredictResponse resp;
   resp.cache_flags = cache_flags;
@@ -813,7 +923,16 @@ std::pair<MsgType, std::string> Server::handle_predict(
   if (req.want_submodules) resp.submodule = pred.submodule;
   resp.server_seconds =
       static_cast<double>(elapsed_us(handler_start)) / 1e6;
-  return {MsgType::kPredictOk, resp.encode()};
+  phase_start = Clock::now();
+  std::string payload = resp.encode();
+  job.timing.serialize_us = elapsed_us(phase_start);
+  job.timing.total_us = elapsed_us(job.enqueued_at);
+  if (req.ext.want_timing) {
+    // Appended after the base encode so serialize_us covers the encode the
+    // client actually paid for; the tail itself is ~50 bytes.
+    append_timing_ext(payload, job.timing);
+  }
+  return {MsgType::kPredictOk, std::move(payload)};
 }
 
 }  // namespace atlas::serve

@@ -83,8 +83,17 @@ struct ServerConfig {
   bool fault_inject_for_test = false;
   /// Honor LoadModel/UnloadModel requests. Off by default: runtime registry
   /// mutation is an operator capability, not something any client on the
-  /// wire should have.
+  /// wire should have. Also gates the TraceDump request: a span ring can
+  /// hold request-derived names, and draining it clears state other
+  /// observers may want.
   bool allow_admin = false;
+  /// Slow-request forensics threshold: a predict/stream request whose
+  /// total time (enqueue -> reply encoded) exceeds this emits one warn-level
+  /// structured log line with the per-phase ServerTiming breakdown, rate
+  /// limited to ~1 line/second so a systemic slowdown cannot flood the log
+  /// (every slow request still counts in atlas_serve_slow_requests_total).
+  /// 0 disables the log (the counter stays off too).
+  int slow_ms = 0;
   bool verbose = false;
 };
 
@@ -147,6 +156,11 @@ class Server {
     /// Predict: frame receipt. Stream: StreamBegin receipt, so the deadline
     /// spans assembly + queue wait + compute.
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Per-phase breakdown, filled by handle_predict (queue_us covers
+    /// enqueue -> handler entry, so for streams it includes assembly).
+    /// Consumed by the slow-request log and, when the request asked
+    /// (ext.want_timing), echoed on the response tail.
+    ServerTiming timing;
     std::promise<std::pair<MsgType, std::string>> result;
   };
   struct Connection {
@@ -195,17 +209,20 @@ class Server {
   std::pair<MsgType, std::string> handle_stream_frame(const Frame& frame,
                                                       StreamState& stream);
 
-  /// Returns {response type, payload}; never throws. `trace` is the
+  /// Returns {response type, payload}; never throws. job.trace is the
   /// assembled client-supplied toggle trace for streamed requests, null
-  /// for the synthetic w1/w2 workloads. A nonzero `design_hash` replaces
+  /// for the synthetic w1/w2 workloads. A nonzero job.design_hash replaces
   /// the netlist text as the design-cache key component; a miss answers
   /// kUnknownDesign (the StreamBegin-time check can race eviction, so it is
   /// re-checked here) instead of parsing. Pins the registry entry (model +
   /// library) for the whole request, so a concurrent unload/replace never
-  /// invalidates running work.
-  std::pair<MsgType, std::string> handle_predict(
-      const PredictRequest& req, const sim::ExternalTrace* trace,
-      std::uint64_t design_hash);
+  /// invalidates running work. Fills job.timing; the caller (process_job)
+  /// has already installed the request's TraceContextScope.
+  std::pair<MsgType, std::string> handle_predict(PendingJob& job);
+
+  /// Emit the slow-request log line / counter for a finished job if it
+  /// crossed config_.slow_ms.
+  void maybe_log_slow(const PendingJob& job, bool is_error);
 
   /// LoadModel / UnloadModel handlers (connection-thread inline; gated by
   /// config_.allow_admin). Never throw; failures become Error replies.
@@ -231,6 +248,10 @@ class Server {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<PendingJob>> queue_;
+
+  /// trace_now_us() of the last slow-request log line (0 = none yet);
+  /// CAS-guarded so concurrent slow requests emit at most ~1 line/second.
+  std::atomic<std::uint64_t> last_slow_log_us_{0};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stop_requested_{false};

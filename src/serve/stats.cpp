@@ -66,4 +66,27 @@ std::string ServerStats::render_text(const FeatureCacheStats& cache) const {
   return out;
 }
 
+std::string ServerStats::render_json(const FeatureCacheStats& cache) const {
+  const auto snap = snapshot();
+  auto u = [](std::uint64_t v) { return std::to_string(v); };
+  std::string out = "{\"endpoints\":{";
+  bool first = true;
+  for (const auto& [name, s] : snap) {
+    if (!first) out += ',';
+    first = false;
+    // Endpoint names are server-chosen identifiers ("predict", ...), never
+    // client text, so they need no JSON escaping.
+    out += "\"" + name + "\":{\"requests\":" + u(s.requests) +
+           ",\"errors\":" + u(s.errors) + ",\"p50_us\":" + u(s.p50_us) +
+           ",\"p95_us\":" + u(s.p95_us) + ",\"p99_us\":" + u(s.p99_us) + "}";
+  }
+  out += "},\"cache\":{\"design_hits\":" + u(cache.design_hits) +
+         ",\"design_misses\":" + u(cache.design_misses) +
+         ",\"design_evictions\":" + u(cache.design_evictions) +
+         ",\"embedding_hits\":" + u(cache.embedding_hits) +
+         ",\"embedding_misses\":" + u(cache.embedding_misses) +
+         ",\"embedding_drops\":" + u(cache.embedding_drops) + "}}";
+  return out;
+}
+
 }  // namespace atlas::serve

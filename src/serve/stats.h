@@ -44,6 +44,12 @@ class ServerStats {
   /// the feature-cache counters.
   std::string render_text(const FeatureCacheStats& cache) const;
 
+  /// The same snapshot as one JSON object, for scripting/dashboards
+  /// (`atlas_client stats --json`):
+  /// {"endpoints":{"<name>":{"requests":..,"errors":..,"p50_us":..,
+  /// "p95_us":..,"p99_us":..},...},"cache":{...}}.
+  std::string render_json(const FeatureCacheStats& cache) const;
+
   std::map<std::string, EndpointStats> snapshot() const;
 
  private:

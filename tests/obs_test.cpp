@@ -322,13 +322,20 @@ TEST_F(ObsTraceTest, SpansProduceValidChromeTraceJson) {
   EXPECT_EQ(root.at("displayTimeUnit").str, "ms");
   EXPECT_EQ(root.at("atlasDroppedEvents").num, 0.0);
 
+  // The first event labels the process (real OS pid + name); the span
+  // events follow, all under the same pid.
   const std::vector<Json>& events = root.at("traceEvents").arr;
-  ASSERT_EQ(events.size(), 3u);
+  ASSERT_EQ(events.size(), 4u);
+  const Json& meta = events.front();
+  EXPECT_EQ(meta.at("ph").str, "M");
+  EXPECT_EQ(meta.at("name").str, "process_name");
+  EXPECT_GT(meta.at("pid").num, 0.0);
   std::vector<std::string> names;
-  for (const Json& e : events) {
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const Json& e = events[i];
     EXPECT_EQ(e.at("ph").str, "X");
     EXPECT_EQ(e.at("cat").str, "test");
-    EXPECT_EQ(e.at("pid").num, 1.0);
+    EXPECT_EQ(e.at("pid").num, meta.at("pid").num);
     EXPECT_GT(e.at("tid").num, 0.0);
     EXPECT_GE(e.at("dur").num, 0.0);
     names.push_back(e.at("name").str);
@@ -349,10 +356,11 @@ TEST_F(ObsTraceTest, RingIsBoundedAndCountsDropped) {
   EXPECT_EQ(Trace::dropped(), 20u - kCap);
 
   const Json root = JsonParser(Trace::render_chrome_json()).parse();
-  EXPECT_EQ(root.at("traceEvents").arr.size(), kCap);
+  // +1: the process_name metadata event precedes the ring contents.
+  EXPECT_EQ(root.at("traceEvents").arr.size(), kCap + 1);
   EXPECT_EQ(root.at("atlasDroppedEvents").num, static_cast<double>(20 - kCap));
   // Oldest events were overwritten: the surviving ones are the last kCap.
-  EXPECT_EQ(root.at("traceEvents").arr.front().at("ts").num, 12.0);
+  EXPECT_EQ(root.at("traceEvents").arr[1].at("ts").num, 12.0);
 }
 
 TEST_F(ObsTraceTest, ConcurrentSpansFromParallelForAllLand) {
@@ -375,6 +383,160 @@ TEST_F(ObsTraceTest, FlushFileReturnsFalseWithoutPath) {
   Trace::enable();
   Trace::set_output_path("");
   EXPECT_FALSE(Trace::flush_file());
+}
+
+// ---------------------------------------------------------------------------
+// Distributed trace context
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTraceTest, MakeRootContextIsValidUniqueAndParentless) {
+  const TraceContext a = make_root_context(/*sampled=*/true);
+  const TraceContext b = make_root_context(/*sampled=*/true);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(a.span_id, 0u);  // root: no enclosing span
+  EXPECT_TRUE(a.trace_hi != b.trace_hi || a.trace_lo != b.trace_lo);
+  EXPECT_FALSE(TraceContext{}.valid());
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST_F(ObsTraceTest, ContextScopeInstallsAndRestoresAmbient) {
+  const TraceContext root = make_root_context(/*sampled=*/true);
+  {
+    TraceContextScope scope(root);
+    const TraceContext seen = current_trace_context();
+    EXPECT_EQ(seen.trace_hi, root.trace_hi);
+    EXPECT_EQ(seen.trace_lo, root.trace_lo);
+    EXPECT_EQ(seen.span_id, 0u);
+    EXPECT_TRUE(seen.sampled);
+  }
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST_F(ObsTraceTest, SpansUnderContextChainParentIds) {
+  Trace::enable();
+  const TraceContext root = make_root_context(/*sampled=*/true);
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    TraceContextScope scope(root);
+    ObsSpan outer("test", "ctx_outer");
+    outer_id = outer.span_id();
+    EXPECT_NE(outer_id, 0u);
+    // The outer span is now the ambient parent for nested work...
+    EXPECT_EQ(current_trace_context().span_id, outer_id);
+    {
+      ObsSpan inner("test", "ctx_inner");
+      inner_id = inner.span_id();
+    }
+    // ...and the chain unwinds as spans close.
+    EXPECT_EQ(current_trace_context().span_id, outer_id);
+  }
+  const std::vector<TraceEventView> events = Trace::snapshot();
+  ASSERT_EQ(events.size(), 2u);  // completion order: inner first
+  const TraceEventView& inner = events[0];
+  const TraceEventView& outer = events[1];
+  EXPECT_EQ(inner.name, "ctx_inner");
+  EXPECT_EQ(outer.name, "ctx_outer");
+  EXPECT_EQ(inner.ids.trace_hi, root.trace_hi);
+  EXPECT_EQ(inner.ids.trace_lo, root.trace_lo);
+  EXPECT_EQ(outer.ids.trace_hi, root.trace_hi);
+  EXPECT_EQ(outer.ids.parent_span_id, 0u);  // child of the root context
+  EXPECT_EQ(inner.ids.parent_span_id, outer_id);
+  EXPECT_EQ(inner.ids.span_id, inner_id);
+  EXPECT_NE(inner_id, outer_id);
+}
+
+TEST_F(ObsTraceTest, SpanWithoutContextRecordsZeroIds) {
+  Trace::enable();
+  { ObsSpan span("test", "no_ctx"); }
+  const std::vector<TraceEventView> events = Trace::snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].ids.trace_hi | events[0].ids.trace_lo, 0u);
+  EXPECT_EQ(events[0].ids.span_id, 0u);
+}
+
+TEST_F(ObsTraceTest, UnsampledContextChainsIdsWithoutRecording) {
+  Trace::enable();
+  const TraceContext root = make_root_context(/*sampled=*/false);
+  TraceContextScope scope(root);
+  TraceContext forwarded;
+  {
+    ObsSpan span("test", "unsampled");
+    // The id chain must stay correct for downstream processes even though
+    // nothing lands in this process's ring.
+    forwarded = span.context();
+  }
+  EXPECT_EQ(Trace::size(), 0u);
+  EXPECT_TRUE(forwarded.valid());
+  EXPECT_NE(forwarded.span_id, 0u);
+  EXPECT_FALSE(forwarded.sampled);
+  EXPECT_EQ(forwarded.trace_hi, root.trace_hi);
+}
+
+TEST_F(ObsTraceTest, ContextChainsEvenWithTracingDisabledLocally) {
+  ASSERT_FALSE(trace_enabled());
+  const TraceContext root = make_root_context(/*sampled=*/true);
+  TraceContextScope scope(root);
+  ObsSpan outer("test", "relay_outer");
+  ObsSpan inner("test", "relay_inner");
+  // A relay process with tracing off still allocates ids and parents
+  // correctly (this is what keeps router-less traces linkable), it just
+  // records nothing.
+  EXPECT_EQ(Trace::size(), 0u);
+  EXPECT_NE(outer.span_id(), 0u);
+  EXPECT_EQ(inner.context().span_id, current_trace_context().span_id);
+  EXPECT_EQ(current_trace_context().trace_hi, root.trace_hi);
+}
+
+TEST_F(ObsTraceTest, JsonCarriesProcessNameAndSpanIdArgs) {
+  Trace::set_process_name("unit_proc");
+  Trace::enable();
+  const TraceContext root = make_root_context(/*sampled=*/true);
+  {
+    TraceContextScope scope(root);
+    ObsSpan span("test", "args_span");
+  }
+  const Json doc = JsonParser(Trace::render_chrome_json()).parse();
+  const std::vector<Json>& events = doc.at("traceEvents").arr;
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].at("args").at("name").str, "unit_proc");
+  const Json& args = events[1].at("args");
+  EXPECT_EQ(args.at("trace_id").str.size(), 32u);  // 128-bit hex
+  EXPECT_EQ(args.at("span_id").str.size(), 16u);
+  EXPECT_EQ(args.at("parent_span_id").str.size(), 16u);
+  EXPECT_NE(args.at("span_id").str, std::string(16, '0'));
+  Trace::set_process_name("");
+}
+
+TEST_F(ObsTraceTest, MergeChromeJsonSplicesDocumentsAndSumsDropped) {
+  constexpr std::size_t kCap = 4;
+  Trace::enable(kCap);
+  for (int i = 0; i < 6; ++i) {
+    Trace::record_complete("test", "first_doc", static_cast<std::uint64_t>(i),
+                           1);
+  }
+  const std::string doc1 = Trace::drain_chrome_json();  // 4 events, 2 dropped
+  EXPECT_EQ(Trace::size(), 0u);  // drain has clear semantics
+  Trace::record_complete("test", "second_doc", 100, 1);
+  const std::string doc2 = Trace::drain_chrome_json();
+
+  const std::string merged =
+      merge_chrome_json({doc1, "not a trace document", doc2});
+  Json root;
+  ASSERT_NO_THROW(root = JsonParser(merged).parse());
+  std::size_t first = 0;
+  std::size_t second = 0;
+  std::size_t meta = 0;
+  for (const Json& e : root.at("traceEvents").arr) {
+    if (e.at("name").str == "first_doc") ++first;
+    if (e.at("name").str == "second_doc") ++second;
+    if (e.at("name").str == "process_name") ++meta;
+  }
+  EXPECT_EQ(first, kCap);
+  EXPECT_EQ(second, 1u);
+  EXPECT_EQ(meta, 2u);  // one per source document
+  EXPECT_EQ(root.at("atlasDroppedEvents").num, 2.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -18,7 +18,9 @@
 #include "graph/submodule_graph.h"
 #include "liberty/liberty_io.h"
 #include "netlist/verilog_io.h"
+#include "obs/trace.h"
 #include "router/backend_pool.h"
+#include "router/fleet_obs.h"
 #include "router/hash_ring.h"
 #include "router/router.h"
 #include "serve/client.h"
@@ -656,6 +658,275 @@ TEST_F(RouterTest, AdminGateAndControlPlane) {
   const std::string metrics = client.metrics_text();
   EXPECT_NE(metrics.find("atlas_router_probe_latency_us"), std::string::npos);
   EXPECT_NE(metrics.find("atlas_router_ring_backends 2"), std::string::npos);
+}
+
+// ---- PR 8: fleet observability --------------------------------------------
+
+TEST(FleetObs, MergePrometheusInjectsShardLabelsAndRegroupsFamilies) {
+  const std::string a =
+      "# HELP req_total requests\n"
+      "# TYPE req_total counter\n"
+      "req_total{endpoint=\"predict\"} 3\n"
+      "req_total 1\n"
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"64\"} 2\n"
+      "lat_us_sum 100\n"
+      "lat_us_count 2\n";
+  const std::string b =
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"64\"} 5\n"
+      "lat_us_sum 400\n"
+      "lat_us_count 5\n"
+      "# TYPE up gauge\n"
+      "up 1\n";
+  const std::string merged = merge_prometheus({{"s1", a}, {"s2", b}});
+
+  // Labeled and unlabeled samples both pick up the shard label.
+  EXPECT_NE(merged.find("req_total{endpoint=\"predict\",shard=\"s1\"} 3"),
+            std::string::npos)
+      << merged;
+  EXPECT_NE(merged.find("req_total{shard=\"s1\"} 1"), std::string::npos);
+  EXPECT_NE(merged.find("lat_us_bucket{le=\"64\",shard=\"s1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(merged.find("lat_us_bucket{le=\"64\",shard=\"s2\"} 5"),
+            std::string::npos);
+  EXPECT_NE(merged.find("up{shard=\"s2\"} 1"), std::string::npos);
+
+  // One TYPE header per family even when two shards export it, histogram
+  // sub-series (_bucket/_sum/_count) grouped under the base family, and
+  // families emitted in sorted order. HELP lines are dropped.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = merged.find(needle); pos != std::string::npos;
+         pos = merged.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("# TYPE lat_us histogram"), 1u);
+  EXPECT_EQ(count("# TYPE req_total counter"), 1u);
+  EXPECT_EQ(count("# HELP"), 0u);
+  const std::size_t lat = merged.find("# TYPE lat_us");
+  const std::size_t req = merged.find("# TYPE req_total");
+  const std::size_t up = merged.find("# TYPE up");
+  EXPECT_LT(lat, req);
+  EXPECT_LT(req, up);
+  // Both shards' lat_us samples sit between the lat_us header and the next
+  // family header (contiguous family block).
+  EXPECT_LT(merged.find("lat_us_count{shard=\"s2\"} 5"), req);
+}
+
+/// Restores the global tracer to its default-off state no matter how the
+/// test exits (the ring is process-global).
+struct TraceGuard {
+  ~TraceGuard() {
+    obs::Trace::disable();
+    obs::Trace::clear();
+  }
+};
+
+const obs::TraceEventView* find_span(
+    const std::vector<obs::TraceEventView>& events, const std::string& category,
+    const std::string& name) {
+  for (const auto& e : events) {
+    if (e.category == category && e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(RouterTest, PredictThroughRouterLinksAllThreeTiersInOneTrace) {
+  Fleet fleet = start_fleet();
+  Client client = connect(fleet);
+  ASSERT_EQ(fleet.router->pool().ring_size(), 2u);
+
+  const std::string verilog = design_variant(300);
+  const std::string owner = expected_owner(fleet, verilog);
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+  expect_matches(client.predict(make_request(verilog)), *expected_w1_);
+
+  // Client, router and both backends run in one process here, so every
+  // tier's spans land in the same ring and the full cross-tier parent
+  // chain — the acceptance contract for merged fleet traces — is directly
+  // assertable: client predict -> router predict -> forward:<owner> ->
+  // serve handle_predict, all under one 128-bit trace id.
+  const auto events = obs::Trace::snapshot();
+  const obs::TraceEventView* cli = find_span(events, "client", "predict");
+  const obs::TraceEventView* rtr = find_span(events, "router", "predict");
+  const obs::TraceEventView* fwd =
+      find_span(events, "router", "forward:" + owner);
+  const obs::TraceEventView* srv = find_span(events, "serve", "handle_predict");
+  ASSERT_NE(cli, nullptr);
+  ASSERT_NE(rtr, nullptr);
+  ASSERT_NE(fwd, nullptr);
+  ASSERT_NE(srv, nullptr);
+
+  ASSERT_TRUE((cli->ids.trace_hi | cli->ids.trace_lo) != 0);
+  for (const obs::TraceEventView* e : {rtr, fwd, srv}) {
+    EXPECT_EQ(e->ids.trace_hi, cli->ids.trace_hi);
+    EXPECT_EQ(e->ids.trace_lo, cli->ids.trace_lo);
+  }
+  EXPECT_EQ(cli->ids.parent_span_id, 0u);  // the client originated the trace
+  EXPECT_EQ(rtr->ids.parent_span_id, cli->ids.span_id);
+  EXPECT_EQ(fwd->ids.parent_span_id, rtr->ids.span_id);
+  EXPECT_EQ(srv->ids.parent_span_id, fwd->ids.span_id);
+}
+
+TEST_F(RouterTest, FailoverAttemptsStayInTheRequestsTrace) {
+  // Hand-built fleet with an hour-long probe interval: after the initial
+  // sweep admits both backends, the prober never runs again, so killing
+  // the owner cannot race the ring eviction — the router is guaranteed to
+  // route to the dead owner first and fail over *in-request*, which is
+  // the path whose spans this test pins.
+  Fleet fleet;
+  fleet.a = start_backend(false);
+  fleet.b = start_backend(false);
+  fleet.id_a = "127.0.0.1:" + std::to_string(fleet.a->port());
+  fleet.id_b = "127.0.0.1:" + std::to_string(fleet.b->port());
+  RouterConfig cfg;
+  cfg.host = "127.0.0.1";
+  cfg.port = 0;
+  cfg.probe.interval_ms = 3'600'000;
+  cfg.probe.timeout_ms = 1000;
+  fleet.router = std::make_unique<Router>(
+      cfg, parse_backend_list(fleet.id_a + "," + fleet.id_b));
+  fleet.router->start();
+  Client client = connect(fleet);
+  ASSERT_EQ(fleet.router->pool().ring_size(), 2u);
+
+  const std::string verilog = design_variant(301);
+  const std::string owner = expected_owner(fleet, verilog);
+  serve::Server& owner_server = owner == fleet.id_a ? *fleet.a : *fleet.b;
+  const std::string survivor = owner == fleet.id_a ? fleet.id_b : fleet.id_a;
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+
+  owner_server.stop();
+  expect_matches(client.predict(make_request(verilog)), *expected_w1_);
+
+  const auto events = obs::Trace::snapshot();
+  const obs::TraceEventView* rtr = find_span(events, "router", "predict");
+  const obs::TraceEventView* dead =
+      find_span(events, "router", "forward:" + owner);
+  const obs::TraceEventView* live =
+      find_span(events, "router", "forward:" + survivor);
+  const obs::TraceEventView* srv = find_span(events, "serve", "handle_predict");
+  ASSERT_NE(rtr, nullptr);
+  ASSERT_NE(dead, nullptr) << "failed attempt left no span";
+  ASSERT_NE(live, nullptr);
+  ASSERT_NE(srv, nullptr);
+
+  // Both attempts are children of the same router span in the same trace;
+  // the backend's span hangs off the attempt that reached it.
+  EXPECT_EQ(dead->ids.trace_lo, rtr->ids.trace_lo);
+  EXPECT_EQ(live->ids.trace_lo, rtr->ids.trace_lo);
+  EXPECT_EQ(dead->ids.parent_span_id, rtr->ids.span_id);
+  EXPECT_EQ(live->ids.parent_span_id, rtr->ids.span_id);
+  EXPECT_EQ(srv->ids.parent_span_id, live->ids.span_id);
+}
+
+TEST_F(RouterTest, RoutedPredictionsBitIdenticalTracingOnVsOff) {
+  Fleet fleet = start_fleet();
+  Client client = connect(fleet);
+
+  const std::string verilog = design_variant(302);
+  const PredictResponse off = client.predict(make_request(verilog));
+  expect_matches(off, *expected_w1_);
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+  // The traced path re-encodes the forwarded request (to stamp the
+  // per-attempt context); the payload the backend computes on must be
+  // unchanged, so the answer stays bit-identical to the untraced one.
+  const PredictResponse on = client.predict(make_request(verilog));
+  expect_matches(on, *expected_w1_);
+  ASSERT_EQ(on.design.size(), off.design.size());
+  for (std::size_t c = 0; c < off.design.size(); ++c) {
+    EXPECT_EQ(on.design[c].comb, off.design[c].comb);
+    EXPECT_EQ(on.design[c].reg, off.design[c].reg);
+    EXPECT_EQ(on.design[c].clock, off.design[c].clock);
+  }
+}
+
+TEST_F(RouterTest, FleetMetricsSelectorAggregatesAllShardsWithLabels) {
+  Fleet fleet = start_fleet();
+  Client client = connect(fleet);
+  expect_matches(client.predict(make_request(design_variant(303))),
+                 *expected_w1_);
+
+  // Plain metrics: the router's own registry, including the per-backend
+  // queue-depth gauge fed by health probes.
+  const std::string own = client.metrics_text();
+  EXPECT_NE(own.find("atlas_router_backend_up{backend=\"" + fleet.id_a +
+                     "\"} 1"),
+            std::string::npos);
+  EXPECT_NE(own.find("# TYPE atlas_router_backend_queue_depth gauge"),
+            std::string::npos);
+
+  // --fleet: one scrape covering the router plus every backend, with each
+  // series labeled by its source shard.
+  const std::string fleet_text = client.metrics_text(/*fleet=*/true);
+  EXPECT_NE(fleet_text.find("shard=\"router\""), std::string::npos);
+  EXPECT_NE(fleet_text.find("shard=\"" + fleet.id_a + "\""),
+            std::string::npos);
+  EXPECT_NE(fleet_text.find("shard=\"" + fleet.id_b + "\""),
+            std::string::npos);
+  EXPECT_NE(fleet_text.find("atlas_router_ring_backends{shard=\"router\"} 2"),
+            std::string::npos);
+
+  // Merged output regroups families: one TYPE header per family even
+  // though three sources exported overlapping registries.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = fleet_text.find(needle); pos != std::string::npos;
+         pos = fleet_text.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("# TYPE atlas_serve_requests_total counter"), 1u);
+  EXPECT_EQ(count("# TYPE atlas_serve_request_latency_us histogram"), 1u);
+}
+
+TEST_F(RouterTest, TraceDumpFansOutAndIsAdminGated) {
+  {
+    Fleet fleet = start_fleet(/*allow_admin=*/false);
+    Client client = connect(fleet);
+    try {
+      client.trace_dump_text();
+      FAIL() << "router trace_dump should require --allow-admin";
+    } catch (const ServeError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kAdminDisabled);
+    }
+  }
+
+  Fleet fleet = start_fleet(/*allow_admin=*/true);
+  Client client = connect(fleet);
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+  expect_matches(client.predict(make_request(design_variant(304))),
+                 *expected_w1_);
+
+  // The router drains its own ring and every backend's, answering one
+  // merged Chrome trace document (in-process the ring is shared, so the
+  // router's own drain already carries all tiers' spans — the merge and
+  // fan-out paths still execute for real over the wire).
+  const std::string merged = client.trace_dump_text();
+  EXPECT_NE(merged.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(merged.find("\"handle_predict\""), std::string::npos);
+  EXPECT_NE(merged.find("\"forward:"), std::string::npos);
+  EXPECT_NE(merged.find("\"displayTimeUnit\""), std::string::npos);
+
+  // Drained: a second fleet dump no longer carries the request's spans.
+  EXPECT_EQ(client.trace_dump_text().find("\"handle_predict\""),
+            std::string::npos);
 }
 
 }  // namespace

@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "atlas/finetune.h"
@@ -21,7 +23,9 @@
 #include "graph/submodule_graph.h"
 #include "liberty/liberty_io.h"
 #include "netlist/verilog_io.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/feature_cache.h"
 #include "serve/server.h"
@@ -32,6 +36,7 @@
 #include "sim/stimulus.h"
 #include "sim/vcd.h"
 #include "util/hash.h"
+#include "util/serialize.h"
 
 namespace atlas::serve {
 namespace {
@@ -1577,6 +1582,292 @@ TEST_F(ServeTest, MetricsEndpointRoundTrip) {
   // Thread-pool and pipeline counters ride along on the same registry.
   EXPECT_NE(metrics.find("atlas_parallel_tasks_total"), std::string::npos);
   EXPECT_NE(metrics.find("atlas_sim_runs_total"), std::string::npos);
+  server.stop();
+}
+
+// ---- PR 8: distributed tracing / fleet observability ----------------------
+
+/// Restores the global tracer to its default-off state no matter how the
+/// test exits (the ring is process-global; leaking an enabled tracer would
+/// couple unrelated tests).
+struct TraceGuard {
+  ~TraceGuard() {
+    obs::Trace::disable();
+    obs::Trace::clear();
+  }
+};
+
+TEST_F(ServeTest, RequestTraceExtTailRoundTripAndV1Compat) {
+  // A request with no context and no flags encodes the exact v1 bytes.
+  const std::string v1_bytes = make_request().encode();
+
+  PredictRequest traced = make_request();
+  traced.ext.trace.trace_hi = 0x0123456789abcdefull;
+  traced.ext.trace.trace_lo = 0xfedcba9876543210ull;
+  traced.ext.trace.span_id = 0xc0ffee;
+  traced.ext.trace.sampled = true;
+  traced.ext.want_timing = true;
+  const std::string v2_bytes = traced.encode();
+
+  // The extension is a pure tail: the v1 prefix is untouched, so a v1
+  // decoder reading exact base fields parses the same request.
+  ASSERT_GT(v2_bytes.size(), v1_bytes.size());
+  EXPECT_EQ(v2_bytes.substr(0, v1_bytes.size()), v1_bytes);
+
+  const PredictRequest rt = PredictRequest::decode(v2_bytes);
+  EXPECT_EQ(rt.model, traced.model);
+  EXPECT_EQ(rt.cycles, traced.cycles);
+  EXPECT_EQ(rt.ext.trace.trace_hi, traced.ext.trace.trace_hi);
+  EXPECT_EQ(rt.ext.trace.trace_lo, traced.ext.trace.trace_lo);
+  EXPECT_EQ(rt.ext.trace.span_id, traced.ext.trace.span_id);
+  EXPECT_TRUE(rt.ext.trace.sampled);
+  EXPECT_TRUE(rt.ext.want_timing);
+
+  // Old-client path: no tail decodes to an absent context.
+  const PredictRequest v1 = PredictRequest::decode(v1_bytes);
+  EXPECT_FALSE(v1.ext.trace.valid());
+  EXPECT_FALSE(v1.ext.want_timing);
+
+  // Forward compat: an unknown (future) ext version is skipped wholesale,
+  // leaving the base request intact and the context absent.
+  std::ostringstream os(std::ios::binary);
+  util::write_u32(os, 99);
+  const std::string future = v1_bytes + std::move(os).str() + "future bytes";
+  const PredictRequest skipped = PredictRequest::decode(future);
+  EXPECT_EQ(skipped.model, "tiny");
+  EXPECT_EQ(skipped.cycles, kCycles);
+  EXPECT_FALSE(skipped.ext.trace.valid());
+  EXPECT_FALSE(skipped.ext.want_timing);
+
+  // StreamBegin shares the same tail.
+  StreamBeginRequest begin;
+  begin.model = "tiny";
+  begin.cycles = kCycles;
+  begin.ext.trace = traced.ext.trace;
+  const StreamBeginRequest brt = StreamBeginRequest::decode(begin.encode());
+  EXPECT_EQ(brt.ext.trace.trace_lo, traced.ext.trace.trace_lo);
+  EXPECT_EQ(brt.ext.trace.span_id, traced.ext.trace.span_id);
+}
+
+TEST_F(ServeTest, ServerTimingTailRoundTrip) {
+  PredictResponse resp;
+  resp.cache_flags = kCacheHitDesign;
+  resp.server_seconds = 0.25;
+  resp.num_cycles = 3;
+  resp.design = {{1.0, 2.0, 3.0, 0.0}};
+  resp.has_timing = true;
+  resp.timing.queue_us = 11;
+  resp.timing.cache_us = 22;
+  resp.timing.encode_us = 33;
+  resp.timing.predict_us = 44;
+  resp.timing.serialize_us = 55;
+  resp.timing.total_us = 200;
+
+  const PredictResponse rt = PredictResponse::decode(resp.encode());
+  ASSERT_TRUE(rt.has_timing);
+  EXPECT_EQ(rt.timing.queue_us, 11u);
+  EXPECT_EQ(rt.timing.cache_us, 22u);
+  EXPECT_EQ(rt.timing.encode_us, 33u);
+  EXPECT_EQ(rt.timing.predict_us, 44u);
+  EXPECT_EQ(rt.timing.serialize_us, 55u);
+  EXPECT_EQ(rt.timing.total_us, 200u);
+  EXPECT_EQ(rt.design.size(), 1u);
+
+  // append_timing_ext (the server's measure-then-attach path) produces the
+  // same bytes as encoding with has_timing set.
+  PredictResponse base = resp;
+  base.has_timing = false;
+  std::string attached = base.encode();
+  append_timing_ext(attached, resp.timing);
+  EXPECT_EQ(attached, resp.encode());
+
+  // And a tail-less response decodes with has_timing false.
+  EXPECT_FALSE(PredictResponse::decode(base.encode()).has_timing);
+}
+
+TEST_F(ServeTest, PredictUnderTracingLinksClientAndServerSpans) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  server.stop();
+
+  // Client and server run in one process here, so both sides' spans land
+  // in the same ring — the cross-process linkage (same trace id, server
+  // span parented under the client span that sent the request) is directly
+  // assertable.
+  const auto events = obs::Trace::snapshot();
+  auto find = [&](const char* name) -> const obs::TraceEventView* {
+    for (const auto& e : events) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  };
+  const obs::TraceEventView* client_span = find("predict");
+  const obs::TraceEventView* server_span = find("handle_predict");
+  ASSERT_NE(client_span, nullptr);
+  ASSERT_NE(server_span, nullptr);
+  EXPECT_EQ(client_span->category, "client");
+  EXPECT_EQ(server_span->category, "serve");
+  ASSERT_TRUE((client_span->ids.trace_hi | client_span->ids.trace_lo) != 0);
+  EXPECT_EQ(server_span->ids.trace_hi, client_span->ids.trace_hi);
+  EXPECT_EQ(server_span->ids.trace_lo, client_span->ids.trace_lo);
+  EXPECT_EQ(client_span->ids.parent_span_id, 0u);  // root
+  EXPECT_EQ(server_span->ids.parent_span_id, client_span->ids.span_id);
+}
+
+TEST_F(ServeTest, PredictionsBitIdenticalTracingOnVsOff) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  const PredictResponse off = client.predict(make_request());
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+  const PredictResponse on = client.predict(make_request());
+  server.stop();
+
+  EXPECT_TRUE(same_bits(off.design, on.design));
+  EXPECT_TRUE(same_bits(off.submodule, on.submodule));
+  expect_matches_direct(on, *expected_w1_);
+}
+
+TEST_F(ServeTest, WantTimingReturnsPerPhaseBreakdown) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  // Timing is independent of tracing: no tracer enabled here.
+  PredictRequest req = make_request();
+  req.ext.want_timing = true;
+  const PredictResponse resp = client.predict(req);
+  ASSERT_TRUE(resp.has_timing);
+  EXPECT_GT(resp.timing.total_us, 0u);
+  EXPECT_GT(resp.timing.encode_us, 0u);  // cold request: parse + sim + encode
+  // Phases are disjoint slices of the total.
+  EXPECT_LE(resp.timing.queue_us + resp.timing.cache_us +
+                resp.timing.encode_us + resp.timing.predict_us +
+                resp.timing.serialize_us,
+            resp.timing.total_us);
+
+  // Without the flag the tail is absent.
+  EXPECT_FALSE(client.predict(make_request()).has_timing);
+  server.stop();
+}
+
+TEST_F(ServeTest, SlowRequestLogEmitsBreakdownAndCountsEveryRequest) {
+  ServerConfig cfg = loopback_config();
+  cfg.slow_ms = 1;
+  cfg.handler_delay_for_test_ms = 5;
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  std::mutex mu;
+  std::vector<std::string> lines;
+  obs::set_log_sink([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  const std::uint64_t before =
+      obs::Registry::global().counter("atlas_serve_slow_requests_total")
+          .value();
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  obs::set_log_sink(nullptr);
+  server.stop();
+
+  // Every slow request counts; the log line is rate-limited (~1/sec) so
+  // two back-to-back slow requests yield at least one line, maybe two.
+  EXPECT_EQ(obs::Registry::global()
+                    .counter("atlas_serve_slow_requests_total")
+                    .value() -
+                before,
+            2u);
+  std::lock_guard<std::mutex> lock(mu);
+  std::size_t slow_lines = 0;
+  for (const std::string& line : lines) {
+    if (line.find("event=slow_request") == std::string::npos) continue;
+    ++slow_lines;
+    EXPECT_NE(line.find("endpoint=predict"), std::string::npos) << line;
+    EXPECT_NE(line.find("total_ms="), std::string::npos) << line;
+    EXPECT_NE(line.find("queue_us="), std::string::npos) << line;
+    EXPECT_NE(line.find("encode_us="), std::string::npos) << line;
+    EXPECT_NE(line.find("predict_us="), std::string::npos) << line;
+  }
+  EXPECT_GE(slow_lines, 1u);
+}
+
+TEST_F(ServeTest, TraceDumpIsAdminGated) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  try {
+    client.trace_dump_text();
+    FAIL() << "trace_dump should require --allow-admin";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kAdminDisabled);
+  }
+  server.stop();
+}
+
+TEST_F(ServeTest, TraceDumpReturnsChromeJsonAndDrainsTheRing) {
+  ServerConfig cfg = loopback_config();
+  cfg.allow_admin = true;
+  Server server(cfg, make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+  TraceGuard guard;
+  obs::Trace::enable();
+  obs::Trace::clear();
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+
+  const std::string dump = client.trace_dump_text();
+  EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(dump.find("\"handle_predict\""), std::string::npos);
+
+  // Draining is destructive: a second dump no longer holds the span.
+  const std::string second = client.trace_dump_text();
+  EXPECT_NE(second.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(second.find("\"handle_predict\""), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServeTest, StatsJsonSelectorReturnsStructuredSnapshot) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+
+  const std::string json = client.stats_text(/*json=*/true);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"endpoints\""), std::string::npos);
+  EXPECT_NE(json.find("\"predict\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"design_misses\""), std::string::npos);
+
+  // The default selector still renders the human table.
+  EXPECT_NE(client.stats_text().find("cache:"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ServeTest, QueueDepthGaugeExportedInMetrics) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  const std::string metrics = client.metrics_text();
+  EXPECT_NE(metrics.find("# TYPE atlas_serve_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("atlas_serve_queue_depth "), std::string::npos);
   server.stop();
 }
 

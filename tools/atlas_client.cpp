@@ -29,9 +29,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "liberty/liberty_io.h"
 #include "netlist/verilog_io.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "sim/delta_trace.h"
 #include "sim/vcd.h"
@@ -43,16 +45,29 @@ namespace {
 
 using namespace atlas;
 
+std::string read_file(const std::string& path);
+
 util::Cli& add_endpoint_flags(util::Cli& cli) {
   return cli.flag("host", "127.0.0.1", "server TCP address")
       .flag("port", "7433", "server TCP port")
       .flag("unix", "", "Unix-domain socket path (overrides TCP when set)")
       .flag("timeout-ms", "0",
             "connect + per-IO bound; a dead or wedged server costs a bounded "
-            "wait instead of hanging (0 = wait forever)");
+            "wait instead of hanging (0 = wait forever)")
+      .flag("trace-out", "",
+            "trace this command and write its client-side spans as Chrome "
+            "trace JSON at exit; requests carry the trace context to the "
+            "server (also env ATLAS_TRACE)");
 }
 
 serve::Client connect(const util::Cli& cli) {
+  if (!cli.str("trace-out").empty()) {
+    obs::Trace::enable();
+    obs::Trace::set_output_path(cli.str("trace-out"));
+  } else {
+    obs::init_trace_from_env();
+  }
+  obs::Trace::set_process_name("atlas_client");
   serve::ClientOptions options;
   options.connect_timeout_ms = static_cast<int>(cli.integer("timeout-ms"));
   options.io_timeout_ms = options.connect_timeout_ms;
@@ -91,10 +106,28 @@ int cmd_models(int argc, const char* const* argv) {
 
 int cmd_health(int argc, const char* const* argv) {
   util::Cli cli;
+  cli.flag("json", "false", "emit the report as one JSON object");
   add_endpoint_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
   serve::Client client = connect(cli);
   const serve::HealthResponse h = client.health();
+  if (cli.boolean("json")) {
+    // Rendered client-side from the decoded wire struct, so it works
+    // against any server version.
+    std::printf(
+        "{\"status\":\"%s\",\"num_models\":%llu,"
+        "\"registry_generation\":%llu,\"cache_designs\":%llu,"
+        "\"cache_total_bytes\":%llu,\"cache_embedding_bytes\":%llu,"
+        "\"queue_depth\":%llu}\n",
+        h.draining ? "draining" : "ok",
+        static_cast<unsigned long long>(h.num_models),
+        static_cast<unsigned long long>(h.registry_generation),
+        static_cast<unsigned long long>(h.cache_designs),
+        static_cast<unsigned long long>(h.cache_total_bytes),
+        static_cast<unsigned long long>(h.cache_embedding_bytes),
+        static_cast<unsigned long long>(h.queue_depth));
+    return h.draining ? 3 : 0;
+  }
   std::printf("status: %s\n", h.draining ? "draining" : "ok");
   std::printf("models: %llu (registry generation %llu)\n",
               static_cast<unsigned long long>(h.num_models),
@@ -143,19 +176,56 @@ int cmd_unload(int argc, const char* const* argv) {
 
 int cmd_stats(int argc, const char* const* argv) {
   util::Cli cli;
+  cli.flag("json", "false",
+           "ask the server for the snapshot as one JSON object (old servers "
+           "ignore the selector and answer the table)");
   add_endpoint_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
   serve::Client client = connect(cli);
-  std::printf("%s", client.stats_text().c_str());
+  const std::string text = client.stats_text(cli.boolean("json"));
+  std::printf(cli.boolean("json") ? "%s\n" : "%s", text.c_str());
   return 0;
 }
 
 int cmd_metrics(int argc, const char* const* argv) {
   util::Cli cli;
+  cli.flag("fleet", "false",
+           "against a router: merge every backend's exposition with "
+           "per-shard shard=\"host:port\" labels");
   add_endpoint_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
   serve::Client client = connect(cli);
-  std::printf("%s", client.metrics_text().c_str());
+  std::printf("%s", client.metrics_text(cli.boolean("fleet")).c_str());
+  return 0;
+}
+
+int cmd_trace(int argc, const char* const* argv) {
+  util::Cli cli;
+  cli.flag("out", "merged_trace.json",
+           "merged Chrome trace output (open in chrome://tracing / Perfetto)")
+      .flag("merge", "",
+            "comma-separated extra Chrome trace JSON files (e.g. this "
+            "client's own --trace-out dump) spliced into the timeline");
+  add_endpoint_flags(cli).parse(argc, argv);
+  if (cli.help_requested()) return 0;
+  serve::Client client = connect(cli);
+  // A router answers with the whole fleet's spans already merged; a plain
+  // serve daemon answers its own ring. Either way the dump drains the
+  // remote ring (admin capability — the peer needs --allow-admin).
+  std::vector<std::string> parts;
+  parts.push_back(client.trace_dump_text());
+  for (const std::string& item : util::split(cli.str("merge"), ',')) {
+    const std::string path(util::trim(item));
+    if (path.empty()) continue;
+    parts.push_back(read_file(path));
+  }
+  const std::string merged = obs::merge_chrome_json(parts);
+  std::ofstream out(cli.str("out"), std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + cli.str("out"));
+  out << merged;
+  if (!out) throw std::runtime_error("write failed: " + cli.str("out"));
+  std::printf("wrote %s (%zu source dumps)\n", cli.str("out").c_str(),
+              parts.size());
   return 0;
 }
 
@@ -324,8 +394,10 @@ void usage() {
       "  ping      round-trip health check\n"
       "  health    rich readiness report (cache occupancy, queue, drain)\n"
       "  models    list models registered on the server\n"
-      "  stats     print server stats (latency percentiles, cache hits)\n"
-      "  metrics   print the server's Prometheus metrics exposition\n"
+      "  stats     print server stats (--json for one JSON object)\n"
+      "  metrics   print the Prometheus exposition (--fleet: via a router,\n"
+      "            every backend merged with shard=\"host:port\" labels)\n"
+      "  trace     admin: pull the fleet's spans as one merged Chrome trace\n"
       "  predict   per-cycle power for a gate-level netlist -> CSV\n"
       "  stream    upload a toggle trace (VCD or ATDT delta), predict -> CSV\n"
       "  encode-trace  offline: transcode a VCD trace to ATDT delta bytes\n"
@@ -342,12 +414,24 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  // Commands that traced themselves (--trace-out / ATLAS_TRACE with an
+  // output path) dump their client-side spans on the way out, success or
+  // error — a failed traced request is exactly the one worth looking at.
+  struct TraceFlusher {
+    ~TraceFlusher() {
+      if (atlas::obs::Trace::flush_file()) {
+        std::fprintf(stderr, "client trace written: %s\n",
+                     atlas::obs::Trace::output_path().c_str());
+      }
+    }
+  } trace_flusher;
   try {
     if (cmd == "ping") return cmd_ping(argc - 1, argv + 1);
     if (cmd == "health") return cmd_health(argc - 1, argv + 1);
     if (cmd == "models") return cmd_models(argc - 1, argv + 1);
     if (cmd == "stats") return cmd_stats(argc - 1, argv + 1);
     if (cmd == "metrics") return cmd_metrics(argc - 1, argv + 1);
+    if (cmd == "trace") return cmd_trace(argc - 1, argv + 1);
     if (cmd == "predict") return cmd_predict(argc - 1, argv + 1);
     if (cmd == "stream") return cmd_stream(argc - 1, argv + 1);
     if (cmd == "encode-trace") return cmd_encode_trace(argc - 1, argv + 1);

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "obs/log.h"
+#include "obs/trace.h"
 #include "router/router.h"
 #include "util/cli.h"
 
@@ -52,10 +53,19 @@ int main(int argc, char** argv) {
       .flag("vnodes", "64", "virtual nodes per backend on the hash ring")
       .flag("connect-timeout-ms", "2000", "data-path backend connect bound")
       .flag("allow-admin", "false",
-            "fan client load_model/unload_model out to every backend");
+            "fan client load_model/unload_model out to every backend "
+            "(also gates trace_dump)")
+      .flag("trace-out", "",
+            "write a Chrome trace JSON at shutdown (also env ATLAS_TRACE)");
   try {
     cli.parse(argc, argv);
     if (cli.help_requested()) return 0;
+    if (!cli.str("trace-out").empty()) {
+      obs::Trace::enable();
+      obs::Trace::set_output_path(cli.str("trace-out"));
+    } else {
+      obs::init_trace_from_env();
+    }
     if (cli.str("backends").empty()) {
       std::fprintf(stderr, "error: no backends configured (--backends)\n");
       return 1;
@@ -83,6 +93,9 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
 
     rt.start();
+    obs::Trace::set_process_name(
+        rt.port() >= 0 ? "atlas_router:" + std::to_string(rt.port())
+                       : "atlas_router");
     {
       obs::LogLine line(obs::LogLevel::kInfo, "router");
       line.kv("event", "ready")
@@ -94,6 +107,11 @@ int main(int argc, char** argv) {
     obs::LogLine(obs::LogLevel::kInfo, "router").kv("event", "draining");
     rt.stop();
     std::fprintf(stderr, "%s", rt.stats_text().c_str());
+    if (obs::Trace::flush_file()) {
+      obs::LogLine(obs::LogLevel::kInfo, "router")
+          .kv("event", "trace_written")
+          .kv("path", obs::Trace::output_path());
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -84,9 +84,12 @@ int main(int argc, char** argv) {
       .flag("cache-embeddings", "8", "cached embedding sets per design")
       .flag("batch-max", "8", "max predict requests per dispatch batch")
       .flag("allow-admin", "false",
-            "honor client load_model/unload_model requests")
+            "honor client load_model/unload_model/trace_dump requests")
       .flag("threads", "0",
             "worker threads (0 = hardware concurrency, 1 = serial)")
+      .flag("slow-ms", "0",
+            "log a structured per-phase breakdown for requests slower than "
+            "this (~1 line/sec; 0 = disabled)")
       .flag("trace-out", "",
             "write a Chrome trace JSON at shutdown (also env ATLAS_TRACE)");
   try {
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.integer("cache-embeddings"));
     cfg.batch_max = static_cast<std::size_t>(cli.integer("batch-max"));
     cfg.allow_admin = cli.boolean("allow-admin");
+    cfg.slow_ms = static_cast<int>(cli.integer("slow-ms"));
     cfg.verbose = true;
 
     serve::Server server(cfg, registry);
@@ -124,6 +128,11 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, on_signal);
 
     server.start();
+    // Label this process's spans in merged fleet traces; the port is the
+    // natural shard discriminator (resolved only now for ephemeral binds).
+    obs::Trace::set_process_name(
+        server.port() >= 0 ? "atlas_serve:" + std::to_string(server.port())
+                           : "atlas_serve");
     {
       obs::LogLine line(obs::LogLevel::kInfo, "serve");
       line.kv("event", "ready");
