@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace atlas::core {
@@ -86,9 +87,111 @@ DesignEmbeddings AtlasModel::encode(
   return emb;
 }
 
+void AtlasModel::encode_batch(const EncodeItem* items, std::size_t n,
+                              util::Arena& arena) const {
+  obs::ObsSpan span("model", "encode_batch");
+  static obs::Counter* encodes =
+      &obs::Registry::global().counter("atlas_model_encodes_total");
+  encodes->inc(n);
+
+  const std::size_t d = encoder_.dim();
+
+  // Per-graph setup: static context, extras, the output matrix, and the
+  // shared normalized adjacency (cycle-invariant, built once per graph
+  // instead of once per forward). All independent across graphs.
+  struct GraphRef {
+    const netlist::Netlist* gate = nullptr;
+    const SubmoduleGraph* g = nullptr;
+    const sim::ToggleTrace* trace = nullptr;
+    DesignEmbeddings::PerGraph* pg = nullptr;
+    ml::SgFormer::NormAdjacency adj;
+  };
+  std::vector<GraphRef> grefs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const EncodeItem& it = items[i];
+    DesignEmbeddings& out = *it.out;
+    out.num_cycles = it.trace->num_cycles();
+    out.graphs.assign(it.graphs->size(), {});
+    for (std::size_t gi = 0; gi < it.graphs->size(); ++gi) {
+      GraphRef r;
+      r.gate = it.gate;
+      r.g = &(*it.graphs)[gi];
+      r.trace = it.trace;
+      r.pg = &out.graphs[gi];
+      grefs.push_back(std::move(r));
+    }
+  }
+  util::parallel_for(grefs.size(), 1, [&](std::size_t i) {
+    GraphRef& r = grefs[i];
+    DesignEmbeddings::PerGraph& pg = *r.pg;
+    pg.st = compute_submodule_static(*r.gate, *r.g);
+    const int cycles = r.trace->num_cycles();
+    pg.emb = Matrix(static_cast<std::size_t>(cycles), d);
+    pg.extras.resize(static_cast<std::size_t>(cycles));
+    for (int c = 0; c < cycles; ++c) {
+      pg.extras[static_cast<std::size_t>(c)] =
+          compute_cycle_extras(*r.g, pg.st, *r.trace, c);
+    }
+    r.adj = ml::SgFormer::build_norm_adjacency(r.g->num_nodes(), &r.g->edges);
+  });
+
+  // Flatten to (graph, cycle) segments and run the fused encoder over row
+  // blocks. Blocking only bounds peak scratch — segment results never cross
+  // block boundaries, so the split points cannot affect numerics.
+  struct Seg {
+    const GraphRef* ref = nullptr;
+    int cycle = 0;
+  };
+  std::vector<ml::SgFormer::Segment> segs;
+  std::vector<Seg> meta;
+  for (const GraphRef& r : grefs) {
+    const int cycles = r.trace->num_cycles();
+    for (int c = 0; c < cycles; ++c) {
+      segs.push_back(ml::SgFormer::Segment{r.g->num_nodes(), &r.adj});
+      meta.push_back(Seg{&r, c});
+    }
+  }
+
+  constexpr std::size_t kMaxFusedRows = 8192;
+  std::size_t s0 = 0;
+  while (s0 < segs.size()) {
+    std::size_t s1 = s0;
+    std::size_t rows = 0;
+    while (s1 < segs.size() &&
+           (s1 == s0 || rows + segs[s1].num_nodes <= kMaxFusedRows)) {
+      rows += segs[s1].num_nodes;
+      ++s1;
+    }
+    const std::size_t count = s1 - s0;
+    const util::Arena::Marker marker = arena.mark();
+    std::size_t* off = arena.alloc_array<std::size_t>(count + 1);
+    off[0] = 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      off[k + 1] = off[k] + segs[s0 + k].num_nodes;
+    }
+    float* feats =
+        arena.alloc_array<float>(rows * static_cast<std::size_t>(graph::kFeatureDim));
+    float* gemb = arena.alloc_array<float>(count * d);
+    util::parallel_for(count, 1, [&](std::size_t k) {
+      const Seg& m = meta[s0 + k];
+      graph::fill_cycle_features(
+          *m.ref->g, *m.ref->trace, m.cycle,
+          feats + off[k] * static_cast<std::size_t>(graph::kFeatureDim));
+    });
+    encoder_.forward_fused(segs.data() + s0, count, feats, gemb, arena);
+    util::parallel_for(count, 1, [&](std::size_t k) {
+      const Seg& m = meta[s0 + k];
+      std::copy(gemb + k * d, gemb + (k + 1) * d,
+                m.ref->pg->emb.row(static_cast<std::size_t>(m.cycle)));
+    });
+    arena.rewind(marker);
+    s0 = s1;
+  }
+}
+
 Prediction AtlasModel::predict_from_embeddings(
     const netlist::Netlist& gate, const std::vector<SubmoduleGraph>& graphs,
-    const DesignEmbeddings& emb) const {
+    const DesignEmbeddings& emb, util::Arena* arena) const {
   if (emb.graphs.size() != graphs.size()) {
     throw std::invalid_argument(
         "predict_from_embeddings: embeddings/graphs mismatch");
@@ -105,37 +208,75 @@ Prediction AtlasModel::predict_from_embeddings(
       static_cast<std::size_t>(pred.num_cycles) * pred.num_submodules, {});
 
   const std::size_t d = encoder_.dim();
-  std::vector<float> ct_row(ct_dim(d));
-  std::vector<float> comb_row(comb_dim(d));
-  std::vector<float> reg_row(reg_dim(d));
-  Matrix cycle_emb(1, d);
+  const std::size_t cycles = static_cast<std::size_t>(pred.num_cycles);
+  const std::size_t ncg = graphs.size() * cycles;
+  if (ncg == 0) return pred;
+
+  // Assemble head feature rows for every (graph, cycle) into one block and
+  // evaluate each forest with its batched SoA traversal. Row values and the
+  // per-row accumulation are exactly what the scalar fill_*_row +
+  // predict_row path computed, so predictions are bit-identical.
+  util::Arena local;
+  util::Arena& a = arena != nullptr ? *arena : local;
+  const util::Arena::Marker marker = a.mark();
+  const std::size_t cdim = ct_dim(d);
+  const std::size_t odim = comb_dim(d);
+  const std::size_t rdim = reg_dim(d);
+  float* ct_rows = a.alloc_array<float>(ncg * cdim);
+  float* comb_rows = a.alloc_array<float>(ncg * odim);
+  float* reg_rows = a.alloc_array<float>(ncg * rdim);
+  double* out_ct = a.alloc_array<double>(ncg);
+  double* out_comb = a.alloc_array<double>(ncg);
+  double* out_reg = a.alloc_array<double>(ncg);
+
+  util::parallel_for(graphs.size(), 1, [&](std::size_t gi) {
+    const DesignEmbeddings::PerGraph& pg = emb.graphs[gi];
+    const SubmoduleStatic& st = pg.st;
+    for (std::size_t c = 0; c < cycles; ++c) {
+      const std::size_t r = gi * cycles + c;
+      const float* e = pg.emb.row(c);
+      const CycleExtras& ex = pg.extras[c];
+      std::copy(e, e + d, ct_rows + r * cdim);
+      float* cr = comb_rows + r * odim;
+      std::copy(e, e + d, cr);
+      cr[d] = static_cast<float>(st.n_comb);
+      cr[d + 1] = ex.i_comb;
+      cr[d + 2] = ex.c_comb;
+      float* rr = reg_rows + r * rdim;
+      std::copy(e, e + d, rr);
+      rr[d] = static_cast<float>(st.n_reg);
+      rr[d + 1] = ex.i_reg;
+      rr[d + 2] = ex.c_reg;
+    }
+  });
+
+  util::parallel_for_chunks(ncg, 512, [&](std::size_t r0, std::size_t r1) {
+    models_.f_ct.predict_rows(ct_rows + r0 * cdim, r1 - r0, cdim, out_ct + r0);
+    models_.f_comb.predict_rows(comb_rows + r0 * odim, r1 - r0, odim,
+                                out_comb + r0);
+    models_.f_reg.predict_rows(reg_rows + r0 * rdim, r1 - r0, rdim,
+                               out_reg + r0);
+  });
 
   for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
     const SubmoduleGraph& g = graphs[gi];
     const DesignEmbeddings::PerGraph& pg = emb.graphs[gi];
     const SubmoduleStatic& st = pg.st;
-    for (int c = 0; c < pred.num_cycles; ++c) {
-      std::copy(pg.emb.row(static_cast<std::size_t>(c)),
-                pg.emb.row(static_cast<std::size_t>(c)) + d,
-                cycle_emb.row(0));
-      const CycleExtras& ex = pg.extras[static_cast<std::size_t>(c)];
-      fill_ct_row(cycle_emb, ct_row.data());
-      fill_comb_row(cycle_emb, st, ex, comb_row.data());
-      fill_reg_row(cycle_emb, st, ex, reg_row.data());
+    for (std::size_t c = 0; c < cycles; ++c) {
+      const std::size_t r = gi * cycles + c;
+      const CycleExtras& ex = pg.extras[c];
       power::GroupPower p;
       // The regressors predict ratios to the analytic gate-level estimates;
       // multiply back and clamp at zero (power cannot be negative).
-      p.clock = std::max(0.0, models_.f_ct.predict_row(ct_row.data())) *
-                ct_normalizer(st);
-      p.comb = std::max(0.0, models_.f_comb.predict_row(comb_row.data())) *
-               (comb_physics_uw(st, ex) + kRatioEps);
-      p.reg = std::max(0.0, models_.f_reg.predict_row(reg_row.data())) *
-              (reg_physics_uw(st, ex) + kRatioEps);
-      pred.submodule[static_cast<std::size_t>(c) * pred.num_submodules +
+      p.clock = std::max(0.0, out_ct[r]) * ct_normalizer(st);
+      p.comb = std::max(0.0, out_comb[r]) * (comb_physics_uw(st, ex) + kRatioEps);
+      p.reg = std::max(0.0, out_reg[r]) * (reg_physics_uw(st, ex) + kRatioEps);
+      pred.submodule[c * pred.num_submodules +
                      static_cast<std::size_t>(g.submodule)] = p;
-      pred.design[static_cast<std::size_t>(c)] += p;
+      pred.design[c] += p;
     }
   }
+  a.rewind(marker);
   return pred;
 }
 

@@ -13,6 +13,7 @@
 
 #include "atlas/finetune.h"
 #include "atlas/pretrain.h"
+#include "util/arena.h"
 
 namespace atlas::core {
 
@@ -76,13 +77,35 @@ class AtlasModel {
                           const std::vector<graph::SubmoduleGraph>& graphs,
                           const sim::ToggleTrace& gate_trace) const;
 
+  /// One design in a fused encode batch (the dispatcher's formed batch,
+  /// grouped by model).
+  struct EncodeItem {
+    const netlist::Netlist* gate = nullptr;
+    const std::vector<graph::SubmoduleGraph>* graphs = nullptr;
+    const sim::ToggleTrace* trace = nullptr;
+    DesignEmbeddings* out = nullptr;  // filled by encode_batch
+  };
+
+  /// Stage 1 over a whole batch: packs every (design, sub-module, cycle)
+  /// into row blocks and runs the encoder's fused kernels over them — one
+  /// GEMM per layer over the concatenated node features instead of one
+  /// small forward per cycle. Each graph's normalized adjacency is built
+  /// once and shared across its cycles. Scratch (feature rows, activations,
+  /// embeddings) is bump-allocated from `arena` and recycled by the caller.
+  /// Bit-identical to calling encode() once per item, at any thread count
+  /// and any batch composition.
+  void encode_batch(const EncodeItem* items, std::size_t n,
+                    util::Arena& arena) const;
+
   /// Stage 2: GBDT heads only. Bit-identical to predict() when `emb` comes
   /// from encode() on the same inputs — pinned by tests; the serve feature
-  /// cache depends on it.
+  /// cache depends on it. Head feature rows for all (sub-module, cycle)
+  /// pairs are assembled into one block and evaluated with the forests'
+  /// batched SoA traversal; `arena` (optional) supplies the scratch.
   Prediction predict_from_embeddings(
       const netlist::Netlist& gate,
       const std::vector<graph::SubmoduleGraph>& graphs,
-      const DesignEmbeddings& emb) const;
+      const DesignEmbeddings& emb, util::Arena* arena = nullptr) const;
 
   void save(const std::string& path) const;
   static AtlasModel load(const std::string& path);

@@ -102,4 +102,16 @@ void fill_cycle_features(const SubmoduleGraph& g, const sim::ToggleTrace& trace,
   }
 }
 
+void fill_cycle_features(const SubmoduleGraph& g, const sim::ToggleTrace& trace,
+                         int cycle, float* out) {
+  const float* src = g.static_features.data();
+  std::copy(src, src + g.num_nodes() * kFeatureDim, out);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    const NetId net = g.out_net[i];
+    if (net == kNoNet) continue;
+    out[i * kFeatureDim + kToggleOffset] =
+        static_cast<float>(trace.transitions(cycle, net)) * 0.5f;
+  }
+}
+
 }  // namespace atlas::graph

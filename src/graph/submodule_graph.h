@@ -65,6 +65,12 @@ std::vector<SubmoduleGraph> build_submodule_graphs(const netlist::Netlist& nl);
 void fill_cycle_features(const SubmoduleGraph& g, const sim::ToggleTrace& trace,
                          int cycle, ml::Matrix& out);
 
+/// Same, into a raw row-major buffer of num_nodes x kFeatureDim floats
+/// (arena-backed scratch in the fused batched encode path). Writes exactly
+/// the values of the Matrix overload.
+void fill_cycle_features(const SubmoduleGraph& g, const sim::ToggleTrace& trace,
+                         int cycle, float* out);
+
 /// A GraphView over externally prepared features for graph `g`.
 ml::GraphView view_with_features(const SubmoduleGraph& g, const ml::Matrix& feats);
 

@@ -244,15 +244,89 @@ void GbdtRegressor::fit(const Matrix& x, const std::vector<double>& y) {
     });
     trees_.push_back(std::move(tree));
   }
+  rebuild_forest();
   static obs::Counter* trees_trained =
       &obs::Registry::global().counter("atlas_ml_gbdt_trees_trained_total");
   trees_trained->inc(static_cast<std::uint64_t>(trees_.size()));
+}
+
+void GbdtRegressor::rebuild_forest() {
+  forest_ = Forest{};
+  std::size_t total = 0;
+  for (const Tree& t : trees_) total += t.nodes.size();
+  forest_.feature.reserve(total);
+  forest_.threshold.reserve(total);
+  forest_.left.reserve(total);
+  forest_.right.reserve(total);
+  forest_.value.reserve(total);
+  forest_.roots.reserve(trees_.size());
+  forest_.depth.reserve(trees_.size());
+  for (const Tree& t : trees_) {
+    const std::int32_t base = static_cast<std::int32_t>(forest_.feature.size());
+    forest_.roots.push_back(base);
+    for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+      const Node& n = t.nodes[i];
+      const std::int32_t self = base + static_cast<std::int32_t>(i);
+      if (n.feature < 0) {
+        forest_.feature.push_back(0);
+        forest_.threshold.push_back(std::numeric_limits<float>::infinity());
+        forest_.left.push_back(self);
+        forest_.right.push_back(self);
+      } else {
+        forest_.feature.push_back(n.feature);
+        forest_.threshold.push_back(n.threshold);
+        forest_.left.push_back(base + n.left);
+        forest_.right.push_back(base + n.right);
+      }
+      forest_.value.push_back(n.value);
+    }
+    // Steps needed so every row reaches its leaf: the tree's max node depth.
+    std::vector<std::int32_t> node_depth(t.nodes.size(), 0);
+    std::int32_t max_depth = 0;
+    for (std::size_t i = 0; i < t.nodes.size(); ++i) {
+      const Node& n = t.nodes[i];
+      if (n.feature < 0) continue;
+      // Children are always appended after their parent, so one forward
+      // pass assigns depths top-down.
+      node_depth[static_cast<std::size_t>(n.left)] = node_depth[i] + 1;
+      node_depth[static_cast<std::size_t>(n.right)] = node_depth[i] + 1;
+      if (node_depth[i] + 1 > max_depth) max_depth = node_depth[i] + 1;
+    }
+    forest_.depth.push_back(max_depth);
+  }
 }
 
 double GbdtRegressor::predict_row(const float* features) const {
   double out = base_;
   for (const Tree& t : trees_) out += t.predict(features);
   return out;
+}
+
+void GbdtRegressor::predict_rows(const float* rows, std::size_t n,
+                                 std::size_t stride, double* out) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] = base_;
+  constexpr std::size_t kBlock = 64;
+  std::int32_t idx[kBlock];
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t bn = std::min(kBlock, n - b0);
+    const float* block = rows + b0 * stride;
+    for (std::size_t t = 0; t < forest_.roots.size(); ++t) {
+      const std::int32_t root = forest_.roots[t];
+      for (std::size_t i = 0; i < bn; ++i) idx[i] = root;
+      for (std::int32_t lvl = 0; lvl < forest_.depth[t]; ++lvl) {
+        for (std::size_t i = 0; i < bn; ++i) {
+          const std::int32_t id = idx[i];
+          const float fv =
+              block[i * stride + static_cast<std::size_t>(forest_.feature[id])];
+          idx[i] = fv <= forest_.threshold[id] ? forest_.left[id]
+                                               : forest_.right[id];
+        }
+      }
+      for (std::size_t i = 0; i < bn; ++i) {
+        out[b0 + i] += forest_.value[idx[i]];
+      }
+    }
+  }
 }
 
 std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
@@ -263,8 +337,11 @@ std::vector<double> GbdtRegressor::predict(const Matrix& x) const {
   static obs::Counter* rows =
       &obs::Registry::global().counter("atlas_ml_gbdt_predict_rows_total");
   rows->inc(static_cast<std::uint64_t>(x.rows()));
-  util::parallel_for(x.rows(), kRowsPerChunk,
-                     [&](std::size_t i) { out[i] = predict_row(x.row(i)); });
+  util::parallel_for_chunks(x.rows(), kRowsPerChunk,
+                            [&](std::size_t r0, std::size_t r1) {
+                              predict_rows(x.row(r0), r1 - r0, x.cols(),
+                                           out.data() + r0);
+                            });
   return out;
 }
 
@@ -312,6 +389,7 @@ GbdtRegressor GbdtRegressor::load(std::istream& is) {
       n.value = util::read_f64(is);
     }
   }
+  m.rebuild_forest();
   return m;
 }
 

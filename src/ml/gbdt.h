@@ -36,6 +36,17 @@ class GbdtRegressor {
   double predict_row(const float* features) const;
   std::vector<double> predict(const Matrix& x) const;
 
+  /// Batched inference over `n` feature rows laid out row-major with
+  /// `stride` floats between row starts; writes one double per row to `out`.
+  /// Traverses the flattened SoA forest trees-outer / row-block-inner, so
+  /// the contiguous feature/threshold/child arrays stream through cache once
+  /// per tree while a block of rows advances level-by-level in lockstep (the
+  /// inner loop is a branch-free compare/select over the block). Per-row
+  /// accumulation order (base + tree 0 + tree 1 + ...) matches predict_row
+  /// exactly, so results are bit-identical.
+  void predict_rows(const float* rows, std::size_t n, std::size_t stride,
+                    double* out) const;
+
   bool trained() const { return !trees_.empty() || base_ != 0.0; }
   std::size_t num_features() const { return num_features_; }
   std::size_t num_trees() const { return trees_.size(); }
@@ -59,10 +70,26 @@ class GbdtRegressor {
     double predict(const float* features) const;
   };
 
+  /// SoA mirror of trees_ for batched traversal (rebuilt by fit/load).
+  /// Leaves are rewritten as self-loops (feature 0, threshold +inf,
+  /// left = right = self) so a block of rows can take a fixed number of
+  /// unconditional compare/select steps per tree: internal-node decisions
+  /// are unchanged, and a row already at its leaf just spins in place.
+  struct Forest {
+    std::vector<std::int32_t> feature;
+    std::vector<float> threshold;
+    std::vector<std::int32_t> left, right;  // absolute node indices
+    std::vector<double> value;
+    std::vector<std::int32_t> roots;  // root node index per tree
+    std::vector<std::int32_t> depth;  // traversal steps needed per tree
+  };
+  void rebuild_forest();
+
   GbdtConfig config_;
   std::size_t num_features_ = 0;
   double base_ = 0.0;  // mean target
   std::vector<Tree> trees_;
+  Forest forest_;
 };
 
 }  // namespace atlas::ml

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace atlas::ml {
@@ -41,35 +42,85 @@ Matrix& Matrix::operator*=(float s) {
   return *this;
 }
 
+namespace raw {
+
+void gemm_rows(const float* a, std::size_t a_cols, const float* b,
+               std::size_t b_cols, float* c, std::size_t r0, std::size_t r1) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    const float* ar = a + i * a_cols;
+    float* cr = c + i * b_cols;
+    for (std::size_t k = 0; k < a_cols; ++k) {
+      const float av = ar[k];
+      if (av == 0.0f) continue;
+      const float* br = b + k * b_cols;
+      for (std::size_t j = 0; j < b_cols; ++j) cr[j] += av * br[j];
+    }
+  }
+}
+
+void gemm_tn(const float* a, std::size_t a_cols, const float* b,
+             std::size_t b_cols, std::size_t n, float* c) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const float* ar = a + k * a_cols;
+    const float* br = b + k * b_cols;
+    for (std::size_t i = 0; i < a_cols; ++i) {
+      const float av = ar[i];
+      if (av == 0.0f) continue;
+      float* cr = c + i * b_cols;
+      for (std::size_t j = 0; j < b_cols; ++j) cr[j] += av * br[j];
+    }
+  }
+}
+
+void add_row_bias_rows(float* x, std::size_t cols, const float* bias,
+                       std::size_t r0, std::size_t r1) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    float* r = x + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) r[j] += bias[j];
+  }
+}
+
+void relu(float* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(x[i] > 0.0f)) x[i] = 0.0f;
+  }
+}
+
+void mean_rows(const float* x, std::size_t rows, std::size_t cols, float* out) {
+  for (std::size_t j = 0; j < cols; ++j) out[j] = 0.0f;
+  if (rows == 0) return;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* r = x + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) out[j] += r[j];
+  }
+  const float inv = 1.0f / static_cast<float>(rows);
+  for (std::size_t j = 0; j < cols; ++j) out[j] *= inv;
+}
+
+}  // namespace raw
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape mismatch");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* ar = a.row(i);
-    float* cr = c.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float av = ar[k];
-      if (av == 0.0f) continue;
-      const float* br = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
-    }
+  raw::gemm_rows(a.data(), a.cols(), b.data(), b.cols(), c.data(), 0, a.rows());
+  return c;
+}
+
+Matrix matmul_parallel(const Matrix& a, const Matrix& b, std::size_t grain) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_parallel: shape mismatch");
   }
+  Matrix c(a.rows(), b.cols());
+  util::parallel_for_chunks(a.rows(), grain, [&](std::size_t r0, std::size_t r1) {
+    raw::gemm_rows(a.data(), a.cols(), b.data(), b.cols(), c.data(), r0, r1);
+  });
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("matmul_tn: shape mismatch");
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const float* ar = a.row(k);
-    const float* br = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const float av = ar[i];
-      if (av == 0.0f) continue;
-      float* cr = c.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
-    }
-  }
+  raw::gemm_tn(a.data(), a.cols(), b.data(), b.cols(), a.rows(), c.data());
   return c;
 }
 

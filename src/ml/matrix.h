@@ -46,8 +46,42 @@ class Matrix {
   std::vector<float> data_;
 };
 
+// Raw row-major kernels. These are the single source of truth for the
+// arithmetic: the Matrix entry points below and the fused batched encoder
+// (sgformer forward_fused) both delegate here, so the request-at-a-time and
+// batched paths share identical loop order and rounding by construction.
+// Each output row of gemm_rows depends only on the matching input row, which
+// is what makes row-chunk parallelism and batch concatenation bit-identical
+// to the serial per-request ops.
+namespace raw {
+
+/// C rows [r0, r1) = A rows [r0, r1) * B. C rows must be pre-zeroed.
+/// A is (? x a_cols) row-major, B is (a_cols x b_cols), C is (? x b_cols).
+void gemm_rows(const float* a, std::size_t a_cols, const float* b,
+               std::size_t b_cols, float* c, std::size_t r0, std::size_t r1);
+
+/// C (a_cols x b_cols, pre-zeroed) += A^T * B over rows [0, n), k ascending.
+void gemm_tn(const float* a, std::size_t a_cols, const float* b,
+             std::size_t b_cols, std::size_t n, float* c);
+
+/// Rows [r0, r1) of x (row-major, cols wide) get bias (1 x cols) added.
+void add_row_bias_rows(float* x, std::size_t cols, const float* bias,
+                       std::size_t r0, std::size_t r1);
+
+/// ReLU over n contiguous floats (no backward mask).
+void relu(float* x, std::size_t n);
+
+/// out (1 x cols) = mean over `rows` rows of x: row-order sum, then * 1/rows.
+void mean_rows(const float* x, std::size_t rows, std::size_t cols, float* out);
+
+}  // namespace raw
+
 /// C = A * B. Dimension mismatches throw std::invalid_argument.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A * B with output rows computed in deterministic parallel chunks;
+/// bit-identical to matmul() at any thread count.
+Matrix matmul_parallel(const Matrix& a, const Matrix& b,
+                       std::size_t grain = 64);
 /// C = A^T * B.
 Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A * B^T.

@@ -1,9 +1,11 @@
 #include "ml/sgformer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "obs/metrics.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace atlas::ml {
@@ -74,30 +76,10 @@ SgFormer::Output SgFormer::forward(const GraphView& g, Cache* cache) const {
   std::copy(g.features, g.features + g.num_nodes * g.feat_dim, c.x.data());
 
   // Normalized adjacency (undirected + self loops).
-  std::vector<float> degree(g.num_nodes, 1.0f);  // self loop
-  if (g.edges != nullptr) {
-    for (const auto& [s, d] : *g.edges) {
-      degree[s] += 1.0f;
-      degree[d] += 1.0f;
-    }
-  }
-  c.norm_edges.clear();
-  c.norm_weights.clear();
-  const std::size_t n_edges = g.edges ? g.edges->size() : 0;
-  c.norm_edges.reserve(2 * n_edges + g.num_nodes);
-  c.norm_weights.reserve(2 * n_edges + g.num_nodes);
-  for (std::uint32_t i = 0; i < g.num_nodes; ++i) {
-    c.norm_edges.emplace_back(i, i);
-    c.norm_weights.push_back(1.0f / degree[i]);
-  }
-  if (g.edges != nullptr) {
-    for (const auto& [s, d] : *g.edges) {
-      const float w = 1.0f / std::sqrt(degree[s] * degree[d]);
-      c.norm_edges.emplace_back(d, s);
-      c.norm_weights.push_back(w);
-      c.norm_edges.emplace_back(s, d);
-      c.norm_weights.push_back(w);
-    }
+  {
+    NormAdjacency adj = build_norm_adjacency(g.num_nodes, g.edges);
+    c.norm_edges = std::move(adj.edges);
+    c.norm_weights = std::move(adj.weights);
   }
 
   // Input projection.
@@ -142,6 +124,138 @@ SgFormer::Output SgFormer::forward(const GraphView& g, Cache* cache) const {
   out.node_emb = c.node_emb;
   out.graph_emb = mean_rows(c.node_emb);
   return out;
+}
+
+SgFormer::NormAdjacency SgFormer::build_norm_adjacency(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>* edges) {
+  NormAdjacency adj;
+  std::vector<float> degree(num_nodes, 1.0f);  // self loop
+  if (edges != nullptr) {
+    for (const auto& [s, d] : *edges) {
+      degree[s] += 1.0f;
+      degree[d] += 1.0f;
+    }
+  }
+  const std::size_t n_edges = edges ? edges->size() : 0;
+  adj.edges.reserve(2 * n_edges + num_nodes);
+  adj.weights.reserve(2 * n_edges + num_nodes);
+  for (std::uint32_t i = 0; i < num_nodes; ++i) {
+    adj.edges.emplace_back(i, i);
+    adj.weights.push_back(1.0f / degree[i]);
+  }
+  if (edges != nullptr) {
+    for (const auto& [s, d] : *edges) {
+      const float w = 1.0f / std::sqrt(degree[s] * degree[d]);
+      adj.edges.emplace_back(d, s);
+      adj.weights.push_back(w);
+      adj.edges.emplace_back(s, d);
+      adj.weights.push_back(w);
+    }
+  }
+  return adj;
+}
+
+void SgFormer::forward_fused(const Segment* segs, std::size_t num_segs,
+                             const float* features, float* graph_emb,
+                             util::Arena& arena) const {
+  if (num_segs == 0) return;
+  const std::size_t d = config_.dim;
+  const std::size_t in_dim = config_.in_dim;
+  std::size_t* off = arena.alloc_array<std::size_t>(num_segs + 1);
+  off[0] = 0;
+  for (std::size_t s = 0; s < num_segs; ++s) {
+    if (segs[s].num_nodes == 0 || segs[s].adj == nullptr) {
+      throw std::invalid_argument("forward_fused: empty segment");
+    }
+    off[s + 1] = off[s] + segs[s].num_nodes;
+  }
+  const std::size_t total = off[num_segs];
+  forward_counter().inc(num_segs);
+
+  // All scratch up front, on the calling thread (Arena is single-threaded;
+  // worker lambdas below only touch disjoint row ranges of these buffers).
+  float* h = arena.alloc_array<float>(total * d);
+  float* q = arena.alloc_array<float>(total * d);
+  float* k = arena.alloc_array<float>(total * d);
+  float* v = arena.alloc_array<float>(total * d);
+  float* att = arena.alloc_array<float>(total * d);
+  float* ah = arena.alloc_array<float>(total * d);
+  float* gcn = arena.alloc_array<float>(total * d);
+  float* emb = arena.alloc_array<float>(total * d);
+  float* ktv = arena.alloc_array<float>(num_segs * d * d);
+  std::fill(ktv, ktv + num_segs * d * d, 0.0f);
+
+  // GEMM accumulators must start at zero, matching matmul()'s zero-init.
+  const std::size_t grain = 64;  // rows per chunk for whole-batch GEMMs
+  util::parallel_for_chunks(total, grain, [&](std::size_t r0, std::size_t r1) {
+    const std::size_t n = (r1 - r0) * d;
+    for (float* buf : {h, q, k, v, att, ah, gcn, emb}) {
+      std::fill(buf + r0 * d, buf + r0 * d + n, 0.0f);
+    }
+    // H = ReLU(X W_in + b_in), one fused row-chunk pass.
+    raw::gemm_rows(features, in_dim, w_in_.data(), d, h, r0, r1);
+    raw::add_row_bias_rows(h, d, b_in_.data(), r0, r1);
+    raw::relu(h + r0 * d, n);
+  });
+
+  // Q/K/V projections over the whole concatenated batch.
+  util::parallel_for_chunks(total, grain, [&](std::size_t r0, std::size_t r1) {
+    raw::gemm_rows(h, d, wq_.data(), d, q, r0, r1);
+    raw::gemm_rows(h, d, wk_.data(), d, k, r0, r1);
+    raw::gemm_rows(h, d, wv_.data(), d, v, r0, r1);
+  });
+
+  // Per-segment reductions: K^T V, attention normalization + skip, and
+  // A_norm propagation — each in forward()'s exact serial order.
+  util::parallel_for(num_segs, 1, [&](std::size_t s) {
+    const std::size_t r0 = off[s];
+    const std::size_t n = segs[s].num_nodes;
+    float* kt = ktv + s * d * d;
+    raw::gemm_tn(k + r0 * d, d, v + r0 * d, d, n, kt);
+    raw::gemm_rows(q, d, kt, d, att, r0, r0 + n);
+    const float inv_n = 1.0f / static_cast<float>(n);
+    const float att_scale = 0.5f * inv_n;
+    float* ar = att + r0 * d;
+    const float* vr = v + r0 * d;
+    for (std::size_t i = 0; i < n * d; ++i) ar[i] *= att_scale;
+    for (std::size_t i = 0; i < n * d; ++i) {
+      const float hv = vr[i] * 0.5f;
+      ar[i] += hv;
+    }
+    const NormAdjacency& adj = *segs[s].adj;
+    const float* x = h + r0 * d;
+    float* y = ah + r0 * d;
+    for (std::size_t e = 0; e < adj.edges.size(); ++e) {
+      const auto [i, j] = adj.edges[e];
+      const float w = adj.weights[e];
+      const float* src = x + j * d;
+      float* dst = y + i * d;
+      for (std::size_t c = 0; c < d; ++c) dst[c] += w * src[c];
+    }
+  });
+
+  // GCN projection, branch combine, ReLU, output projection — all row-local,
+  // so one fused row-chunk pass over the whole batch.
+  const float alpha = config_.alpha;
+  const float beta = 1.0f - config_.alpha;
+  util::parallel_for_chunks(total, grain, [&](std::size_t r0, std::size_t r1) {
+    raw::gemm_rows(ah, d, wg_.data(), d, gcn, r0, r1);
+    for (std::size_t i = r0 * d; i < r1 * d; ++i) {
+      float cv = gcn[i] * beta;
+      const float as = att[i] * alpha;
+      cv += as;
+      gcn[i] = cv;
+    }
+    raw::relu(gcn + r0 * d, (r1 - r0) * d);
+    raw::gemm_rows(gcn, d, w_out_.data(), d, emb, r0, r1);
+    raw::add_row_bias_rows(emb, d, b_out_.data(), r0, r1);
+  });
+
+  // Per-segment mean pool into the caller's output rows.
+  util::parallel_for(num_segs, 1, [&](std::size_t s) {
+    raw::mean_rows(emb + off[s] * d, segs[s].num_nodes, d, graph_emb + s * d);
+  });
 }
 
 void SgFormer::backward(const Cache& c, const Matrix& d_node,

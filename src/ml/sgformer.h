@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "ml/mlp.h"
+#include "util/arena.h"
 
 namespace atlas::ml {
 
@@ -60,6 +61,42 @@ class SgFormer {
 
   /// Encode one graph. Pass a Cache to enable a later backward() call.
   Output forward(const GraphView& g, Cache* cache = nullptr) const;
+
+  /// Symmetric-normalized adjacency of one graph in edge-list form, exactly
+  /// as forward() constructs it internally. Cycle- and feature-invariant, so
+  /// one instance is reused across every cycle of a graph and across every
+  /// request touching that graph.
+  struct NormAdjacency {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;  // incl. loops
+    std::vector<float> weights;
+  };
+  static NormAdjacency build_norm_adjacency(
+      std::size_t num_nodes,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>* edges);
+
+  /// One (graph, cycle) instance inside a fused batch: a row block of
+  /// `num_nodes` feature rows plus the graph's prebuilt adjacency.
+  struct Segment {
+    std::size_t num_nodes = 0;
+    const NormAdjacency* adj = nullptr;
+  };
+
+  /// Inference-only fused forward over a batch of segments whose features
+  /// are packed row-major into `features` (sum of num_nodes x in_dim).
+  /// Writes segment s's 1 x dim graph embedding to graph_emb + s * dim.
+  ///
+  /// The per-node projections run as one GEMM per layer over the whole
+  /// concatenated row block (parallelized over row chunks); attention
+  /// normalization, adjacency propagation, and the mean pool stay
+  /// per-segment. Every output row of the shared GEMM kernel depends only
+  /// on its own input row, and all per-segment reductions (K^T V, A_norm
+  /// propagation, mean pool) run in the same serial order as forward(), so
+  /// the result is bit-identical to calling forward() once per segment —
+  /// at any thread count and any batch composition. Scratch comes from
+  /// `arena` (no heap traffic when the arena is recycled).
+  void forward_fused(const Segment* segs, std::size_t num_segs,
+                     const float* features, float* graph_emb,
+                     util::Arena& arena) const;
 
   /// Accumulate parameter gradients for one graph. `d_node` may be empty
   /// (zero); `d_graph` may be empty (zero).

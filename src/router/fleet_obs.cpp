@@ -37,6 +37,14 @@ bool in_family(const std::string& sample, const std::string& family) {
          rest == "_count";
 }
 
+/// True when the recorded "# TYPE <name> <kind>" header declares a
+/// histogram family.
+bool is_histogram(const std::string& type_line) {
+  const std::size_t last_space = type_line.rfind(' ');
+  return last_space != std::string::npos &&
+         type_line.substr(last_space + 1) == "histogram";
+}
+
 }  // namespace
 
 std::string merge_prometheus(
@@ -75,6 +83,39 @@ std::string merge_prometheus(
       families[family].samples.push_back(inject_shard(line, shard));
     }
   }
+  // When a histogram family lives on only a subset of shards, another shard
+  // can export a standalone family whose *name* is one of the histogram's
+  // sub-series names (e.g. a plain `lat_us_count` counter next to shard 1's
+  // `lat_us` histogram). Grouped naively that yields two # TYPE headers
+  // covering the same sample name — an invalid exposition scrapers reject.
+  // Fold such families into the histogram they alias: their samples join
+  // the histogram block and their own TYPE header is dropped.
+  for (auto it = families.begin(); it != families.end();) {
+    std::string base;
+    for (const std::string suffix : {"_bucket", "_sum", "_count"}) {
+      if (it->first.size() <= suffix.size() ||
+          it->first.compare(it->first.size() - suffix.size(), suffix.size(),
+                            suffix) != 0) {
+        continue;
+      }
+      const std::string candidate =
+          it->first.substr(0, it->first.size() - suffix.size());
+      const auto host = families.find(candidate);
+      if (host != families.end() && is_histogram(host->second.type_line)) {
+        base = candidate;
+        break;
+      }
+    }
+    if (base.empty()) {
+      ++it;
+      continue;
+    }
+    Family& host = families[base];
+    host.samples.insert(host.samples.end(), it->second.samples.begin(),
+                        it->second.samples.end());
+    it = families.erase(it);
+  }
+
   std::string out;
   for (const auto& [name, fam] : families) {
     if (!fam.type_line.empty()) {

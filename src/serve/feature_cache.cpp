@@ -127,12 +127,20 @@ std::shared_ptr<const DesignArtifacts> FeatureCache::find_design(
   return it->second.design;
 }
 
-void FeatureCache::put_design(std::uint64_t key,
-                              std::shared_ptr<const DesignArtifacts> d) {
+std::shared_ptr<const DesignArtifacts> FeatureCache::put_design(
+    std::uint64_t key, std::shared_ptr<const DesignArtifacts> d) {
   std::lock_guard<std::mutex> lock(mu_);
-  const std::size_t weight = d ? approx_design_bytes(*d) : 0;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
+    // A racing request inserted first: keep its entry (first insert wins,
+    // content is identical by determinism) and hand the winner back so the
+    // loser serves what the cache retained.
+    if (it->second.design) {
+      touch(key, it->second);
+      publish_gauges();
+      return it->second.design;
+    }
+    const std::size_t weight = d ? approx_design_bytes(*d) : 0;
     design_bytes_ -= it->second.design_bytes;
     it->second.design = std::move(d);
     it->second.design_bytes = weight;
@@ -140,17 +148,21 @@ void FeatureCache::put_design(std::uint64_t key,
     touch(key, it->second);
     evict_if_needed();
     publish_gauges();
-    return;
+    return it->second.design;
   }
+  const std::size_t weight = d ? approx_design_bytes(*d) : 0;
   lru_.push_front(key);
   Entry e;
   e.design = std::move(d);
   e.design_bytes = weight;
   e.lru_pos = lru_.begin();
-  entries_.emplace(key, std::move(e));
+  auto [ins, inserted] = entries_.emplace(key, std::move(e));
+  (void)inserted;
   design_bytes_ += weight;
+  std::shared_ptr<const DesignArtifacts> winner = ins->second.design;
   evict_if_needed();
   publish_gauges();
+  return winner;
 }
 
 std::shared_ptr<const core::DesignEmbeddings> FeatureCache::find_embeddings(
@@ -174,33 +186,36 @@ std::shared_ptr<const core::DesignEmbeddings> FeatureCache::find_embeddings(
   return eit->second;
 }
 
-void FeatureCache::put_embeddings(
+std::shared_ptr<const core::DesignEmbeddings> FeatureCache::put_embeddings(
     std::uint64_t design_key, const EmbeddingKey& emb_key,
     std::shared_ptr<const core::DesignEmbeddings> emb) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(design_key);
   // The design entry may have been evicted between the handler's lookup and
   // this insert; the embeddings would be unreachable without their design,
-  // so they are dropped — but the lost encoder work is counted, never
-  // silent (cache effectiveness must stay observable).
+  // so they cannot be cached — but the lost encoder work is counted, never
+  // silent (cache effectiveness must stay observable), and the caller's
+  // freshly computed embeddings are handed straight back so the losing
+  // request still serves them.
   if (it == entries_.end()) {
     ++stats_.embedding_drops;
     publish_gauges();
-    return;
+    return emb;
   }
   Entry& e = it->second;
   // Inserting embeddings is a use: make the design MRU so the byte-budget
   // eviction below can never evict the entry that was just extended.
   touch(design_key, e);
-  embedding_bytes_ += bytes_of(emb);
   const auto eit = e.embeddings.find(emb_key);
   if (eit != e.embeddings.end()) {
-    embedding_bytes_ -= bytes_of(eit->second);
-    eit->second = std::move(emb);
-    evict_if_needed();
+    // A racing request inserted the same key first. First insert wins: keep
+    // the existing entry (byte accounting untouched) and return it so both
+    // racers serve the pointer the cache holds.
     publish_gauges();
-    return;
+    return eit->second;
   }
+  embedding_bytes_ += bytes_of(emb);
+  std::shared_ptr<const core::DesignEmbeddings> winner = emb;
   e.embeddings.emplace(emb_key, std::move(emb));
   e.embedding_order.push_back(emb_key);
   while (e.embeddings.size() > max_embeddings_per_design_) {
@@ -211,6 +226,7 @@ void FeatureCache::put_embeddings(
   }
   evict_if_needed();
   publish_gauges();
+  return winner;
 }
 
 FeatureCacheStats FeatureCache::stats() const {

@@ -26,7 +26,9 @@
 // immutable once inserted (shared_ptr<const>), so handlers running on
 // pool threads read them without further locking; the cache mutex only
 // guards the index. Concurrent misses on the same key may both compute
-// and insert — last insert wins, results are identical by determinism.
+// and insert — the first insert wins (results are identical by
+// determinism), and put_* returns the winning entry so every racer serves
+// exactly what the cache retained.
 //
 // Eviction is cost-aware, not just count-based: every entry is weighed by
 // its design footprint plus DesignEmbeddings::approx_bytes(), and the LRU
@@ -101,9 +103,11 @@ struct FeatureCacheStats {
   std::uint64_t embedding_hits = 0;
   std::uint64_t embedding_misses = 0;
   std::uint64_t design_evictions = 0;
-  /// Freshly computed embeddings discarded because their design entry was
-  /// evicted between the handler's lookup and the insert. Nonzero values
-  /// mean real encoder work is being thrown away — size the cache up.
+  /// Freshly computed embeddings that could not be cached because their
+  /// design entry was evicted between the handler's lookup and the insert.
+  /// The inserting request still serves them (put_embeddings returns the
+  /// caller's pointer), but future requests must recompute — nonzero values
+  /// mean encoder work is being repeated; size the cache up.
   std::uint64_t embedding_drops = 0;
 };
 
@@ -118,12 +122,28 @@ class FeatureCache {
                         std::size_t max_bytes = 0);
 
   std::shared_ptr<const DesignArtifacts> find_design(std::uint64_t key);
-  void put_design(std::uint64_t key, std::shared_ptr<const DesignArtifacts> d);
+  /// Insert `d`, returning the entry that will serve future lookups. When a
+  /// concurrent request already populated the key (both computed after
+  /// racing on the same miss), the first insert wins and the loser gets the
+  /// winner's pointer back — identical content by determinism, but callers
+  /// must serve the returned entry so what they answer is what the cache
+  /// holds.
+  std::shared_ptr<const DesignArtifacts> put_design(
+      std::uint64_t key, std::shared_ptr<const DesignArtifacts> d);
 
   std::shared_ptr<const core::DesignEmbeddings> find_embeddings(
       std::uint64_t design_key, const EmbeddingKey& emb_key);
-  void put_embeddings(std::uint64_t design_key, const EmbeddingKey& emb_key,
-                      std::shared_ptr<const core::DesignEmbeddings> emb);
+  /// Insert freshly computed embeddings, returning the winning entry. Three
+  /// cases: (a) normal insert — returns `emb`; (b) a racing request
+  /// inserted the same key first — first insert wins, returns the cached
+  /// pointer and `emb` is discarded; (c) the design entry was evicted
+  /// between the handler's lookup and this insert — the embeddings cannot
+  /// be cached (counted in embedding_drops), but `emb` itself is returned
+  /// so the losing request still serves the encoder output it just paid
+  /// for instead of failing or recomputing.
+  std::shared_ptr<const core::DesignEmbeddings> put_embeddings(
+      std::uint64_t design_key, const EmbeddingKey& emb_key,
+      std::shared_ptr<const core::DesignEmbeddings> emb);
 
   FeatureCacheStats stats() const;
   std::size_t num_designs() const;

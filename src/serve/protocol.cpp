@@ -320,7 +320,17 @@ PredictResponse PredictResponse::decode(const std::string& payload) {
     r.submodule = read_group_power_rows(is);
     if (has_ext_tail(is)) {
       const std::uint32_t version = read_u32(is);
-      if (version == kTraceExtVersion) {
+      if (version == kTimingTailVersion) {
+        r.timing.batch_wait_us = read_u64(is);
+        r.timing.queue_us = read_u64(is);
+        r.timing.cache_us = read_u64(is);
+        r.timing.encode_us = read_u64(is);
+        r.timing.predict_us = read_u64(is);
+        r.timing.serialize_us = read_u64(is);
+        r.timing.total_us = read_u64(is);
+        r.has_timing = true;
+      } else if (version == kTraceExtVersion) {
+        // v2 tail from an older server: no batch_wait split yet.
         r.timing.queue_us = read_u64(is);
         r.timing.cache_us = read_u64(is);
         r.timing.encode_us = read_u64(is);
@@ -336,7 +346,8 @@ PredictResponse PredictResponse::decode(const std::string& payload) {
 
 void append_timing_ext(std::string& payload, const ServerTiming& timing) {
   std::ostringstream os(std::ios::binary);
-  write_u32(os, kTraceExtVersion);
+  write_u32(os, kTimingTailVersion);
+  write_u64(os, timing.batch_wait_us);
   write_u64(os, timing.queue_us);
   write_u64(os, timing.cache_us);
   write_u64(os, timing.encode_us);

@@ -282,14 +282,27 @@ inline constexpr std::uint32_t kCacheHitEmbeddings = 1u << 1;  // encoder skippe
 /// for it (want_timing), and logged by the server's slow-request log.
 /// Phases are disjoint; total_us additionally covers glue between them, so
 /// the sum of phases is <= total_us.
+///
+/// batch_wait_us and queue_us split what one "queue" phase used to
+/// double-count: time parked in the dispatcher queue while a batch formed
+/// (batch_wait_us; for streamed requests this also spans chunk assembly,
+/// since the clock starts at StreamBegin receipt) versus handoff from batch
+/// formation to the handler actually starting (queue_us). The split is what
+/// makes the reported phases add up to the end-to-end latency.
 struct ServerTiming {
-  std::uint64_t queue_us = 0;      // enqueue -> dispatcher pickup
-  std::uint64_t cache_us = 0;      // feature-cache lookups
-  std::uint64_t encode_us = 0;     // parse/sim/feature/encoder work
-  std::uint64_t predict_us = 0;    // GBDT head evaluation
-  std::uint64_t serialize_us = 0;  // response payload encode
-  std::uint64_t total_us = 0;      // enqueue -> response encoded
+  std::uint64_t batch_wait_us = 0;  // enqueue -> dispatcher batch formed
+  std::uint64_t queue_us = 0;       // batch formed -> handler entry
+  std::uint64_t cache_us = 0;       // feature-cache lookups
+  std::uint64_t encode_us = 0;      // parse/sim/feature/encoder work
+  std::uint64_t predict_us = 0;     // GBDT head evaluation
+  std::uint64_t serialize_us = 0;   // response payload encode
+  std::uint64_t total_us = 0;       // enqueue -> response encoded
 };
+
+/// Version tag of the PredictOk timing tail. v3 added batch_wait_us; the
+/// decoder still accepts v2 tails (six fields, batch_wait_us reads as 0)
+/// from older servers, and pre-v3 clients simply ignore a v3 tail.
+inline constexpr std::uint32_t kTimingTailVersion = 3;
 
 struct PredictResponse {
   std::uint32_t cache_flags = 0;

@@ -376,13 +376,178 @@ void Server::dispatcher_loop() {
       queue_.erase(queue_.begin(), queue_.begin() + static_cast<std::ptrdiff_t>(n));
       queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     }
+    // The batch exists from this instant: everything before is batch wait
+    // (stream assembly + waiting for the dispatcher to wake), everything
+    // after — including the test-hook delay below, which models dispatch
+    // overhead — is queue time.
+    const Clock::time_point dispatched = Clock::now();
+    for (const auto& job : batch) job->dispatched_at = dispatched;
     if (config_.dispatch_delay_for_test_ms > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config_.dispatch_delay_for_test_ms));
     }
-    util::ThreadPool::global().run(
-        batch.size(), [&batch, this](std::size_t i) { process_job(*batch[i]); });
+    if (config_.fused_batching) {
+      run_batch_fused(batch);
+    } else {
+      util::ThreadPool::global().run(batch.size(), [&batch, this](
+                                                       std::size_t i) {
+        process_job(*batch[i]);
+      });
+    }
   }
+}
+
+void Server::run_batch_fused(std::vector<std::shared_ptr<PendingJob>>& batch) {
+  const std::size_t n = batch.size();
+  std::vector<PredictPrep> preps(n);
+
+  // Phase A: per-job prework in parallel — trace scope, deadline
+  // pre-check, registry pin, cache probes, parse/stimulus on misses.
+  // Failures land in prep.reply; nothing here may escape (phase C owns the
+  // promise, so a job with neither reply nor emb would produce a bogus
+  // success — the catch-alls route every failure into prep.reply).
+  util::ThreadPool::global().run(n, [&](std::size_t i) {
+    PendingJob& job = *batch[i];
+    PredictPrep& prep = preps[i];
+    prep.ctx = job.request.ext.trace;
+    if (!prep.ctx.valid() && obs::trace_enabled()) {
+      prep.ctx = obs::make_root_context(/*sampled=*/true);
+    }
+    obs::TraceContextScope scope(prep.ctx);
+    try {
+      const std::uint64_t waited_ms = elapsed_us(job.enqueued_at) / 1000;
+      if (job.request.deadline_ms > 0 && waited_ms > job.request.deadline_ms) {
+        prep.reply = error_reply(
+            ErrorCode::kDeadlineExceeded,
+            "request waited " + std::to_string(waited_ms) + "ms, deadline " +
+                std::to_string(job.request.deadline_ms) + "ms");
+        return;
+      }
+      prepare_predict(job, prep);
+    } catch (const std::exception& e) {
+      prep.reply = error_reply(ErrorCode::kInternal, e.what());
+    } catch (...) {
+      prep.reply = error_reply(ErrorCode::kInternal,
+                               "handler raised a non-standard exception");
+    }
+  });
+
+  // Phase B: one fused encode per distinct model over every job that
+  // missed the embedding cache, on the dispatcher thread — the pool's
+  // threads parallelize inside encode_batch's row-chunked kernels, which
+  // beats one-request-per-thread for the matmul-bound encoder. Jobs on the
+  // same model share one call even across different designs. The encoder
+  // spans emitted here are batch-level (no single request's context could
+  // own a fused kernel).
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!preps[i].reply && preps[i].needs_encode) pending.push_back(i);
+  }
+  while (!pending.empty()) {
+    const core::AtlasModel* model = preps[pending.front()].entry->model.get();
+    std::vector<std::size_t> group;
+    std::vector<std::size_t> rest;
+    for (const std::size_t i : pending) {
+      (preps[i].entry->model.get() == model ? group : rest).push_back(i);
+    }
+    pending = std::move(rest);
+
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::shared_ptr<core::DesignEmbeddings>> outs;
+    std::vector<core::AtlasModel::EncodeItem> items;
+    outs.reserve(group.size());
+    items.reserve(group.size());
+    try {
+      for (const std::size_t i : group) {
+        auto out = std::make_shared<core::DesignEmbeddings>();
+        items.push_back(core::AtlasModel::EncodeItem{
+            &preps[i].design->gate, &preps[i].design->graphs,
+            &preps[i].toggles, out.get()});
+        outs.push_back(std::move(out));
+      }
+      util::ArenaHandle arena = arena_pool_.acquire();
+      model->encode_batch(items.data(), items.size(), *arena);
+      const std::uint64_t encode_us = elapsed_us(t0);
+      for (std::size_t k = 0; k < group.size(); ++k) {
+        PredictPrep& prep = preps[group[k]];
+        // The insert returns the winning entry (a racing request may have
+        // populated the key first, or the design may have been evicted —
+        // see FeatureCache::put_embeddings), so the job always serves
+        // exactly what future lookups will see.
+        prep.emb = cache_.put_embeddings(
+            prep.design_key, prep.emb_key,
+            std::shared_ptr<const core::DesignEmbeddings>(
+                std::move(outs[k])));
+        // Every job in the group waited for the whole fused call; the
+        // shared wall time is each one's encode phase.
+        batch[group[k]]->timing.encode_us += encode_us;
+      }
+    } catch (const std::exception& e) {
+      for (const std::size_t i : group) {
+        if (!preps[i].reply) {
+          preps[i].reply = error_reply(ErrorCode::kInternal, e.what());
+        }
+      }
+    } catch (...) {
+      for (const std::size_t i : group) {
+        if (!preps[i].reply) {
+          preps[i].reply =
+              error_reply(ErrorCode::kInternal,
+                          "handler raised a non-standard exception");
+        }
+      }
+    }
+  }
+
+  // Phase C: heads, serialization and promise fulfillment fan back out.
+  util::ThreadPool::global().run(n, [&](std::size_t i) {
+    complete_fused_job(*batch[i], preps[i]);
+  });
+}
+
+void Server::complete_fused_job(PendingJob& job, PredictPrep& prep) noexcept {
+  // Same contract as process_job: the promise is fulfilled exactly once on
+  // every path, kInternal at worst.
+  bool is_error = true;
+  std::pair<MsgType, std::string> reply;
+  try {
+    obs::TraceContextScope scope(prep.ctx);
+    if (prep.reply) {
+      reply = std::move(*prep.reply);
+      is_error = reply.first == MsgType::kError;
+    } else {
+      reply = finish_predict(job, prep);
+      is_error = reply.first == MsgType::kError;
+      // Same post-compute re-check as the reference path: a request that
+      // blew its deadline during compute must not get a late success.
+      const std::uint64_t total_ms = elapsed_us(job.enqueued_at) / 1000;
+      if (!is_error && job.request.deadline_ms > 0 &&
+          total_ms > job.request.deadline_ms) {
+        reply = error_reply(ErrorCode::kDeadlineExceeded,
+                            "request took " + std::to_string(total_ms) +
+                                "ms total, deadline " +
+                                std::to_string(job.request.deadline_ms) + "ms");
+        is_error = true;
+      }
+    }
+    maybe_log_slow(job, is_error);
+    if (config_.fault_inject_for_test) {
+      throw "injected non-std fault after handler";  // NOLINT
+    }
+  } catch (const std::exception& e) {
+    reply = error_reply(ErrorCode::kInternal, e.what());
+    is_error = true;
+  } catch (...) {
+    reply = error_reply(ErrorCode::kInternal,
+                        "handler raised a non-standard exception");
+    is_error = true;
+  }
+  try {
+    stats_.record(job.endpoint, elapsed_us(job.enqueued_at), is_error);
+  } catch (...) {
+    // Accounting must never cost the client its reply.
+  }
+  job.result.set_value(std::move(reply));
 }
 
 std::pair<MsgType, std::string> Server::submit_and_wait(
@@ -750,6 +915,7 @@ void Server::maybe_log_slow(const PendingJob& job, bool is_error) {
       .kv("error", is_error ? 1 : 0)
       .kv("slow_ms_threshold", config_.slow_ms)
       .kv("total_ms", static_cast<std::int64_t>(total_ms))
+      .kv("batch_wait_us", static_cast<std::int64_t>(job.timing.batch_wait_us))
       .kv("queue_us", static_cast<std::int64_t>(job.timing.queue_us))
       .kv("cache_us", static_cast<std::int64_t>(job.timing.cache_us))
       .kv("encode_us", static_cast<std::int64_t>(job.timing.encode_us))
@@ -763,15 +929,46 @@ void Server::maybe_log_slow(const PendingJob& job, bool is_error) {
 }
 
 std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
+  // Reference (request-at-a-time) path: prepare, solo encode on a miss,
+  // finish — the exact pipeline run_batch_fused executes in phases, so the
+  // bit-identity suite can compare the two end to end.
+  PredictPrep prep;
+  prepare_predict(job, prep);
+  if (prep.reply) return std::move(*prep.reply);
+  if (prep.needs_encode) {
+    const Clock::time_point t0 = Clock::now();
+    auto computed = std::make_shared<const core::DesignEmbeddings>(
+        prep.entry->model->encode(prep.design->gate, prep.design->graphs,
+                                  prep.toggles));
+    // Serve whatever the cache retained (a racing request may have won).
+    prep.emb = cache_.put_embeddings(prep.design_key, prep.emb_key,
+                                     std::move(computed));
+    job.timing.encode_us += elapsed_us(t0);
+  }
+  return finish_predict(job, prep);
+}
+
+void Server::prepare_predict(PendingJob& job, PredictPrep& prep) {
   const PredictRequest& req = job.request;
   const sim::ExternalTrace* trace = job.trace.get();
   const std::uint64_t design_hash = job.design_hash;
-  // Queue phase: everything between enqueue and this handler starting
-  // (for streams that includes chunk assembly — the phase an operator
-  // reads as "time not spent computing").
-  job.timing.queue_us = elapsed_us(job.enqueued_at);
+  // Pre-handler phases. With a dispatcher stamp the interval splits into
+  // batch wait (enqueue -> batch formed; for streams that includes chunk
+  // assembly) and queue (batch formed -> here: dispatch overhead + waiting
+  // for a pool slot) — together "time not spent computing", now separable
+  // into "waiting to be batched" vs "batched but not yet running". Tests
+  // that drive jobs without the dispatcher fall back to one interval.
+  if (job.dispatched_at != Clock::time_point{}) {
+    job.timing.batch_wait_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            job.dispatched_at - job.enqueued_at)
+            .count());
+    job.timing.queue_us = elapsed_us(job.dispatched_at);
+  } else {
+    job.timing.queue_us = elapsed_us(job.enqueued_at);
+  }
   obs::ObsSpan span("serve", "handle_predict");
-  const Clock::time_point handler_start = Clock::now();
+  prep.handler_start = Clock::now();
   if (config_.handler_delay_for_test_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(config_.handler_delay_for_test_ms));
@@ -780,21 +977,25 @@ std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
   // Pin the registry entry for the whole request: `entry` co-owns the model
   // AND its library, so a concurrent unload/replace cannot free anything
   // this handler still touches — the retired artifact is destroyed when the
-  // last in-flight request drains.
-  const std::shared_ptr<const ModelEntry> entry = registry_->get(req.model);
+  // last in-flight request drains. The pin lives in prep, so it spans every
+  // phase of a fused batch, not just this one.
+  prep.entry = registry_->get(req.model);
+  const std::shared_ptr<const ModelEntry>& entry = prep.entry;
   if (!entry) {
-    return error_reply(ErrorCode::kUnknownModel,
-                       "unknown model: " + req.model);
+    prep.reply =
+        error_reply(ErrorCode::kUnknownModel, "unknown model: " + req.model);
+    return;
   }
-  const core::AtlasModel& model = *entry->model;
   const bool external = trace != nullptr;
   sim::WorkloadSpec workload;
   if (external) {
     // Streamed trace: cycles come from the trace itself; a nonzero request
     // value is a cross-check, not a simulation length.
     if (req.cycles < 0 || req.cycles > kMaxRequestCycles) {
-      return error_reply(ErrorCode::kBadRequest,
-                         "cycles out of range: " + std::to_string(req.cycles));
+      prep.reply =
+          error_reply(ErrorCode::kBadRequest,
+                      "cycles out of range: " + std::to_string(req.cycles));
+      return;
     }
   } else {
     if (req.workload == "w1" || req.workload == "W1") {
@@ -802,16 +1003,18 @@ std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
     } else if (req.workload == "w2" || req.workload == "W2") {
       workload = sim::make_w2();
     } else {
-      return error_reply(ErrorCode::kUnknownWorkload,
-                         "unknown workload: " + req.workload + " (use w1|w2)");
+      prep.reply = error_reply(
+          ErrorCode::kUnknownWorkload,
+          "unknown workload: " + req.workload + " (use w1|w2)");
+      return;
     }
     if (req.cycles <= 0 || req.cycles > kMaxRequestCycles) {
-      return error_reply(ErrorCode::kBadRequest,
-                         "cycles out of range: " + std::to_string(req.cycles));
+      prep.reply =
+          error_reply(ErrorCode::kBadRequest,
+                      "cycles out of range: " + std::to_string(req.cycles));
+      return;
     }
   }
-
-  std::uint32_t cache_flags = 0;
   // Design artifacts depend on the library the netlist is parsed against
   // (cell ids, pin caps, energy LUTs feed the graph features), so the key
   // mixes in the library's content hash: two models on different substrates
@@ -820,22 +1023,23 @@ std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
   // Design-by-hash requests supply that netlist hash directly (the client
   // computed the same FNV-1a over the text it uploaded earlier), so the key
   // resolves without the text ever crossing the wire again.
-  const std::uint64_t design_key = design_cache_key(
+  prep.design_key = design_cache_key(
       design_hash != 0 ? design_hash : util::fnv1a64(req.netlist_verilog),
       entry->library_hash);
+  const std::uint64_t design_key = prep.design_key;
 
   Clock::time_point phase_start = Clock::now();
-  std::shared_ptr<const DesignArtifacts> design =
-      cache_.find_design(design_key);
+  prep.design = cache_.find_design(design_key);
   job.timing.cache_us += elapsed_us(phase_start);
-  if (design) {
-    cache_flags |= kCacheHitDesign;
+  if (prep.design) {
+    prep.cache_flags |= kCacheHitDesign;
   } else if (design_hash != 0) {
     // A hash reference cannot rebuild the artifacts (there is no text to
     // parse); this is the StreamBegin check losing a race with eviction.
-    return error_reply(ErrorCode::kUnknownDesign,
-                       "design " + util::hash_hex(design_hash) +
-                           " is no longer cached; re-send the netlist");
+    prep.reply = error_reply(ErrorCode::kUnknownDesign,
+                             "design " + util::hash_hex(design_hash) +
+                                 " is no longer cached; re-send the netlist");
+    return;
   } else {
     phase_start = Clock::now();
     obs::ObsSpan prep_span("serve", "parse_and_graphs");
@@ -843,8 +1047,10 @@ std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
     try {
       parsed = netlist::parse_verilog(req.netlist_verilog, *entry->library);
     } catch (const std::exception& e) {
-      return error_reply(ErrorCode::kBadRequest,
-                         std::string("netlist parse failed: ") + e.what());
+      prep.reply =
+          error_reply(ErrorCode::kBadRequest,
+                      std::string("netlist parse failed: ") + e.what());
+      return;
     }
     bool untagged = false;
     for (netlist::CellInstId id = 0; id < parsed->num_cells(); ++id) {
@@ -857,10 +1063,14 @@ std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
     auto graphs = graph::build_submodule_graphs(*parsed);
     // The cached netlist holds a raw reference to its library, so the entry
     // co-owns the library too — it may outlive the model binding that
-    // created it (unload, or replace with a different substrate).
-    design = std::make_shared<const DesignArtifacts>(DesignArtifacts{
-        std::move(*parsed), std::move(graphs), structural, entry->library});
-    cache_.put_design(design_key, design);
+    // created it (unload, or replace with a different substrate). The
+    // insert returns the winning entry: if a racing request populated the
+    // key first, this job adopts (and serves against) that copy.
+    prep.design = cache_.put_design(
+        design_key,
+        std::make_shared<const DesignArtifacts>(DesignArtifacts{
+            std::move(*parsed), std::move(graphs), structural,
+            entry->library}));
     job.timing.encode_us += elapsed_us(phase_start);
   }
 
@@ -870,59 +1080,68 @@ std::pair<MsgType, std::string> Server::handle_predict(PendingJob& job) {
   // makes a reload under the same name a guaranteed miss: embeddings from
   // the replaced artifact are stale (different encoder weights), never
   // merely cold.
-  const EmbeddingKey emb_key{req.model, req.workload, req.cycles,
-                             external ? trace->content_hash() : 0,
-                             entry->generation};
+  prep.emb_key = EmbeddingKey{req.model, req.workload, req.cycles,
+                              external ? trace->content_hash() : 0,
+                              entry->generation};
   phase_start = Clock::now();
-  std::shared_ptr<const core::DesignEmbeddings> emb =
-      cache_.find_embeddings(design_key, emb_key);
+  prep.emb = cache_.find_embeddings(design_key, prep.emb_key);
   job.timing.cache_us += elapsed_us(phase_start);
-  if (emb) {
-    cache_flags |= kCacheHitEmbeddings;
-  } else {
-    phase_start = Clock::now();
-    sim::ToggleTrace toggles;
-    if (external) {
-      try {
-        toggles = trace->resolve(design->gate, kMaxRequestCycles);
-      } catch (const std::exception& e) {
-        return error_reply(ErrorCode::kBadRequest,
-                           std::string("trace parse failed: ") + e.what());
-      }
-      if (toggles.num_cycles() <= 0) {
-        return error_reply(ErrorCode::kBadRequest,
-                           "streamed trace contains no cycles");
-      }
-      if (req.cycles > 0 && toggles.num_cycles() != req.cycles) {
-        return error_reply(
-            ErrorCode::kBadRequest,
-            "trace has " + std::to_string(toggles.num_cycles()) +
-                " cycles, stream_begin declared " + std::to_string(req.cycles));
-      }
-    } else {
-      sim::CycleSimulator simulator(design->gate);
-      sim::StimulusGenerator stimulus(design->gate, workload);
-      toggles = simulator.run(stimulus, req.cycles);
-    }
-    emb = std::make_shared<const core::DesignEmbeddings>(
-        model.encode(design->gate, design->graphs, toggles));
-    cache_.put_embeddings(design_key, emb_key, emb);
-    job.timing.encode_us += elapsed_us(phase_start);
+  if (prep.emb) {
+    prep.cache_flags |= kCacheHitEmbeddings;
+    return;
   }
-
+  // Embedding miss: resolve the stimulus here (still per-job parallel work)
+  // and leave the encoder itself to the caller — solo encode() on the
+  // reference path, one fused encode_batch per model on the batched path.
   phase_start = Clock::now();
-  const core::Prediction pred =
-      model.predict_from_embeddings(design->gate, design->graphs, *emb);
+  if (external) {
+    try {
+      prep.toggles = trace->resolve(prep.design->gate, kMaxRequestCycles);
+    } catch (const std::exception& e) {
+      prep.reply = error_reply(ErrorCode::kBadRequest,
+                               std::string("trace parse failed: ") + e.what());
+      return;
+    }
+    if (prep.toggles.num_cycles() <= 0) {
+      prep.reply = error_reply(ErrorCode::kBadRequest,
+                               "streamed trace contains no cycles");
+      return;
+    }
+    if (req.cycles > 0 && prep.toggles.num_cycles() != req.cycles) {
+      prep.reply = error_reply(
+          ErrorCode::kBadRequest,
+          "trace has " + std::to_string(prep.toggles.num_cycles()) +
+              " cycles, stream_begin declared " + std::to_string(req.cycles));
+      return;
+    }
+  } else {
+    sim::CycleSimulator simulator(prep.design->gate);
+    sim::StimulusGenerator stimulus(prep.design->gate, workload);
+    prep.toggles = simulator.run(stimulus, req.cycles);
+  }
+  prep.needs_encode = true;
+  job.timing.encode_us += elapsed_us(phase_start);
+}
+
+std::pair<MsgType, std::string> Server::finish_predict(PendingJob& job,
+                                                       PredictPrep& prep) {
+  const PredictRequest& req = job.request;
+  Clock::time_point phase_start = Clock::now();
+  // Head scratch (feature-row blocks, per-row outputs) comes from a
+  // recycled arena: zero steady-state mallocs, returned on scope exit.
+  util::ArenaHandle arena = arena_pool_.acquire();
+  const core::Prediction pred = prep.entry->model->predict_from_embeddings(
+      prep.design->gate, prep.design->graphs, *prep.emb, arena.get());
   job.timing.predict_us = elapsed_us(phase_start);
 
   PredictResponse resp;
-  resp.cache_flags = cache_flags;
+  resp.cache_flags = prep.cache_flags;
   resp.num_cycles = pred.num_cycles;
   resp.num_submodules = pred.num_submodules;
   resp.design = pred.design;
   if (req.want_submodules) resp.submodule = pred.submodule;
   resp.server_seconds =
-      static_cast<double>(elapsed_us(handler_start)) / 1e6;
+      static_cast<double>(elapsed_us(prep.handler_start)) / 1e6;
   phase_start = Clock::now();
   std::string payload = resp.encode();
   job.timing.serialize_us = elapsed_us(phase_start);

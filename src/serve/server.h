@@ -15,11 +15,22 @@
 //     deadline are enforced during assembly, and StreamEnd enqueues the
 //     finished request to the dispatcher exactly like a Predict;
 //   * one dispatcher thread that drains the queue in opportunistic batches
-//     (whatever is queued when it wakes, capped at `batch_max`) and runs
-//     each batch via util::ThreadPool::global(). Handler-internal parallel
-//     loops run inline on their pool thread (the pool is non-reentrant by
-//     design), so per-request numerics are bit-identical no matter how
-//     requests are batched — the determinism contract tests pin.
+//     (whatever is queued when it wakes, capped at `batch_max`). With
+//     `fused_batching` on (the default) a batch executes in three phases:
+//     per-job prework fans out on util::ThreadPool::global() (parse, cache
+//     probes, stimulus), then all jobs that need the encoder run as ONE
+//     fused AtlasModel::encode_batch call per model on the dispatcher
+//     thread — so the pool's threads parallelize *inside* the batched
+//     kernels (row-chunked GEMMs over the concatenated node features)
+//     instead of one request each — then per-job heads + serialization fan
+//     out on the pool again. Scratch for the fused kernels comes from a
+//     recycled util::ArenaPool, so steady-state batches allocate nothing.
+//     With `fused_batching` off, each job runs end-to-end on a pool thread
+//     (the pre-fusion reference path). Both paths are bit-identical per
+//     request at any batch size and thread count: the fused encoder
+//     replays the exact per-graph op order (see ml/sgformer.h), and the
+//     pool is non-reentrant so handler-internal parallel loops run inline
+//     — the determinism contract tests pin this.
 //
 // Failure containment: any malformed frame, undecodable payload, unknown
 // model/workload, or handler exception turns into an Error response (or at
@@ -36,6 +47,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +58,8 @@
 #include "serve/registry.h"
 #include "serve/stats.h"
 #include "sim/external_trace.h"
+#include "sim/simulator.h"
+#include "util/arena.h"
 #include "util/socket.h"
 
 namespace atlas::serve {
@@ -70,6 +84,12 @@ struct ServerConfig {
   std::size_t max_stream_bytes = 256ull << 20;  // 256 MiB
   /// Max predict requests dispatched as one thread-pool batch.
   std::size_t batch_max = 8;
+  /// Execute batches through the fused path: per-model encode_batch calls
+  /// (one set of GEMMs over the whole batch) with pooled arena scratch.
+  /// Off = the request-at-a-time reference path; results are bit-identical
+  /// either way (the property suite compares the two), so this is a
+  /// performance switch, not a behavior switch.
+  bool fused_batching = true;
   /// Test hook: sleep before dispatching each batch so deadline expiry can
   /// be exercised deterministically. 0 in production.
   int dispatch_delay_for_test_ms = 0;
@@ -156,10 +176,18 @@ class Server {
     /// Predict: frame receipt. Stream: StreamBegin receipt, so the deadline
     /// spans assembly + queue wait + compute.
     std::chrono::steady_clock::time_point enqueued_at;
-    /// Per-phase breakdown, filled by handle_predict (queue_us covers
-    /// enqueue -> handler entry, so for streams it includes assembly).
-    /// Consumed by the slow-request log and, when the request asked
-    /// (ext.want_timing), echoed on the response tail.
+    /// Stamped by the dispatcher the moment this job's batch is formed.
+    /// Splits the pre-handler interval into batch_wait_us (enqueue ->
+    /// batch formed: stream assembly + waiting for the dispatcher to wake)
+    /// and queue_us (batch formed -> handler entry: dispatch overhead +
+    /// waiting for a pool slot). Default-initialized (epoch) when a test
+    /// drives process_job directly; the handler falls back to the old
+    /// single-interval accounting in that case.
+    std::chrono::steady_clock::time_point dispatched_at{};
+    /// Per-phase breakdown, filled by the predict pipeline (batch_wait_us +
+    /// queue_us cover enqueue -> handler entry, so for streams they include
+    /// assembly). Consumed by the slow-request log and, when the request
+    /// asked (ext.want_timing), echoed on the response tail.
     ServerTiming timing;
     std::promise<std::pair<MsgType, std::string>> result;
   };
@@ -186,11 +214,50 @@ class Server {
     }
   };
 
+  /// Everything a predict job computes before (and carries past) the
+  /// encoder: the pinned registry entry, resolved cache keys and lookups,
+  /// and — on an embedding miss — the toggle trace the encoder will
+  /// consume. Produced per job by prepare_predict (phase A of a fused
+  /// batch), consumed by the grouped encode (phase B) and finish_predict
+  /// (phase C).
+  struct PredictPrep {
+    std::shared_ptr<const ModelEntry> entry;
+    std::shared_ptr<const DesignArtifacts> design;
+    std::shared_ptr<const core::DesignEmbeddings> emb;
+    EmbeddingKey emb_key;
+    std::uint64_t design_key = 0;
+    std::uint32_t cache_flags = 0;
+    /// Stimulus for the encoder; only populated when needs_encode.
+    sim::ToggleTrace toggles;
+    /// Embedding-cache miss: the job participates in phase B's fused
+    /// encode (or the solo encode on the reference path).
+    bool needs_encode = false;
+    std::chrono::steady_clock::time_point handler_start{};
+    /// The request's trace context (minted root if the client sent none
+    /// and tracing is on), installed around every phase that touches this
+    /// job so its spans group per request across pool threads.
+    obs::TraceContext ctx;
+    /// Early terminal reply (validation error, deadline, cache race loss
+    /// that cannot recover). When set, the job skips encode and finish.
+    std::optional<std::pair<MsgType, std::string>> reply;
+  };
+
   void accept_loop(util::Listener* listener);
   void connection_loop(Connection* conn);
   void reap_finished_connections();
 
   void dispatcher_loop();
+  /// Fused execution of one dispatcher batch: phase A fans per-job prework
+  /// out on the pool (prepare_predict under the job's trace scope), phase
+  /// B runs ONE AtlasModel::encode_batch per distinct model over all jobs
+  /// that missed the embedding cache (dispatcher thread; the pool threads
+  /// parallelize inside the fused kernels), phase C fans per-job heads +
+  /// serialization + promise fulfillment back out on the pool. Scratch for
+  /// the fused kernels is borrowed from arena_pool_.
+  void run_batch_fused(std::vector<std::shared_ptr<PendingJob>>& batch);
+  /// Phase C worker: finish one prepared job and fulfill its promise.
+  /// Same never-throws / always-answers contract as process_job.
+  void complete_fused_job(PendingJob& job, PredictPrep& prep) noexcept;
   /// Run one job and fulfill its promise. Never throws and never leaves the
   /// promise unfulfilled: the connection thread blocked in submit_and_wait
   /// must always get a reply (kInternal at worst), or it would hang /
@@ -220,6 +287,21 @@ class Server {
   /// has already installed the request's TraceContextScope.
   std::pair<MsgType, std::string> handle_predict(PendingJob& job);
 
+  /// First half of the predict pipeline: stamps the batch_wait/queue
+  /// timing phases, pins the registry entry, validates the workload,
+  /// resolves the design (cache or parse) and probes the embedding cache.
+  /// On a miss it resolves/simulates the toggle trace into prep.toggles
+  /// and sets prep.needs_encode; any terminal failure lands in prep.reply.
+  /// Emits the per-request "handle_predict" span (the caller must have
+  /// installed the job's trace scope). Fills job.timing phases up to the
+  /// encoder.
+  void prepare_predict(PendingJob& job, PredictPrep& prep);
+  /// Second half: GBDT heads over the embeddings (arena-backed scratch
+  /// from arena_pool_), response assembly, serialization and the timing
+  /// tail. Requires prep.emb to be populated.
+  std::pair<MsgType, std::string> finish_predict(PendingJob& job,
+                                                 PredictPrep& prep);
+
   /// Emit the slow-request log line / counter for a finished job if it
   /// crossed config_.slow_ms.
   void maybe_log_slow(const PendingJob& job, bool is_error);
@@ -234,6 +316,10 @@ class Server {
   std::shared_ptr<ModelRegistry> registry_;
   FeatureCache cache_;
   ServerStats stats_;
+  /// Recycled bump-allocator scratch for the fused encode and the GBDT
+  /// heads: one arena borrowed per fused batch / per finish_predict call,
+  /// so steady-state serving does no scratch mallocs.
+  util::ArenaPool arena_pool_;
 
   util::Listener tcp_listener_;
   util::Listener unix_listener_;

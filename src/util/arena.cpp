@@ -1,0 +1,92 @@
+#include "util/arena.h"
+
+#include <cstdint>
+
+namespace atlas::util {
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  if (bytes == 0) bytes = 1;
+  // Try to bump within the current block, then scan forward through retained
+  // blocks (a recycled arena starts at block 0 with full capacity).
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t raw = base + offset_;
+    const std::uintptr_t aligned = (raw + (align - 1)) & ~std::uintptr_t(align - 1);
+    const std::size_t start = static_cast<std::size_t>(aligned - base);
+    if (start + bytes <= b.size) {
+      offset_ = start + bytes;
+      bytes_allocated_ += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+    ++current_;
+    offset_ = 0;
+  }
+  // No retained block fits: grow. Oversized requests get a dedicated block
+  // so one huge batch doesn't force every future block to that size.
+  const std::size_t want = bytes + align;
+  const std::size_t size = want > block_bytes_ ? want : block_bytes_;
+  Block b;
+  b.data = std::make_unique<std::uint8_t[]>(size);
+  b.size = size;
+  bytes_reserved_ += size;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  offset_ = 0;
+  Block& nb = blocks_[current_];
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(nb.data.get());
+  const std::uintptr_t aligned = (base + (align - 1)) & ~std::uintptr_t(align - 1);
+  offset_ = static_cast<std::size_t>(aligned - base) + bytes;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+ArenaHandle& ArenaHandle::operator=(ArenaHandle&& other) noexcept {
+  if (this != &other) {
+    if (pool_ && arena_) pool_->release(std::move(arena_));
+    pool_ = other.pool_;
+    arena_ = std::move(other.arena_);
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+ArenaHandle::~ArenaHandle() {
+  if (pool_ && arena_) pool_->release(std::move(arena_));
+}
+
+ArenaHandle ArenaPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<Arena> a = std::move(free_.back());
+      free_.pop_back();
+      return ArenaHandle(this, std::move(a));
+    }
+  }
+  created_.fetch_add(1);
+  return ArenaHandle(this, std::make_unique<Arena>(block_bytes_));
+}
+
+std::size_t ArenaPool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+void ArenaPool::release(std::unique_ptr<Arena> arena) {
+  arena->reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(arena));
+}
+
+}  // namespace atlas::util

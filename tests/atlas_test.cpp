@@ -10,6 +10,7 @@
 #include "atlas/preprocess.h"
 #include "atlas/pretrain.h"
 #include "netlist/verilog_io.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace atlas::core {
@@ -321,6 +322,102 @@ TEST_F(AtlasCoreTest, EncodeThenPredictFromEmbeddingsMatchesPredict) {
   wrong.graphs.pop_back();
   EXPECT_THROW(model.predict_from_embeddings(test_->gate, test_->gate_graphs, wrong),
                std::invalid_argument);
+}
+
+TEST_F(AtlasCoreTest, EncodeBatchBitIdenticalToEncode) {
+  // The serving dispatcher fuses a whole batch into one encode_batch call;
+  // every (design, workload) item must come out bit-identical to a solo
+  // encode() — at any thread count, any batch composition, and with a
+  // recycled arena. Two distinct designs and two workloads per design
+  // exercise mixed-shape batches.
+  PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  pcfg.cycles_per_graph = 1;
+  pcfg.dim = 16;
+  PretrainResult pre = pretrain_encoder({train_}, pcfg);
+  FinetuneConfig fcfg;
+  fcfg.gbdt.n_trees = 10;
+  fcfg.cycle_stride = 4;
+  GroupModels models = finetune_models({train_}, pre.encoder, fcfg);
+  const AtlasModel model(std::move(pre.encoder), std::move(models));
+
+  struct Item {
+    const DesignData* design;
+    const sim::ToggleTrace* trace;
+  };
+  std::vector<Item> inputs;
+  for (const DesignData* d : {test_, train_}) {
+    for (const auto& wl : d->workloads) {
+      inputs.push_back(Item{d, &wl.gate_trace});
+      if (inputs.size() >= 4) break;
+    }
+  }
+  ASSERT_GE(inputs.size(), 2u);
+
+  std::vector<DesignEmbeddings> solo;
+  for (const Item& it : inputs) {
+    solo.push_back(
+        model.encode(it.design->gate, it.design->gate_graphs, *it.trace));
+  }
+
+  const auto expect_same = [&](const DesignEmbeddings& a,
+                               const DesignEmbeddings& b, std::size_t idx) {
+    ASSERT_EQ(a.num_cycles, b.num_cycles) << "item " << idx;
+    ASSERT_EQ(a.graphs.size(), b.graphs.size()) << "item " << idx;
+    for (std::size_t g = 0; g < a.graphs.size(); ++g) {
+      ASSERT_EQ(a.graphs[g].emb.size(), b.graphs[g].emb.size());
+      for (std::size_t i = 0; i < a.graphs[g].emb.size(); ++i) {
+        ASSERT_EQ(a.graphs[g].emb.data()[i], b.graphs[g].emb.data()[i])
+            << "item " << idx << " graph " << g << " entry " << i;
+      }
+      ASSERT_EQ(a.graphs[g].extras.size(), b.graphs[g].extras.size());
+      EXPECT_EQ(a.graphs[g].st.n_comb, b.graphs[g].st.n_comb);
+      EXPECT_EQ(a.graphs[g].st.n_reg, b.graphs[g].st.n_reg);
+    }
+  };
+
+  util::Arena arena;
+  for (const int threads : {1, 4}) {
+    util::set_global_threads(threads);
+    // Full batch, then a permuted sub-batch: composition must not matter.
+    std::vector<DesignEmbeddings> out(inputs.size());
+    std::vector<AtlasModel::EncodeItem> items;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      items.push_back(AtlasModel::EncodeItem{
+          &inputs[i].design->gate, &inputs[i].design->gate_graphs,
+          inputs[i].trace, &out[i]});
+    }
+    model.encode_batch(items.data(), items.size(), arena);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      expect_same(out[i], solo[i], i);
+    }
+
+    arena.reset();  // recycled scratch must not change results
+    const std::size_t last = inputs.size() - 1;
+    DesignEmbeddings single;
+    AtlasModel::EncodeItem one{&inputs[last].design->gate,
+                               &inputs[last].design->gate_graphs,
+                               inputs[last].trace, &single};
+    model.encode_batch(&one, 1, arena);
+    expect_same(single, solo[last], last);
+    arena.reset();
+  }
+  util::set_global_threads(0);
+
+  // The fused embeddings drive the heads to the same bits as the
+  // monolithic path — the end-to-end identity the serve tier pins.
+  const Prediction direct = model.predict(
+      inputs[0].design->gate, inputs[0].design->gate_graphs, *inputs[0].trace);
+  util::Arena head_arena;
+  const Prediction via_batch = model.predict_from_embeddings(
+      inputs[0].design->gate, inputs[0].design->gate_graphs, solo[0],
+      &head_arena);
+  ASSERT_EQ(via_batch.num_cycles, direct.num_cycles);
+  for (int c = 0; c < direct.num_cycles; ++c) {
+    EXPECT_EQ(via_batch.at(c).comb, direct.at(c).comb);
+    EXPECT_EQ(via_batch.at(c).clock, direct.at(c).clock);
+    EXPECT_EQ(via_batch.at(c).reg, direct.at(c).reg);
+  }
 }
 
 TEST_F(AtlasCoreTest, MemoryModelAccurate) {

@@ -23,11 +23,18 @@
 #include <string>
 #include <vector>
 
+#include "atlas/finetune.h"
+#include "atlas/model.h"
+#include "atlas/preprocess.h"
+#include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
+#include "graph/submodule_graph.h"
 #include "layout/layout_flow.h"
 #include "liberty/library.h"
 #include "power/power_analyzer.h"
 #include "sim/simulator.h"
+#include "util/arena.h"
+#include "util/parallel.h"
 
 #ifndef ATLAS_SOURCE_DIR
 #error "ATLAS_SOURCE_DIR must point at the repository root"
@@ -120,6 +127,72 @@ TEST(GoldenFig5Test, C2PerCyclePowerMatchesCommittedCsv) {
 
 TEST(GoldenFig5Test, C4PerCyclePowerMatchesCommittedCsv) {
   check_design(4, "fig5_C4_W1.csv");
+}
+
+/// The fused batched inference path (encode_batch + predict_from_embeddings,
+/// the serving dispatcher's hot path) must be bit-identical to the
+/// request-at-a-time predict() on the exact golden fig5 pipeline: design C2
+/// at the bench's default scale under W1 over 300 cycles. This ties the
+/// serve-path property suite to the same deterministic inputs the committed
+/// CSVs pin, so a fused-kernel numerics drift fails alongside the golden
+/// columns instead of only in small synthetic tests.
+TEST(GoldenFig5Test, FusedBatchedPredictionBitIdenticalOnGoldenC2) {
+  struct ThreadCountGuard {
+    ~ThreadCountGuard() { util::set_global_threads(0); }
+  } guard;
+
+  // A small trained model (same recipe as the atlas unit suite) — the test
+  // pins fused-vs-solo identity, not prediction quality.
+  const liberty::Library lib = liberty::make_default_library();
+  core::PreprocessConfig pcfg_data;
+  pcfg_data.cycles = 40;
+  const core::DesignData train = core::prepare_design(
+      designgen::paper_design_spec(1, 0.0025), lib, pcfg_data);
+  core::PretrainConfig pcfg;
+  pcfg.epochs = 1;
+  pcfg.cycles_per_graph = 1;
+  pcfg.dim = 16;
+  core::PretrainResult pre = core::pretrain_encoder({&train}, pcfg);
+  core::FinetuneConfig fcfg;
+  fcfg.gbdt.n_trees = 10;
+  fcfg.cycle_stride = 4;
+  core::GroupModels models = core::finetune_models({&train}, pre.encoder, fcfg);
+  const core::AtlasModel model(std::move(pre.encoder), std::move(models));
+
+  // The golden pipeline's gate-level inputs: C2 at bench defaults, W1.
+  const netlist::Netlist gate = designgen::generate_design(
+      designgen::paper_design_spec(2, kScale), lib);
+  const std::vector<graph::SubmoduleGraph> graphs =
+      graph::build_submodule_graphs(gate);
+  sim::CycleSimulator sim_gate(gate);
+  sim::StimulusGenerator stim_gate(gate, sim::make_w1());
+  const sim::ToggleTrace trace = sim_gate.run(stim_gate, kCycles);
+
+  const core::Prediction ref = model.predict(gate, graphs, trace);
+  ASSERT_EQ(ref.num_cycles, kCycles);
+
+  for (const unsigned threads : {1u, 8u}) {
+    util::set_global_threads(threads);
+    core::DesignEmbeddings emb;
+    core::AtlasModel::EncodeItem item;
+    item.gate = &gate;
+    item.graphs = &graphs;
+    item.trace = &trace;
+    item.out = &emb;
+    util::Arena arena;
+    model.encode_batch(&item, 1, arena);
+    const core::Prediction fused =
+        model.predict_from_embeddings(gate, graphs, emb, &arena);
+    ASSERT_EQ(fused.num_cycles, ref.num_cycles);
+    ASSERT_EQ(fused.num_submodules, ref.num_submodules);
+    for (int c = 0; c < ref.num_cycles; ++c) {
+      const power::GroupPower& a = ref.at(c);
+      const power::GroupPower& b = fused.at(c);
+      ASSERT_EQ(a.comb, b.comb) << "threads=" << threads << " cycle=" << c;
+      ASSERT_EQ(a.clock, b.clock) << "threads=" << threads << " cycle=" << c;
+      ASSERT_EQ(a.reg, b.reg) << "threads=" << threads << " cycle=" << c;
+    }
+  }
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "ml/adam.h"
@@ -9,6 +10,8 @@
 #include "ml/matrix.h"
 #include "ml/mlp.h"
 #include "ml/sgformer.h"
+#include "util/arena.h"
+#include "util/parallel.h"
 
 namespace atlas::ml {
 namespace {
@@ -62,6 +65,29 @@ TEST(MatrixTest, TransposedProductsAgree) {
       EXPECT_NEAR(nt.at(i, j), expect, 1e-4);
     }
   }
+}
+
+TEST(MatrixTest, ParallelMatmulBitIdenticalToSerial) {
+  // matmul_parallel chunks rows across the pool; each output row depends
+  // only on its input row, so the result must be bit-identical to the
+  // serial matmul at every thread count and grain.
+  util::Rng rng(11);
+  const Matrix a = Matrix::randn(93, 17, rng, 1.0f);
+  const Matrix b = Matrix::randn(17, 29, rng, 1.0f);
+  const Matrix serial = matmul(a, b);
+  for (const int threads : {1, 4}) {
+    util::set_global_threads(threads);
+    for (const std::size_t grain : {1u, 8u, 64u, 1024u}) {
+      const Matrix par = matmul_parallel(a, b, grain);
+      ASSERT_EQ(par.rows(), serial.rows());
+      ASSERT_EQ(par.cols(), serial.cols());
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(par.data()[i], serial.data()[i])
+            << "threads=" << threads << " grain=" << grain << " i=" << i;
+      }
+    }
+  }
+  util::set_global_threads(0);
 }
 
 TEST(MatrixTest, ShapeMismatchThrows) {
@@ -407,6 +433,88 @@ TEST_F(SgFormerTest, SerializationRoundTrip) {
   }
 }
 
+TEST_F(SgFormerTest, FusedForwardBitIdenticalToForward) {
+  // The batched-serving kernel: several graphs of different sizes and
+  // topologies packed into one forward_fused call must reproduce each
+  // graph's forward() embedding bit for bit, at every thread count (the
+  // serve-path determinism contract rests on this).
+  SgFormer enc(cfg_);
+  util::Rng rng(91);
+  const std::vector<std::size_t> sizes = {4, 2, 5, 1};
+  const std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      edge_sets = {edges_, {{0, 1}}, {{0, 1}, {1, 2}, {2, 4}, {3, 4}, {0, 4}},
+                   {}};
+  std::vector<Matrix> feats;
+  std::size_t total = 0;
+  for (const std::size_t n : sizes) {
+    feats.push_back(Matrix::randn(n, 6, rng, 1.0f));
+    total += n;
+  }
+
+  std::vector<Matrix> ref;
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    GraphView v;
+    v.num_nodes = sizes[g];
+    v.feat_dim = 6;
+    v.features = feats[g].data();
+    v.edges = &edge_sets[g];
+    ref.push_back(enc.forward(v).graph_emb);
+  }
+
+  std::vector<SgFormer::NormAdjacency> adjs;
+  adjs.reserve(sizes.size());
+  std::vector<SgFormer::Segment> segs;
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    adjs.push_back(SgFormer::build_norm_adjacency(sizes[g], &edge_sets[g]));
+  }
+  for (std::size_t g = 0; g < sizes.size(); ++g) {
+    segs.push_back(SgFormer::Segment{sizes[g], &adjs[g]});
+  }
+  Matrix packed(total, 6);
+  float* dst = packed.data();
+  for (const Matrix& f : feats) {
+    std::copy(f.data(), f.data() + f.size(), dst);
+    dst += f.size();
+  }
+
+  for (const int threads : {1, 3, 8}) {
+    util::set_global_threads(threads);
+    util::Arena arena;
+    std::vector<float> out(sizes.size() * 8, -1.0f);
+    enc.forward_fused(segs.data(), segs.size(), packed.data(), out.data(),
+                      arena);
+    for (std::size_t g = 0; g < sizes.size(); ++g) {
+      for (std::size_t j = 0; j < 8; ++j) {
+        EXPECT_EQ(out[g * 8 + j], ref[g].at(0, j))
+            << "threads=" << threads << " graph=" << g << " dim=" << j;
+      }
+    }
+    // A recycled arena (reset, then reused) must not change results.
+    arena.reset();
+    std::vector<float> again(sizes.size() * 8, -2.0f);
+    enc.forward_fused(segs.data(), segs.size(), packed.data(), again.data(),
+                      arena);
+    EXPECT_EQ(again, out) << "threads=" << threads;
+  }
+  util::set_global_threads(0);
+}
+
+TEST_F(SgFormerTest, BuildNormAdjacencyMatchesForward) {
+  // forward() now consumes the shared adjacency builder; a graph forwarded
+  // through two independently built SgFormers with the same seed stays
+  // deterministic (guards the extraction refactor).
+  SgFormer a(cfg_), b(cfg_);
+  const auto oa = a.forward(view());
+  const auto ob = b.forward(view());
+  for (std::size_t i = 0; i < oa.graph_emb.size(); ++i) {
+    EXPECT_EQ(oa.graph_emb.data()[i], ob.graph_emb.data()[i]);
+  }
+  // Self-loops plus both directions of every edge, weights positive.
+  const auto adj = SgFormer::build_norm_adjacency(4, &edges_);
+  EXPECT_EQ(adj.edges.size(), 4 + 2 * edges_.size());
+  for (const float w : adj.weights) EXPECT_GT(w, 0.0f);
+}
+
 TEST_F(SgFormerTest, RejectsBadInputs) {
   SgFormer enc(cfg_);
   GraphView empty;
@@ -458,6 +566,52 @@ TEST(GbdtTest, FitsNonlinearInteraction) {
   // Quantile binning leaves irreducible error near the step boundary; the
   // bar is "far below the target's std-dev of 5", not exact recovery.
   EXPECT_LT(model.training_rmse(x, y), 3.0);
+}
+
+TEST(GbdtTest, BatchedTraversalBitIdenticalToPredictRow) {
+  // The SoA forest traversal (predict_rows) must reproduce the pointer-
+  // chasing predict_row exactly: same trees, same accumulation order
+  // (base + tree 0 + tree 1 + ...), so every double is bit-identical —
+  // including on NaN features, which fail every comparison and go right
+  // in both layouts.
+  util::Rng rng(47);
+  const std::size_t n = 400;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      x.at(i, j) = static_cast<float>(rng.next_double(-2, 2));
+    }
+    y[i] = std::sin(x.at(i, 0)) + 0.5 * x.at(i, 1) * x.at(i, 2);
+  }
+  GbdtConfig cfg;
+  cfg.n_trees = 30;
+  GbdtRegressor model(cfg);
+  model.fit(x, y);
+
+  // Queries include NaN rows and out-of-distribution values.
+  Matrix q(64, 3);
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      q.at(i, j) = static_cast<float>(rng.next_double(-4, 4));
+    }
+  }
+  q.at(5, 1) = std::numeric_limits<float>::quiet_NaN();
+  q.at(17, 0) = std::numeric_limits<float>::quiet_NaN();
+
+  std::vector<double> batched(q.rows());
+  model.predict_rows(q.data(), q.rows(), q.cols(), batched.data());
+  for (const int threads : {1, 4}) {
+    util::set_global_threads(threads);
+    const std::vector<double> via_predict = model.predict(q);
+    for (std::size_t i = 0; i < q.rows(); ++i) {
+      const double serial = model.predict_row(q.row(i));
+      EXPECT_EQ(batched[i], serial) << "row " << i;
+      EXPECT_EQ(via_predict[i], serial) << "row " << i << " threads "
+                                        << threads;
+    }
+  }
+  util::set_global_threads(0);
 }
 
 TEST(GbdtTest, ConstantTargetPredictsConstant) {

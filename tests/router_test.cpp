@@ -716,6 +716,56 @@ TEST(FleetObs, MergePrometheusInjectsShardLabelsAndRegroupsFamilies) {
   EXPECT_LT(merged.find("lat_us_count{shard=\"s2\"} 5"), req);
 }
 
+TEST(FleetObs, MergePrometheusAsymmetricFleetEmitsOneTypePerSampleName) {
+  // Regression: shard s1 exports the lat_us histogram, shard s2 does not
+  // have it but exports a standalone counter whose name collides with the
+  // histogram's _count sub-series. Grouping each shard independently used
+  // to emit two # TYPE headers covering the `lat_us_count` sample name —
+  // an invalid exposition. The standalone family must fold into the
+  // histogram block instead.
+  const std::string s1 =
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{le=\"64\"} 2\n"
+      "lat_us_sum 100\n"
+      "lat_us_count 2\n";
+  const std::string s2 =
+      "# TYPE lat_us_count counter\n"
+      "lat_us_count 7\n"
+      "# TYPE up gauge\n"
+      "up 1\n";
+  auto count = [](const std::string& hay, const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + 1)) {
+      ++n;
+    }
+    return n;
+  };
+
+  // Both shard orders: the histogram may be parsed before or after the
+  // colliding standalone family, the fold must be order-independent.
+  for (const auto& shards :
+       {std::vector<std::pair<std::string, std::string>>{{"s1", s1},
+                                                         {"s2", s2}},
+        std::vector<std::pair<std::string, std::string>>{{"s2", s2},
+                                                         {"s1", s1}}}) {
+    const std::string merged = merge_prometheus(shards);
+    EXPECT_EQ(count(merged, "# TYPE lat_us histogram"), 1u) << merged;
+    EXPECT_EQ(count(merged, "# TYPE lat_us_count"), 0u) << merged;
+    // Neither shard's samples are lost: both lat_us_count series survive
+    // under the one histogram header, inside the family's block.
+    EXPECT_NE(merged.find("lat_us_count{shard=\"s1\"} 2"), std::string::npos)
+        << merged;
+    EXPECT_NE(merged.find("lat_us_count{shard=\"s2\"} 7"), std::string::npos)
+        << merged;
+    const std::size_t hist = merged.find("# TYPE lat_us histogram");
+    const std::size_t up = merged.find("# TYPE up gauge");
+    ASSERT_NE(up, std::string::npos);
+    EXPECT_LT(hist, merged.find("lat_us_count{shard=\"s2\"} 7"));
+    EXPECT_LT(merged.find("lat_us_count{shard=\"s2\"} 7"), up);
+  }
+}
+
 /// Restores the global tracer to its default-off state no matter how the
 /// test exits (the ring is process-global).
 struct TraceGuard {

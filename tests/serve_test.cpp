@@ -35,7 +35,9 @@
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
 #include "sim/vcd.h"
+#include "util/arena.h"
 #include "util/hash.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 
 namespace atlas::serve {
@@ -1542,6 +1544,38 @@ TEST_F(ServeTest, FeatureCacheCountsDroppedEmbeddings) {
             std::string::npos);
 }
 
+TEST_F(ServeTest, FeatureCacheInsertReturnsWinningEntry) {
+  // Two requests race on the same cold key: both compute, both insert. The
+  // first insert wins; the loser must get the winner's pointer back (so it
+  // serves exactly what the cache retained), and on the eviction race the
+  // caller must get its own computed embeddings back instead of nothing.
+  FeatureCache cache(/*max_designs=*/2, /*max_embeddings_per_design=*/8);
+  auto d1 = dummy_design(*lib_);
+  auto d2 = dummy_design(*lib_);
+  EXPECT_EQ(cache.put_design(1, d1), d1);  // normal insert: caller wins
+  EXPECT_EQ(cache.put_design(1, d2), d1);  // racer loses: winner returned
+  EXPECT_EQ(cache.find_design(1), d1);
+
+  auto e1 = embeddings_of_rows(16);
+  auto e2 = embeddings_of_rows(16);
+  EXPECT_EQ(cache.put_embeddings(1, {"m", "w1", 10}, e1), e1);
+  const std::size_t bytes_after_first = cache.embedding_bytes();
+  // Losing racer: existing entry returned, byte accounting unchanged (the
+  // duplicate is discarded, not double-counted).
+  EXPECT_EQ(cache.put_embeddings(1, {"m", "w1", 10}, e2), e1);
+  EXPECT_EQ(cache.embedding_bytes(), bytes_after_first);
+  EXPECT_EQ(cache.find_embeddings(1, {"m", "w1", 10}), e1);
+
+  // Eviction race: the design entry is gone by insert time. The drop is
+  // counted, but the caller still gets its computed embeddings to serve.
+  cache.put_design(2, d2);
+  cache.put_design(3, d1);  // evicts design 1 (capacity 2)
+  ASSERT_EQ(cache.find_design(1), nullptr);
+  auto e3 = embeddings_of_rows(16);
+  EXPECT_EQ(cache.put_embeddings(1, {"m", "w1", 10}, e3), e3);
+  EXPECT_EQ(cache.stats().embedding_drops, 1u);
+}
+
 TEST_F(ServeTest, LatencyHistogramPercentiles) {
   // The serve-local LatencyHistogram was replaced by obs::Histogram; the
   // stats endpoint's percentile semantics must stay unchanged.
@@ -1656,6 +1690,7 @@ TEST_F(ServeTest, ServerTimingTailRoundTrip) {
   resp.num_cycles = 3;
   resp.design = {{1.0, 2.0, 3.0, 0.0}};
   resp.has_timing = true;
+  resp.timing.batch_wait_us = 7;
   resp.timing.queue_us = 11;
   resp.timing.cache_us = 22;
   resp.timing.encode_us = 33;
@@ -1665,6 +1700,7 @@ TEST_F(ServeTest, ServerTimingTailRoundTrip) {
 
   const PredictResponse rt = PredictResponse::decode(resp.encode());
   ASSERT_TRUE(rt.has_timing);
+  EXPECT_EQ(rt.timing.batch_wait_us, 7u);
   EXPECT_EQ(rt.timing.queue_us, 11u);
   EXPECT_EQ(rt.timing.cache_us, 22u);
   EXPECT_EQ(rt.timing.encode_us, 33u);
@@ -1683,6 +1719,20 @@ TEST_F(ServeTest, ServerTimingTailRoundTrip) {
 
   // And a tail-less response decodes with has_timing false.
   EXPECT_FALSE(PredictResponse::decode(base.encode()).has_timing);
+
+  // Back compat: a v2 tail from an older server (no batch_wait field)
+  // still decodes; the missing phase reads as zero.
+  std::ostringstream v2(std::ios::binary);
+  util::write_u32(v2, kTraceExtVersion);
+  for (const std::uint64_t v : {11ull, 22ull, 33ull, 44ull, 55ull, 200ull}) {
+    util::write_u64(v2, v);
+  }
+  const PredictResponse old =
+      PredictResponse::decode(base.encode() + std::move(v2).str());
+  ASSERT_TRUE(old.has_timing);
+  EXPECT_EQ(old.timing.batch_wait_us, 0u);
+  EXPECT_EQ(old.timing.queue_us, 11u);
+  EXPECT_EQ(old.timing.total_us, 200u);
 }
 
 TEST_F(ServeTest, PredictUnderTracingLinksClientAndServerSpans) {
@@ -1751,14 +1801,131 @@ TEST_F(ServeTest, WantTimingReturnsPerPhaseBreakdown) {
   EXPECT_GT(resp.timing.total_us, 0u);
   EXPECT_GT(resp.timing.encode_us, 0u);  // cold request: parse + sim + encode
   // Phases are disjoint slices of the total.
-  EXPECT_LE(resp.timing.queue_us + resp.timing.cache_us +
-                resp.timing.encode_us + resp.timing.predict_us +
-                resp.timing.serialize_us,
+  EXPECT_LE(resp.timing.batch_wait_us + resp.timing.queue_us +
+                resp.timing.cache_us + resp.timing.encode_us +
+                resp.timing.predict_us + resp.timing.serialize_us,
             resp.timing.total_us);
 
   // Without the flag the tail is absent.
   EXPECT_FALSE(client.predict(make_request()).has_timing);
   server.stop();
+}
+
+TEST_F(ServeTest, TimingPhasesSumToTotalWithBatchWaitSplit) {
+  // Regression: batch_wait_us used to be folded into queue_us, so the
+  // phases double-counted the pre-dispatch interval and could exceed
+  // total_us. The split must hold on both execution paths, and the
+  // dispatch-delay hook (which runs *after* the batch is formed) must land
+  // in queue_us, not batch_wait_us.
+  for (const bool fused : {true, false}) {
+    ServerConfig cfg = loopback_config();
+    cfg.fused_batching = fused;
+    cfg.dispatch_delay_for_test_ms = 20;
+    Server server(cfg, make_registry());
+    server.start();
+    Client client = Client::connect_tcp("127.0.0.1", server.port());
+
+    PredictRequest req = make_request();
+    req.ext.want_timing = true;
+    const PredictResponse resp = client.predict(req);
+    server.stop();
+
+    ASSERT_TRUE(resp.has_timing) << "fused=" << fused;
+    EXPECT_LE(resp.timing.batch_wait_us + resp.timing.queue_us +
+                  resp.timing.cache_us + resp.timing.encode_us +
+                  resp.timing.predict_us + resp.timing.serialize_us,
+              resp.timing.total_us)
+        << "fused=" << fused;
+    // The 20ms dispatch delay is queue time (batch formed, not yet
+    // running); batch wait only covers enqueue -> batch formation, which
+    // is microseconds on an idle server.
+    EXPECT_GE(resp.timing.queue_us, 20'000u) << "fused=" << fused;
+    EXPECT_LT(resp.timing.batch_wait_us, 20'000u) << "fused=" << fused;
+  }
+}
+
+/// Restores the global pool size no matter how a test exits.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { util::set_global_threads(0); }
+};
+
+TEST_F(ServeTest, FusedBatchingBitIdenticalAcrossBatchSizesAndThreads) {
+  // The tentpole invariant: the fused batched path produces bit-identical
+  // results to a direct AtlasModel::predict at ANY thread count and ANY
+  // batch composition, cold or warm cache. Pseudo-random volley sizes
+  // straddle batch_max so batches of 1..8 all occur; concurrent identical
+  // requests inside one volley also race the cache inserts, exercising the
+  // winner-return path end to end. The reference (request-at-a-time) path
+  // runs the same volleys and must match the same direct predictions —
+  // making fused and unfused transitively bit-identical.
+  const core::Prediction expected_w2 = direct_predict("w2");
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  const auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  ThreadCountGuard guard;
+  for (const int threads : {1, 3, 8}) {
+    util::set_global_threads(threads);
+    for (const bool fused : {true, false}) {
+      ServerConfig cfg = loopback_config();
+      cfg.fused_batching = fused;
+      Server server(cfg, make_registry());
+      server.start();
+      // Round 0 is a cold cache (fresh server); later rounds are warm.
+      for (int round = 0; round < 3; ++round) {
+        const std::size_t n = 1 + next() % 12;
+        std::vector<std::string> workloads(n);
+        for (std::string& w : workloads) w = (next() & 1) ? "w2" : "w1";
+        std::vector<PredictResponse> resp(n);
+        std::vector<std::thread> senders;
+        senders.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          senders.emplace_back([&, i] {
+            Client c = Client::connect_tcp("127.0.0.1", server.port());
+            resp[i] = c.predict(make_request(workloads[i]));
+          });
+        }
+        for (std::thread& t : senders) t.join();
+        for (std::size_t i = 0; i < n; ++i) {
+          const core::Prediction& expected =
+              workloads[i] == "w2" ? expected_w2 : *expected_w1_;
+          ASSERT_EQ(resp[i].design.size(), expected.design.size())
+              << "threads=" << threads << " fused=" << fused
+              << " round=" << round << " i=" << i;
+          EXPECT_TRUE(same_bits(resp[i].design, expected.design))
+              << "threads=" << threads << " fused=" << fused
+              << " round=" << round << " i=" << i << " w=" << workloads[i];
+          EXPECT_TRUE(same_bits(resp[i].submodule, expected.submodule))
+              << "threads=" << threads << " fused=" << fused
+              << " round=" << round << " i=" << i << " w=" << workloads[i];
+        }
+      }
+      server.stop();
+    }
+  }
+}
+
+TEST_F(ServeTest, ArenaPoolRecyclesAcrossBatches) {
+  // Steady-state serving must stop constructing arenas once the pool has
+  // warmed up: a second identical volley reuses the arenas the first one
+  // created (the pool grows only under *new* peak concurrency).
+  Server server(loopback_config(), make_registry());
+  server.start();
+  const auto volley = [&] {
+    std::vector<std::thread> senders;
+    for (int i = 0; i < 4; ++i) {
+      senders.emplace_back([&] {
+        Client c = Client::connect_tcp("127.0.0.1", server.port());
+        c.predict(make_request());
+      });
+    }
+    for (std::thread& t : senders) t.join();
+  };
+  volley();
+  volley();  // warm cache: heads-only, arenas recycled
+  server.stop();
+  SUCCEED();  // recycling itself is pinned by the ArenaPool unit tests
 }
 
 TEST_F(ServeTest, SlowRequestLogEmitsBreakdownAndCountsEveryRequest) {
