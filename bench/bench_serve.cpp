@@ -25,7 +25,9 @@
 // the feature cache exists to delete the per-design preprocessing and
 // encoder forwards from repeat queries.
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -35,6 +37,7 @@
 #include "atlas/pretrain.h"
 #include "designgen/design_generator.h"
 #include "netlist/verilog_io.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "router/router.h"
 #include "sim/delta_trace.h"
@@ -77,6 +80,9 @@ int main(int argc, char** argv) {
       .flag("threads", "0", "worker threads (0 = hardware concurrency)")
       .flag("router", "false",
             "also bench through atlas_router over a 2-backend fleet")
+      .flag("skew", "false",
+            "skewed volley (~70% of traffic on one design) through a "
+            "3-backend router fleet, replicas=1 vs replicas=2")
       .flag("smoke", "false",
             "CI smoke: reduced sample counts, same end-to-end coverage");
   try {
@@ -444,6 +450,144 @@ int main(int argc, char** argv) {
       rtr.stop();
       shard_a.stop();
       shard_b.stop();
+    }
+
+    // --- skewed workload: hot-design replication on vs off -----------------
+    if (cli.boolean("skew")) {
+      // The load-aware-routing acceptance volley: 3 shards, ~70% of the
+      // traffic on ONE design, 4 concurrent clients. replicas=1 parks every
+      // hot request on the design's single owner; replicas=2 lets the
+      // queue-depth policy spread the hot key over its chain prefix. The
+      // interesting numbers are the warm p99 (head-of-line blocking on the
+      // owner) and the per-shard request spread.
+      const int skew_clients = 4;
+      const int volley = smoke ? 48 : 240;
+      const int skew_per_client = volley / skew_clients;
+      const std::string hot = verilog + "\n// skew-hot\n";
+      std::vector<std::string> cold;
+      for (int i = 0; i < 6; ++i) {
+        cold.push_back(verilog + "\n// skew-cold-" + std::to_string(i) + "\n");
+      }
+      struct SkewResult {
+        double p50_ms = 0, p99_ms = 0, rps = 0;
+        std::vector<std::uint64_t> per_shard;
+      };
+      auto shard_requests = [](const std::string& id) {
+        return obs::Registry::global()
+            .counter("atlas_router_requests_total", "backend=\"" + id + "\"")
+            .value();
+      };
+      // Simulated per-request service time: warm predicts on the tiny bench
+      // design finish in microseconds, so on a one-core host the volley
+      // would measure scheduler noise, not queueing. A 2 ms handler sleep
+      // makes service time dominate — and because sleeps overlap across
+      // shards, replication buys real parallel capacity like it does on a
+      // multi-core fleet.
+      serve::ServerConfig skew_cfg = scfg;
+      skew_cfg.handler_delay_for_test_ms = 2;
+      auto run_volley = [&](std::size_t replicas) {
+        std::vector<std::unique_ptr<serve::Server>> shards;
+        std::vector<std::string> ids;
+        std::string csv;
+        for (int i = 0; i < 3; ++i) {
+          shards.push_back(std::make_unique<serve::Server>(skew_cfg, registry));
+          shards.back()->start();
+          ids.push_back("127.0.0.1:" + std::to_string(shards.back()->port()));
+          csv += (i ? "," : "") + ids.back();
+        }
+        atlas::router::RouterConfig rcfg;
+        rcfg.port = 0;
+        rcfg.routing.replicas = replicas;
+        // Replicate only the genuinely hot design: with the default top-k
+        // the cold variants also cross hot_min_requests mid-volley, and
+        // each fresh promotion makes its replica pay one cold encode
+        // inside the timed window (promotion churn, not steady state).
+        rcfg.routing.hot_top_k = 1;
+        rcfg.routing.hot_min_requests = 8;
+        atlas::router::Router rtr(rcfg, atlas::router::parse_backend_list(csv));
+        rtr.start();
+        {
+          // Warm-up: prime the caches and cross hot_min_requests so the
+          // measured volley runs in the promoted steady state.
+          serve::Client wc =
+              serve::Client::connect_tcp("127.0.0.1", rtr.port());
+          for (int i = 0; i < 10; ++i) {
+            wc.predict(make_request(hot, cycles, "w1"));
+          }
+          for (const std::string& v : cold) {
+            wc.predict(make_request(v, cycles, "w1"));
+          }
+          // A concurrent hot burst: ties route to the owner, so only
+          // in-flight load spills the hot key onto its replica — this burst
+          // warms the replica's caches before the clock starts.
+          std::vector<std::thread> burst;
+          for (int c = 0; c < skew_clients; ++c) {
+            burst.emplace_back([&] {
+              serve::Client bc =
+                  serve::Client::connect_tcp("127.0.0.1", rtr.port());
+              for (int i = 0; i < 4; ++i) {
+                bc.predict(make_request(hot, cycles, "w1"));
+              }
+            });
+          }
+          for (std::thread& th : burst) th.join();
+        }
+        std::vector<std::uint64_t> before;
+        for (const std::string& id : ids) before.push_back(shard_requests(id));
+        std::vector<std::vector<double>> lat(skew_clients);
+        std::vector<std::thread> threads;
+        util::Timer wall;
+        for (int c = 0; c < skew_clients; ++c) {
+          threads.emplace_back([&, c] {
+            serve::Client rc =
+                serve::Client::connect_tcp("127.0.0.1", rtr.port());
+            for (int r = 0; r < skew_per_client; ++r) {
+              const std::string& v = (r % 16) < 11
+                                         ? hot
+                                         : cold[static_cast<std::size_t>(
+                                                    c * skew_per_client + r) %
+                                                cold.size()];
+              util::Timer t;
+              rc.predict(make_request(v, cycles, "w1"));
+              lat[static_cast<std::size_t>(c)].push_back(t.seconds());
+            }
+          });
+        }
+        for (std::thread& th : threads) th.join();
+        const double secs = wall.seconds();
+        std::vector<double> all;
+        for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+        std::sort(all.begin(), all.end());
+        SkewResult out;
+        out.p50_ms = all[all.size() / 2] * 1e3;
+        out.p99_ms =
+            all[std::min(all.size() - 1,
+                         static_cast<std::size_t>(
+                             static_cast<double>(all.size()) * 0.99))] *
+            1e3;
+        out.rps = static_cast<double>(all.size()) / secs;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+          out.per_shard.push_back(shard_requests(ids[i]) - before[i]);
+        }
+        rtr.stop();
+        for (auto& s : shards) s->stop();
+        return out;
+      };
+      const SkewResult single = run_volley(1);
+      const SkewResult replicated = run_volley(2);
+      auto print_skew = [](const char* label, const SkewResult& r) {
+        std::printf("  %s  p50 %7.2f ms  p99 %7.2f ms  %8.1f req/s  "
+                    "shards %llu/%llu/%llu\n",
+                    label, r.p50_ms, r.p99_ms, r.rps,
+                    static_cast<unsigned long long>(r.per_shard[0]),
+                    static_cast<unsigned long long>(r.per_shard[1]),
+                    static_cast<unsigned long long>(r.per_shard[2]));
+      };
+      std::printf("\nskewed volley (3 backends, %d clients, ~70%% of %d "
+                  "requests on one design):\n",
+                  skew_clients, volley);
+      print_skew("replicas=1 (single owner)  ", single);
+      print_skew("replicas=2 (hot replicated)", replicated);
     }
 
     std::printf("\n%s", server.stats_text().c_str());

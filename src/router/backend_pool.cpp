@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 #include <stdexcept>
+#include <tuple>
 
 #include "obs/metrics.h"
 #include "serve/client.h"
@@ -90,8 +91,8 @@ const char* backend_state_name(BackendState state) {
 }
 
 BackendPool::BackendPool(std::vector<BackendAddress> backends,
-                         ProbeConfig config)
-    : config_(config), ring_(config.vnodes) {
+                         ProbeConfig config, RoutingConfig routing)
+    : config_(config), routing_(routing), ring_(config.vnodes) {
   const auto now = std::chrono::steady_clock::now();
   entries_.reserve(backends.size());
   for (BackendAddress& addr : backends) {
@@ -133,6 +134,95 @@ std::vector<std::string> BackendPool::route(std::uint64_t key) const {
   return ring_.preference(key, ring_.size());
 }
 
+std::vector<RouteCandidate> order_candidates(
+    std::vector<RouteCandidate> candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const RouteCandidate& a, const RouteCandidate& b) {
+              // A stale depth sorts as if 0 for the load term but after
+              // every fresh one — never preferred on the strength of a
+              // number that may describe a backend that no longer exists.
+              const auto rank = [](const RouteCandidate& c) {
+                return std::make_tuple(c.overloaded ? 1 : 0,
+                                       c.load_fresh ? 0 : 1,
+                                       c.load_fresh ? c.load : 0,
+                                       c.chain_pos);
+              };
+              return rank(a) < rank(b);
+            });
+  return candidates;
+}
+
+std::vector<std::string> BackendPool::route_load_aware(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hot_keys_.record(key);
+  std::vector<std::string> chain = ring_.preference(key, ring_.size());
+  const std::size_t eligible =
+      std::min<std::size_t>(routing_.replicas, chain.size());
+  if (eligible <= 1 ||
+      !hot_keys_.is_hot(key, routing_.hot_top_k, routing_.hot_min_requests)) {
+    return chain;
+  }
+  std::vector<RouteCandidate> candidates;
+  candidates.reserve(eligible);
+  for (std::size_t i = 0; i < eligible; ++i) {
+    RouteCandidate c;
+    c.id = chain[i];
+    c.chain_pos = i;
+    for (const Entry& e : entries_) {
+      if (e.address.id != c.id) continue;
+      c.load = e.load;
+      c.load_fresh = e.load_fresh && e.state == BackendState::kUp;
+      c.overloaded = e.overloaded;
+      break;
+    }
+    candidates.push_back(std::move(c));
+  }
+  candidates = order_candidates(std::move(candidates));
+  for (std::size_t i = 0; i < eligible; ++i) chain[i] = candidates[i].id;
+  return chain;
+}
+
+void BackendPool::note_load(const std::string& id, std::uint64_t load,
+                            bool wait_dominated) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.address.id != id) continue;
+    e.load = load;
+    e.load_fresh = true;
+    // An overload mark only persists while reports keep justifying it: a
+    // busy-but-computing shard (high load, compute-dominated) stays a
+    // normal candidate, and a drained one clears on its next reply.
+    e.overloaded =
+        wait_dominated && routing_.overload_load > 0 &&
+        load >= routing_.overload_load;
+    publish_gauges();
+    return;
+  }
+}
+
+void BackendPool::note_overloaded(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.address.id != id) continue;
+    e.overloaded = true;
+    obs::Registry::global()
+        .counter("atlas_router_backend_overloaded_total",
+                 quoted_backend_label(id))
+        .inc();
+    return;
+  }
+}
+
+std::size_t BackendPool::hot_keys_tracked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hot_keys_.tracked();
+}
+
+bool BackendPool::is_hot_key(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hot_keys_.is_hot(key, routing_.hot_top_k, routing_.hot_min_requests);
+}
+
 std::optional<BackendAddress> BackendPool::address(
     const std::string& id) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -155,6 +245,8 @@ void BackendPool::report_failure(const std::string& id) {
   for (Entry& e : entries_) {
     if (e.address.id != id) continue;
     e.state = BackendState::kDown;
+    // Whatever depth we knew described a connection that just died.
+    e.load_fresh = false;
     e.consecutive_failures = std::max(e.consecutive_failures,
                                       config_.fail_threshold);
     // Probe promptly: a data-path blip should not serve out a full backoff
@@ -194,6 +286,9 @@ std::vector<BackendStatus> BackendPool::snapshot() const {
     s.probes_failed = e.probes_failed;
     s.consecutive_failures = e.consecutive_failures;
     s.in_ring = ring_.contains(e.address.id);
+    s.load = e.load;
+    s.load_fresh = e.load_fresh;
+    s.overloaded = e.overloaded;
     out.push_back(std::move(s));
   }
   return out;
@@ -242,12 +337,25 @@ void BackendPool::probe_all_now() {
     targets.reserve(entries_.size());
     for (const Entry& e : entries_) targets.push_back(e.address);
   }
-  for (const BackendAddress& addr : targets) {
-    ProbeResult result = probe_backend(addr);
-    std::lock_guard<std::mutex> lock(mu_);
+  // Probe concurrently, then apply every result under one lock. The old
+  // sequential sweep made `health` — which refreshes the fleet view
+  // synchronously — block for a full connect timeout *per dead backend*,
+  // so one downed shard turned a monitoring request into a multi-second
+  // stall. One short-lived thread per backend bounds the sweep at a single
+  // probe timeout; probe_backend touches no shared state.
+  std::vector<ProbeResult> results(targets.size());
+  std::vector<std::thread> probes;
+  probes.reserve(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    probes.emplace_back(
+        [this, &targets, &results, i] { results[i] = probe_backend(targets[i]); });
+  }
+  for (std::thread& t : probes) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
     for (Entry& e : entries_) {
-      if (e.address.id == addr.id) {
-        apply_probe_result(e, result);
+      if (e.address.id == targets[i].id) {
+        apply_probe_result(e, results[i]);
         break;
       }
     }
@@ -330,6 +438,13 @@ void BackendPool::apply_probe_result(Entry& e, const ProbeResult& result) {
     e.consecutive_failures = 0;
     e.backoff_ms = 0;
     e.health = result.health;
+    // A probe is a weaker load signal than the data-path piggyback (it
+    // sees the dispatcher queue, not in-flight jobs) but it is *current*:
+    // refresh the depth, and clear any overload mark — a shard that just
+    // answered a probe promptly gets to be a candidate again.
+    e.load = result.health.queue_depth;
+    e.load_fresh = true;
+    e.overloaded = false;
     e.next_probe_at = now + std::chrono::milliseconds(config_.interval_ms);
     for (const serve::ModelInfo& m : result.models) {
       if (m.library_hash != 0) model_library_hash_[m.name] = m.library_hash;
@@ -350,6 +465,13 @@ void BackendPool::apply_probe_result(Entry& e, const ProbeResult& result) {
       .inc();
   ++e.probes_failed;
   ++e.consecutive_failures;
+  // The depth goes stale on the FIRST failed probe, not at fail_threshold:
+  // below the threshold the backend stays kUp (and in the ring), and the
+  // gauge used to keep publishing its last-good depth for the whole
+  // backoff ladder — a frozen number describing a backend that may be
+  // gone. publish_gauges() zeroes the gauge whenever the depth is stale,
+  // and the routing policy stops trusting the value at the same instant.
+  e.load_fresh = false;
   e.backoff_ms = e.backoff_ms == 0
                      ? config_.interval_ms
                      : std::min(e.backoff_ms * 2, config_.max_backoff_ms);
@@ -388,12 +510,13 @@ void BackendPool::publish_gauges() const {
     const std::string label = quoted_backend_label(e.address.id);
     registry.gauge("atlas_router_backend_up", label)
         .set(e.state == BackendState::kUp ? 1 : 0);
-    // The dispatcher queue depth the shard reported on its last successful
-    // probe; forced to 0 while the shard is not up so a stale depth never
-    // outlives the backend it described.
+    // The freshest queued + in-flight depth known for the shard; forced to
+    // 0 the moment the signal goes stale (first failed probe or data-path
+    // error) or the shard leaves kUp, so a stale depth never outlives the
+    // backend state it described.
     registry.gauge("atlas_router_backend_queue_depth", label)
-        .set(e.state == BackendState::kUp
-                 ? static_cast<std::int64_t>(e.health.queue_depth)
+        .set(e.state == BackendState::kUp && e.load_fresh
+                 ? static_cast<std::int64_t>(e.load)
                  : 0);
   }
 }

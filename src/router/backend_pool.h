@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "router/hash_ring.h"
+#include "router/hot_keys.h"
 #include "serve/protocol.h"
 
 namespace atlas::router {
@@ -76,6 +77,27 @@ struct ProbeConfig {
   std::size_t vnodes = 64;
 };
 
+/// Load-aware routing policy knobs (hot-key replication + overload
+/// avoidance). Replication widens placement for the hottest keys only:
+/// cold keys keep single-owner consistent hashing, so fleet-wide cache
+/// duplication stays bounded by `hot_top_k * (replicas - 1)` designs.
+struct RoutingConfig {
+  /// Replication factor for hot placement keys: the first `replicas`
+  /// distinct shards of the key's preference chain are all eligible
+  /// targets. 1 disables replication (pure consistent hashing).
+  std::size_t replicas = 1;
+  /// At most this many keys are treated as hot at once.
+  std::size_t hot_top_k = 8;
+  /// Decayed request count a key must accumulate before promotion —
+  /// guards against replicating (and thus cache-duplicating) keys that
+  /// merely lead a cold tracker.
+  std::uint64_t hot_min_requests = 16;
+  /// A fresh wait-dominated load report at/above this depth marks the
+  /// shard overloaded: eligible replicas rank behind every non-overloaded
+  /// one until a newer report clears it.
+  std::uint64_t overload_load = 8;
+};
+
 enum class BackendState { kUp, kDown, kDraining };
 const char* backend_state_name(BackendState state);
 
@@ -89,11 +111,40 @@ struct BackendStatus {
   std::uint64_t probes_failed = 0;
   int consecutive_failures = 0;
   bool in_ring = false;
+  /// Freshest known queued + in-flight depth (piggybacked on data-path
+  /// replies, refreshed by probes) and whether it is current — false from
+  /// the first failed probe or data-path error until the next signal.
+  std::uint64_t load = 0;
+  bool load_fresh = false;
+  /// Last load report was wait-dominated past RoutingConfig::overload_load
+  /// (or the shard answered kOverloaded).
+  bool overloaded = false;
 };
+
+/// One replica-eligible shard as the routing policy sees it.
+struct RouteCandidate {
+  std::string id;
+  /// Position in the key's preference chain (0 = owner).
+  std::size_t chain_pos = 0;
+  std::uint64_t load = 0;
+  bool load_fresh = false;
+  bool overloaded = false;
+};
+
+/// Deterministic selection order among eligible replicas: non-overloaded
+/// before overloaded, fresh depth before stale, lower fresh depth first,
+/// then chain position. The final tie-break is what keeps cache warmth
+/// stable — equal-load replicas always resolve to the earliest chain
+/// position (the owner), so an idle fleet routes exactly like single-owner
+/// consistent hashing instead of oscillating between replicas. Pure
+/// (sorts its argument, touches no pool state) so tests pin the order.
+std::vector<RouteCandidate> order_candidates(
+    std::vector<RouteCandidate> candidates);
 
 class BackendPool {
  public:
-  BackendPool(std::vector<BackendAddress> backends, ProbeConfig config);
+  BackendPool(std::vector<BackendAddress> backends, ProbeConfig config,
+              RoutingConfig routing = {});
   ~BackendPool();
 
   BackendPool(const BackendPool&) = delete;
@@ -107,6 +158,33 @@ class BackendPool {
   /// Failover preference chain for `key`: the owner shard first, then ring
   /// successors, live backends only. Empty when every backend is out.
   std::vector<std::string> route(std::uint64_t key) const;
+
+  /// Load-aware variant of route(): records `key` in the hot-key tracker,
+  /// and when the key is hot reorders the first min(replicas, chain)
+  /// entries by order_candidates() — freshest-lowest depth first, warmth-
+  /// stable ties — leaving the rest of the chain as failover candidates.
+  /// Cold keys (and replicas <= 1) return the plain preference chain, so
+  /// the replica set is always a prefix of the failover chain: promotion
+  /// only ever *adds* warm shards, and failing over from any replica lands
+  /// on another replica or the successor that would inherit the key's arc.
+  std::vector<std::string> route_load_aware(std::uint64_t key);
+
+  /// Ingest a data-path load report piggybacked on a reply from `id`:
+  /// request-fresh queued + in-flight depth, and whether the shard's time
+  /// is going to waiting rather than compute. Marks the depth fresh and
+  /// recomputes the overload flag against RoutingConfig::overload_load.
+  void note_load(const std::string& id, std::uint64_t load,
+                 bool wait_dominated);
+  /// Backend answered kOverloaded: rank it last among eligible replicas
+  /// until a newer load report or successful probe clears the mark. Unlike
+  /// report_failure this does NOT evict — the shard is healthy, just busy.
+  void note_overloaded(const std::string& id);
+
+  /// Hot-key tracker views (stats text and tests); is_hot_key does not
+  /// record, so probing it is free of routing side effects.
+  std::size_t hot_keys_tracked() const;
+  bool is_hot_key(std::uint64_t key) const;
+  const RoutingConfig& routing() const { return routing_; }
 
   std::optional<BackendAddress> address(const std::string& id) const;
 
@@ -137,8 +215,10 @@ class BackendPool {
   /// router overlays its own drain state).
   serve::HealthResponse aggregate_health() const;
 
-  /// Probe every backend once, synchronously (start() prelude; admin
-  /// fan-out calls it to refresh the model map after a load/unload).
+  /// Probe every backend once and wait for all results (start() prelude;
+  /// `health` and admin fan-out call it to refresh the fleet view). Probes
+  /// run concurrently — one thread per backend — so the wall-clock bound is
+  /// a single probe timeout, not timeout x dead backends.
   void probe_all_now();
 
  private:
@@ -151,6 +231,13 @@ class BackendPool {
     int consecutive_failures = 0;
     int backoff_ms = 0;
     std::chrono::steady_clock::time_point next_probe_at;
+    /// Freshest queued + in-flight depth and its trust bit (see
+    /// BackendStatus). Distinct from health.queue_depth, which is the
+    /// dispatcher queue alone as of the last *successful probe* — this is
+    /// refreshed by every data-path reply too.
+    std::uint64_t load = 0;
+    bool load_fresh = false;
+    bool overloaded = false;
   };
   /// Outcome of one unlocked probe round-trip.
   struct ProbeResult {
@@ -171,6 +258,7 @@ class BackendPool {
   void publish_gauges() const;
 
   const ProbeConfig config_;
+  const RoutingConfig routing_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -178,6 +266,7 @@ class BackendPool {
   bool started_ = false;
   std::vector<Entry> entries_;
   HashRing ring_;
+  HotKeyTracker hot_keys_;  // guarded by mu_
   std::uint64_t ring_generation_ = 0;
   std::map<std::string, std::uint64_t> model_library_hash_;
   std::thread prober_;

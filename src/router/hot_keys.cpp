@@ -1,0 +1,77 @@
+#include "router/hot_keys.h"
+
+namespace atlas::router {
+
+HotKeyTracker::HotKeyTracker(std::size_t capacity,
+                             std::uint64_t decay_interval)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      decay_interval_(decay_interval < 1 ? 1 : decay_interval) {}
+
+void HotKeyTracker::record(std::uint64_t key) {
+  if (++records_since_decay_ >= decay_interval_) {
+    decay();
+    records_since_decay_ = 0;
+  }
+  const auto it = counts_.find(key);
+  if (it != counts_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(key, 1);
+    return;
+  }
+  evict_min_and_insert(key);
+}
+
+void HotKeyTracker::evict_min_and_insert(std::uint64_t key) {
+  // Space-saving eviction: the newcomer inherits min + 1, overestimating
+  // its count — so a key that is genuinely hot is promoted at worst early,
+  // never suppressed. The victim is deterministic (min count, then min
+  // key) so identical histories produce identical tracker states.
+  auto victim = counts_.begin();
+  for (auto it = counts_.begin(); it != counts_.end(); ++it) {
+    if (it->second < victim->second ||
+        (it->second == victim->second && it->first < victim->first)) {
+      victim = it;
+    }
+  }
+  const std::uint64_t inherited = victim->second + 1;
+  counts_.erase(victim);
+  counts_.emplace(key, inherited);
+}
+
+void HotKeyTracker::decay() {
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    it->second /= 2;
+    if (it->second == 0) {
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool HotKeyTracker::is_hot(std::uint64_t key, std::size_t top_k,
+                           std::uint64_t min_count) const {
+  if (top_k == 0) return false;
+  const auto it = counts_.find(key);
+  if (it == counts_.end() || it->second < min_count) return false;
+  // Rank = keys strictly ahead under (count desc, key asc). Early-exit once
+  // top_k keys are ahead; capacity bounds the scan.
+  std::size_t ahead = 0;
+  for (const auto& [k, c] : counts_) {
+    if (k == key) continue;
+    if (c > it->second || (c == it->second && k < key)) {
+      if (++ahead >= top_k) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t HotKeyTracker::count(std::uint64_t key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace atlas::router

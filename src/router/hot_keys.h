@@ -1,0 +1,64 @@
+// Decayed space-saving frequency tracker: which placement keys are hot?
+//
+// The router replicates only the hottest (netlist, library) keys — a full
+// per-key request histogram would grow with the design population, so this
+// keeps a fixed-capacity summary instead (Metwally's space-saving sketch):
+//
+//   * a bounded map of key -> approximate count. A recorded key that is
+//     present increments; one that is absent while the map is full evicts
+//     the current minimum and enters at its count + 1 (the classic
+//     space-saving overestimate, which can only promote a key *earlier*,
+//     never hide a genuinely hot one).
+//   * periodic halving decay (every `decay_interval` records) so the
+//     ranking tracks the current workload: yesterday's hot design ages out
+//     instead of squatting in the top-K forever.
+//
+// Hotness is a query-time property, not stored state: `is_hot` asks
+// whether the key's decayed count clears `min_count` AND fewer than
+// `top_k` other keys rank strictly ahead of it. Both the eviction victim
+// and the ranking use (count, key) with the key as the tie-break, so the
+// answer is a pure function of the recorded history — two routers that saw
+// the same requests agree on the hot set, and a re-run of a test does too.
+//
+// Not internally synchronized: BackendPool records/queries under its own
+// mutex; standalone use (tests) is single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace atlas::router {
+
+class HotKeyTracker {
+ public:
+  /// `capacity` bounds the tracked key set; `decay_interval` is how many
+  /// record() calls pass between halvings of every count.
+  explicit HotKeyTracker(std::size_t capacity = 1024,
+                         std::uint64_t decay_interval = 4096);
+
+  /// Count one request for `key`.
+  void record(std::uint64_t key);
+
+  /// True when `key`'s decayed count is at least `min_count` and fewer
+  /// than `top_k` other keys rank strictly ahead (count desc, key asc).
+  bool is_hot(std::uint64_t key, std::size_t top_k,
+              std::uint64_t min_count) const;
+
+  /// Approximate decayed count for `key` (0 when untracked).
+  std::uint64_t count(std::uint64_t key) const;
+
+  /// Number of keys currently tracked (bounded by capacity).
+  std::size_t tracked() const { return counts_.size(); }
+
+ private:
+  void evict_min_and_insert(std::uint64_t key);
+  void decay();
+
+  const std::size_t capacity_;
+  const std::uint64_t decay_interval_;
+  std::uint64_t records_since_decay_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+}  // namespace atlas::router

@@ -66,8 +66,8 @@ obs::TraceContext adopt_context(const obs::TraceContext& from_request) {
 
 Router::Router(RouterConfig config, std::vector<BackendAddress> backends)
     : config_(std::move(config)),
-      pool_(std::make_unique<BackendPool>(std::move(backends),
-                                          config_.probe)) {}
+      pool_(std::make_unique<BackendPool>(std::move(backends), config_.probe,
+                                          config_.routing)) {}
 
 Router::~Router() { stop(); }
 
@@ -162,7 +162,8 @@ std::string Router::stats_text() const {
   }
   os << "atlas_router: " << up << "/" << statuses.size()
      << " backends up, ring size " << pool_->ring_size() << ", generation "
-     << pool_->ring_generation() << "\n";
+     << pool_->ring_generation() << ", hot keys " << pool_->hot_keys_tracked()
+     << " tracked (replicas " << pool_->routing().replicas << ")\n";
   for (const BackendStatus& s : statuses) {
     os << "  " << s.address.id << ": " << backend_state_name(s.state)
        << (s.in_ring ? " (in ring)" : " (out of ring)") << ", probes "
@@ -172,7 +173,9 @@ std::string Router::stats_text() const {
          << s.health.cache_designs << " designs / "
          << s.health.cache_total_bytes << " bytes, queue "
          << s.health.queue_depth << ", registry gen "
-         << s.health.registry_generation;
+         << s.health.registry_generation << ", load " << s.load
+         << (s.load_fresh ? " (fresh)" : " (stale)")
+         << (s.overloaded ? " OVERLOADED" : "");
     }
     os << "\n";
   }
@@ -182,7 +185,9 @@ std::string Router::stats_text() const {
 serve::HealthResponse Router::health_snapshot() const {
   // Health is rare monitoring traffic: refresh every shard synchronously so
   // the aggregate reflects the fleet as of this request, not the last
-  // background probe tick.
+  // background probe tick. The sweep probes concurrently (see
+  // BackendPool::probe_all_now), so a downed shard costs this request one
+  // probe timeout total — not one per dead backend.
   pool_->probe_all_now();
   serve::HealthResponse h = pool_->aggregate_health();
   h.draining = stopping_.load() || stop_requested_.load();
@@ -382,53 +387,72 @@ std::pair<MsgType, std::string> Router::route_predict(UpstreamMap& upstreams,
                                                       const Frame& frame) {
   std::vector<std::string> chain;
   serve::PredictRequest req;
-  // Traced predicts run under a router span and re-encode the forwarded
-  // payload per attempt (fresh child span as the backend's parent);
-  // untraced ones keep forwarding the client's raw frame untouched.
+  // Keyed predicts are always re-encoded: the forwarded copy asks the
+  // shard to piggyback its live load on the reply (want_queue_depth), and
+  // traced ones additionally get a fresh per-attempt child span as the
+  // backend's parent. Unkeyed requests (ListModels) keep the raw
+  // zero-copy forwarding path.
+  const bool keyed = frame.type == MsgType::kPredict;
   std::optional<obs::TraceContextScope> scope;
   std::optional<obs::ObsSpan> span;
-  if (frame.type == MsgType::kPredict) {
+  if (keyed) {
     try {
       req = serve::PredictRequest::decode(frame.payload);
     } catch (const serve::ProtocolError& e) {
       return error_reply(ErrorCode::kBadRequest, e.what());
     }
-    chain = pool_->route(
+    chain = pool_->route_load_aware(
         placement_key(util::fnv1a64(req.netlist_verilog), req.model));
+    req.ext.want_queue_depth = true;
     const obs::TraceContext ctx = adopt_context(req.ext.trace);
     if (ctx.valid()) {
       scope.emplace(ctx);
       span.emplace("router", "predict");
     }
   } else {
-    // Unkeyed requests (ListModels): any live shard will do; use the chain
-    // for a fixed key so the answer is deterministic while the ring is.
+    // Any live shard will do; use the chain for a fixed key so the answer
+    // is deterministic while the ring is.
     chain = pool_->route(0);
   }
   if (chain.empty()) {
     return error_reply(ErrorCode::kInternal,
                        "no live backends (ring is empty)");
   }
+  // If every candidate sheds, the client must see the overload (retryable,
+  // self-describing), not a generic routing failure.
+  std::optional<std::pair<MsgType, std::string>> overloaded_reply;
   for (std::size_t i = 0; i < chain.size(); ++i) {
     const std::string& id = chain[i];
     Frame response;
     bool forwarded;
-    if (span) {
+    if (keyed) {
       // The attempt span covers exactly this round trip, so a failover
       // shows up in the merged timeline as one short failed attempt
       // followed by a sibling against the successor.
-      obs::ObsSpan attempt("router", "forward:" + id);
-      req.ext.trace = attempt.context();
-      Frame traced;
-      traced.type = frame.type;
-      traced.payload = req.encode();
-      forwarded = forward(upstreams, id, traced, response);
+      std::optional<obs::ObsSpan> attempt;
+      if (span) {
+        attempt.emplace("router", "forward:" + id);
+        req.ext.trace = attempt->context();
+      }
+      Frame fwd;
+      fwd.type = frame.type;
+      fwd.payload = req.encode();
+      forwarded = forward(upstreams, id, fwd, response);
     } else {
       forwarded = forward(upstreams, id, frame, response);
     }
     if (!forwarded) {
       count_failover(id);
       continue;
+    }
+    if (keyed) {
+      // Strip the load tail before anything is relayed — the client's
+      // payload must stay bit-identical to direct serving — and feed the
+      // request-fresh depth to the routing policy.
+      serve::LoadReport report;
+      if (serve::strip_load_ext(response.payload, report)) {
+        pool_->note_load(id, report.load, report.wait_dominated());
+      }
     }
     if (response.type == MsgType::kError) {
       ErrorResponse err;
@@ -444,12 +468,24 @@ std::pair<MsgType, std::string> Router::route_predict(UpstreamMap& upstreams,
         count_failover(id);
         continue;
       }
+      if (err.code == ErrorCode::kOverloaded && keyed) {
+        // Authoritative about the *shard's* state, not about the request:
+        // the shard is healthy but past its cold-request watermark. Rank
+        // it last for future picks and try the next candidate — for a hot
+        // key that is a warm replica, which is exactly where the shed
+        // wants this request to land.
+        pool_->note_overloaded(id);
+        count_failover(id);
+        overloaded_reply = {response.type, response.payload};
+        continue;
+      }
       // Authoritative: the backend looked at the request and said no
       // (unknown model, bad request, unknown design, ...). Relay it.
       count_error(id);
     }
     return {response.type, response.payload};
   }
+  if (overloaded_reply) return *overloaded_reply;
   return error_reply(ErrorCode::kInternal,
                      "all " + std::to_string(chain.size()) +
                          " candidate backends failed");
@@ -561,7 +597,7 @@ std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
                                            ? begin.design_hash
                                            : util::fnv1a64(begin.netlist_verilog);
     std::vector<std::string> chain =
-        pool_->route(placement_key(netlist_hash, begin.model));
+        pool_->route_load_aware(placement_key(netlist_hash, begin.model));
     if (chain.empty()) {
       return error_reply(ErrorCode::kInternal,
                          "no live backends (ring is empty)");
@@ -573,21 +609,21 @@ std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
       scope.emplace(ctx);
       span.emplace("router", "stream_begin");
     }
+    // Forwarded Begins are always re-encoded: want_queue_depth makes the
+    // shard piggyback its live load on the StreamEnd reply (stripped below
+    // before it reaches the client).
+    begin.ext.want_queue_depth = true;
     for (std::size_t i = 0; i < chain.size(); ++i) {
       Frame response;
-      const Frame* fwd = &frame;
-      Frame traced;
+      Frame fwd;
+      std::optional<obs::ObsSpan> attempt;
       if (span) {
-        obs::ObsSpan attempt("router", "forward:" + chain[i]);
-        begin.ext.trace = attempt.context();
-        traced.type = frame.type;
-        traced.payload = begin.encode();
-        fwd = &traced;
-        if (!forward(upstreams, chain[i], traced, response)) {
-          count_failover(chain[i]);
-          continue;
-        }
-      } else if (!forward(upstreams, chain[i], frame, response)) {
+        attempt.emplace("router", "forward:" + chain[i]);
+        begin.ext.trace = attempt->context();
+      }
+      fwd.type = frame.type;
+      fwd.payload = begin.encode();
+      if (!forward(upstreams, chain[i], fwd, response)) {
         count_failover(chain[i]);
         continue;
       }
@@ -610,7 +646,7 @@ std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
       relay.backend = chain[i];
       relay.chain = std::move(chain);
       relay.chain_pos = i;
-      relay.begin_payload = fwd->payload;
+      relay.begin_payload = fwd.payload;
       relay.ctx = ctx;
       return {response.type, response.payload};
     }
@@ -632,6 +668,14 @@ std::pair<MsgType, std::string> Router::handle_stream(UpstreamMap& upstreams,
       std::pair<MsgType, std::string> reply;
       if (!failover_stream(upstreams, relay, reply)) return reply;
       continue;  // stream replayed onto the successor; re-send this frame
+    }
+    if (frame.type == MsgType::kStreamEnd) {
+      // The load tail rides the End reply (the Begin we forwarded asked
+      // for it) — on errors too. Strip before relaying anything.
+      serve::LoadReport report;
+      if (serve::strip_load_ext(response.payload, report)) {
+        pool_->note_load(relay.backend, report.load, report.wait_dominated());
+      }
     }
     if (response.type == MsgType::kError) {
       ErrorResponse err;

@@ -10,12 +10,20 @@
 //     from backend model lists) — and forwards the raw frames to the shard
 //     the hash ring owns that key to. One (design, substrate) pair lands on
 //     exactly one shard, so N backends hold N disjoint warm feature caches
-//     instead of N copies of the same one. Transport failures and
+//     instead of N copies of the same one — except the hottest keys, which
+//     (with --replicas > 1) are eligible on the first R shards of their
+//     preference chain, picked by freshest-known queue depth with warmth-
+//     stable tie-breaking (see RoutingConfig / DESIGN.md §4k). Forwarded
+//     predicts ask the shard to piggyback its live load on the reply; the
+//     router strips that tail before relaying, so client payloads stay
+//     bit-identical to direct serving. Transport failures and
 //     kShuttingDown replies evict the shard from the ring and fail the
 //     request over to the ring successor — the shard that inherits the
-//     key's arc — transparently to the client; every other backend Error
-//     is authoritative and relayed (kUnknownDesign in particular drives
-//     the client's documented full-upload fallback).
+//     key's arc — transparently to the client; kOverloaded marks the shard
+//     busy and tries the next replica (relayed only if every candidate
+//     sheds); every other backend Error is authoritative and relayed
+//     (kUnknownDesign in particular drives the client's documented
+//     full-upload fallback).
 //   * **Streamed uploads** are pinned: the whole Begin/Chunk*/End exchange
 //     goes to one shard over one upstream connection (backend stream state
 //     is per-connection). The router buffers the acked frames — bounded by
@@ -82,6 +90,9 @@ struct RouterConfig {
   std::size_t max_stream_bytes = 256ull << 20;  // 256 MiB
 
   ProbeConfig probe;
+  /// Hot-key replication and overload-avoidance policy (see RoutingConfig);
+  /// defaults keep replication off (replicas = 1).
+  RoutingConfig routing;
 
   /// Data-path upstream connect bound. IO on an established upstream is
   /// deliberately unbounded by default: a predict may legitimately compute

@@ -90,6 +90,41 @@ PredictResponse Client::predict(const PredictRequest& request) {
   return PredictResponse::decode(resp.payload);
 }
 
+PredictResponse Client::predict(const PredictRequest& request,
+                                LoadReport* load_out) {
+  PredictRequest req = request;
+  req.ext.want_queue_depth = true;
+  const std::optional<obs::TraceContext> ctx =
+      originate_context(req.ext.trace);
+  std::optional<obs::TraceContextScope> scope;
+  std::optional<obs::ObsSpan> span;
+  if (ctx) {
+    scope.emplace(*ctx);
+    span.emplace("client", "predict");
+    req.ext.trace = span->context();
+  }
+  // Hand-rolled round trip instead of round_trip(): the load tail rides
+  // error replies too (a shed answers kOverloaded + tail), so it must be
+  // stripped before the payload is decoded either way.
+  write_frame(sock_, MsgType::kPredict, req.encode());
+  Frame resp;
+  if (!read_frame(sock_, resp)) {
+    throw ProtocolError("server closed the connection");
+  }
+  LoadReport report;
+  strip_load_ext(resp.payload, report);
+  if (load_out != nullptr) *load_out = report;
+  if (resp.type == MsgType::kError) {
+    const ErrorResponse err = ErrorResponse::decode(resp.payload);
+    throw ServeError(err.code, err.message);
+  }
+  if (resp.type != MsgType::kPredictOk) {
+    throw ProtocolError("unexpected response type " +
+                        std::to_string(static_cast<std::uint32_t>(resp.type)));
+  }
+  return PredictResponse::decode(resp.payload);
+}
+
 PredictResponse Client::predict_stream(StreamBeginRequest begin,
                                        const std::string& trace_bytes,
                                        std::size_t chunk_bytes) {

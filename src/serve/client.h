@@ -65,6 +65,16 @@ class Client {
   /// byte-identically to protocol v1.
   PredictResponse predict(const PredictRequest& request);
 
+  /// predict() that also asks the server to piggyback its load (queued +
+  /// in-flight jobs and whether its time is wait-dominated) on the reply —
+  /// the same LoadReport tail the routing tier uses to keep queue depths
+  /// request-fresh. The tail is stripped before decoding (and before a
+  /// ServeError is thrown — shed replies carry one too), so the decoded
+  /// response is identical to plain predict(). An ops/debug aid
+  /// (`atlas_client predict --show-load`); old servers ignore the flag and
+  /// `load_out` reports zeros.
+  PredictResponse predict(const PredictRequest& request, LoadReport* load_out);
+
   /// Upload a client-supplied toggle trace in chunks and get the prediction
   /// for it: stream_begin / stream_chunk* / stream_end. `trace_bytes` is
   /// VCD text or binary ATDT delta bytes, matching `begin.format`;

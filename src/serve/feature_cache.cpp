@@ -229,6 +229,20 @@ std::shared_ptr<const core::DesignEmbeddings> FeatureCache::put_embeddings(
   return winner;
 }
 
+bool FeatureCache::peek_design(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  return it != entries_.end() && it->second.design != nullptr;
+}
+
+bool FeatureCache::peek_embeddings(std::uint64_t design_key,
+                                   const EmbeddingKey& emb_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(design_key);
+  if (it == entries_.end()) return false;
+  return it->second.embeddings.count(emb_key) != 0;
+}
+
 FeatureCacheStats FeatureCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

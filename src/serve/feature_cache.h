@@ -145,6 +145,14 @@ class FeatureCache {
       std::uint64_t design_key, const EmbeddingKey& emb_key,
       std::shared_ptr<const core::DesignEmbeddings> emb);
 
+  /// Non-mutating presence probes for admission control (the overload shed
+  /// path classifies a request warm/cold *before* deciding whether to queue
+  /// it): no LRU touch, no hit/miss accounting — a shed decision must not
+  /// perturb eviction order or the cache's observability.
+  bool peek_design(std::uint64_t key) const;
+  bool peek_embeddings(std::uint64_t design_key,
+                       const EmbeddingKey& emb_key) const;
+
   FeatureCacheStats stats() const;
   std::size_t num_designs() const;
   /// Approximate bytes held by cached embeddings (all designs).

@@ -66,6 +66,9 @@ bool has_ext_tail(std::istream& is) {
 
 constexpr std::uint32_t kExtFlagSampled = 1u << 0;
 constexpr std::uint32_t kExtFlagWantTiming = 1u << 1;
+constexpr std::uint32_t kExtFlagWantQueueDepth = 1u << 2;
+
+constexpr char kLoadExtMagic[8] = {'A', 'T', 'L', 'D', 'R', 'P', 'T', '1'};
 
 void write_request_ext(std::ostream& os, const RequestTraceExt& ext) {
   write_u32(os, kTraceExtVersion);
@@ -75,6 +78,7 @@ void write_request_ext(std::ostream& os, const RequestTraceExt& ext) {
   std::uint32_t flags = 0;
   if (ext.trace.sampled) flags |= kExtFlagSampled;
   if (ext.want_timing) flags |= kExtFlagWantTiming;
+  if (ext.want_queue_depth) flags |= kExtFlagWantQueueDepth;
   write_u32(os, flags);
 }
 
@@ -95,6 +99,7 @@ RequestTraceExt read_request_ext(std::istream& is) {
   const std::uint32_t flags = read_u32(is);
   ext.trace.sampled = (flags & kExtFlagSampled) != 0;
   ext.want_timing = (flags & kExtFlagWantTiming) != 0;
+  ext.want_queue_depth = (flags & kExtFlagWantQueueDepth) != 0;
   return ext;
 }
 
@@ -111,6 +116,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kStreamProtocol: return "kStreamProtocol";
     case ErrorCode::kAdminDisabled: return "kAdminDisabled";
     case ErrorCode::kUnknownDesign: return "kUnknownDesign";
+    case ErrorCode::kOverloaded: return "kOverloaded";
   }
   return "kUnknownErrorCode";
 }
@@ -355,6 +361,24 @@ void append_timing_ext(std::string& payload, const ServerTiming& timing) {
   write_u64(os, timing.serialize_us);
   write_u64(os, timing.total_us);
   payload += std::move(os).str();
+}
+
+void append_load_ext(std::string& payload, const LoadReport& report) {
+  char buf[kLoadExtBytes];
+  std::memcpy(buf, kLoadExtMagic, 8);
+  std::memcpy(buf + 8, &report.load, 8);
+  std::memcpy(buf + 16, &report.flags, 8);
+  payload.append(buf, kLoadExtBytes);
+}
+
+bool strip_load_ext(std::string& payload, LoadReport& out) {
+  if (payload.size() < kLoadExtBytes) return false;
+  const char* tail = payload.data() + payload.size() - kLoadExtBytes;
+  if (std::memcmp(tail, kLoadExtMagic, 8) != 0) return false;
+  std::memcpy(&out.load, tail + 8, 8);
+  std::memcpy(&out.flags, tail + 16, 8);
+  payload.resize(payload.size() - kLoadExtBytes);
+  return true;
 }
 
 std::string ModelListResponse::encode() const {

@@ -135,6 +135,12 @@ enum class ErrorCode : std::uint32_t {
   kStreamProtocol = 7,   // stream state violation (order, size, no begin)
   kAdminDisabled = 8,    // load/unload without --allow-admin
   kUnknownDesign = 9,    // design_hash not in the cache; re-send the netlist
+  /// Admission control: the server is past its cold-request depth watermark
+  /// and this request would need encode-heavy work (design or embeddings not
+  /// cached). The request was not queued; retry elsewhere or later. Warm
+  /// requests are never shed — answering from the cache is cheaper than the
+  /// round trip it would take the client to go anywhere else.
+  kOverloaded = 10,
 };
 
 /// Stable enum-style name ("kUnknownModel", ...) for diagnostics and smoke
@@ -173,8 +179,15 @@ struct RequestTraceExt {
   /// Ask the server to attach the per-phase ServerTiming breakdown to the
   /// PredictOk response (independent of tracing/sampling).
   bool want_timing = false;
+  /// Ask the server to append a LoadReport tail to the response (set by the
+  /// routing tier on forwarded predicts, and stripped by it before the
+  /// reply reaches the client). This is what makes the router's per-backend
+  /// load signal request-fresh instead of probe-fresh.
+  bool want_queue_depth = false;
 
-  bool should_encode() const { return trace.valid() || want_timing; }
+  bool should_encode() const {
+    return trace.valid() || want_timing || want_queue_depth;
+  }
 };
 
 struct PredictRequest {
@@ -328,6 +341,40 @@ struct PredictResponse {
 /// encode itself and then attach the finished numbers without re-encoding;
 /// PredictResponse::encode() with has_timing produces identical bytes.
 void append_timing_ext(std::string& payload, const ServerTiming& timing);
+
+/// Per-response load piggyback (want_queue_depth): a fixed-size tail the
+/// server appends after every other tail on the reply to a request that
+/// asked for it, and the routing tier strips before relaying — clients
+/// never see it, so routed responses stay bit-identical to direct serving.
+///
+/// `load` counts jobs admitted but not yet answered (queued + in flight),
+/// which is the signal a replica-routing policy needs: the dispatcher
+/// drains its queue into a forming batch immediately, so the health
+/// `queue_depth` alone reads ~0 even on a saturated shard.
+struct LoadReport {
+  std::uint64_t load = 0;
+  std::uint64_t flags = 0;
+
+  /// flags bit 0: the serving-side phase split for this request was
+  /// dominated by waiting (batch_wait_us + queue_us > half of total_us) —
+  /// the PR 8 slow-log signal the router's shed policy keys off.
+  static constexpr std::uint64_t kFlagWaitDominated = 1ull << 0;
+  bool wait_dominated() const { return (flags & kFlagWaitDominated) != 0; }
+};
+
+/// The tail is self-delimiting from the *end* of the payload: 8 magic bytes
+/// ("ATLDRPT1") + 2 u64s, total 24 bytes. Leading with magic-from-the-end
+/// (rather than a version tag after the base fields) lets the router strip
+/// it from any response type — PredictOk with or without a timing tail,
+/// Error — without understanding the payload it rides on, and lets old
+/// decoders ignore it exactly like any other trailing bytes.
+inline constexpr std::size_t kLoadExtBytes = 24;
+void append_load_ext(std::string& payload, const LoadReport& report);
+
+/// Removes a trailing load tail from `payload` if one is present, filling
+/// `out`. Returns false (payload untouched) when the tail is absent — e.g.
+/// the backend predates want_queue_depth and ignored the flag.
+bool strip_load_ext(std::string& payload, LoadReport& out);
 
 struct ModelInfo {
   std::string name;

@@ -46,6 +46,21 @@ obs::Gauge& queue_depth_gauge() {
   return g;
 }
 
+/// Admitted-but-unanswered predict jobs (queued + in flight) — the load
+/// signal the shed watermark and the router's LoadReport piggyback read.
+obs::Gauge& inflight_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("atlas_serve_inflight_jobs");
+  return g;
+}
+
+/// Cold requests answered kOverloaded by the shed watermark.
+obs::Counter& shed_counter() {
+  static obs::Counter& c =
+      obs::Registry::global().counter("atlas_serve_shed_total");
+  return c;
+}
+
 /// Decode an optional bare-string request payload ("json", "fleet", ...).
 /// Old clients send an empty payload on these request types; anything
 /// undecodable is treated the same way rather than rejected, so the
@@ -332,7 +347,15 @@ void Server::connection_loop(Connection* conn) {
             break;
           }
           job->enqueued_at = received_at;
-          const auto [type, payload] = submit_and_wait(job);
+          // Admission control runs before the queue: a shed request costs
+          // one cache peek, not a dispatcher slot (see maybe_shed_predict).
+          if (auto shed = maybe_shed_predict(job->request)) {
+            write_frame(sock, shed->first, shed->second);
+            stats_.record("predict", elapsed_us(received_at), true);
+            break;
+          }
+          auto [type, payload] = submit_and_wait(job);
+          maybe_append_load_ext(job->request.ext, payload, &job->timing);
           write_frame(sock, type, payload);
           break;
         }
@@ -561,6 +584,13 @@ std::pair<MsgType, std::string> Server::submit_and_wait(
     } else {
       queue_.push_back(job);
       queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+      // Admitted: the job counts against the shed watermark and the load
+      // report from enqueue until its reply is handed back below. The raw
+      // queue depth alone is nearly always ~0 (the dispatcher drains the
+      // queue into forming batches immediately), so queued + in-flight is
+      // the signal that actually tracks pressure.
+      inflight_gauge().set(static_cast<std::int64_t>(
+          inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
     }
   }
   if (rejected) {
@@ -570,7 +600,66 @@ std::pair<MsgType, std::string> Server::submit_and_wait(
     return error_reply(ErrorCode::kShuttingDown, "server is shutting down");
   }
   queue_cv_.notify_one();
-  return future.get();
+  auto reply = future.get();
+  inflight_gauge().set(static_cast<std::int64_t>(
+      inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
+  return reply;
+}
+
+bool Server::predict_is_warm(const PredictRequest& req) const {
+  const std::shared_ptr<const ModelEntry> entry = registry_->get(req.model);
+  // Unknown model: admit, so the normal path answers kUnknownModel —
+  // shedding would hide a configuration error behind a retryable
+  // overload signal.
+  if (!entry) return true;
+  // Mirror prepare_predict's key derivation exactly; a mismatch here would
+  // shed requests the cache could have answered. Plain predicts carry the
+  // netlist text (no design_hash) and use a built-in workload (trace hash 0).
+  const std::uint64_t design_key = design_cache_key(
+      util::fnv1a64(req.netlist_verilog), entry->library_hash);
+  if (!cache_.peek_design(design_key)) return false;
+  const EmbeddingKey emb_key{req.model, req.workload, req.cycles,
+                             /*trace_hash=*/0, entry->generation};
+  return cache_.peek_embeddings(design_key, emb_key);
+}
+
+std::optional<std::pair<MsgType, std::string>> Server::maybe_shed_predict(
+    const PredictRequest& req) {
+  if (config_.shed_queue_depth == 0) return std::nullopt;
+  const std::size_t load = inflight_.load(std::memory_order_relaxed);
+  if (load < config_.shed_queue_depth) return std::nullopt;
+  // Warm requests are never shed: answering from the cache is cheaper than
+  // the round trip it would cost the client to go anywhere else.
+  if (predict_is_warm(req)) return std::nullopt;
+  shed_counter().inc();
+  auto reply = error_reply(
+      ErrorCode::kOverloaded,
+      "cold request shed: " + std::to_string(load) +
+          " jobs in flight >= watermark " +
+          std::to_string(config_.shed_queue_depth) +
+          "; retry on a replica or later");
+  // A shed is queue-bound by definition: report wait-dominated so a routing
+  // tier prefers a warm replica for the retry.
+  maybe_append_load_ext(req.ext, reply.second, nullptr);
+  return reply;
+}
+
+void Server::maybe_append_load_ext(const RequestTraceExt& ext,
+                                   std::string& payload,
+                                   const ServerTiming* timing) const {
+  if (!ext.want_queue_depth) return;
+  LoadReport report;
+  report.load = inflight_.load(std::memory_order_relaxed);
+  // Shed replies carry no timing and are queue-bound by definition.
+  // Completed jobs are wait-dominated when batch wait + queue time is the
+  // majority of the total — the same phase split the slow log reports.
+  bool wait_dominated = timing == nullptr;
+  if (timing != nullptr && timing->total_us > 0) {
+    wait_dominated =
+        (timing->batch_wait_us + timing->queue_us) * 2 > timing->total_us;
+  }
+  if (wait_dominated) report.flags |= LoadReport::kFlagWaitDominated;
+  append_load_ext(payload, report);
 }
 
 std::pair<MsgType, std::string> Server::handle_stream_frame(
@@ -750,7 +839,9 @@ std::pair<MsgType, std::string> Server::handle_stream_frame(
       // The deadline spans the whole streamed request: assembly included.
       job->enqueued_at = stream.started;
       stream.reset();
-      return submit_and_wait(job);
+      auto reply = submit_and_wait(job);
+      maybe_append_load_ext(job->request.ext, reply.second, &job->timing);
+      return reply;
     }
     default:
       return fail(ErrorCode::kBadRequest, "not a stream frame");

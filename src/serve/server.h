@@ -107,6 +107,13 @@ struct ServerConfig {
   /// hold request-derived names, and draining it clears state other
   /// observers may want.
   bool allow_admin = false;
+  /// Overload shedding watermark: when the number of admitted-but-unanswered
+  /// predict jobs (queued + in flight) is at or past this, *cold* predict
+  /// requests — design or embeddings not cached, i.e. the encode-heavy ones
+  /// — are answered kOverloaded immediately instead of queuing toward a
+  /// deadline timeout. Warm requests are always admitted: a cache hit costs
+  /// less than the client's retry would. 0 disables shedding.
+  std::size_t shed_queue_depth = 0;
   /// Slow-request forensics threshold: a predict/stream request whose
   /// total time (enqueue -> reply encoded) exceeds this emits one warn-level
   /// structured log line with the per-phase ServerTiming breakdown, rate
@@ -154,6 +161,13 @@ class Server {
   FeatureCacheStats cache_stats() const { return cache_.stats(); }
   /// Predict jobs waiting for the dispatcher right now.
   std::size_t queue_depth() const;
+  /// Predict jobs admitted but not yet answered (queued + in flight). The
+  /// dispatcher drains its queue into a forming batch immediately, so this
+  /// — not queue_depth() — is the load signal the shed watermark and the
+  /// router's LoadReport piggyback use.
+  std::size_t inflight_jobs() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
   /// The snapshot a kHealth wire request answers with (also used by
   /// in-process tests and benches).
   HealthResponse health_snapshot() const;
@@ -276,6 +290,24 @@ class Server {
   std::pair<MsgType, std::string> handle_stream_frame(const Frame& frame,
                                                       StreamState& stream);
 
+  /// Admission check for the shed watermark: true when the request would be
+  /// answered from the caches (design AND embeddings present — const peeks,
+  /// no LRU perturbation). Unknown models return true so the normal path
+  /// answers kUnknownModel instead of a misleading kOverloaded.
+  bool predict_is_warm(const PredictRequest& req) const;
+  /// Shed decision for one decoded predict request. Returns the kOverloaded
+  /// error reply when the server is past config_.shed_queue_depth and the
+  /// request is cold; nullopt admits it.
+  std::optional<std::pair<MsgType, std::string>> maybe_shed_predict(
+      const PredictRequest& req);
+  /// Append the LoadReport piggyback tail to `payload` when the request
+  /// asked for it (ext.want_queue_depth). `timing` drives the
+  /// wait-dominated flag; pass the job's filled timing, or nullptr for
+  /// replies that never reached the handler (the shed reply itself, which
+  /// reports wait-dominated by definition).
+  void maybe_append_load_ext(const RequestTraceExt& ext, std::string& payload,
+                             const ServerTiming* timing) const;
+
   /// Returns {response type, payload}; never throws. job.trace is the
   /// assembled client-supplied toggle trace for streamed requests, null
   /// for the synthetic w1/w2 workloads. A nonzero job.design_hash replaces
@@ -334,6 +366,8 @@ class Server {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<PendingJob>> queue_;
+  /// Jobs admitted (enqueued) but not yet answered; see inflight_jobs().
+  std::atomic<std::size_t> inflight_{0};
 
   /// trace_now_us() of the last slow-request log line (0 = none yet);
   /// CAS-guarded so concurrent slow requests emit at most ~1 line/second.

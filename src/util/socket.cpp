@@ -184,6 +184,10 @@ std::optional<Socket> Listener::accept(int timeout_ms) {
     if (errno == EINTR || errno == ECONNABORTED) return std::nullopt;
     raise_errno("accept");
   }
+  // Request/response framing: flush small frames immediately (mirrors
+  // connect_tcp). Harmless ENOTSUP on AF_UNIX listeners.
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Socket(cfd);
 }
 

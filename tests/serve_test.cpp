@@ -2038,5 +2038,150 @@ TEST_F(ServeTest, QueueDepthGaugeExportedInMetrics) {
   server.stop();
 }
 
+// ---- PR 10: load piggyback + overload shedding ----------------------------
+
+TEST(LoadExt, TailAppendsAndStripsByteExactly) {
+  std::string payload("base-bytes\x01\x02", 12);
+  const std::string original = payload;
+  LoadReport in;
+  in.load = 42;
+  in.flags = LoadReport::kFlagWaitDominated;
+  append_load_ext(payload, in);
+  ASSERT_EQ(payload.size(), original.size() + kLoadExtBytes);
+
+  LoadReport out;
+  ASSERT_TRUE(strip_load_ext(payload, out));
+  EXPECT_EQ(payload, original) << "strip must restore the payload exactly";
+  EXPECT_EQ(out.load, 42u);
+  EXPECT_TRUE(out.wait_dominated());
+
+  // No tail present: the payload is untouched and absence is reported —
+  // the router's compatibility path for backends predating the flag.
+  LoadReport none;
+  EXPECT_FALSE(strip_load_ext(payload, none));
+  EXPECT_EQ(payload, original);
+  std::string tiny = "x";
+  EXPECT_FALSE(strip_load_ext(tiny, none));
+  EXPECT_EQ(tiny, "x");
+}
+
+TEST(LoadExt, WantQueueDepthFlagRoundTripsOnTheWire) {
+  PredictRequest req;
+  req.model = "m";
+  req.netlist_verilog = "module m(); endmodule";
+  req.workload = "w1";
+  req.cycles = 4;
+  const std::string plain = req.encode();
+  req.ext.want_queue_depth = true;
+  const std::string flagged = req.encode();
+  EXPECT_NE(plain, flagged);
+  EXPECT_TRUE(PredictRequest::decode(flagged).ext.want_queue_depth);
+  EXPECT_FALSE(PredictRequest::decode(plain).ext.want_queue_depth);
+}
+
+TEST_F(ServeTest, WantQueueDepthAppendsAStrippableTailOnTheWire) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  util::Socket raw = util::connect_tcp("127.0.0.1", server.port());
+
+  PredictRequest req = make_request();
+  req.ext.want_queue_depth = true;
+  write_frame(raw, MsgType::kPredict, req.encode());
+  Frame resp;
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kPredictOk);
+  ASSERT_GE(resp.payload.size(), kLoadExtBytes);
+  EXPECT_EQ(resp.payload.substr(resp.payload.size() - kLoadExtBytes, 8),
+            "ATLDRPT1");
+  LoadReport report;
+  ASSERT_TRUE(strip_load_ext(resp.payload, report));
+  // After the strip the payload decodes to the same prediction a plain
+  // request gets — the bit-identity contract the routing tier relies on.
+  expect_matches_direct(PredictResponse::decode(resp.payload), *expected_w1_);
+
+  // A request that did not ask gets no tail (v1-identical replies).
+  write_frame(raw, MsgType::kPredict, make_request().encode());
+  ASSERT_TRUE(read_frame(raw, resp));
+  ASSERT_EQ(resp.type, MsgType::kPredictOk);
+  EXPECT_FALSE(strip_load_ext(resp.payload, report));
+  server.stop();
+}
+
+TEST_F(ServeTest, PredictWithLoadReportMatchesPlainPredict) {
+  Server server(loopback_config(), make_registry());
+  server.start();
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  const PredictResponse plain = client.predict(make_request());
+  LoadReport load;
+  const PredictResponse with_load = client.predict(make_request(), &load);
+  EXPECT_TRUE(same_bits(with_load.design, plain.design));
+  EXPECT_TRUE(same_bits(with_load.submodule, plain.submodule));
+  EXPECT_EQ(load.load, 0u) << "idle server: nothing else in flight";
+  server.stop();
+}
+
+TEST_F(ServeTest, ColdPredictsShedPastTheWatermarkWarmAlwaysAdmitted) {
+  ServerConfig cfg = loopback_config();
+  cfg.shed_queue_depth = 1;
+  cfg.dispatch_delay_for_test_ms = 200;  // park admitted jobs observably
+  Server server(cfg, make_registry());
+  server.start();
+  auto wait_for = [&](const std::function<bool()>& pred) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  };
+  const std::uint64_t shed_before =
+      obs::Registry::global().counter("atlas_serve_shed_total").value();
+
+  // Warm the query design while idle: cold, but depth 0 admits it.
+  Client client = Client::connect_tcp("127.0.0.1", server.port());
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+
+  // Occupy the server with an admitted warm request...
+  std::thread occupant([&] {
+    try {
+      Client oc = Client::connect_tcp("127.0.0.1", server.port());
+      oc.predict(make_request());
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "occupant: " << e.what();
+    }
+  });
+  ASSERT_TRUE(wait_for([&] { return server.inflight_jobs() >= 1; }));
+
+  // ...now a COLD design (uncached text -> encode-heavy) answers
+  // kOverloaded immediately instead of queuing toward a timeout. The shed
+  // reply still carries the load tail — wait-dominated by definition — so
+  // a routing tier learns the depth from the rejection itself.
+  PredictRequest cold = make_request();
+  cold.netlist_verilog = *verilog_ + "\n// shed-cold-variant\n";
+  LoadReport load;
+  Client cold_client = Client::connect_tcp("127.0.0.1", server.port());
+  try {
+    cold_client.predict(cold, &load);
+    FAIL() << "expected kOverloaded";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+  }
+  EXPECT_GE(load.load, 1u);
+  EXPECT_TRUE(load.wait_dominated());
+  EXPECT_GE(obs::Registry::global().counter("atlas_serve_shed_total").value(),
+            shed_before + 1);
+
+  // A WARM request during the same overload is admitted (a cache hit costs
+  // less than the client's retry would) and answers bit-identically.
+  expect_matches_direct(client.predict(make_request()), *expected_w1_);
+  occupant.join();
+
+  // Once drained, the cold design is admitted and computes normally.
+  ASSERT_TRUE(wait_for([&] { return server.inflight_jobs() == 0; }));
+  expect_matches_direct(cold_client.predict(cold), *expected_w1_);
+  server.stop();
+}
+
 }  // namespace
 }  // namespace atlas::serve

@@ -371,7 +371,11 @@ int cmd_predict(int argc, const char* const* argv) {
       .flag("workload", "w1", "workload (w1 | w2)")
       .flag("cycles", "300", "cycles to simulate")
       .flag("deadline-ms", "0", "per-request deadline (0 = none)")
-      .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV");
+      .flag("csv", "atlas_power.csv", "per-cycle predicted power CSV")
+      .flag("show-load", "false",
+            "also print the server's load report (queued + in-flight jobs, "
+            "wait- vs compute-dominated) piggybacked on the reply; old "
+            "servers report zeros");
   add_endpoint_flags(cli).parse(argc, argv);
   if (cli.help_requested()) return 0;
 
@@ -383,7 +387,16 @@ int cmd_predict(int argc, const char* const* argv) {
   req.deadline_ms = static_cast<std::uint32_t>(cli.integer("deadline-ms"));
 
   serve::Client client = connect(cli);
-  const serve::PredictResponse resp = client.predict(req);
+  serve::PredictResponse resp;
+  if (cli.boolean("show-load")) {
+    serve::LoadReport load;
+    resp = client.predict(req, &load);
+    std::printf("server load: %llu jobs queued or in flight (%s)\n",
+                static_cast<unsigned long long>(load.load),
+                load.wait_dominated() ? "wait-dominated" : "compute-dominated");
+  } else {
+    resp = client.predict(req);
+  }
   write_prediction_csv(resp, cli.str("csv"));
   return 0;
 }

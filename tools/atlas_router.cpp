@@ -5,7 +5,10 @@
 // workload requests are consistent-hashed on (netlist content hash, model
 // Liberty content hash) — the backends' design-cache key — onto the
 // configured shards, so each design's parsed graphs and embeddings warm
-// exactly one backend. A background prober (rich `health` requests, with
+// exactly one backend — except the hottest designs, which --replicas
+// spreads over the first R shards of their failover chain, routed by the
+// freshest-known queue depth (piggybacked on data-path replies).
+// A background prober (rich `health` requests, with
 // timeouts and backoff) keeps the hash ring current as backends join,
 // drain or die; in-flight requests fail over to the ring successor.
 // load_model/unload_model fan out to every shard and answer with the
@@ -51,6 +54,15 @@ int main(int argc, char** argv) {
       .flag("probe-fail-threshold", "2",
             "consecutive probe failures before a backend leaves the ring")
       .flag("vnodes", "64", "virtual nodes per backend on the hash ring")
+      .flag("replicas", "1",
+            "shards eligible for each HOT placement key (1 = replication "
+            "off; cold keys always stay single-owner)")
+      .flag("hot-top-k", "8", "max concurrently hot placement keys")
+      .flag("hot-min-requests", "16",
+            "decayed request count before a key can be promoted to hot")
+      .flag("overload-load", "8",
+            "fresh wait-dominated load at/above this marks a shard "
+            "overloaded (ranked last among replicas)")
       .flag("connect-timeout-ms", "2000", "data-path backend connect bound")
       .flag("allow-admin", "false",
             "fan client load_model/unload_model out to every backend "
@@ -82,6 +94,13 @@ int main(int argc, char** argv) {
     cfg.probe.fail_threshold =
         static_cast<int>(cli.integer("probe-fail-threshold"));
     cfg.probe.vnodes = static_cast<std::size_t>(cli.integer("vnodes"));
+    cfg.routing.replicas = static_cast<std::size_t>(cli.integer("replicas"));
+    cfg.routing.hot_top_k =
+        static_cast<std::size_t>(cli.integer("hot-top-k"));
+    cfg.routing.hot_min_requests =
+        static_cast<std::uint64_t>(cli.integer("hot-min-requests"));
+    cfg.routing.overload_load =
+        static_cast<std::uint64_t>(cli.integer("overload-load"));
     cfg.backend_connect_timeout_ms =
         static_cast<int>(cli.integer("connect-timeout-ms"));
     cfg.allow_admin = cli.boolean("allow-admin");

@@ -83,6 +83,10 @@ int main(int argc, char** argv) {
       .flag("cache-designs", "16", "feature-cache capacity (designs)")
       .flag("cache-embeddings", "8", "cached embedding sets per design")
       .flag("batch-max", "8", "max predict requests per dispatch batch")
+      .flag("shed-depth", "0",
+            "answer kOverloaded to COLD (uncached) predicts once this many "
+            "jobs are queued or in flight (0 = never shed; warm requests "
+            "are always admitted)")
       .flag("allow-admin", "false",
             "honor client load_model/unload_model/trace_dump requests")
       .flag("threads", "0",
@@ -118,6 +122,7 @@ int main(int argc, char** argv) {
     cfg.cache_embeddings_per_design =
         static_cast<std::size_t>(cli.integer("cache-embeddings"));
     cfg.batch_max = static_cast<std::size_t>(cli.integer("batch-max"));
+    cfg.shed_queue_depth = static_cast<std::size_t>(cli.integer("shed-depth"));
     cfg.allow_admin = cli.boolean("allow-admin");
     cfg.slow_ms = static_cast<int>(cli.integer("slow-ms"));
     cfg.verbose = true;
